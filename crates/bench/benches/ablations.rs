@@ -1,0 +1,20 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! coalescing, CFS slice length, producer sharing, reclaim threshold.
+
+use aqua_bench::ablations::{
+    cfs_slice_table, coalescing_table, lora_skew_table, preemption_table,
+    producer_sharing_table, reclaim_threshold_table,
+};
+use aqua_bench::fig10_elasticity::Timeline;
+
+fn main() {
+    println!("{}", coalescing_table());
+    println!("{}", cfs_slice_table(&[2, 4, 8, 16, 32], 120, 9));
+    println!("{}", producer_sharing_table(120));
+    println!(
+        "{}",
+        reclaim_threshold_table(&[2, 4, 8, 16, 32], &Timeline::default(), 3)
+    );
+    println!("{}", preemption_table(200, 3));
+    println!("{}", lora_skew_table(&[0.0, 0.5, 1.0, 1.5, 2.0], 200, 11));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 1: TTFT/RCT of vLLM vs vLLM+CFS(DRAM) vs AQUA at
+//! 5 req/s on a memory-constrained LLM GPU.
+
+use aqua_bench::fig01_motivation::{run, table};
+
+fn main() {
+    let result = run(5.0, 300, 42);
+    println!("{}", table(&result));
+    println!("Paper shape: vLLM TTFT spikes once the pool fills (~20 in-flight");
+    println!("contexts); CFS fixes TTFT but pays RCT over PCIe; AQUA keeps both low.");
+}

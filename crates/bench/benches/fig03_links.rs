@@ -1,0 +1,12 @@
+//! Regenerates Figure 3: (a) NVLink effective bandwidth vs buffer size;
+//! (b) producer throughput impact of sharing memory (< 5%).
+
+use aqua_bench::fig03_links::{
+    bandwidth_table, default_sizes, run_bandwidth, run_sharing, sharing_table,
+};
+
+fn main() {
+    println!("{}", bandwidth_table(&run_bandwidth(&default_sizes())));
+    println!("{}", sharing_table(&run_sharing(10)));
+    println!("Paper anchors: ~100 GB/s at 2 MB, ~250 GB/s peak; sharing < 5%.");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 4: the placement-matters illustration, scored under
+//! Equation 5 and executed end to end.
+
+use aqua_bench::fig04_colocation::{run, table};
+
+fn main() {
+    let window = 120;
+    let result = run(window);
+    println!("{}", table(&result, window));
+    println!("Paper: colocation gives LLMs reachable spare HBM; segregation strands them.");
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 9: CFS responsiveness at 2 and 5 req/s
+//! (Codellama-34B consumer + Kandinsky producer, 2-GPU server).
+
+use aqua_bench::fig09_cfs::{run, table, CfsExperiment};
+
+fn main() {
+    for rate in [2.0, 5.0] {
+        let cfg = CfsExperiment::figure9(rate, 300, 3);
+        let r = run(&cfg);
+        println!(
+            "{}",
+            table(&r, &format!("Figure 9: CFS workload at {rate} requests/s"))
+        );
+        println!(
+            "TTFT p90 improvement (vllm/aqua): {:.2}x (paper: ~4x at 5 req/s)",
+            r.ttft_improvement()
+        );
+        println!(
+            "CFS-over-DRAM RCT overhead vs AQUA: {:.2}x (paper: ~2x)\n",
+            r.cfs_dram_rct_overhead()
+        );
+    }
+}

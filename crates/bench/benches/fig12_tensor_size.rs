@@ -1,0 +1,13 @@
+//! Regenerates Figure 12: AQUA's benefit vs offloaded tensor size
+//! (200 adapters of 160 MB and 320 MB, 10 req/s, 10 GB adapter cache).
+
+use aqua_bench::fig12_tensor_size::{paper_sizes, run, table};
+
+fn main() {
+    let results: Vec<_> = paper_sizes()
+        .iter()
+        .map(|&bytes| run(bytes, 200, 10.0, 21))
+        .collect();
+    println!("{}", table(&results));
+    println!("Paper: the larger adapter benefits more from AQUA.");
+}

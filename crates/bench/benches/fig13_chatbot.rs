@@ -1,0 +1,11 @@
+//! Regenerates Figure 13 / §8: closed-loop chatbot, 25 users, 4 turns
+//! (Codellama-34B + Kandinsky).
+
+use aqua_bench::fig13_chatbot::{run, table};
+
+fn main() {
+    let result = run(25, 4, 31);
+    println!("{}", table(&result));
+    println!("Paper shape: saw-tooth per turn; CFS-over-DRAM inflates RCT,");
+    println!("AQUA stays close to vLLM while keeping CFS responsiveness.");
+}

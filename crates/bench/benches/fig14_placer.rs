@@ -1,0 +1,12 @@
+//! Regenerates Figure 14 / §A.1: AQUA-PLACER convergence time on clusters
+//! of 16 to 128 GPUs (8-GPU servers), mixed-modality vs LLM-only inputs.
+
+use aqua_bench::fig14_placer::{run, table};
+
+fn main() {
+    let points = run(&[16, 32, 64, 96, 128]);
+    println!("{}", table(&points));
+    println!("Paper shape: mixed-modality inputs take tens of seconds at 128 GPUs");
+    println!("(more model types => larger search space); 50/50 LLM inputs stay");
+    println!("under a second.");
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figures 15–17: the CFS experiment on the 8-GPU NVSwitch
+//! server with different producers (Mistral LLM producer — Fig 15;
+//! StableDiffusion — Fig 16; SD-XL + AudioGen — Fig 17).
+
+use aqua_bench::fig09_cfs::{run, table, CfsExperiment, ProducerChoice};
+
+fn main() {
+    let producers = [
+        ("Figure 15: CFS next to a Mistral-7B LLM producer", ProducerChoice::MistralLlm),
+        ("Figure 16: CFS next to StableDiffusion", ProducerChoice::StableDiffusion),
+        ("Figure 17: CFS next to SD-XL + AudioGen", ProducerChoice::SdxlAndAudiogen),
+    ];
+    for (title, producer) in producers {
+        for rate in [2.0, 5.0] {
+            let cfg = CfsExperiment {
+                eight_gpu: true,
+                producer,
+                ..CfsExperiment::figure9(rate, 200, 5)
+            };
+            let r = run(&cfg);
+            println!("{}", table(&r, &format!("{title} ({rate} req/s, 8-GPU NVSwitch)")));
+        }
+    }
+    println!("Paper: performance improvements mirror Figure 9 on the switched fabric.");
+}

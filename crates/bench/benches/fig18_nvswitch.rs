@@ -1,0 +1,14 @@
+//! Regenerates Figure 18: 4 long-prompt consumers + 4 producers stressing
+//! the NVSwitch; every consumer should sustain the 2-GPU throughput.
+
+use aqua_bench::fig18_nvswitch::{run, table};
+
+fn main() {
+    let window = 600;
+    let result = run(window);
+    println!("{}", table(&result, window));
+    println!(
+        "Worst consumer at {:.2}x of the 2-GPU reference (paper: parity).",
+        result.worst_relative()
+    );
+}

@@ -1,0 +1,139 @@
+//! Criterion microbenchmarks for the hot substrate paths: HBM accounting,
+//! the event queue, transfer scheduling, the paged KV cache, coordinator
+//! operations, LoRA transfer planning and the placer.
+
+use aqua_core::coordinator::{Coordinator, GpuRef};
+use aqua_engines::kvcache::PagedKvCache;
+use aqua_engines::request::RequestId;
+use aqua_models::lora::LoraAdapter;
+use aqua_models::zoo;
+use aqua_placer::instance::{ModelSpec, PlacementInstance};
+use aqua_placer::matching::stable_match;
+use aqua_placer::solver::solve_optimal;
+use aqua_sim::event::EventQueue;
+use aqua_sim::gpu::{GpuId, GpuSpec};
+use aqua_sim::link::BandwidthModel;
+use aqua_sim::memory::{HbmAllocator, RegionKind};
+use aqua_sim::time::SimTime;
+use aqua_sim::topology::ServerTopology;
+use aqua_sim::transfer::{TransferEngine, TransferPlan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("hbm_alloc_free", |b| {
+        let mut hbm = HbmAllocator::new(80 << 30);
+        b.iter(|| {
+            let id = hbm.alloc(RegionKind::KvCache, black_box(1 << 20)).unwrap();
+            hbm.free(id).unwrap();
+        });
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 1000), i);
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        });
+    });
+}
+
+fn bench_transfer_engine(c: &mut Criterion) {
+    c.bench_function("transfer_schedule", |b| {
+        let server = ServerTopology::nvswitch(8, GpuSpec::a100_80g());
+        let path = server.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let mut eng = TransferEngine::new();
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            let t = eng.schedule(&path, TransferPlan::coalesced(1 << 26), now);
+            now = t.end;
+            black_box(t);
+        });
+    });
+}
+
+fn bench_kv_cache(c: &mut Criterion) {
+    c.bench_function("kv_grow_free_seq", |b| {
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let mut kv = PagedKvCache::new(geom, 8 << 30, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            let id = RequestId(i);
+            i += 1;
+            kv.grow_seq(id, 512).unwrap();
+            kv.grow_seq(id, 1).unwrap();
+            black_box(kv.free_seq(id));
+        });
+    });
+}
+
+fn bench_coordinator(c: &mut Criterion) {
+    c.bench_function("coordinator_allocate_free", |b| {
+        let coord = Coordinator::new();
+        let producer = GpuRef::single(GpuId(1));
+        let consumer = GpuRef::single(GpuId(0));
+        coord.lease(producer, 1 << 40);
+        b.iter(|| {
+            match coord.allocate(consumer, 1 << 20) {
+                aqua_core::coordinator::AllocationSite::Peer { lease, .. } => {
+                    coord.free(lease, 1 << 20)
+                }
+                aqua_core::coordinator::AllocationSite::Dram => unreachable!(),
+            };
+        });
+    });
+}
+
+fn bench_lora_plans(c: &mut Criterion) {
+    c.bench_function("lora_transfer_time", |b| {
+        let nv = BandwidthModel::nvlink_a100();
+        let adapter = LoraAdapter::zephyr();
+        b.iter(|| {
+            black_box(nv.transfer_time(adapter.scattered_plan()));
+            black_box(nv.transfer_time(adapter.coalesced_plan()));
+        });
+    });
+}
+
+fn bench_placer(c: &mut Criterion) {
+    c.bench_function("placer_solve_16gpu_mixed", |b| {
+        const GB: u64 = 1 << 30;
+        let inst = PlacementInstance::new(
+            2,
+            8,
+            80 * GB,
+            (0..5)
+                .map(|i| ModelSpec::producer(format!("img{i}"), 50 * GB))
+                .chain((0..5).map(|i| ModelSpec::producer(format!("aud{i}"), 60 * GB)))
+                .chain((0..6).map(|i| ModelSpec::consumer(format!("llm{i}"), 30 * GB)))
+                .collect(),
+        );
+        b.iter(|| black_box(solve_optimal(&inst)));
+    });
+    c.bench_function("stable_match_16", |b| {
+        const GB: u64 = 1 << 30;
+        let models: Vec<ModelSpec> = (0..8)
+            .map(|i| ModelSpec::producer(format!("p{i}"), (30 + i) * GB))
+            .chain((0..8).map(|i| ModelSpec::consumer(format!("c{i}"), (20 + i) * GB)))
+            .collect();
+        b.iter(|| black_box(stable_match(&models)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_allocator,
+    bench_event_queue,
+    bench_transfer_engine,
+    bench_kv_cache,
+    bench_coordinator,
+    bench_lora_plans,
+    bench_placer
+);
+criterion_main!(benches);

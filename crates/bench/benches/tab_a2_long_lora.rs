@@ -1,0 +1,31 @@
+//! Regenerates §A.2: the one-hour LoRA workload (Mistral-7B, 320 MB
+//! adapters, 2 req/s). Paper: AQUA improves p50 RCT by 2x and p95 by 1.7x.
+
+use aqua_bench::fig08_lora::run;
+use aqua_metrics::table::Table;
+
+fn main() {
+    // 2 req/s for one simulated hour = 7,200 requests.
+    let result = run(2.0, 7_200, 99);
+    let mut t = Table::new(
+        "Appendix A.2: 1-hour LoRA workload (Mistral-7B, 320 MB adapters, 2 req/s)",
+        &["system", "n", "rct_p50_s", "rct_p95_s"],
+    );
+    for (name, log) in &result.systems {
+        let s = log.rct_summary();
+        t.row(&[
+            name.clone(),
+            log.len().to_string(),
+            format!("{:.3}", s.p50),
+            format!("{:.3}", s.p95),
+        ]);
+    }
+    println!("{t}");
+    let b = result.log_of("baseline").rct_summary();
+    let a = result.log_of("aqua").rct_summary();
+    println!(
+        "p50 improvement {:.2}x (paper 2x); p95 improvement {:.2}x (paper 1.7x)",
+        b.p50 / a.p50,
+        b.p95 / a.p95
+    );
+}

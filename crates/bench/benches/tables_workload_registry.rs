@@ -1,0 +1,11 @@
+//! Prints Tables 1–3 (the evaluation's model/workload inventory) plus the
+//! derived model-geometry inventory they rest on.
+
+use aqua_bench::tables_registry::{model_inventory, table1, table2, table3};
+
+fn main() {
+    println!("{}", table1());
+    println!("{}", table2());
+    println!("{}", table3());
+    println!("{}", model_inventory());
+}

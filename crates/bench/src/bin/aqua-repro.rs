@@ -1,0 +1,212 @@
+//! `aqua-repro` — run any of the paper's experiments by name.
+//!
+//! ```text
+//! cargo run -p aqua-bench --release --bin aqua-repro -- list
+//! cargo run -p aqua-bench --release --bin aqua-repro -- fig07 --window 600
+//! cargo run -p aqua-bench --release --bin aqua-repro -- all
+//! ```
+//!
+//! The same experiments also run as `cargo bench` targets; this binary is
+//! the ad-hoc front door (pick one experiment, tweak the window/seed).
+
+use aqua_bench::*;
+use std::process::ExitCode;
+
+struct Args {
+    window: u64,
+    seed: u64,
+    count: usize,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        window: 120,
+        seed: 42,
+        count: 200,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--window" => args.window = value.parse().map_err(|e| format!("--window: {e}"))?,
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--count" => args.count = value.parse().map_err(|e| format!("--count: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig01", "motivation: vLLM vs CFS vs AQUA TTFT/RCT"),
+    ("fig02", "throughput vs batch vs free memory per modality"),
+    ("fig03", "NVLink bandwidth curve + sharing impact"),
+    ("fig04", "placement matters (Eq. 5 + execution)"),
+    ("fig07", "long-prompt tokens: DeepSpeed/FlexGen/AQUA"),
+    ("fig08", "LoRA adapter RCTs"),
+    ("fig09", "CFS responsiveness at 2 and 5 req/s"),
+    ("fig10", "elastic donate/reclaim timeline (+ fig11)"),
+    ("fig12", "benefit vs offloaded tensor size"),
+    ("fig13", "multi-turn chatbot saw-tooth"),
+    ("fig14", "placer convergence time"),
+    ("fig18", "NVSwitch stress: 4 consumers + 4 producers"),
+    ("e2e", "section 6.1 cluster evaluation (both splits)"),
+    ("tables", "Tables 1-3 and the model inventory"),
+    ("ablations", "all ablation studies"),
+];
+
+fn run_experiment(name: &str, a: &Args) -> Result<(), String> {
+    match name {
+        "fig01" => {
+            let r = fig01_motivation::run(5.0, a.count, a.seed);
+            println!("{}", fig01_motivation::table(&r));
+        }
+        "fig02" => {
+            for t in fig02_contention::tables(&fig02_contention::run(&[
+                1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96,
+            ])) {
+                println!("{t}");
+            }
+        }
+        "fig03" => {
+            println!(
+                "{}",
+                fig03_links::bandwidth_table(&fig03_links::run_bandwidth(
+                    &fig03_links::default_sizes()
+                ))
+            );
+            println!("{}", fig03_links::sharing_table(&fig03_links::run_sharing(5)));
+        }
+        "fig04" => {
+            let r = fig04_colocation::run(a.window);
+            println!("{}", fig04_colocation::table(&r, a.window));
+        }
+        "fig07" => {
+            let r = fig07_long_prompt::run(a.window);
+            println!("{}", fig07_long_prompt::table(&r, a.window));
+        }
+        "fig08" => {
+            let r = fig08_lora::run(2.0, a.count, a.seed);
+            println!("{}", fig08_lora::table(&r));
+        }
+        "fig09" => {
+            for rate in [2.0, 5.0] {
+                let cfg = fig09_cfs::CfsExperiment::figure9(rate, a.count, a.seed);
+                let r = fig09_cfs::run(&cfg);
+                println!("{}", fig09_cfs::table(&r, &format!("Figure 9 at {rate} req/s")));
+            }
+        }
+        "fig10" => {
+            let tl = fig10_elasticity::Timeline::default();
+            let r = fig10_elasticity::run(&tl, 10, a.seed);
+            println!("{}", fig10_elasticity::table(&r));
+            let baseline = fig10_elasticity::run_producer_baseline(&tl, a.seed);
+            println!(
+                "{}",
+                fig10_elasticity::producer_table(&r.producer_log, &baseline)
+            );
+        }
+        "fig12" => {
+            let results: Vec<_> = fig12_tensor_size::paper_sizes()
+                .iter()
+                .map(|&b| fig12_tensor_size::run(b, a.count, 10.0, a.seed))
+                .collect();
+            println!("{}", fig12_tensor_size::table(&results));
+        }
+        "fig13" => {
+            let r = fig13_chatbot::run(25, 4, a.seed);
+            println!("{}", fig13_chatbot::table(&r));
+        }
+        "fig14" => {
+            let pts = fig14_placer::run(&[16, 32, 64, 96, 128]);
+            println!("{}", fig14_placer::table(&pts));
+        }
+        "fig18" => {
+            let r = fig18_nvswitch::run(a.window);
+            println!("{}", fig18_nvswitch::table(&r, a.window));
+        }
+        "e2e" => {
+            for split in [e2e_cluster::Split::Balanced, e2e_cluster::Split::LlmHeavy] {
+                let r = e2e_cluster::run(split, a.window, a.seed);
+                let (p, o) = e2e_cluster::tables(&r);
+                println!("{p}");
+                println!("{o}");
+            }
+        }
+        "tables" => {
+            println!("{}", tables_registry::table1());
+            println!("{}", tables_registry::table2());
+            println!("{}", tables_registry::table3());
+            println!("{}", tables_registry::model_inventory());
+        }
+        "ablations" => {
+            println!("{}", ablations::coalescing_table());
+            println!("{}", ablations::cfs_slice_table(&[2, 4, 8, 16], a.count.min(120), a.seed));
+            println!("{}", ablations::producer_sharing_table(a.window));
+            println!(
+                "{}",
+                ablations::reclaim_threshold_table(
+                    &[2, 8, 32],
+                    &fig10_elasticity::Timeline::default(),
+                    a.seed
+                )
+            );
+            println!("{}", ablations::preemption_table(a.count, a.seed));
+            println!("{}", ablations::lora_skew_table(&[0.0, 1.0, 2.0], a.count, a.seed));
+        }
+        other => return Err(format!("unknown experiment `{other}` (try `list`)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("usage: aqua-repro <experiment|list|all> [--window S] [--seed N] [--count N]");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("available experiments:");
+            for (name, what) in EXPERIMENTS {
+                println!("  {name:<10} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            let args = match parse_flags(&argv[1..]) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for (name, _) in EXPERIMENTS {
+                println!("\n################ {name} ################");
+                if let Err(e) = run_experiment(name, &args) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        name => {
+            let args = match parse_flags(&argv[1..]) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_experiment(name, &args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Figures 9, 15, 16 and 17 — CFS responsiveness with real producers.
+//!
+//! A Codellama-34B consumer shares a server with a memory producer. Three
+//! systems serve the same ShareGPT trace at 2 or 5 req/s:
+//!
+//! * **vLLM** — batch processing; queued requests starve (RCT jumps at ~20
+//!   requests in the paper).
+//! * **vLLM + CFS** — fair token slices, context switched to DRAM: TTFT
+//!   drops ~4× but RCT roughly doubles.
+//! * **AQUA** — fair slices with context switched to the producer GPU over
+//!   the fabric: CFS-grade TTFT at vLLM-grade RCT.
+//!
+//! The producer varies per figure: Kandinsky (Fig. 9), a Mistral-7B LLM
+//! producer (Fig. 15), StableDiffusion (Fig. 16), SD-XL + AudioGen
+//! (Fig. 17); Figures 15–17 run on the 8-GPU NVSwitch server.
+
+use crate::setup::{codellama_cfs, codellama_vllm, producer_engine, OffloadKind, ServerCtx};
+use aqua_core::coordinator::GpuRef;
+use aqua_core::informer::{BatchInformer, LlmInformerConfig};
+use aqua_engines::driver::{Driver, Engine};
+use aqua_metrics::requests::RequestLog;
+use aqua_metrics::table::Table;
+use aqua_models::zoo;
+use aqua_sim::gpu::GpuId;
+use aqua_sim::time::SimTime;
+use aqua_workloads::items::item_trace;
+use aqua_workloads::sharegpt::{sharegpt_trace, ShareGptConfig};
+use std::sync::Arc;
+
+/// Which producer shares the server with the CFS consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProducerChoice {
+    /// Kandinsky image producer (Figure 9).
+    Kandinsky,
+    /// StableDiffusion image producer (Figure 16).
+    StableDiffusion,
+    /// StableDiffusion-XL plus AudioGen (Figure 17).
+    SdxlAndAudiogen,
+    /// A lightly loaded Mistral-7B LLM producer (Figure 15).
+    MistralLlm,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct CfsExperiment {
+    /// Request rate for the consumer, req/s (the paper uses 2 and 5).
+    pub rate: f64,
+    /// Number of consumer requests.
+    pub count: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Run on the 8-GPU NVSwitch server instead of the 2-GPU server.
+    pub eight_gpu: bool,
+    /// The colocated producer.
+    pub producer: ProducerChoice,
+    /// Consumer KV pool bytes (Codellama's post-weights HBM is tight).
+    pub pool_bytes: u64,
+    /// CFS slice length in tokens.
+    pub slice_tokens: u64,
+}
+
+impl CfsExperiment {
+    /// The Figure 9 configuration at a given rate.
+    pub fn figure9(rate: f64, count: usize, seed: u64) -> Self {
+        CfsExperiment {
+            rate,
+            count,
+            seed,
+            eight_gpu: false,
+            producer: ProducerChoice::Kandinsky,
+            // Tight KV pool: Codellama-34B leaves little HBM after weights,
+            // so resident contexts are memory-limited — the regime where
+            // vLLM's admission control starves queued prompts.
+            pool_bytes: 1 << 30,
+            slice_tokens: 4,
+        }
+    }
+}
+
+/// Result: per-system request logs (consumer side).
+#[derive(Debug)]
+pub struct CfsResult {
+    /// `(system, log)` pairs: `vllm`, `vllm+cfs`, `aqua`.
+    pub systems: Vec<(String, RequestLog)>,
+}
+
+impl CfsResult {
+    /// Log for one system.
+    pub fn log_of(&self, system: &str) -> &RequestLog {
+        &self
+            .systems
+            .iter()
+            .find(|(s, _)| s == system)
+            .unwrap_or_else(|| panic!("system {system} missing"))
+            .1
+    }
+
+    /// TTFT improvement (p90) of AQUA over vLLM.
+    pub fn ttft_improvement(&self) -> f64 {
+        percentile(&self.log_of("vllm").ttfts(), 0.9)
+            / percentile(&self.log_of("aqua").ttfts(), 0.9)
+    }
+
+    /// RCT overhead (p50) of CFS-over-DRAM relative to AQUA.
+    pub fn cfs_dram_rct_overhead(&self) -> f64 {
+        self.log_of("vllm+cfs").rct_summary().p50 / self.log_of("aqua").rct_summary().p50
+    }
+}
+
+fn percentile(v: &[f64], q: f64) -> f64 {
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s[((s.len() - 1) as f64 * q) as usize]
+}
+
+/// Sets up the chosen producers on `ctx`, returning the engines and
+/// scheduling their item traffic on `driver` (engine indices start at
+/// `base_index`).
+pub fn attach_producers(
+    ctx: &ServerCtx,
+    driver: &mut Driver,
+    choice: ProducerChoice,
+    duration_secs: u64,
+    base_index: usize,
+    seed: u64,
+) -> Vec<Box<dyn Engine>> {
+    let first_gpu = if ctx.server.gpu_count() > 2 { 4 } else { 1 };
+    let mut engines: Vec<Box<dyn Engine>> = Vec::new();
+    let add_image = |name: ProducerChoice, gpu: usize, engines: &mut Vec<Box<dyn Engine>>| {
+        let model = match name {
+            ProducerChoice::Kandinsky => zoo::kandinsky(),
+            ProducerChoice::StableDiffusion => zoo::stable_diffusion(),
+            ProducerChoice::SdxlAndAudiogen => zoo::stable_diffusion_xl(),
+            ProducerChoice::MistralLlm => unreachable!("handled separately"),
+        };
+        let engine = producer_engine(&model).with_informer(Box::new(BatchInformer::new(
+            GpuRef::single(GpuId(gpu)),
+            Arc::clone(&ctx.coordinator),
+        )));
+        engines.push(Box::new(engine));
+    };
+
+    match choice {
+        ProducerChoice::Kandinsky | ProducerChoice::StableDiffusion => {
+            add_image(choice, first_gpu, &mut engines);
+        }
+        ProducerChoice::SdxlAndAudiogen => {
+            add_image(ProducerChoice::SdxlAndAudiogen, first_gpu, &mut engines);
+            let audio = producer_engine(&zoo::audiogen()).with_informer(Box::new(
+                BatchInformer::new(
+                    GpuRef::single(GpuId(first_gpu + 1)),
+                    Arc::clone(&ctx.coordinator),
+                ),
+            ));
+            engines.push(Box::new(audio));
+        }
+        ProducerChoice::MistralLlm => {
+            let engine = ctx.llm_producer_with_informer(
+                &zoo::mistral_7b(),
+                GpuId(first_gpu),
+                LlmInformerConfig::default(),
+            );
+            engines.push(Box::new(engine));
+        }
+    }
+
+    // Keep the producers serving a light stream for the whole window.
+    for (i, _) in engines.iter().enumerate() {
+        let count = (duration_secs as f64 * 0.4) as usize;
+        let trace = match choice {
+            ProducerChoice::MistralLlm => {
+                sharegpt_trace(&ShareGptConfig::new(0.4, count), seed + 100 + i as u64, 1_000_000)
+            }
+            _ => item_trace(0.4, count, seed + 100 + i as u64, 1_000_000),
+        };
+        driver.schedule_trace(base_index + i, trace);
+    }
+    engines
+}
+
+/// Runs the three systems over the same trace.
+pub fn run(cfg: &CfsExperiment) -> CfsResult {
+    // The consumer workload is the Table-1 code-summary trace.
+    let trace = sharegpt_trace(&ShareGptConfig::code_summary(cfg.rate, cfg.count), cfg.seed, 0);
+    let duration = (cfg.count as f64 / cfg.rate) as u64 + 600;
+    let horizon = SimTime::from_secs(duration + 1_200);
+    let mut systems = Vec::new();
+
+    // vLLM baseline (no producer interaction needed).
+    {
+        let mut engine = codellama_vllm(cfg.pool_bytes);
+        let mut driver = Driver::new();
+        driver.schedule_trace(0, trace.clone());
+        let mut engines: Vec<&mut dyn Engine> = vec![&mut engine];
+        driver.run(&mut engines, horizon);
+        systems.push(("vllm".to_owned(), engine.drain_completions().into_iter().collect()));
+    }
+
+    for (name, kind) in [("vllm+cfs", OffloadKind::DramScattered), ("aqua", OffloadKind::Aqua)] {
+        let ctx = if cfg.eight_gpu {
+            ServerCtx::eight_gpu()
+        } else {
+            ServerCtx::two_gpu()
+        };
+        let mut driver = Driver::new();
+        driver.schedule_trace(0, trace.clone());
+        let mut producers = if kind == OffloadKind::Aqua {
+            attach_producers(&ctx, &mut driver, cfg.producer, duration, 1, cfg.seed)
+        } else {
+            Vec::new()
+        };
+        let mut consumer = codellama_cfs(&ctx, kind, cfg.pool_bytes, cfg.slice_tokens);
+        let mut engines: Vec<&mut dyn Engine> = vec![&mut consumer];
+        for p in producers.iter_mut() {
+            engines.push(p.as_mut());
+        }
+        driver.run(&mut engines, horizon);
+        systems.push((name.to_owned(), consumer.drain_completions().into_iter().collect()));
+    }
+    CfsResult { systems }
+}
+
+/// Renders the Figure 9/15/16/17 summaries.
+pub fn table(result: &CfsResult, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &["system", "n", "ttft_p50_s", "ttft_p90_s", "rct_p50_s", "rct_p90_s"],
+    );
+    for (name, log) in &result.systems {
+        let ttfts = log.ttfts();
+        let rcts = log.rcts();
+        if ttfts.is_empty() {
+            t.row(&[name.clone(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        t.row(&[
+            name.clone(),
+            log.len().to_string(),
+            format!("{:.3}", percentile(&ttfts, 0.5)),
+            format!("{:.3}", percentile(&ttfts, 0.9)),
+            format!("{:.3}", percentile(&rcts, 0.5)),
+            format!("{:.3}", percentile(&rcts, 0.9)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_shape_at_5rps() {
+        let cfg = CfsExperiment::figure9(5.0, 120, 3);
+        let r = run(&cfg);
+        let vllm = r.log_of("vllm");
+        let cfs = r.log_of("vllm+cfs");
+        let aqua = r.log_of("aqua");
+        assert!(vllm.len() >= 110, "vllm completed {}", vllm.len());
+        assert!(cfs.len() >= 110);
+        assert!(aqua.len() >= 110);
+
+        // CFS (both variants) improves tail TTFT substantially.
+        let imp = r.ttft_improvement();
+        assert!(imp > 2.0, "TTFT improvement {imp:.2} (paper: 4x)");
+
+        // AQUA's RCT is well below CFS-over-DRAM's.
+        let overhead = r.cfs_dram_rct_overhead();
+        assert!(
+            overhead > 1.2,
+            "CFS-DRAM should pay for paging: {overhead:.2} (paper: ~2x)"
+        );
+        assert!(!table(&r, "fig9 test").is_empty());
+    }
+
+    #[test]
+    fn eight_gpu_with_llm_producer_works() {
+        // Figure 15's setting, scaled down.
+        let cfg = CfsExperiment {
+            rate: 2.0,
+            count: 40,
+            seed: 5,
+            eight_gpu: true,
+            producer: ProducerChoice::MistralLlm,
+            pool_bytes: 1 << 30,
+            slice_tokens: 4,
+        };
+        let r = run(&cfg);
+        assert!(r.log_of("aqua").len() >= 35);
+    }
+}

@@ -1,0 +1,189 @@
+//! Figure 13 / §8 — long-term responsiveness for a chatbot.
+//!
+//! 25 simulated users converse with Codellama-34B (colocated with
+//! Kandinsky) for several turns; each user re-prompts after a think time.
+//! The same closed-loop trace runs against vLLM, vLLM+CFS(DRAM) and AQUA.
+//! The paper's findings: CFS without AQUA inflates RCT ~1.5×; AQUA stays
+//! within ~20% of vLLM in the worst case while preserving CFS's
+//! responsiveness — and the per-turn pattern produces the saw-tooth.
+
+use crate::fig09_cfs::{attach_producers, ProducerChoice};
+use crate::setup::{codellama_cfs, codellama_vllm, OffloadKind, ServerCtx};
+use aqua_engines::driver::{Driver, Engine};
+use aqua_metrics::requests::{RequestLog, RequestRecord};
+use aqua_metrics::table::Table;
+use aqua_sim::time::{SimDuration, SimTime};
+use aqua_workloads::chat::ChatWorkload;
+
+/// One system's closed-loop outcome.
+#[derive(Debug)]
+pub struct ChatOutcome {
+    /// System label.
+    pub system: String,
+    /// All completed requests across turns, in completion order.
+    pub log: RequestLog,
+    /// Mean RCT per turn (the saw-tooth heights).
+    pub per_turn_rct: Vec<f64>,
+}
+
+/// Result across the three systems.
+#[derive(Debug)]
+pub struct Fig13Result {
+    /// Outcomes for `vllm`, `vllm+cfs`, `aqua`.
+    pub outcomes: Vec<ChatOutcome>,
+}
+
+impl Fig13Result {
+    /// Outcome of one system.
+    pub fn of(&self, system: &str) -> &ChatOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| o.system == system)
+            .unwrap_or_else(|| panic!("system {system} missing"))
+    }
+}
+
+/// Drives one engine through the closed-loop chat, returning per-turn logs.
+fn run_closed_loop(
+    engine: &mut dyn Engine,
+    mut producers: Vec<Box<dyn Engine>>,
+    mut driver: Driver,
+    users: usize,
+    turns: usize,
+    seed: u64,
+) -> (RequestLog, Vec<f64>) {
+    // Mean think time of 1 s keeps the 25 users concurrent enough to
+    // pressure the KV pool (the paper's point about repeat users).
+    let mut chat = ChatWorkload::new(users, turns, 1.0, seed);
+    let mut log = RequestLog::new();
+    let mut per_turn = Vec::new();
+    let mut wave = chat.first_turn();
+    let mut horizon = SimTime::ZERO;
+
+    loop {
+        driver.schedule_trace(0, wave.clone());
+        let wave_max = wave.iter().map(|(t, _)| *t).max().unwrap_or(horizon);
+        horizon = wave_max + SimDuration::from_secs(3_600);
+        // Run until this turn's requests all complete.
+        let mut turn_records: Vec<RequestRecord> = Vec::new();
+        let mut t = wave_max;
+        while turn_records.len() < wave.len() && t < horizon {
+            t = t + SimDuration::from_secs(5);
+            {
+                let mut engines: Vec<&mut dyn Engine> = vec![&mut *engine];
+                for p in producers.iter_mut() {
+                    engines.push(p.as_mut());
+                }
+                driver.run(&mut engines, t);
+            }
+            turn_records.extend(engine.drain_completions());
+        }
+        assert_eq!(
+            turn_records.len(),
+            wave.len(),
+            "turn did not drain within the horizon"
+        );
+        let mean_rct =
+            turn_records.iter().map(RequestRecord::rct).sum::<f64>() / turn_records.len() as f64;
+        per_turn.push(mean_rct);
+        log.extend(turn_records.iter().copied());
+        match chat.next_turn(&turn_records) {
+            Some(next) => wave = next,
+            None => break,
+        }
+    }
+    (log, per_turn)
+}
+
+/// Runs the chat workload for all three systems.
+pub fn run(users: usize, turns: usize, seed: u64) -> Fig13Result {
+    // Codellama-34B leaves little HBM after its 68 GB of weights; growing
+    // chat histories overflow this pool from turn 2 on.
+    let pool = 1 << 30;
+    let mut outcomes = Vec::new();
+
+    // vLLM.
+    {
+        let mut engine = codellama_vllm(pool);
+        let (log, per_turn) =
+            run_closed_loop(&mut engine, Vec::new(), Driver::new(), users, turns, seed);
+        outcomes.push(ChatOutcome {
+            system: "vllm".to_owned(),
+            log,
+            per_turn_rct: per_turn,
+        });
+    }
+
+    for (name, kind) in [("vllm+cfs", OffloadKind::DramScattered), ("aqua", OffloadKind::Aqua)] {
+        let ctx = ServerCtx::two_gpu();
+        let mut driver = Driver::new();
+        let producers = if kind == OffloadKind::Aqua {
+            attach_producers(&ctx, &mut driver, ProducerChoice::Kandinsky, 1_200, 1, seed)
+        } else {
+            Vec::new()
+        };
+        let mut engine = codellama_cfs(&ctx, kind, pool, 8);
+        let (log, per_turn) = run_closed_loop(&mut engine, producers, driver, users, turns, seed);
+        outcomes.push(ChatOutcome {
+            system: name.to_owned(),
+            log,
+            per_turn_rct: per_turn,
+        });
+    }
+    Fig13Result { outcomes }
+}
+
+/// Renders the per-turn saw-tooth and the overall summary.
+pub fn table(result: &Fig13Result) -> Table {
+    let turns = result.outcomes[0].per_turn_rct.len();
+    let mut headers: Vec<String> = vec!["system".into(), "rct_p50_s".into(), "rct_max_s".into()];
+    for t in 0..turns {
+        headers.push(format!("turn{}_mean_rct_s", t + 1));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut tbl = Table::new(
+        "Figure 13: responsive chat on Codellama-34B (25 users, saw-tooth per turn)",
+        &header_refs,
+    );
+    for o in &result.outcomes {
+        let s = o.log.rct_summary();
+        let mut row = vec![
+            o.system.clone(),
+            format!("{:.3}", s.p50),
+            format!("{:.3}", s.max),
+        ];
+        for v in &o.per_turn_rct {
+            row.push(format!("{v:.3}"));
+        }
+        tbl.row(&row);
+    }
+    tbl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chat_shape_holds_small() {
+        // Scaled down to 2 turns; the paper's 25 users so the growing
+        // histories overflow the KV pool and force context switching.
+        let r = run(25, 2, 31);
+        let vllm = r.of("vllm");
+        let cfs = r.of("vllm+cfs");
+        let aqua = r.of("aqua");
+        assert_eq!(vllm.log.len(), 50);
+        assert_eq!(cfs.log.len(), 50);
+        assert_eq!(aqua.log.len(), 50);
+        assert_eq!(vllm.per_turn_rct.len(), 2);
+
+        // CFS-over-DRAM pays more than AQUA relative to vLLM.
+        let cfs_overhead = cfs.log.rct_summary().p50 / vllm.log.rct_summary().p50;
+        let aqua_overhead = aqua.log.rct_summary().p50 / vllm.log.rct_summary().p50;
+        assert!(
+            aqua_overhead < cfs_overhead,
+            "aqua {aqua_overhead:.2} vs cfs {cfs_overhead:.2}"
+        );
+        assert!(!table(&r).is_empty());
+    }
+}

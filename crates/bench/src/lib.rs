@@ -1,0 +1,32 @@
+//! # aqua-bench — the figure/table regeneration harness
+//!
+//! One module per experiment in the paper's evaluation (§6–§8, §A). Each
+//! module exposes a `run(...)` function returning structured results plus a
+//! `table(...)` rendering of the same rows/series the paper reports. The
+//! bench targets in `benches/` are thin `main`s over these functions, so
+//! `cargo bench` regenerates every figure and table; the workspace
+//! integration tests call the same functions with scaled-down parameters to
+//! assert the paper's headline shapes (6× long-prompt throughput, 4× TTFT,
+//! ~1.8× LoRA RCT, < 5% producer impact).
+//!
+//! See `DESIGN.md` for the experiment ↔ module index and `EXPERIMENTS.md`
+//! for paper-vs-measured numbers.
+
+pub mod ablations;
+pub mod e2e_cluster;
+pub mod fig01_motivation;
+pub mod fig02_contention;
+pub mod fig03_links;
+pub mod fig04_colocation;
+pub mod fig07_long_prompt;
+pub mod fig08_lora;
+pub mod fig09_cfs;
+pub mod fig10_elasticity;
+pub mod fig12_tensor_size;
+pub mod fig13_chatbot;
+pub mod fig14_placer;
+pub mod fig18_nvswitch;
+pub mod setup;
+pub mod tables_registry;
+
+pub use setup::{OffloadKind, ServerCtx};

@@ -1,0 +1,321 @@
+//! Shared experiment scaffolding: servers, coordinators, offloaders and
+//! engine builders matching the paper's testbeds.
+
+use aqua_core::coordinator::{Coordinator, GpuRef};
+use aqua_core::informer::{BatchInformer, LlmInformer, LlmInformerConfig};
+use aqua_core::offloader::AquaOffloader;
+use aqua_engines::cfs::{CfsConfig, CfsEngine};
+use aqua_engines::flexgen::{FlexGenConfig, FlexGenEngine};
+use aqua_engines::offload::{DramOffloader, Offloader};
+use aqua_engines::producer::{ProducerEngine, ProducerModel};
+use aqua_engines::vllm::{VllmConfig, VllmEngine};
+use aqua_models::lora::LoraAdapter;
+use aqua_models::zoo::{self, ModelProfile};
+use aqua_sim::gpu::{GpuId, GpuSpec};
+use aqua_sim::link::bytes::gib;
+use aqua_sim::topology::ServerTopology;
+use aqua_sim::transfer::TransferEngine;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Which offload backend an experiment wires into a consumer engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadKind {
+    /// Host DRAM over pinned PCIe with one coalesced copy (FlexGen's
+    /// pipelined context streaming).
+    DramPinned,
+    /// Host DRAM over pinned PCIe with per-tensor copies (vLLM's KV swap
+    /// path — no gather/scatter kernels).
+    DramScattered,
+    /// Host DRAM with framework-level pageable copies (default LoRA path).
+    DramPageable,
+    /// AQUA: peer-GPU HBM over the fabric with DRAM fallback.
+    Aqua,
+}
+
+impl std::fmt::Display for OffloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OffloadKind::DramPinned => "dram-pinned",
+            OffloadKind::DramScattered => "dram-pinned-scattered",
+            OffloadKind::DramPageable => "dram-pageable",
+            OffloadKind::Aqua => "aqua",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One simulated multi-GPU server with its shared transfer engine and an
+/// AQUA coordinator.
+pub struct ServerCtx {
+    /// The server topology (2-GPU NVLink or 8-GPU NVSwitch).
+    pub server: Rc<ServerTopology>,
+    /// The server-wide transfer engine (shared port contention).
+    pub transfers: Rc<RefCell<TransferEngine>>,
+    /// The AQUA coordinator.
+    pub coordinator: Arc<Coordinator>,
+}
+
+impl ServerCtx {
+    /// The paper's first testbed: 2× A100-80G joined by direct NVLinks.
+    pub fn two_gpu() -> Self {
+        ServerCtx {
+            server: Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g())),
+            transfers: Rc::new(RefCell::new(TransferEngine::new())),
+            coordinator: Arc::new(Coordinator::new()),
+        }
+    }
+
+    /// The paper's second testbed: 8× A100-80G behind an NVSwitch.
+    pub fn eight_gpu() -> Self {
+        ServerCtx {
+            server: Rc::new(ServerTopology::nvswitch(8, GpuSpec::a100_80g())),
+            transfers: Rc::new(RefCell::new(TransferEngine::new())),
+            coordinator: Arc::new(Coordinator::new()),
+        }
+    }
+
+    /// Builds an offload backend of `kind` for the consumer at `gpu`.
+    pub fn offloader(&self, kind: OffloadKind, gpu: GpuId) -> Box<dyn Offloader> {
+        match kind {
+            OffloadKind::DramPinned => {
+                Box::new(DramOffloader::pinned(&self.server, gpu, self.transfers.clone()))
+            }
+            OffloadKind::DramScattered => Box::new(DramOffloader::pinned_scattered(
+                &self.server,
+                gpu,
+                self.transfers.clone(),
+            )),
+            OffloadKind::DramPageable => Box::new(DramOffloader::pageable_scattered(
+                &self.server,
+                gpu,
+                self.transfers.clone(),
+            )),
+            OffloadKind::Aqua => Box::new(self.aqua_offloader(gpu)),
+        }
+    }
+
+    /// Builds a concrete [`AquaOffloader`] (when the caller needs to
+    /// prestage content before boxing).
+    pub fn aqua_offloader(&self, gpu: GpuId) -> AquaOffloader {
+        AquaOffloader::new(
+            GpuRef::single(gpu),
+            Arc::clone(&self.coordinator),
+            self.server.clone(),
+            self.transfers.clone(),
+        )
+    }
+
+    /// Registers a static lease of `bytes` from the producer at `gpu`
+    /// (experiments that do not exercise the informer path).
+    pub fn static_lease(&self, gpu: GpuId, bytes: u64) {
+        self.coordinator.lease(GpuRef::single(gpu), bytes);
+    }
+
+    /// Records an AQUA-PLACER pairing between a consumer and producer GPU.
+    pub fn pair(&self, consumer: GpuId, producer: GpuId) {
+        self.coordinator
+            .pair(GpuRef::single(consumer), GpuRef::single(producer));
+    }
+
+    /// A diffusion/audio producer engine at its Figure 2 plateau batch,
+    /// with a batch informer donating its free memory.
+    pub fn producer_with_informer(&self, model: &ModelProfile, gpu: GpuId) -> ProducerEngine {
+        let engine = producer_engine(model);
+        engine.with_informer(Box::new(BatchInformer::new(
+            GpuRef::single(gpu),
+            Arc::clone(&self.coordinator),
+        )))
+    }
+
+    /// An LLM producer (vLLM serving ShareGPT) with an llm-informer.
+    pub fn llm_producer_with_informer(
+        &self,
+        model: &ModelProfile,
+        gpu: GpuId,
+        config: LlmInformerConfig,
+    ) -> VllmEngine {
+        let geom = *model
+            .llm_geometry()
+            .unwrap_or_else(|| panic!("{} is not an LLM", model.name));
+        let spec = GpuSpec::a100_80g();
+        let pool = spec.hbm_bytes - aqua_models::cost::llm_static_bytes(&geom, 4096);
+        VllmEngine::new(
+            geom,
+            spec,
+            VllmConfig {
+                kv_pool_bytes: pool,
+                ..VllmConfig::default()
+            },
+        )
+        .with_informer(Box::new(LlmInformer::new(
+            GpuRef::single(gpu),
+            Arc::clone(&self.coordinator),
+            config,
+        )))
+    }
+}
+
+/// A producer engine for an image/audio model at its plateau batch size.
+pub fn producer_engine(model: &ModelProfile) -> ProducerEngine {
+    let spec = GpuSpec::a100_80g();
+    if let Some(g) = model.diffusion_geometry() {
+        let (batch, _, _) = aqua_models::cost::peak_batch_under_memory(
+            spec.hbm_bytes,
+            64,
+            |b| aqua_models::cost::diffusion_throughput(g, &spec, b),
+            |b| aqua_models::cost::diffusion_used_bytes(g, b),
+        );
+        ProducerEngine::new(ProducerModel::Diffusion(*g), spec, batch.max(1))
+    } else if let Some(g) = model.audio_geometry() {
+        let (batch, _, _) = aqua_models::cost::peak_batch_under_memory(
+            spec.hbm_bytes,
+            64,
+            |b| aqua_models::cost::audio_throughput(g, &spec, b),
+            |b| aqua_models::cost::audio_used_bytes(g, b),
+        );
+        ProducerEngine::new(ProducerModel::Audio(*g), spec, batch.max(1))
+    } else {
+        panic!("{} is not a producer-modality model", model.name);
+    }
+}
+
+/// The KV pool left on an A100 after loading a model (the consumer-side
+/// default unless an experiment constrains it further).
+pub fn default_pool_bytes(model: &ModelProfile) -> u64 {
+    let geom = model.llm_geometry().expect("LLM");
+    GpuSpec::a100_80g()
+        .hbm_bytes
+        .saturating_sub(aqua_models::cost::llm_static_bytes(geom, 4096))
+}
+
+/// Builds the Figure 9/13 consumer: Codellama-34B under CFS.
+pub fn codellama_cfs(ctx: &ServerCtx, kind: OffloadKind, pool_bytes: u64, slice: u64) -> CfsEngine {
+    let model = zoo::codellama_34b();
+    let geom = *model.llm_geometry().unwrap();
+    CfsEngine::new(
+        geom,
+        GpuSpec::a100_80g(),
+        CfsConfig {
+            slice_tokens: slice,
+            max_active: 48,
+            kv_pool_bytes: pool_bytes,
+            ..CfsConfig::default()
+        },
+        ctx.offloader(kind, GpuId(0)),
+    )
+}
+
+/// Builds the Figure 9 vLLM baseline for Codellama-34B.
+pub fn codellama_vllm(pool_bytes: u64) -> VllmEngine {
+    let model = zoo::codellama_34b();
+    let geom = *model.llm_geometry().unwrap();
+    VllmEngine::new(
+        geom,
+        GpuSpec::a100_80g(),
+        VllmConfig {
+            kv_pool_bytes: pool_bytes,
+            max_batch: 48,
+            ..VllmConfig::default()
+        },
+    )
+}
+
+/// Builds the Figure 7/10 consumer: OPT-30B long prompts on FlexGen.
+pub fn opt_flexgen(ctx: &ServerCtx, kind: OffloadKind, budget: u64) -> FlexGenEngine {
+    let model = zoo::opt_30b();
+    let geom = *model.llm_geometry().unwrap();
+    FlexGenEngine::new(
+        geom,
+        GpuSpec::a100_80g(),
+        FlexGenConfig {
+            context_budget_bytes: budget,
+            decode_chunk: 8,
+        },
+        ctx.offloader(kind, GpuId(0)),
+    )
+}
+
+/// Builds the Figure 8/12 consumer: Mistral-7B with a LoRA adapter pool.
+/// For AQUA the adapters are prestaged into the offload store (peer GPU);
+/// for the baselines they live in host DRAM.
+pub fn mistral_lora_vllm(
+    ctx: &ServerCtx,
+    kind: OffloadKind,
+    adapters: Vec<LoraAdapter>,
+    cache_slots: usize,
+) -> VllmEngine {
+    let model = zoo::mistral_7b();
+    let geom = *model.llm_geometry().unwrap();
+    let offloader: Box<dyn Offloader> = match kind {
+        OffloadKind::Aqua => {
+            let mut aqua = ctx.aqua_offloader(GpuId(0));
+            for a in &adapters {
+                aqua.prestage(a.bytes);
+            }
+            Box::new(aqua)
+        }
+        other => ctx.offloader(other, GpuId(0)),
+    };
+    VllmEngine::new(
+        geom,
+        GpuSpec::a100_80g(),
+        VllmConfig {
+            kv_pool_bytes: gib(20),
+            lora_cache_slots: cache_slots,
+            ..VllmConfig::default()
+        },
+    )
+    .with_adapters(adapters)
+    .with_offloader(offloader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_build() {
+        let two = ServerCtx::two_gpu();
+        assert_eq!(two.server.gpu_count(), 2);
+        let eight = ServerCtx::eight_gpu();
+        assert_eq!(eight.server.gpu_count(), 8);
+    }
+
+    #[test]
+    fn offloader_kinds_dispatch() {
+        let ctx = ServerCtx::two_gpu();
+        for kind in [
+            OffloadKind::DramPinned,
+            OffloadKind::DramScattered,
+            OffloadKind::DramPageable,
+            OffloadKind::Aqua,
+        ] {
+            let off = ctx.offloader(kind, GpuId(0));
+            assert!(!off.label().is_empty());
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn producer_engines_pick_plateau_batches() {
+        for m in [zoo::stable_diffusion(), zoo::kandinsky(), zoo::audiogen()] {
+            let e = producer_engine(&m);
+            assert!(e.free_bytes() > gib(20), "{} should have spare HBM", m.name);
+        }
+    }
+
+    #[test]
+    fn default_pools_are_positive() {
+        for m in [zoo::mistral_7b(), zoo::llama2_13b(), zoo::codellama_34b()] {
+            assert!(default_pool_bytes(&m) > gib(4), "{}", m.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a producer-modality")]
+    fn llm_is_not_a_producer_engine() {
+        producer_engine(&zoo::mistral_7b());
+    }
+}

@@ -1,0 +1,505 @@
+//! The AQUA central coordinator (§3).
+//!
+//! "The central coordinator keeps track of *consumers* and *producers* of
+//! HBM … The coordinator program exposes a set of REST endpoints." In this
+//! reproduction the endpoints are typed methods on a thread-safe store
+//! (`parking_lot::Mutex` inside an `Arc`), and [`crate::messages`] provides
+//! the serialisable envelope that mirrors the REST surface.
+//!
+//! Lifecycle (paper §B.1):
+//!
+//! 1. A producer's informer calls [`Coordinator::lease`] to donate HBM.
+//! 2. A consumer's AQUA-LIB calls [`Coordinator::allocate`] for each
+//!    offloaded region; the coordinator places it on a same-server lease or
+//!    answers "DRAM" when nothing is available (transparent fallback).
+//! 3. Under load the producer calls [`Coordinator::reclaim_request`]; the
+//!    consumer learns about it at its next `respond()` boundary via
+//!    [`Coordinator::pending_reclaim`], migrates the bytes away, and calls
+//!    [`Coordinator::release`]. The producer polls
+//!    [`Coordinator::reclaim_status`] until it reads
+//!    [`ReclaimStatus::Released`].
+
+use aqua_sim::gpu::GpuId;
+use aqua_sim::time::SimTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Cluster-wide address of a GPU: server index plus GPU index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct GpuRef {
+    /// Server index within the cluster.
+    pub server: usize,
+    /// GPU index within the server.
+    pub gpu: GpuId,
+}
+
+impl GpuRef {
+    /// A GPU on server 0 (single-server experiments).
+    pub fn single(gpu: GpuId) -> Self {
+        GpuRef { server: 0, gpu }
+    }
+
+    /// A GPU on an explicit server.
+    pub fn new(server: usize, gpu: GpuId) -> Self {
+        GpuRef { server, gpu }
+    }
+}
+
+impl std::fmt::Display for GpuRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}/{}", self.server, self.gpu)
+    }
+}
+
+/// Identifier of one memory lease (one producer's donation).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LeaseId(pub u64);
+
+/// Where the coordinator placed an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationSite {
+    /// On a producer GPU's leased HBM (fast path over the fabric).
+    Peer {
+        /// The lease backing the allocation.
+        lease: LeaseId,
+        /// The producer GPU holding the bytes.
+        gpu: GpuRef,
+    },
+    /// In host DRAM (fallback path over PCIe).
+    Dram,
+}
+
+/// Producer-visible state of a reclaim request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReclaimStatus {
+    /// No reclaim is in flight for this lease.
+    None,
+    /// Consumers have been signalled and are still migrating bytes away.
+    Pending,
+    /// All bytes left the lease; the producer may take its memory back.
+    Released {
+        /// Bytes returned to the producer.
+        bytes: u64,
+        /// Simulation time at which the last byte left the producer's HBM.
+        at: SimTime,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Lease {
+    producer: GpuRef,
+    total: u64,
+    used: u64,
+    reclaiming: bool,
+    released_at: SimTime,
+    revoked: bool,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next_lease: u64,
+    leases: HashMap<LeaseId, Lease>,
+    /// Consumer → producer pairings established by AQUA-PLACER (§4:
+    /// "Selecting which GPU will be the producer for a consumer GPU is
+    /// explicitly done by the AQUA-PLACER before the model starts").
+    pairings: HashMap<GpuRef, GpuRef>,
+}
+
+/// The thread-safe central store.
+///
+/// # Example
+///
+/// ```
+/// use aqua_core::coordinator::{AllocationSite, Coordinator, GpuRef};
+/// use aqua_sim::gpu::GpuId;
+///
+/// let coord = Coordinator::new();
+/// let producer = GpuRef::single(GpuId(1));
+/// let consumer = GpuRef::single(GpuId(0));
+/// let lease = coord.lease(producer, 10 << 30);
+/// match coord.allocate(consumer, 1 << 30) {
+///     AllocationSite::Peer { lease: l, gpu } => {
+///         assert_eq!(l, lease);
+///         assert_eq!(gpu, producer);
+///     }
+///     AllocationSite::Dram => unreachable!("lease had room"),
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Coordinator {
+    state: Mutex<State>,
+}
+
+impl Coordinator {
+    /// Creates an empty coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `/lease`: a producer offers `bytes` of its HBM. Returns the lease id.
+    pub fn lease(&self, producer: GpuRef, bytes: u64) -> LeaseId {
+        let mut st = self.state.lock();
+        // Extend an existing live lease from the same producer if present.
+        if let Some((id, lease)) = st
+            .leases
+            .iter_mut()
+            .find(|(_, l)| l.producer == producer && !l.revoked && !l.reclaiming)
+        {
+            lease.total += bytes;
+            return *id;
+        }
+        let id = LeaseId(st.next_lease);
+        st.next_lease += 1;
+        st.leases.insert(
+            id,
+            Lease {
+                producer,
+                total: bytes,
+                used: 0,
+                reclaiming: false,
+                released_at: SimTime::ZERO,
+                revoked: false,
+            },
+        );
+        id
+    }
+
+    /// Records an AQUA-PLACER pairing: `consumer` offloads to `producer`
+    /// (and only to it — "AQUA-PLACER matches every consumer GPU with
+    /// exactly one producer GPU", §4). Without a pairing, `allocate`
+    /// spreads consumers across the least-loaded leases.
+    pub fn pair(&self, consumer: GpuRef, producer: GpuRef) {
+        let mut st = self.state.lock();
+        st.pairings.insert(consumer, producer);
+    }
+
+    /// `/allocate`: a consumer asks where to put `bytes` of offloaded
+    /// context. Prefers the paired producer's lease (or, unpaired, the
+    /// least-loaded same-server lease with room); otherwise DRAM.
+    pub fn allocate(&self, consumer: GpuRef, bytes: u64) -> AllocationSite {
+        let mut st = self.state.lock();
+        let paired = st.pairings.get(&consumer).copied();
+        let mut candidates: Vec<(&LeaseId, &mut Lease)> = st
+            .leases
+            .iter_mut()
+            .filter(|(_, l)| {
+                !l.revoked
+                    && !l.reclaiming
+                    && l.producer.server == consumer.server
+                    && l.producer.gpu != consumer.gpu
+                    && l.total - l.used >= bytes
+                    && paired.is_none_or(|p| l.producer == p)
+            })
+            .collect();
+        // Deterministic choice: least-loaded lease, ties by id. Spreading
+        // keeps unpaired consumers off a single producer's NVLink ports.
+        candidates.sort_by_key(|(id, l)| (l.used, **id));
+        if let Some((id, lease)) = candidates.into_iter().next() {
+            lease.used += bytes;
+            AllocationSite::Peer {
+                lease: *id,
+                gpu: lease.producer,
+            }
+        } else {
+            AllocationSite::Dram
+        }
+    }
+
+    /// Tries to allocate `bytes` on a *specific* lease (consumer-side lease
+    /// affinity: growing context stays with the producer already holding
+    /// it, preserving AQUA-PLACER's one-producer-per-consumer pairing).
+    /// Returns `true` on success.
+    pub fn try_allocate_on(&self, lease: LeaseId, bytes: u64) -> bool {
+        let mut st = self.state.lock();
+        match st.leases.get_mut(&lease) {
+            Some(l) if !l.revoked && !l.reclaiming && l.total - l.used >= bytes => {
+                l.used += bytes;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `/free`: a consumer returns `bytes` previously allocated on `lease`
+    /// (after freeing or migrating the tensors away).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lease does not exist or fewer than `bytes` are in use —
+    /// both indicate double-free bugs in the caller.
+    pub fn free(&self, lease: LeaseId, bytes: u64) {
+        let mut st = self.state.lock();
+        let l = st.leases.get_mut(&lease).expect("free of unknown lease");
+        assert!(l.used >= bytes, "free of {bytes} bytes but only {} used", l.used);
+        l.used -= bytes;
+    }
+
+    /// `/reclaim_request`: the producer wants its memory back. Marks every
+    /// live lease of `producer` as reclaiming; consumers observe it at their
+    /// next `respond()` boundary.
+    pub fn reclaim_request(&self, producer: GpuRef) {
+        let mut st = self.state.lock();
+        for l in st.leases.values_mut() {
+            if l.producer == producer && !l.revoked {
+                l.reclaiming = true;
+            }
+        }
+    }
+
+    /// Consumer side of `/respond`: bytes this consumer must migrate off
+    /// `lease` right now (its full usage while the lease is reclaiming).
+    pub fn pending_reclaim(&self, lease: LeaseId) -> u64 {
+        let st = self.state.lock();
+        st.leases
+            .get(&lease)
+            .filter(|l| l.reclaiming)
+            .map(|l| l.used)
+            .unwrap_or(0)
+    }
+
+    /// Consumer notification that `bytes` finished leaving the lease at
+    /// simulated time `at`.
+    pub fn release(&self, lease: LeaseId, bytes: u64, at: SimTime) {
+        let mut st = self.state.lock();
+        let l = st.leases.get_mut(&lease).expect("release of unknown lease");
+        assert!(l.used >= bytes, "release exceeds usage");
+        l.used -= bytes;
+        l.released_at = l.released_at.max(at);
+    }
+
+    /// `/reclaim_status`: the producer polls for completion. When released,
+    /// the lease is revoked and its bytes reported back exactly once.
+    pub fn reclaim_status(&self, producer: GpuRef) -> ReclaimStatus {
+        let mut st = self.state.lock();
+        let mut any_pending = false;
+        let mut released_bytes = 0u64;
+        let mut released_at = SimTime::ZERO;
+        for l in st.leases.values_mut() {
+            if l.producer != producer || l.revoked || !l.reclaiming {
+                continue;
+            }
+            if l.used > 0 {
+                any_pending = true;
+            } else {
+                l.revoked = true;
+                released_bytes += l.total;
+                released_at = released_at.max(l.released_at);
+            }
+        }
+        if any_pending {
+            ReclaimStatus::Pending
+        } else if released_bytes > 0 {
+            ReclaimStatus::Released {
+                bytes: released_bytes,
+                at: released_at,
+            }
+        } else {
+            ReclaimStatus::None
+        }
+    }
+
+    /// Total bytes currently leased (live leases only).
+    pub fn leased_bytes(&self) -> u64 {
+        let st = self.state.lock();
+        st.leases.values().filter(|l| !l.revoked).map(|l| l.total).sum()
+    }
+
+    /// Total bytes of leases currently used by consumers.
+    pub fn used_bytes(&self) -> u64 {
+        let st = self.state.lock();
+        st.leases.values().filter(|l| !l.revoked).map(|l| l.used).sum()
+    }
+
+    /// Bytes available for new allocations on server `server`.
+    pub fn available_on_server(&self, server: usize) -> u64 {
+        let st = self.state.lock();
+        st.leases
+            .values()
+            .filter(|l| !l.revoked && !l.reclaiming && l.producer.server == server)
+            .map(|l| l.total - l.used)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn refs() -> (GpuRef, GpuRef) {
+        (GpuRef::single(GpuId(0)), GpuRef::single(GpuId(1)))
+    }
+
+    #[test]
+    fn allocate_prefers_peer_then_falls_back() {
+        let c = Coordinator::new();
+        let (consumer, producer) = refs();
+        let lease = c.lease(producer, 10);
+        assert!(matches!(
+            c.allocate(consumer, 6),
+            AllocationSite::Peer { lease: l, .. } if l == lease
+        ));
+        // Only 4 bytes left: a 6-byte allocation falls back to DRAM.
+        assert_eq!(c.allocate(consumer, 6), AllocationSite::Dram);
+        assert!(matches!(c.allocate(consumer, 4), AllocationSite::Peer { .. }));
+    }
+
+    #[test]
+    fn consumer_never_allocates_on_itself_or_other_servers() {
+        let c = Coordinator::new();
+        let me = GpuRef::single(GpuId(0));
+        c.lease(me, 100);
+        assert_eq!(c.allocate(me, 10), AllocationSite::Dram, "self-lease unusable");
+        let other_server = GpuRef::new(1, GpuId(1));
+        c.lease(other_server, 100);
+        assert_eq!(
+            c.allocate(me, 10),
+            AllocationSite::Dram,
+            "cross-server leases are unreachable over NVLink"
+        );
+    }
+
+    #[test]
+    fn lease_extension_merges() {
+        let c = Coordinator::new();
+        let (_, producer) = refs();
+        let a = c.lease(producer, 10);
+        let b = c.lease(producer, 5);
+        assert_eq!(a, b);
+        assert_eq!(c.leased_bytes(), 15);
+    }
+
+    #[test]
+    fn free_returns_capacity() {
+        let c = Coordinator::new();
+        let (consumer, producer) = refs();
+        let lease = c.lease(producer, 10);
+        c.allocate(consumer, 10);
+        assert_eq!(c.allocate(consumer, 1), AllocationSite::Dram);
+        c.free(lease, 10);
+        assert!(matches!(c.allocate(consumer, 1), AllocationSite::Peer { .. }));
+    }
+
+    #[test]
+    fn reclaim_protocol_round_trip() {
+        let c = Coordinator::new();
+        let (consumer, producer) = refs();
+        let lease = c.lease(producer, 100);
+        c.allocate(consumer, 60);
+        assert_eq!(c.reclaim_status(producer), ReclaimStatus::None);
+
+        c.reclaim_request(producer);
+        assert_eq!(c.pending_reclaim(lease), 60);
+        assert_eq!(c.reclaim_status(producer), ReclaimStatus::Pending);
+        // A reclaiming lease takes no new allocations.
+        assert_eq!(c.allocate(consumer, 1), AllocationSite::Dram);
+
+        let at = SimTime::from_secs(42);
+        c.release(lease, 60, at);
+        assert_eq!(
+            c.reclaim_status(producer),
+            ReclaimStatus::Released { bytes: 100, at }
+        );
+        // Reported exactly once.
+        assert_eq!(c.reclaim_status(producer), ReclaimStatus::None);
+        assert_eq!(c.leased_bytes(), 0);
+    }
+
+    #[test]
+    fn reclaim_of_unused_lease_is_immediate() {
+        let c = Coordinator::new();
+        let (_, producer) = refs();
+        c.lease(producer, 50);
+        c.reclaim_request(producer);
+        assert!(matches!(
+            c.reclaim_status(producer),
+            ReclaimStatus::Released { bytes: 50, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unknown lease")]
+    fn free_unknown_lease_panics() {
+        Coordinator::new().free(LeaseId(9), 1);
+    }
+
+    #[test]
+    fn available_on_server_accounts_usage() {
+        let c = Coordinator::new();
+        let (consumer, producer) = refs();
+        c.lease(producer, 100);
+        assert_eq!(c.available_on_server(0), 100);
+        c.allocate(consumer, 30);
+        assert_eq!(c.available_on_server(0), 70);
+        assert_eq!(c.available_on_server(1), 0);
+        assert_eq!(c.used_bytes(), 30);
+    }
+
+    #[test]
+    fn pairing_restricts_allocation_target() {
+        let c = Coordinator::new();
+        let consumer = GpuRef::single(GpuId(0));
+        let p1 = GpuRef::single(GpuId(1));
+        let p2 = GpuRef::single(GpuId(2));
+        c.lease(p1, 100);
+        c.lease(p2, 100);
+        c.pair(consumer, p2);
+        match c.allocate(consumer, 10) {
+            AllocationSite::Peer { gpu, .. } => assert_eq!(gpu, p2),
+            AllocationSite::Dram => panic!("paired lease had room"),
+        }
+        // Paired lease exhausted: DRAM, never the other producer.
+        c.allocate(consumer, 90);
+        assert_eq!(c.allocate(consumer, 10), AllocationSite::Dram);
+    }
+
+    #[test]
+    fn unpaired_allocation_spreads_by_load() {
+        let c = Coordinator::new();
+        let consumer = GpuRef::single(GpuId(0));
+        c.lease(GpuRef::single(GpuId(1)), 100);
+        c.lease(GpuRef::single(GpuId(2)), 100);
+        let first = match c.allocate(consumer, 40) {
+            AllocationSite::Peer { gpu, .. } => gpu,
+            _ => panic!(),
+        };
+        let second = match c.allocate(consumer, 40) {
+            AllocationSite::Peer { gpu, .. } => gpu,
+            _ => panic!(),
+        };
+        assert_ne!(first, second, "least-loaded lease wins");
+    }
+
+    #[test]
+    fn coordinator_is_thread_safe() {
+        let c = Arc::new(Coordinator::new());
+        let producer = GpuRef::single(GpuId(1));
+        c.lease(producer, 1_000_000);
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let consumer = GpuRef::single(GpuId(0));
+                let mut peer = 0u64;
+                for _ in 0..100 {
+                    if let AllocationSite::Peer { lease, .. } = c.allocate(consumer, 100) {
+                        peer += 100;
+                        c.free(lease, 100);
+                    }
+                }
+                let _ = t;
+                peer
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(c.used_bytes(), 0, "all allocations returned");
+        assert_eq!(c.leased_bytes(), 1_000_000);
+    }
+}

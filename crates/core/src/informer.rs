@@ -1,0 +1,339 @@
+//! Producer-side control loops (§B.1).
+//!
+//! "To demonstrate the versatility of the policy framework, we … implemented
+//! *batch-informer* for image, audio models and *llm-informer* for LLMs."
+//!
+//! * [`BatchInformer`] — image/audio engines serve requests as they arrive
+//!   at a fixed plateau batch, so after each batch the informer "gets an
+//!   accurate measure of free memory and donates it".
+//! * [`LlmInformer`] — an LLM is a producer only while its traffic is low.
+//!   The informer watches the pending-request queue over a window: below
+//!   the low-water mark it donates everything above the engine's retain
+//!   floor; at the high-water mark it starts the reclaim protocol and
+//!   *pauses the engine* until the consumer has released the memory
+//!   (Figure 11's reclaim pause).
+
+use crate::coordinator::{Coordinator, GpuRef, ReclaimStatus};
+use aqua_engines::northbound::{Informer, MemoryElastic};
+use aqua_sim::time::SimTime;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Minimum donation worth registering (avoids churning tiny leases).
+pub const MIN_DONATION_BYTES: u64 = 512 * 1024 * 1024;
+
+/// Donates a producer's measured free memory after each batch.
+///
+/// # Example
+///
+/// ```
+/// use aqua_core::coordinator::{Coordinator, GpuRef};
+/// use aqua_core::informer::BatchInformer;
+/// use aqua_engines::northbound::{Informer, MemoryElastic};
+/// use aqua_engines::producer::{ProducerEngine, ProducerModel};
+/// use aqua_models::zoo;
+/// use aqua_sim::gpu::{GpuId, GpuSpec};
+/// use aqua_sim::time::SimTime;
+/// use std::sync::Arc;
+///
+/// let coord = Arc::new(Coordinator::new());
+/// let sd = zoo::stable_diffusion();
+/// let mut engine = ProducerEngine::new(
+///     ProducerModel::Diffusion(*sd.diffusion_geometry().unwrap()),
+///     GpuSpec::a100_80g(), 8);
+/// let mut informer = BatchInformer::new(GpuRef::single(GpuId(1)), Arc::clone(&coord));
+/// informer.control(&mut engine, SimTime::ZERO);
+/// assert!(coord.leased_bytes() > 40 << 30); // tens of GB donated
+/// ```
+#[derive(Debug)]
+pub struct BatchInformer {
+    gpu: GpuRef,
+    coordinator: Arc<Coordinator>,
+}
+
+impl BatchInformer {
+    /// Creates a batch informer for the producer at `gpu`.
+    pub fn new(gpu: GpuRef, coordinator: Arc<Coordinator>) -> Self {
+        BatchInformer { gpu, coordinator }
+    }
+}
+
+impl Informer for BatchInformer {
+    fn control(&mut self, engine: &mut dyn MemoryElastic, now: SimTime) -> SimTime {
+        let stats = engine.stats();
+        if stats.donatable_bytes >= MIN_DONATION_BYTES {
+            let granted = engine.donate(stats.donatable_bytes);
+            if granted > 0 {
+                self.coordinator.lease(self.gpu, granted);
+            }
+        }
+        now
+    }
+}
+
+/// Configuration of an [`LlmInformer`].
+#[derive(Debug, Clone)]
+pub struct LlmInformerConfig {
+    /// Number of recent `inform_stats` samples in the decision window.
+    pub window: usize,
+    /// Donate when every sample in the window has at most this many pending
+    /// requests.
+    pub low_pending: usize,
+    /// Start reclaiming when pending requests reach this level.
+    pub high_pending: usize,
+}
+
+impl Default for LlmInformerConfig {
+    fn default() -> Self {
+        LlmInformerConfig {
+            window: 5,
+            low_pending: 1,
+            high_pending: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LlmState {
+    Normal,
+    Reclaiming,
+}
+
+/// Queue-depth-driven donate/reclaim loop for LLM producers.
+#[derive(Debug)]
+pub struct LlmInformer {
+    gpu: GpuRef,
+    coordinator: Arc<Coordinator>,
+    config: LlmInformerConfig,
+    history: VecDeque<usize>,
+    state: LlmState,
+    reclaims_started: u64,
+}
+
+impl LlmInformer {
+    /// Creates an informer for the LLM producer at `gpu`.
+    pub fn new(gpu: GpuRef, coordinator: Arc<Coordinator>, config: LlmInformerConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(
+            config.low_pending < config.high_pending,
+            "low-water mark must be below high-water mark"
+        );
+        LlmInformer {
+            gpu,
+            coordinator,
+            config,
+            history: VecDeque::new(),
+            state: LlmState::Normal,
+            reclaims_started: 0,
+        }
+    }
+
+    /// Number of reclaim cycles initiated.
+    pub fn reclaims_started(&self) -> u64 {
+        self.reclaims_started
+    }
+}
+
+impl Informer for LlmInformer {
+    fn control(&mut self, engine: &mut dyn MemoryElastic, now: SimTime) -> SimTime {
+        let stats = engine.stats();
+        match self.state {
+            LlmState::Normal => {
+                self.history.push_back(stats.pending_requests);
+                while self.history.len() > self.config.window {
+                    self.history.pop_front();
+                }
+                if stats.pending_requests >= self.config.high_pending && stats.donated_bytes > 0 {
+                    // Queue build-up: take the memory back.
+                    self.coordinator.reclaim_request(self.gpu);
+                    self.state = LlmState::Reclaiming;
+                    self.reclaims_started += 1;
+                    return now;
+                }
+                let quiet = self.history.len() == self.config.window
+                    && self
+                        .history
+                        .iter()
+                        .all(|&p| p <= self.config.low_pending);
+                if quiet && stats.donatable_bytes >= MIN_DONATION_BYTES {
+                    let granted = engine.donate(stats.donatable_bytes);
+                    if granted > 0 {
+                        self.coordinator.lease(self.gpu, granted);
+                    }
+                }
+                now
+            }
+            LlmState::Reclaiming => match self.coordinator.reclaim_status(self.gpu) {
+                ReclaimStatus::Pending => now,
+                ReclaimStatus::Released { bytes, at } => {
+                    engine.reclaim(bytes);
+                    self.state = LlmState::Normal;
+                    self.history.clear();
+                    // The engine was effectively paused while its memory was
+                    // being released (Figure 11).
+                    at.max(now)
+                }
+                ReclaimStatus::None => {
+                    self.state = LlmState::Normal;
+                    self.history.clear();
+                    now
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_engines::northbound::EngineStats;
+    use aqua_sim::gpu::GpuId;
+    use aqua_sim::link::bytes::gib;
+
+    /// Scripted engine for exercising informer state machines.
+    struct FakeEngine {
+        pending: usize,
+        donatable: u64,
+        donated: u64,
+    }
+
+    impl MemoryElastic for FakeEngine {
+        fn stats(&self) -> EngineStats {
+            EngineStats {
+                pending_requests: self.pending,
+                running_requests: 0,
+                context_used_bytes: 0,
+                context_reserved_bytes: gib(40),
+                donatable_bytes: self.donatable,
+                donated_bytes: self.donated,
+            }
+        }
+        fn donate(&mut self, bytes: u64) -> u64 {
+            let granted = bytes.min(self.donatable);
+            self.donatable -= granted;
+            self.donated += granted;
+            granted
+        }
+        fn reclaim(&mut self, bytes: u64) {
+            let back = bytes.min(self.donated);
+            self.donated -= back;
+            self.donatable += back;
+        }
+    }
+
+    fn producer() -> GpuRef {
+        GpuRef::single(GpuId(1))
+    }
+
+    #[test]
+    fn llm_informer_donates_after_quiet_window() {
+        let coord = Arc::new(Coordinator::new());
+        let mut inf = LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
+        let mut eng = FakeEngine {
+            pending: 0,
+            donatable: gib(30),
+            donated: 0,
+        };
+        // Needs a full quiet window before donating.
+        for i in 0..4 {
+            inf.control(&mut eng, SimTime::from_secs(i));
+            assert_eq!(coord.leased_bytes(), 0, "no donation before window fills");
+        }
+        inf.control(&mut eng, SimTime::from_secs(4));
+        assert_eq!(coord.leased_bytes(), gib(30));
+        assert_eq!(eng.donated, gib(30));
+    }
+
+    #[test]
+    fn llm_informer_reclaims_on_burst_and_pauses_until_release() {
+        let coord = Arc::new(Coordinator::new());
+        let consumer = GpuRef::single(GpuId(0));
+        let mut inf = LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
+        let mut eng = FakeEngine {
+            pending: 0,
+            donatable: gib(30),
+            donated: 0,
+        };
+        for i in 0..5 {
+            inf.control(&mut eng, SimTime::from_secs(i));
+        }
+        let lease_used = match coord.allocate(consumer, gib(10)) {
+            crate::coordinator::AllocationSite::Peer { lease, .. } => lease,
+            other => panic!("expected peer allocation, got {other:?}"),
+        };
+
+        // Burst: queue jumps past the high-water mark.
+        eng.pending = 20;
+        let t = inf.control(&mut eng, SimTime::from_secs(10));
+        assert_eq!(t, SimTime::from_secs(10));
+        assert_eq!(inf.reclaims_started(), 1);
+
+        // Consumer has not released yet: engine stays paused at `now`.
+        let t = inf.control(&mut eng, SimTime::from_secs(11));
+        assert_eq!(t, SimTime::from_secs(11));
+        assert_eq!(eng.donated, gib(30), "memory not yet back");
+
+        // Consumer releases at t=14.
+        coord.release(lease_used, gib(10), SimTime::from_secs(14));
+        let resume = inf.control(&mut eng, SimTime::from_secs(12));
+        assert_eq!(resume, SimTime::from_secs(14), "resume when bytes have left");
+        assert_eq!(eng.donated, 0);
+        assert_eq!(eng.donatable, gib(30));
+    }
+
+    #[test]
+    fn llm_informer_ignores_burst_when_nothing_donated() {
+        let coord = Arc::new(Coordinator::new());
+        let mut inf = LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
+        let mut eng = FakeEngine {
+            pending: 50,
+            donatable: gib(30),
+            donated: 0,
+        };
+        inf.control(&mut eng, SimTime::ZERO);
+        assert_eq!(inf.reclaims_started(), 0);
+    }
+
+    #[test]
+    fn batch_informer_donates_immediately() {
+        let coord = Arc::new(Coordinator::new());
+        let mut inf = BatchInformer::new(producer(), Arc::clone(&coord));
+        let mut eng = FakeEngine {
+            pending: 3,
+            donatable: gib(50),
+            donated: 0,
+        };
+        inf.control(&mut eng, SimTime::ZERO);
+        assert_eq!(coord.leased_bytes(), gib(50));
+        // Second call: nothing more to donate, lease unchanged.
+        inf.control(&mut eng, SimTime::from_secs(1));
+        assert_eq!(coord.leased_bytes(), gib(50));
+    }
+
+    #[test]
+    fn tiny_donations_are_skipped() {
+        let coord = Arc::new(Coordinator::new());
+        let mut inf = BatchInformer::new(producer(), Arc::clone(&coord));
+        let mut eng = FakeEngine {
+            pending: 0,
+            donatable: MIN_DONATION_BYTES - 1,
+            donated: 0,
+        };
+        inf.control(&mut eng, SimTime::ZERO);
+        assert_eq!(coord.leased_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "low-water mark")]
+    fn invalid_config_rejected() {
+        LlmInformer::new(
+            producer(),
+            Arc::new(Coordinator::new()),
+            LlmInformerConfig {
+                window: 3,
+                low_pending: 9,
+                high_pending: 4,
+            },
+        );
+    }
+}

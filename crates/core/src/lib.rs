@@ -1,0 +1,72 @@
+//! # aqua-core — AQUA-LIB, the paper's primary contribution
+//!
+//! AQUA is a transparent and elastic GPU memory-management framework for
+//! responsive LLM inference. Instead of offloading dynamic inference context
+//! (KV caches, LoRA adapters) to host DRAM over PCIe, AQUA offloads it to
+//! the HBM of a neighbouring GPU over the much faster inter-GPU fabric
+//! (NVLink/NVSwitch), falling back to DRAM when no neighbour has memory to
+//! spare. This crate implements the three mechanisms of §3 and §B:
+//!
+//! * [`coordinator`] — the central coordinator: a thread-safe store that
+//!   tracks memory **leases** from producer GPUs and **allocations** by
+//!   consumer GPUs, and brokers the reclaim protocol. Its API mirrors the
+//!   paper's REST endpoints (`/lease`, `/allocate`, `/free`, `/respond`,
+//!   `/reclaim_request`, `/reclaim_status`); [`messages`] provides the
+//!   serialisable request/response envelope.
+//! * [`tensor`] — **AQUA TENSORS**: migratable, location-transparent tensor
+//!   handles with the paper's pointer-invalidation semantics
+//!   (`to_responsive_tensor` / `to_torch_tensor` / `aqua.respond()`).
+//! * [`offloader`] — [`offloader::AquaOffloader`], an
+//!   [`aqua_engines::offload::Offloader`] that gathers scattered context
+//!   into a staging buffer (the custom CUDA gather/scatter kernels of §5)
+//!   and moves it as one coalesced copy over the fabric, with transparent
+//!   DRAM fallback and elastic release when producers reclaim.
+//! * [`informer`] — the producer-side control loops of §B.1:
+//!   [`informer::LlmInformer`] (donate when the queue is quiet, reclaim on
+//!   bursts) and [`informer::BatchInformer`] (donate after each batch).
+//!
+//! # Example: offloading over NVLink beats DRAM
+//!
+//! ```
+//! use aqua_core::prelude::*;
+//! use aqua_engines::offload::{DramOffloader, Offloader};
+//! use aqua_sim::prelude::*;
+//! use std::{cell::RefCell, rc::Rc};
+//! use std::sync::Arc;
+//!
+//! let server = Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g()));
+//! let xfer = Rc::new(RefCell::new(TransferEngine::new()));
+//! let coord = Arc::new(Coordinator::new());
+//!
+//! // GPU 1 leases 20 GiB to AQUA.
+//! coord.lease(GpuRef::single(GpuId(1)), 20 << 30);
+//!
+//! // GPU 0's consumer offloads 2 GiB of KV cache.
+//! let mut aqua = AquaOffloader::new(
+//!     GpuRef::single(GpuId(0)), coord, server.clone(), xfer.clone());
+//! let t_aqua = aqua.swap_out(2 << 30, 1024, SimTime::ZERO);
+//!
+//! let mut dram = DramOffloader::pinned(&server, GpuId(0), xfer);
+//! let t_dram = dram.swap_out(2 << 30, 1024, SimTime::ZERO);
+//! assert!(t_aqua.as_secs_f64() * 5.0 < t_dram.as_secs_f64());
+//! ```
+
+pub mod aqualib;
+pub mod coordinator;
+pub mod informer;
+pub mod messages;
+pub mod offloader;
+pub mod service;
+pub mod tensor;
+
+pub mod prelude {
+    //! Convenience re-exports.
+    pub use crate::aqualib::AquaLib;
+    pub use crate::coordinator::{AllocationSite, Coordinator, GpuRef, LeaseId, ReclaimStatus};
+    pub use crate::informer::{BatchInformer, LlmInformer, LlmInformerConfig};
+    pub use crate::offloader::AquaOffloader;
+    pub use crate::service::{CoordinatorClient, CoordinatorService};
+    pub use crate::tensor::{AquaTensor, TensorLocation, TensorTable};
+}
+
+pub use prelude::*;

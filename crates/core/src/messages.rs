@@ -1,0 +1,191 @@
+//! Serialisable control-plane messages mirroring the coordinator's REST API.
+//!
+//! The paper's coordinator "exposes a set of REST endpoints" (§3): `/lease`,
+//! `/allocate`, `/free`, `/respond`, `/reclaim_request`, `/reclaim_status`.
+//! In-process we call typed methods, but the envelope below keeps the wire
+//! surface explicit — [`Coordinator::handle`](crate::coordinator::Coordinator)
+//! dispatch lives here — and serde keeps every message serialisable, so a
+//! real HTTP front-end would be a thin shim.
+
+use crate::coordinator::{AllocationSite, Coordinator, GpuRef, LeaseId, ReclaimStatus};
+use aqua_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A request to the coordinator (one REST endpoint each).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "endpoint", rename_all = "snake_case")]
+pub enum CoordinatorRequest {
+    /// `POST /lease` — a producer donates memory.
+    Lease {
+        /// Donating producer GPU.
+        producer: GpuRef,
+        /// Bytes donated.
+        bytes: u64,
+    },
+    /// `POST /allocate` — a consumer requests offload space.
+    Allocate {
+        /// Requesting consumer GPU.
+        consumer: GpuRef,
+        /// Bytes requested.
+        bytes: u64,
+    },
+    /// `POST /free` — a consumer returns lease capacity.
+    Free {
+        /// Lease being returned to.
+        lease: LeaseId,
+        /// Bytes returned.
+        bytes: u64,
+    },
+    /// `POST /reclaim_request` — a producer wants its memory back.
+    ReclaimRequest {
+        /// Reclaiming producer GPU.
+        producer: GpuRef,
+    },
+    /// `GET /reclaim_status` — a producer polls reclaim progress.
+    ReclaimStatusQuery {
+        /// Polling producer GPU.
+        producer: GpuRef,
+    },
+    /// `POST /respond` — a consumer asks, at an iteration boundary, whether
+    /// tensors on `lease` must move.
+    Respond {
+        /// Lease the consumer holds bytes on.
+        lease: LeaseId,
+    },
+    /// Consumer notification that bytes finished leaving a lease.
+    Release {
+        /// The lease released from.
+        lease: LeaseId,
+        /// Bytes released.
+        bytes: u64,
+        /// Simulated completion time of the migration.
+        at: SimTime,
+    },
+}
+
+/// A coordinator response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum CoordinatorResponse {
+    /// Response to `Lease`.
+    Leased {
+        /// Id of the (possibly merged) lease.
+        lease: LeaseId,
+    },
+    /// Response to `Allocate`.
+    Allocated {
+        /// Where the bytes were placed.
+        site: AllocationSite,
+    },
+    /// Response to `ReclaimStatusQuery`.
+    Reclaim {
+        /// Current status.
+        status: ReclaimStatus,
+    },
+    /// Response to `Respond`: bytes that must migrate off the lease now.
+    MustMigrate {
+        /// Bytes to move (0 when no reclaim is pending).
+        bytes: u64,
+    },
+    /// Generic acknowledgement (`Free`, `ReclaimRequest`, `Release`).
+    Ack,
+}
+
+/// Dispatches a request envelope onto a coordinator — the REST shim.
+pub fn handle(coord: &Coordinator, req: CoordinatorRequest) -> CoordinatorResponse {
+    match req {
+        CoordinatorRequest::Lease { producer, bytes } => CoordinatorResponse::Leased {
+            lease: coord.lease(producer, bytes),
+        },
+        CoordinatorRequest::Allocate { consumer, bytes } => CoordinatorResponse::Allocated {
+            site: coord.allocate(consumer, bytes),
+        },
+        CoordinatorRequest::Free { lease, bytes } => {
+            coord.free(lease, bytes);
+            CoordinatorResponse::Ack
+        }
+        CoordinatorRequest::ReclaimRequest { producer } => {
+            coord.reclaim_request(producer);
+            CoordinatorResponse::Ack
+        }
+        CoordinatorRequest::ReclaimStatusQuery { producer } => CoordinatorResponse::Reclaim {
+            status: coord.reclaim_status(producer),
+        },
+        CoordinatorRequest::Respond { lease } => CoordinatorResponse::MustMigrate {
+            bytes: coord.pending_reclaim(lease),
+        },
+        CoordinatorRequest::Release { lease, bytes, at } => {
+            coord.release(lease, bytes, at);
+            CoordinatorResponse::Ack
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_sim::gpu::GpuId;
+
+    #[test]
+    fn full_protocol_through_the_envelope() {
+        let coord = Coordinator::new();
+        let producer = GpuRef::single(GpuId(1));
+        let consumer = GpuRef::single(GpuId(0));
+
+        let lease = match handle(&coord, CoordinatorRequest::Lease { producer, bytes: 100 }) {
+            CoordinatorResponse::Leased { lease } => lease,
+            other => panic!("unexpected {other:?}"),
+        };
+        let site = match handle(&coord, CoordinatorRequest::Allocate { consumer, bytes: 60 }) {
+            CoordinatorResponse::Allocated { site } => site,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(matches!(site, AllocationSite::Peer { .. }));
+
+        assert_eq!(
+            handle(&coord, CoordinatorRequest::ReclaimRequest { producer }),
+            CoordinatorResponse::Ack
+        );
+        assert_eq!(
+            handle(&coord, CoordinatorRequest::Respond { lease }),
+            CoordinatorResponse::MustMigrate { bytes: 60 }
+        );
+        handle(
+            &coord,
+            CoordinatorRequest::Release {
+                lease,
+                bytes: 60,
+                at: SimTime::from_secs(3),
+            },
+        );
+        match handle(&coord, CoordinatorRequest::ReclaimStatusQuery { producer }) {
+            CoordinatorResponse::Reclaim {
+                status: ReclaimStatus::Released { bytes, at },
+            } => {
+                assert_eq!(bytes, 100);
+                assert_eq!(at, SimTime::from_secs(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn messages_are_serialisable_and_comparable() {
+        fn assert_wire_type<T: serde::Serialize + serde::de::DeserializeOwned + PartialEq>() {}
+        assert_wire_type::<CoordinatorRequest>();
+        assert_wire_type::<CoordinatorResponse>();
+
+        let a = CoordinatorRequest::Lease {
+            producer: GpuRef::single(GpuId(1)),
+            bytes: 42,
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            CoordinatorRequest::ReclaimRequest {
+                producer: GpuRef::single(GpuId(1))
+            }
+        );
+    }
+}

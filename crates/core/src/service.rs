@@ -1,0 +1,266 @@
+//! The coordinator as a standalone service.
+//!
+//! In the paper the central coordinator is its own program: "the
+//! coordinator program exposes a set of REST endpoints" that every GPU's
+//! AQUA-LIB instance calls over the southbound interface (§3). This module
+//! provides that deployment shape without a network stack: the coordinator
+//! runs on its own thread and clients exchange the same serialisable
+//! [`CoordinatorRequest`]/[`CoordinatorResponse`] envelope over crossbeam
+//! channels. A real HTTP front-end would replace the channel with a socket
+//! and nothing else.
+
+use crate::coordinator::{AllocationSite, Coordinator, GpuRef, LeaseId, ReclaimStatus};
+use crate::messages::{handle, CoordinatorRequest, CoordinatorResponse};
+use crossbeam::channel::{select, unbounded, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Envelope = (CoordinatorRequest, Sender<CoordinatorResponse>);
+
+/// A running coordinator service. Dropping it (after all clients are gone)
+/// stops the thread.
+#[derive(Debug)]
+pub struct CoordinatorService {
+    worker: Option<JoinHandle<u64>>,
+    tx: Option<Sender<Envelope>>,
+    shutdown_tx: Option<Sender<()>>,
+    coordinator: Arc<Coordinator>,
+}
+
+/// A cheap, cloneable, `Send` handle for talking to the service — one per
+/// GPU's southbound interface.
+#[derive(Debug, Clone)]
+pub struct CoordinatorClient {
+    tx: Sender<Envelope>,
+}
+
+impl CoordinatorService {
+    /// Spawns the service thread around a coordinator store.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use aqua_core::coordinator::{Coordinator, GpuRef};
+    /// use aqua_core::service::CoordinatorService;
+    /// use aqua_sim::gpu::GpuId;
+    /// use std::sync::Arc;
+    ///
+    /// let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
+    /// let client = service.client();
+    /// let lease = client.lease(GpuRef::single(GpuId(1)), 1 << 30);
+    /// assert!(client.allocate(GpuRef::single(GpuId(0)), 1 << 20).is_peer());
+    /// let _ = lease;
+    /// let served = service.shutdown();
+    /// assert_eq!(served, 2);
+    /// ```
+    pub fn spawn(coordinator: Arc<Coordinator>) -> Self {
+        let (tx, rx) = unbounded::<Envelope>();
+        let (shutdown_tx, shutdown_rx) = unbounded::<()>();
+        let store = Arc::clone(&coordinator);
+        let worker = std::thread::spawn(move || {
+            let mut served = 0u64;
+            loop {
+                select! {
+                    recv(rx) -> env => match env {
+                        Ok((req, reply)) => {
+                            let resp = handle(&store, req);
+                            // A client that gave up waiting is not an error.
+                            let _ = reply.send(resp);
+                            served += 1;
+                        }
+                        Err(_) => break, // every sender gone
+                    },
+                    recv(shutdown_rx) -> _ => break, // explicit stop (drop)
+                }
+            }
+            served
+        });
+        CoordinatorService {
+            worker: Some(worker),
+            tx: Some(tx),
+            shutdown_tx: Some(shutdown_tx),
+            coordinator,
+        }
+    }
+
+    /// Creates a client handle.
+    pub fn client(&self) -> CoordinatorClient {
+        CoordinatorClient {
+            tx: self.tx.as_ref().expect("service is running").clone(),
+        }
+    }
+
+    /// Direct access to the underlying store (for assertions and for
+    /// in-process components that bypass the envelope).
+    pub fn store(&self) -> Arc<Coordinator> {
+        Arc::clone(&self.coordinator)
+    }
+
+    /// Stops the service and returns how many requests it served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread itself panicked.
+    pub fn shutdown(mut self) -> u64 {
+        self.stop();
+        self.worker
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("coordinator worker must not panic")
+    }
+
+    fn stop(&mut self) {
+        self.tx.take(); // no new requests from our own handle
+        // Dropping the shutdown sender closes that channel, which the
+        // worker's select treats as a stop signal — so shutdown completes
+        // even while client handles are still alive.
+        self.shutdown_tx.take();
+    }
+}
+
+impl Drop for CoordinatorService {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Extension helpers on allocation results.
+impl AllocationSite {
+    /// Returns `true` when placed on a peer GPU's lease.
+    pub fn is_peer(&self) -> bool {
+        matches!(self, AllocationSite::Peer { .. })
+    }
+}
+
+impl CoordinatorClient {
+    /// Sends one request and waits for the response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service has shut down.
+    pub fn call(&self, req: CoordinatorRequest) -> CoordinatorResponse {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send((req, reply_tx))
+            .expect("coordinator service is running");
+        reply_rx.recv().expect("coordinator service replies")
+    }
+
+    /// `/lease` convenience wrapper.
+    pub fn lease(&self, producer: GpuRef, bytes: u64) -> LeaseId {
+        match self.call(CoordinatorRequest::Lease { producer, bytes }) {
+            CoordinatorResponse::Leased { lease } => lease,
+            other => panic!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// `/allocate` convenience wrapper.
+    pub fn allocate(&self, consumer: GpuRef, bytes: u64) -> AllocationSite {
+        match self.call(CoordinatorRequest::Allocate { consumer, bytes }) {
+            CoordinatorResponse::Allocated { site } => site,
+            other => panic!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// `/free` convenience wrapper.
+    pub fn free(&self, lease: LeaseId, bytes: u64) {
+        match self.call(CoordinatorRequest::Free { lease, bytes }) {
+            CoordinatorResponse::Ack => {}
+            other => panic!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// `/reclaim_request` convenience wrapper.
+    pub fn reclaim_request(&self, producer: GpuRef) {
+        match self.call(CoordinatorRequest::ReclaimRequest { producer }) {
+            CoordinatorResponse::Ack => {}
+            other => panic!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// `/reclaim_status` convenience wrapper.
+    pub fn reclaim_status(&self, producer: GpuRef) -> ReclaimStatus {
+        match self.call(CoordinatorRequest::ReclaimStatusQuery { producer }) {
+            CoordinatorResponse::Reclaim { status } => status,
+            other => panic!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// `/respond` convenience wrapper: bytes to migrate off `lease`.
+    pub fn respond(&self, lease: LeaseId) -> u64 {
+        match self.call(CoordinatorRequest::Respond { lease }) {
+            CoordinatorResponse::MustMigrate { bytes } => bytes,
+            other => panic!("protocol violation: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_sim::gpu::GpuId;
+    use aqua_sim::time::SimTime;
+
+    #[test]
+    fn full_protocol_over_the_service() {
+        let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
+        let client = service.client();
+        let producer = GpuRef::single(GpuId(1));
+        let consumer = GpuRef::single(GpuId(0));
+
+        let lease = client.lease(producer, 100);
+        assert!(client.allocate(consumer, 60).is_peer());
+        client.reclaim_request(producer);
+        assert_eq!(client.respond(lease), 60);
+        client.call(CoordinatorRequest::Release {
+            lease,
+            bytes: 60,
+            at: SimTime::from_secs(1),
+        });
+        assert!(matches!(
+            client.reclaim_status(producer),
+            ReclaimStatus::Released { bytes: 100, .. }
+        ));
+        let served = service.shutdown();
+        assert_eq!(served, 6);
+    }
+
+    #[test]
+    fn concurrent_clients_do_not_lose_capacity() {
+        let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
+        let producer = GpuRef::single(GpuId(1));
+        service.client().lease(producer, 1_000_000);
+
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let client = service.client();
+            handles.push(std::thread::spawn(move || {
+                let consumer = GpuRef::single(GpuId(0));
+                for _ in 0..200 {
+                    if let AllocationSite::Peer { lease, .. } = client.allocate(consumer, 128) {
+                        client.free(lease, 128);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("client threads succeed");
+        }
+        assert_eq!(service.store().used_bytes(), 0);
+        assert_eq!(service.store().leased_bytes(), 1_000_000);
+        let served = service.shutdown();
+        assert!(served >= 1 + 8 * 200);
+    }
+
+    #[test]
+    fn drop_is_a_clean_shutdown() {
+        let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
+        let client = service.client();
+        client.lease(GpuRef::single(GpuId(1)), 10);
+        drop(service); // must not hang or panic
+    }
+}

@@ -1,0 +1,288 @@
+//! The deterministic simulation driver.
+//!
+//! Engines are synchronous state machines: `step(now)` executes one
+//! inference iteration (admission, I/O, compute, token effects) and returns
+//! its completion time. The driver interleaves request arrivals, engine
+//! steps and idle control ticks on one [`EventQueue`], so multiple engines
+//! on one server (consumers and producers) advance in a single global time
+//! order — which is what lets port contention and elastic memory events
+//! interact the way they do on real hardware.
+
+use crate::request::InferenceRequest;
+use aqua_metrics::requests::RequestRecord;
+use aqua_sim::event::EventQueue;
+use aqua_sim::time::{SimDuration, SimTime};
+
+/// A serving engine that the driver can step.
+pub trait Engine {
+    /// Enqueues a request at `now`.
+    fn submit(&mut self, req: InferenceRequest, now: SimTime);
+
+    /// Returns `true` if a call to [`Engine::step`] would make progress.
+    fn has_work(&self) -> bool;
+
+    /// Executes one iteration starting at `now`; returns its completion
+    /// time, which must be strictly after `now` whenever [`Engine::has_work`]
+    /// is `true`.
+    fn step(&mut self, now: SimTime) -> SimTime;
+
+    /// Periodic control hook invoked while the engine is idle (used by
+    /// AQUA informers to donate/reclaim memory even when no requests flow).
+    fn tick(&mut self, _now: SimTime) {}
+
+    /// Removes and returns records of requests completed so far.
+    fn drain_completions(&mut self) -> Vec<RequestRecord>;
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Arrival(usize, InferenceRequest),
+    StepDone(usize),
+}
+
+/// Drives a set of engines through a shared timeline.
+///
+/// # Example
+///
+/// ```
+/// use aqua_engines::driver::{Driver, Engine};
+/// use aqua_engines::request::InferenceRequest;
+/// use aqua_sim::time::SimTime;
+///
+/// use aqua_engines::vllm::{VllmConfig, VllmEngine};
+/// use aqua_models::zoo;
+/// use aqua_sim::gpu::GpuSpec;
+///
+/// let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+/// let mut llm = VllmEngine::new(geom, GpuSpec::a100_80g(), VllmConfig::default());
+/// let mut driver = Driver::new();
+/// driver.schedule_arrival(0, SimTime::from_secs(1), InferenceRequest::text(1, 128, 64));
+/// let mut engines: Vec<&mut dyn Engine> = vec![&mut llm];
+/// driver.run(&mut engines, SimTime::from_secs(600));
+/// ```
+#[derive(Debug)]
+pub struct Driver {
+    events: EventQueue<Ev>,
+    tick_interval: SimDuration,
+    next_tick: SimTime,
+    busy: Vec<bool>,
+}
+
+impl Driver {
+    /// Creates a driver with the default 100 ms idle-tick interval.
+    pub fn new() -> Self {
+        Driver {
+            events: EventQueue::new(),
+            tick_interval: SimDuration::from_millis(100),
+            next_tick: SimTime::ZERO,
+            busy: Vec::new(),
+        }
+    }
+
+    /// Overrides the idle-tick interval.
+    pub fn with_tick_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "tick interval must be positive");
+        self.tick_interval = interval;
+        self
+    }
+
+    /// Schedules `req` to arrive at engine `engine` at time `at`.
+    pub fn schedule_arrival(&mut self, engine: usize, at: SimTime, req: InferenceRequest) {
+        self.events.push(at, Ev::Arrival(engine, req));
+    }
+
+    /// Schedules a whole trace of `(time, request)` pairs for one engine.
+    pub fn schedule_trace<I>(&mut self, engine: usize, trace: I)
+    where
+        I: IntoIterator<Item = (SimTime, InferenceRequest)>,
+    {
+        for (at, req) in trace {
+            self.schedule_arrival(engine, at, req);
+        }
+    }
+
+    /// Runs until `end` or until no events remain.
+    ///
+    /// Events after `end` stay queued, so `run` may be called repeatedly
+    /// with increasing horizons (the figure harnesses sample state between
+    /// chunks). An engine mid-step at `end` finishes that step on the next
+    /// call.
+    pub fn run(&mut self, engines: &mut [&mut dyn Engine], end: SimTime) {
+        if self.busy.len() < engines.len() {
+            self.busy.resize(engines.len(), false);
+        }
+        loop {
+            let next_event = self.events.peek_time();
+            let next = next_event.map_or(self.next_tick, |t| t.min(self.next_tick));
+            if next > end {
+                break;
+            }
+            if next_event.is_some_and(|t| t <= self.next_tick) {
+                let (now, ev) = self.events.pop().expect("peeked");
+                match ev {
+                    Ev::Arrival(i, req) => {
+                        engines[i].submit(req, now);
+                        self.maybe_start(engines, i, now);
+                    }
+                    Ev::StepDone(i) => {
+                        self.busy[i] = false;
+                        self.maybe_start(engines, i, now);
+                        if !self.busy[i] {
+                            engines[i].tick(now);
+                            self.maybe_start(engines, i, now);
+                        }
+                    }
+                }
+            } else {
+                let now = self.next_tick;
+                for i in 0..engines.len() {
+                    if !self.busy[i] {
+                        engines[i].tick(now);
+                        self.maybe_start(engines, i, now);
+                    }
+                }
+                self.next_tick = now + self.tick_interval;
+            }
+        }
+    }
+
+    fn maybe_start(&mut self, engines: &mut [&mut dyn Engine], i: usize, now: SimTime) {
+        if !self.busy[i] && engines[i].has_work() {
+            let mut done = engines[i].step(now);
+            if done <= now {
+                // Defensive: engines must advance time; clamp to 1 ns to
+                // guarantee global progress even if one misbehaves.
+                done = now + SimDuration::from_nanos(1);
+            }
+            self.busy[i] = true;
+            self.events.push(done, Ev::StepDone(i));
+        }
+    }
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial engine that takes a fixed time per request.
+    struct FixedEngine {
+        pending: Vec<(InferenceRequest, SimTime)>,
+        per_req: SimDuration,
+        done: Vec<RequestRecord>,
+        ticks: usize,
+    }
+
+    impl FixedEngine {
+        fn new(ms: u64) -> Self {
+            FixedEngine {
+                pending: Vec::new(),
+                per_req: SimDuration::from_millis(ms),
+                done: Vec::new(),
+                ticks: 0,
+            }
+        }
+    }
+
+    impl Engine for FixedEngine {
+        fn submit(&mut self, req: InferenceRequest, now: SimTime) {
+            self.pending.push((req, now));
+        }
+        fn has_work(&self) -> bool {
+            !self.pending.is_empty()
+        }
+        fn step(&mut self, now: SimTime) -> SimTime {
+            let (req, arrival) = self.pending.remove(0);
+            let end = now + self.per_req;
+            self.done.push(RequestRecord {
+                id: req.id.0,
+                arrival,
+                first_token: end,
+                completion: end,
+                output_tokens: req.output_tokens,
+            });
+            end
+        }
+        fn tick(&mut self, _now: SimTime) {
+            self.ticks += 1;
+        }
+        fn drain_completions(&mut self) -> Vec<RequestRecord> {
+            std::mem::take(&mut self.done)
+        }
+    }
+
+    #[test]
+    fn sequential_requests_queue_on_one_engine() {
+        let mut driver = Driver::new();
+        for i in 0..3 {
+            driver.schedule_arrival(0, SimTime::ZERO, InferenceRequest::text(i, 1, 1));
+        }
+        let mut e = FixedEngine::new(100);
+        let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
+        driver.run(&mut engines, SimTime::from_secs(10));
+        let recs = e.drain_completions();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].completion, SimTime::from_millis(100));
+        assert_eq!(recs[1].completion, SimTime::from_millis(200));
+        assert_eq!(recs[2].completion, SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn engines_run_in_parallel() {
+        let mut driver = Driver::new();
+        driver.schedule_arrival(0, SimTime::ZERO, InferenceRequest::text(0, 1, 1));
+        driver.schedule_arrival(1, SimTime::ZERO, InferenceRequest::text(1, 1, 1));
+        let mut a = FixedEngine::new(100);
+        let mut b = FixedEngine::new(100);
+        {
+            let mut engines: Vec<&mut dyn Engine> = vec![&mut a, &mut b];
+            driver.run(&mut engines, SimTime::from_secs(1));
+        }
+        assert_eq!(a.drain_completions()[0].completion, SimTime::from_millis(100));
+        assert_eq!(b.drain_completions()[0].completion, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn end_time_cuts_off_new_arrivals() {
+        let mut driver = Driver::new();
+        driver.schedule_arrival(0, SimTime::from_secs(5), InferenceRequest::text(0, 1, 1));
+        let mut e = FixedEngine::new(10);
+        let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
+        driver.run(&mut engines, SimTime::from_secs(1));
+        assert!(e.drain_completions().is_empty());
+        assert!(e.has_work() == false);
+    }
+
+    #[test]
+    fn idle_engines_get_ticks() {
+        let mut driver = Driver::new();
+        let mut e = FixedEngine::new(10);
+        {
+            let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
+            driver.run(&mut engines, SimTime::from_secs(1));
+        }
+        // 1 s of 100 ms ticks ≈ 10 tick events (plus step-done ticks).
+        assert!(e.ticks >= 9, "got {} ticks", e.ticks);
+    }
+
+    #[test]
+    fn trace_scheduling() {
+        let mut driver = Driver::new();
+        let trace = (0..5).map(|i| {
+            (
+                SimTime::from_millis(i * 10),
+                InferenceRequest::text(i, 1, 1),
+            )
+        });
+        driver.schedule_trace(0, trace);
+        let mut e = FixedEngine::new(1);
+        let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
+        driver.run(&mut engines, SimTime::from_secs(1));
+        assert_eq!(e.drain_completions().len(), 5);
+    }
+}

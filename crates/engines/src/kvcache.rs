@@ -1,0 +1,494 @@
+//! Paged KV-cache block manager (vLLM's PagedAttention pool).
+//!
+//! vLLM reserves the HBM left after loading model weights as a pool of
+//! fixed-size blocks and maps each sequence's KV cache onto a **block
+//! table** (§2, [32]). Three properties matter to AQUA:
+//!
+//! * Admission control: a request is only admitted when enough blocks are
+//!   free for its prompt — otherwise it queues (the source of Figure 1a's
+//!   TTFT spikes).
+//! * Fragmentation: blocks are allocated from a free list, so a sequence's
+//!   table is physically scattered — which is why vLLM's swap path moves
+//!   many small tensors (§5) and why donation needs compaction.
+//! * Elasticity: an LLM producer *donates* free pool capacity to AQUA and
+//!   reclaims it later. §B.1: "This allocation leads to fragmentation of
+//!   the tensor and makes it impossible to selectively free parts of a
+//!   tensor. We solve this problem by copying the scattered allocated
+//!   blocks to a temporary location to free up the reserved memory" — the
+//!   pool models that compaction and accounts the bytes it copies.
+
+use aqua_models::geometry::LlmGeometry;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::request::RequestId;
+
+/// Default tokens per KV block (vLLM's default block size).
+pub const DEFAULT_BLOCK_TOKENS: u64 = 16;
+
+/// Physical index of one KV block within the pool.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BlockId(pub u64);
+
+/// A paged KV-cache pool for one model on one GPU.
+///
+/// # Example
+///
+/// ```
+/// use aqua_engines::kvcache::PagedKvCache;
+/// use aqua_engines::request::RequestId;
+/// use aqua_models::zoo;
+///
+/// let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+/// let mut kv = PagedKvCache::new(geom, 1 << 30, 16);
+/// assert!(kv.can_fit_tokens(1000));
+/// kv.grow_seq(RequestId(1), 1000).unwrap();
+/// assert_eq!(kv.block_table(RequestId(1)).unwrap().len(), 63); // ceil(1000/16)
+/// kv.free_seq(RequestId(1));
+/// assert_eq!(kv.used_blocks(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PagedKvCache {
+    geom: LlmGeometry,
+    block_tokens: u64,
+    total_blocks: u64,
+    /// Physical blocks never yet allocated (ids `next_fresh..total_blocks`
+    /// conceptually; tracked as a watermark).
+    next_fresh: u64,
+    /// Recycled blocks, LIFO — reuse keeps tables fragmented, like a real
+    /// allocator under churn.
+    free_list: Vec<BlockId>,
+    seq_blocks: HashMap<RequestId, SeqAlloc>,
+    compacted_bytes: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct SeqAlloc {
+    blocks: Vec<BlockId>,
+    tokens: u64,
+}
+
+/// Error returned when the pool cannot satisfy a block request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvOutOfBlocks {
+    /// Blocks requested.
+    pub requested: u64,
+    /// Blocks free.
+    pub free: u64,
+}
+
+impl std::fmt::Display for KvOutOfBlocks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kv pool exhausted: requested {} blocks, {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for KvOutOfBlocks {}
+
+impl PagedKvCache {
+    /// Creates a pool of `pool_bytes` of KV storage for `geom`, paged into
+    /// blocks of `block_tokens` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens == 0`.
+    pub fn new(geom: LlmGeometry, pool_bytes: u64, block_tokens: u64) -> Self {
+        assert!(block_tokens > 0, "block size must be positive");
+        let block_bytes = geom.kv_bytes_per_token() * block_tokens;
+        let total_blocks = pool_bytes / block_bytes;
+        PagedKvCache {
+            geom,
+            block_tokens,
+            total_blocks,
+            next_fresh: 0,
+            free_list: Vec::new(),
+            seq_blocks: HashMap::new(),
+            compacted_bytes: 0,
+        }
+    }
+
+    /// Bytes of one KV block.
+    pub fn block_bytes(&self) -> u64 {
+        self.geom.kv_bytes_per_token() * self.block_tokens
+    }
+
+    /// Total pool capacity in blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Blocks currently mapped to sequences.
+    pub fn used_blocks(&self) -> u64 {
+        self.seq_blocks.values().map(|s| s.blocks.len() as u64).sum()
+    }
+
+    /// Blocks currently free.
+    pub fn free_blocks(&self) -> u64 {
+        self.total_blocks - self.used_blocks()
+    }
+
+    /// Total pool capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_blocks * self.block_bytes()
+    }
+
+    /// Bytes currently mapped.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_blocks() * self.block_bytes()
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_blocks() * self.block_bytes()
+    }
+
+    /// Whether `tokens` additional tokens (for a fresh sequence) would fit.
+    pub fn can_fit_tokens(&self, tokens: u64) -> bool {
+        tokens.div_ceil(self.block_tokens) <= self.free_blocks()
+    }
+
+    /// Number of live sequences.
+    pub fn seq_count(&self) -> usize {
+        self.seq_blocks.len()
+    }
+
+    /// Tokens currently stored for a sequence (0 if absent).
+    pub fn used_tokens_of(&self, id: RequestId) -> u64 {
+        self.seq_blocks.get(&id).map_or(0, |s| s.tokens)
+    }
+
+    /// KV bytes currently mapped for a sequence (block-granular).
+    pub fn bytes_of(&self, id: RequestId) -> u64 {
+        self.seq_blocks.get(&id).map_or(0, |s| s.blocks.len() as u64) * self.block_bytes()
+    }
+
+    /// The sequence's physical block table (its scatter pattern), if live.
+    pub fn block_table(&self, id: RequestId) -> Option<&[BlockId]> {
+        self.seq_blocks.get(&id).map(|s| s.blocks.as_slice())
+    }
+
+    /// Sum of context tokens across all live sequences.
+    pub fn total_context_tokens(&self) -> u64 {
+        self.seq_blocks.values().map(|s| s.tokens).sum()
+    }
+
+    /// Bytes copied so far by donation-time compaction (§B.1).
+    pub fn compacted_bytes(&self) -> u64 {
+        self.compacted_bytes
+    }
+
+    fn pop_free(&mut self) -> Option<BlockId> {
+        if let Some(b) = self.free_list.pop() {
+            return Some(b);
+        }
+        if self.next_fresh < self.total_blocks {
+            let b = BlockId(self.next_fresh);
+            self.next_fresh += 1;
+            return Some(b);
+        }
+        None
+    }
+
+    /// Extends sequence `id` by `tokens`, allocating blocks as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvOutOfBlocks`] (without partial allocation) if the pool
+    /// cannot supply the required blocks.
+    pub fn grow_seq(&mut self, id: RequestId, tokens: u64) -> Result<(), KvOutOfBlocks> {
+        let (have_blocks, have_tokens) = self
+            .seq_blocks
+            .get(&id)
+            .map(|s| (s.blocks.len() as u64, s.tokens))
+            .unwrap_or((0, 0));
+        let new_tokens = have_tokens + tokens;
+        let needed_blocks = new_tokens.div_ceil(self.block_tokens);
+        let extra = needed_blocks.saturating_sub(have_blocks);
+        if extra > self.free_blocks() {
+            return Err(KvOutOfBlocks {
+                requested: extra,
+                free: self.free_blocks(),
+            });
+        }
+        let mut new_blocks = Vec::with_capacity(extra as usize);
+        for _ in 0..extra {
+            // Cannot fail: extra <= free_blocks was checked above.
+            new_blocks.push(self.pop_free().expect("free capacity checked"));
+        }
+        let entry = self.seq_blocks.entry(id).or_insert(SeqAlloc {
+            blocks: Vec::new(),
+            tokens: 0,
+        });
+        entry.tokens = new_tokens;
+        entry.blocks.extend(new_blocks);
+        Ok(())
+    }
+
+    /// Releases all blocks of a sequence (no-op if absent). Returns freed
+    /// bytes.
+    pub fn free_seq(&mut self, id: RequestId) -> u64 {
+        if let Some(s) = self.seq_blocks.remove(&id) {
+            let freed = s.blocks.len() as u64 * self.block_bytes();
+            self.free_list.extend(s.blocks);
+            freed
+        } else {
+            0
+        }
+    }
+
+    /// Shrinks the pool by up to `bytes` of *free* capacity (donation to
+    /// AQUA). Returns the bytes actually removed.
+    ///
+    /// Donation gives away the physically-highest blocks; live blocks above
+    /// the new watermark are compacted into free slots below it first (the
+    /// §B.1 copy), which this method performs and accounts in
+    /// [`PagedKvCache::compacted_bytes`].
+    pub fn donate_bytes(&mut self, bytes: u64) -> u64 {
+        let donate_blocks = (bytes / self.block_bytes()).min(self.free_blocks());
+        if donate_blocks == 0 {
+            return 0;
+        }
+        let new_total = self.total_blocks - donate_blocks;
+
+        // Free slots below the cut, available as compaction targets.
+        self.free_list.retain(|b| b.0 < new_total);
+        // (Blocks at or above the cut simply leave the pool; fresh-watermark
+        // capacity above the cut leaves implicitly via `total_blocks`.)
+        let mut targets = std::mem::take(&mut self.free_list);
+
+        // Live blocks above the cut must move below it. There are always
+        // enough recycled slots below the cut: live-above-cut blocks only
+        // exist when every id below the cut was minted, and
+        // used <= new_total guarantees enough of those are free.
+        let mut moved = 0u64;
+        for alloc in self.seq_blocks.values_mut() {
+            for b in alloc.blocks.iter_mut() {
+                if b.0 >= new_total {
+                    *b = targets
+                        .pop()
+                        .expect("donate <= free guarantees compaction targets");
+                    moved += 1;
+                }
+            }
+        }
+        self.free_list = targets;
+        self.compacted_bytes += moved * self.block_bytes();
+        self.total_blocks = new_total;
+        self.next_fresh = self.next_fresh.min(new_total);
+        donate_blocks * self.block_bytes()
+    }
+
+    /// Grows the pool by `bytes` (reclaim from AQUA).
+    pub fn reclaim_bytes(&mut self, bytes: u64) {
+        self.total_blocks += bytes / self.block_bytes();
+    }
+
+    /// Pool utilisation in `[0, 1]` (0 for an empty pool).
+    pub fn utilization(&self) -> f64 {
+        if self.total_blocks == 0 {
+            0.0
+        } else {
+            self.used_blocks() as f64 / self.total_blocks as f64
+        }
+    }
+
+    /// Debug invariant: block tables are disjoint, within bounds, and the
+    /// free list holds no live block.
+    pub fn check_invariants(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for s in self.seq_blocks.values() {
+            if s.blocks.len() as u64 != s.tokens.div_ceil(self.block_tokens) {
+                return false;
+            }
+            for b in &s.blocks {
+                if b.0 >= self.total_blocks || !seen.insert(*b) {
+                    return false;
+                }
+            }
+        }
+        for b in &self.free_list {
+            if b.0 >= self.total_blocks || b.0 >= self.next_fresh || !seen.insert(*b) {
+                return false;
+            }
+        }
+        self.used_blocks() <= self.total_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_models::zoo;
+    use aqua_sim::link::bytes::gib;
+    use proptest::prelude::*;
+
+    fn cache(pool_gib: u64) -> PagedKvCache {
+        let geom = *zoo::llama2_13b().llm_geometry().unwrap();
+        PagedKvCache::new(geom, gib(pool_gib), DEFAULT_BLOCK_TOKENS)
+    }
+
+    #[test]
+    fn block_math() {
+        let kv = cache(40);
+        // Llama-2-13B: 819200 B/token * 16 tokens = 12.5 MiB blocks.
+        assert_eq!(kv.block_bytes(), 819_200 * 16);
+        assert!(kv.total_blocks() > 3000);
+        assert_eq!(kv.used_blocks(), 0);
+        assert_eq!(kv.utilization(), 0.0);
+    }
+
+    #[test]
+    fn grow_allocates_ceil_blocks() {
+        let mut kv = cache(40);
+        kv.grow_seq(RequestId(1), 17).unwrap();
+        // 17 tokens need 2 blocks of 16.
+        assert_eq!(kv.used_blocks(), 2);
+        assert_eq!(kv.used_tokens_of(RequestId(1)), 17);
+        // One more token fits in the existing second block.
+        kv.grow_seq(RequestId(1), 1).unwrap();
+        assert_eq!(kv.used_blocks(), 2);
+        // Crossing the boundary allocates a third block.
+        kv.grow_seq(RequestId(1), 15).unwrap();
+        assert_eq!(kv.used_blocks(), 3);
+        assert_eq!(kv.block_table(RequestId(1)).unwrap().len(), 3);
+        assert!(kv.check_invariants());
+    }
+
+    #[test]
+    fn exhaustion_is_atomic() {
+        let geom = *zoo::llama2_13b().llm_geometry().unwrap();
+        let mut kv = PagedKvCache::new(geom, kv_pool_of_blocks(&geom, 4), 16);
+        assert_eq!(kv.total_blocks(), 4);
+        kv.grow_seq(RequestId(1), 48).unwrap(); // 3 blocks
+        let err = kv.grow_seq(RequestId(2), 32).unwrap_err(); // needs 2, 1 free
+        assert_eq!(err.requested, 2);
+        assert_eq!(err.free, 1);
+        // Failed grow must not leak blocks.
+        assert_eq!(kv.used_blocks(), 3);
+        assert_eq!(kv.used_tokens_of(RequestId(2)), 0);
+        assert!(kv.check_invariants());
+    }
+
+    fn kv_pool_of_blocks(geom: &LlmGeometry, blocks: u64) -> u64 {
+        geom.kv_bytes_per_token() * 16 * blocks
+    }
+
+    #[test]
+    fn free_seq_returns_bytes_and_recycles() {
+        let mut kv = cache(40);
+        kv.grow_seq(RequestId(9), 100).unwrap();
+        let table_before: Vec<BlockId> = kv.block_table(RequestId(9)).unwrap().to_vec();
+        let freed = kv.free_seq(RequestId(9));
+        assert_eq!(freed, 7 * kv.block_bytes());
+        assert_eq!(kv.free_seq(RequestId(9)), 0, "second free is a no-op");
+        assert_eq!(kv.used_blocks(), 0);
+        // Recycled blocks come back for the next sequence (LIFO reuse).
+        kv.grow_seq(RequestId(10), 100).unwrap();
+        let table_after = kv.block_table(RequestId(10)).unwrap();
+        assert!(table_after.iter().all(|b| table_before.contains(b)));
+    }
+
+    #[test]
+    fn tables_fragment_under_churn() {
+        let mut kv = cache(1);
+        // Interleave three sequences, then free the middle one.
+        for t in 0..6 {
+            for id in 0..3u64 {
+                kv.grow_seq(RequestId(id), 16).unwrap();
+                let _ = t;
+            }
+        }
+        kv.free_seq(RequestId(1));
+        // A new sequence reuses the freed (non-contiguous) blocks.
+        kv.grow_seq(RequestId(7), 96).unwrap();
+        let table = kv.block_table(RequestId(7)).unwrap();
+        let contiguous = table.windows(2).all(|w| w[1].0 == w[0].0 + 1);
+        assert!(!contiguous, "reused blocks are scattered: {table:?}");
+        assert!(kv.check_invariants());
+    }
+
+    #[test]
+    fn donation_only_takes_free_blocks() {
+        let mut kv = cache(1);
+        let total = kv.total_blocks();
+        kv.grow_seq(RequestId(1), 16 * (total - 2)).unwrap();
+        let donated = kv.donate_bytes(gib(1));
+        assert_eq!(donated, 2 * kv.block_bytes());
+        assert_eq!(kv.free_blocks(), 0);
+        kv.reclaim_bytes(donated);
+        assert_eq!(kv.free_blocks(), 2);
+        assert!(kv.check_invariants());
+    }
+
+    #[test]
+    fn donation_compacts_scattered_live_blocks() {
+        let geom = *zoo::llama2_13b().llm_geometry().unwrap();
+        let mut kv = PagedKvCache::new(geom, kv_pool_of_blocks(&geom, 8), 16);
+        // Fill all 8 blocks across two sequences, free the first -> the
+        // survivor's blocks sit scattered across the address range.
+        kv.grow_seq(RequestId(1), 16 * 4).unwrap();
+        kv.grow_seq(RequestId(2), 16 * 4).unwrap();
+        kv.free_seq(RequestId(1));
+        // Donate half the pool: survivor blocks living in the top half must
+        // be compacted below the cut.
+        let donated = kv.donate_bytes(4 * kv.block_bytes());
+        assert_eq!(donated, 4 * kv.block_bytes());
+        assert_eq!(kv.total_blocks(), 4);
+        assert!(kv.compacted_bytes() > 0, "live top-half blocks moved");
+        let table = kv.block_table(RequestId(2)).unwrap();
+        assert!(table.iter().all(|b| b.0 < 4), "all blocks below the cut: {table:?}");
+        assert!(kv.check_invariants());
+    }
+
+    #[test]
+    fn can_fit_matches_grow() {
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let mut kv = PagedKvCache::new(geom, kv_pool_of_blocks(&geom, 10), 16);
+        assert!(kv.can_fit_tokens(160));
+        assert!(!kv.can_fit_tokens(161));
+        kv.grow_seq(RequestId(1), 160).unwrap();
+        assert!(kv.can_fit_tokens(0));
+        assert!(!kv.can_fit_tokens(1));
+    }
+
+    proptest! {
+        /// Arbitrary grow/free/donate/reclaim sequences preserve the block
+        /// invariants: disjoint in-bounds tables sized ceil(tokens/block).
+        #[test]
+        fn block_accounting(ops in proptest::collection::vec((0u64..8, 1u64..200, 0u8..5), 1..100)) {
+            let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+            let mut kv = PagedKvCache::new(geom, gib(4), 16);
+            let mut donated_total = 0u64;
+            for (seq, tokens, op) in ops {
+                let id = RequestId(seq);
+                match op {
+                    0 => {
+                        kv.free_seq(id);
+                    }
+                    1 if donated_total > 0 => {
+                        kv.reclaim_bytes(donated_total);
+                        donated_total = 0;
+                    }
+                    2 => {
+                        donated_total += kv.donate_bytes(tokens * kv.block_bytes() / 4);
+                    }
+                    _ => {
+                        let _ = kv.grow_seq(id, tokens);
+                    }
+                }
+                prop_assert!(kv.check_invariants());
+                let expected: u64 = (0..8)
+                    .map(|s| kv.used_tokens_of(RequestId(s)).div_ceil(16))
+                    .sum();
+                prop_assert_eq!(kv.used_blocks(), expected);
+                prop_assert!(kv.used_blocks() <= kv.total_blocks());
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The northbound interface between serving engines and AQUA-LIB.
+//!
+//! The paper (§3, §B): "the northbound interface enables the model serving
+//! infrastructure to interact with AQUA-LIB. Using the northbound interface,
+//! inference serving systems share metrics like their inference load … and
+//! size of dynamic context". Engines expose [`EngineStats`] snapshots (the
+//! `inform_stats(...)` payload) and implement [`MemoryElastic`] so AQUA's
+//! informers can donate and reclaim HBM on their behalf.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of engine load and memory, passed to `inform_stats(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EngineStats {
+    /// Requests queued, not yet running (the llm-informer's key signal).
+    pub pending_requests: usize,
+    /// Requests currently being inferred.
+    pub running_requests: usize,
+    /// Bytes of reserved context pool currently in use (KV cache).
+    pub context_used_bytes: u64,
+    /// Bytes of context pool reserved in total.
+    pub context_reserved_bytes: u64,
+    /// HBM bytes the engine could donate right now without disturbing the
+    /// current working set.
+    pub donatable_bytes: u64,
+    /// HBM bytes currently donated to AQUA.
+    pub donated_bytes: u64,
+}
+
+impl EngineStats {
+    /// Context-pool utilisation in `[0, 1]` (0 when nothing is reserved).
+    pub fn context_utilization(&self) -> f64 {
+        if self.context_reserved_bytes == 0 {
+            0.0
+        } else {
+            self.context_used_bytes as f64 / self.context_reserved_bytes as f64
+        }
+    }
+}
+
+/// A memory-management control loop attached to an engine (AQUA's
+/// informers implement this; `aqua-core` provides `LlmInformer` and
+/// `BatchInformer`).
+///
+/// Engines invoke their informer at every iteration boundary and idle tick,
+/// passing themselves as the [`MemoryElastic`] handle. The informer may
+/// donate or reclaim engine memory and talk to the AQUA coordinator. The
+/// returned time is when the engine may resume — later than `now` only
+/// while a blocking reclaim is being waited out (the paper's "pauses serving
+/// requests for a few seconds to reclaim memory", Figure 11).
+pub trait Informer {
+    /// Runs one control decision at `now`.
+    fn control(&mut self, engine: &mut dyn MemoryElastic, now: aqua_sim::time::SimTime)
+        -> aqua_sim::time::SimTime;
+}
+
+/// An engine whose HBM footprint AQUA can elastically resize.
+pub trait MemoryElastic {
+    /// Current load and memory snapshot.
+    fn stats(&self) -> EngineStats;
+
+    /// Releases up to `bytes` of the engine's reserved memory to AQUA.
+    /// Returns the bytes actually released (0 if nothing is spare).
+    fn donate(&mut self, bytes: u64) -> u64;
+
+    /// Returns `bytes` previously donated back to the engine's reserves.
+    fn reclaim(&mut self, bytes: u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_handles_zero_reserve() {
+        let s = EngineStats::default();
+        assert_eq!(s.context_utilization(), 0.0);
+        let s2 = EngineStats {
+            context_used_bytes: 50,
+            context_reserved_bytes: 200,
+            ..Default::default()
+        };
+        assert!((s2.context_utilization() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Inference requests as engines see them.
+
+use aqua_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Opaque request identifier assigned by the workload generator.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// One inference request submitted to a serving engine.
+///
+/// For LLM engines `prompt_tokens`/`output_tokens` are token counts; for the
+/// producer engines (image/audio) a request is one item (image or clip) and
+/// the token fields are ignored.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// Request identifier (unique per workload).
+    pub id: RequestId,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u64,
+    /// Number of tokens to generate before the request completes.
+    pub output_tokens: u64,
+    /// Index of the LoRA adapter this request needs, if any.
+    pub adapter: Option<usize>,
+}
+
+impl InferenceRequest {
+    /// A plain text-generation request.
+    pub fn text(id: u64, prompt_tokens: u64, output_tokens: u64) -> Self {
+        InferenceRequest {
+            id: RequestId(id),
+            prompt_tokens,
+            output_tokens,
+            adapter: None,
+        }
+    }
+
+    /// A request that must run with LoRA adapter `adapter`.
+    pub fn with_adapter(id: u64, prompt_tokens: u64, output_tokens: u64, adapter: usize) -> Self {
+        InferenceRequest {
+            id: RequestId(id),
+            prompt_tokens,
+            output_tokens,
+            adapter: Some(adapter),
+        }
+    }
+
+    /// A producer-side item request (one image or one audio clip).
+    pub fn item(id: u64) -> Self {
+        InferenceRequest {
+            id: RequestId(id),
+            prompt_tokens: 0,
+            output_tokens: 1,
+            adapter: None,
+        }
+    }
+}
+
+/// A request annotated with its arrival time (as queued inside an engine).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivedRequest {
+    /// The request.
+    pub request: InferenceRequest,
+    /// When it was submitted to the engine.
+    pub arrival: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = InferenceRequest::text(1, 100, 50);
+        assert_eq!(r.id, RequestId(1));
+        assert_eq!(r.adapter, None);
+        let l = InferenceRequest::with_adapter(2, 10, 5, 7);
+        assert_eq!(l.adapter, Some(7));
+        let i = InferenceRequest::item(3);
+        assert_eq!(i.output_tokens, 1);
+        assert_eq!(RequestId(3).to_string(), "req3");
+    }
+}

@@ -1,0 +1,790 @@
+//! vLLM-style serving engine: continuous batching over a paged KV cache.
+//!
+//! This reproduces the scheduler behaviour the paper measures (§1, §5):
+//!
+//! * New requests are **admitted only if their prompt's KV cache fits** in
+//!   the block pool; otherwise they queue. Under bursts the queue grows and
+//!   time-to-first-token spikes (Figure 1a, Figure 9's "jumps in RCTs for
+//!   vLLM at 20 requests").
+//! * Running sequences each generate one token per iteration (continuous
+//!   batching, Orca-style). When the pool runs dry mid-decode, the youngest
+//!   sequence is preempted and recomputed later (vLLM's recompute policy).
+//! * LoRA requests load their adapter into a fixed-slot GPU cache through
+//!   the configured [`Offloader`] before computing (§B.1) — this is the data
+//!   path AQUA accelerates in Figures 8 and 12.
+//! * In producer mode, an attached [`Informer`] donates free KV-pool memory
+//!   to AQUA and reclaims it under load (Figures 10 and 11).
+
+use crate::driver::Engine;
+use crate::kvcache::{PagedKvCache, DEFAULT_BLOCK_TOKENS};
+use crate::northbound::{EngineStats, Informer, MemoryElastic};
+use crate::offload::Offloader;
+use crate::request::InferenceRequest;
+use aqua_metrics::requests::RequestRecord;
+use aqua_models::cost;
+use aqua_models::geometry::LlmGeometry;
+use aqua_models::lora::LoraAdapter;
+use aqua_sim::gpu::GpuSpec;
+use aqua_sim::link::bytes::gib;
+use aqua_sim::time::SimTime;
+use std::collections::VecDeque;
+
+/// What happens to a sequence preempted when the KV pool runs dry.
+///
+/// vLLM supports both: discard-and-recompute (its default) and swapping
+/// the KV cache out through the offload backend. Recompute trades GPU
+/// compute for zero I/O; swap trades I/O for zero recompute — which wins
+/// depends entirely on how fast the offload path is, which is why this is
+/// an AQUA ablation axis (`ablate_preemption`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreemptionPolicy {
+    /// Free the KV cache and re-prefill prompt + generated tokens later.
+    #[default]
+    Recompute,
+    /// Swap the KV cache to the offload backend; swap it back on
+    /// re-admission (requires an offloader).
+    Swap,
+}
+
+/// Configuration of a [`VllmEngine`].
+#[derive(Debug, Clone)]
+pub struct VllmConfig {
+    /// Maximum sequences batched per iteration.
+    pub max_batch: usize,
+    /// Bytes reserved for the paged KV pool.
+    pub kv_pool_bytes: u64,
+    /// Tokens per KV block.
+    pub block_tokens: u64,
+    /// GPU adapter-cache slots (number of LoRA adapters resident at once).
+    pub lora_cache_slots: usize,
+    /// Minimum KV pool retained when donating memory (the paper's producer
+    /// LLM retains 5 GB "to stay responsive").
+    pub donation_floor_bytes: u64,
+    /// What happens to sequences preempted under KV pressure.
+    pub preemption: PreemptionPolicy,
+}
+
+impl Default for VllmConfig {
+    fn default() -> Self {
+        VllmConfig {
+            max_batch: 256,
+            kv_pool_bytes: gib(40),
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            lora_cache_slots: 10,
+            donation_floor_bytes: gib(5),
+            preemption: PreemptionPolicy::Recompute,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Seq {
+    req: InferenceRequest,
+    arrival: SimTime,
+    generated: u64,
+    first_token: Option<SimTime>,
+    prefilled: bool,
+    /// KV cache lives in the offload store (swap preemption).
+    swapped: bool,
+}
+
+impl Seq {
+    /// Tokens that must be (re)computed into the KV cache before decoding:
+    /// the prompt plus anything generated before a preemption.
+    fn prefill_tokens(&self) -> u64 {
+        self.req.prompt_tokens + self.generated
+    }
+}
+
+/// vLLM-style continuous-batching engine.
+///
+/// # Example
+///
+/// ```
+/// use aqua_engines::vllm::{VllmConfig, VllmEngine};
+/// use aqua_engines::driver::Engine;
+/// use aqua_engines::request::InferenceRequest;
+/// use aqua_models::zoo;
+/// use aqua_sim::gpu::GpuSpec;
+/// use aqua_sim::time::SimTime;
+///
+/// let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+/// let mut engine = VllmEngine::new(geom, GpuSpec::a100_80g(), VllmConfig::default());
+/// engine.submit(InferenceRequest::text(0, 128, 16), SimTime::ZERO);
+/// let mut now = SimTime::ZERO;
+/// while engine.has_work() {
+///     now = engine.step(now);
+/// }
+/// assert_eq!(engine.drain_completions().len(), 1);
+/// ```
+pub struct VllmEngine {
+    geom: LlmGeometry,
+    gpu: GpuSpec,
+    config: VllmConfig,
+    kv: PagedKvCache,
+    waiting: VecDeque<Seq>,
+    running: Vec<Seq>,
+    completions: Vec<RequestRecord>,
+    adapters: Vec<LoraAdapter>,
+    lora_cache: VecDeque<usize>,
+    offloader: Option<Box<dyn Offloader>>,
+    informer: Option<Box<dyn Informer>>,
+    donated_bytes: u64,
+    iterations: u64,
+    preemptions: u64,
+    pending_swap_out: u64,
+    pending_swap_in: u64,
+    swapped_bytes_total: u64,
+    lora_misses: u64,
+    lora_hits: u64,
+}
+
+impl std::fmt::Debug for VllmEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VllmEngine")
+            .field("waiting", &self.waiting.len())
+            .field("running", &self.running.len())
+            .field("iterations", &self.iterations)
+            .field("kv_used_blocks", &self.kv.used_blocks())
+            .finish()
+    }
+}
+
+impl VllmEngine {
+    /// Creates an engine hosting `geom` on `gpu`.
+    pub fn new(geom: LlmGeometry, gpu: GpuSpec, config: VllmConfig) -> Self {
+        let kv = PagedKvCache::new(geom, config.kv_pool_bytes, config.block_tokens);
+        VllmEngine {
+            geom,
+            gpu,
+            config,
+            kv,
+            waiting: VecDeque::new(),
+            running: Vec::new(),
+            completions: Vec::new(),
+            adapters: Vec::new(),
+            lora_cache: VecDeque::new(),
+            offloader: None,
+            informer: None,
+            donated_bytes: 0,
+            iterations: 0,
+            preemptions: 0,
+            pending_swap_out: 0,
+            pending_swap_in: 0,
+            swapped_bytes_total: 0,
+            lora_misses: 0,
+            lora_hits: 0,
+        }
+    }
+
+    /// Installs the adapter pool available to LoRA requests.
+    pub fn with_adapters(mut self, adapters: Vec<LoraAdapter>) -> Self {
+        self.adapters = adapters;
+        self
+    }
+
+    /// Installs the offload backend used for LoRA loads (and donations).
+    pub fn with_offloader(mut self, offloader: Box<dyn Offloader>) -> Self {
+        self.offloader = Some(offloader);
+        self
+    }
+
+    /// Attaches an AQUA informer (producer mode).
+    pub fn with_informer(mut self, informer: Box<dyn Informer>) -> Self {
+        self.informer = Some(informer);
+        self
+    }
+
+    /// Number of decode/prefill iterations executed.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Number of mid-decode preemptions.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Total KV bytes moved by swap preemption (both directions).
+    pub fn swapped_bytes_total(&self) -> u64 {
+        self.swapped_bytes_total
+    }
+
+    /// `(hits, misses)` of the GPU LoRA-adapter cache.
+    pub fn lora_cache_stats(&self) -> (u64, u64) {
+        (self.lora_hits, self.lora_misses)
+    }
+
+    /// Requests queued for admission.
+    pub fn queue_depth(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Sequences currently being decoded.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Bytes currently donated to AQUA.
+    pub fn donated_bytes(&self) -> u64 {
+        self.donated_bytes
+    }
+
+    /// Read access to the KV pool (for tests and free-memory reporting).
+    pub fn kv(&self) -> &PagedKvCache {
+        &self.kv
+    }
+
+    fn run_informer(&mut self, now: SimTime) -> SimTime {
+        if let Some(mut informer) = self.informer.take() {
+            let resume = informer.control(self, now);
+            self.informer = Some(informer);
+            resume.max(now)
+        } else {
+            now
+        }
+    }
+
+    /// Ensures every running sequence can grow by one token this iteration,
+    /// preempting the youngest sequences if the pool is exhausted.
+    fn make_room_for_decode(&mut self) {
+        loop {
+            let need: u64 = self
+                .running
+                .iter()
+                .filter(|s| {
+                    let t = s.req.prompt_tokens + s.generated;
+                    t % self.config.block_tokens == 0
+                })
+                .count() as u64;
+            if need <= self.kv.free_blocks() || self.running.is_empty() {
+                return;
+            }
+            // Preempt the most recently admitted sequence (vLLM preempts the
+            // lowest-priority, i.e. youngest).
+            let mut victim = self.running.pop().expect("non-empty");
+            self.kv.free_seq(victim.req.id);
+            self.preemptions += 1;
+            if self.config.preemption == PreemptionPolicy::Swap && self.offloader.is_some() {
+                // Swap the context out; it returns without recomputation.
+                let bytes = self.geom.kv_bytes(victim.prefill_tokens());
+                self.pending_swap_out += bytes;
+                self.swapped_bytes_total += bytes;
+                victim.swapped = true;
+            } else {
+                victim.prefilled = false; // recompute on re-admission
+            }
+            self.waiting.push_front(victim);
+        }
+    }
+
+    /// Adapters referenced by running sequences are pinned; only others may
+    /// be evicted (vLLM's `max_loras` admission semantics).
+    fn referenced_adapters(&self) -> Vec<usize> {
+        self.running.iter().filter_map(|s| s.req.adapter).collect()
+    }
+
+    fn adapter_admissible(&self, adapter: Option<usize>) -> bool {
+        let Some(idx) = adapter else { return true };
+        // The batch can reference at most `lora_cache_slots` distinct
+        // adapters at once (vLLM's `max_loras`): unreferenced cached
+        // adapters can always be evicted, referenced ones cannot.
+        let mut needed = self.referenced_adapters();
+        needed.push(idx);
+        needed.sort_unstable();
+        needed.dedup();
+        needed.len() <= self.config.lora_cache_slots
+    }
+
+    fn admit(&mut self) {
+        while self.running.len() < self.config.max_batch {
+            let Some(front) = self.waiting.front() else { break };
+            let needed = front.prefill_tokens() + 1;
+            if !self.kv.can_fit_tokens(needed) {
+                break;
+            }
+            if !self.adapter_admissible(front.req.adapter) {
+                break;
+            }
+            let mut seq = self.waiting.pop_front().expect("checked");
+            self.kv
+                .grow_seq(seq.req.id, seq.prefill_tokens())
+                .expect("can_fit_tokens checked");
+            if seq.swapped {
+                // The context streams back from the offload store intact.
+                let bytes = self.geom.kv_bytes(seq.prefill_tokens());
+                self.pending_swap_in += bytes;
+                self.swapped_bytes_total += bytes;
+                seq.swapped = false;
+                seq.prefilled = true;
+            } else {
+                seq.prefilled = false;
+            }
+            self.running.push(seq);
+        }
+    }
+
+    /// Loads adapters newly required by the running batch; returns the
+    /// completion time of the last load (== `now` on full cache hits).
+    /// Adapters referenced by running sequences are never evicted, so an
+    /// adapter is loaded at most once per residency.
+    fn load_adapters(&mut self, now: SimTime) -> SimTime {
+        let mut io_done = now;
+        let referenced = self.referenced_adapters();
+        let mut needed: Vec<usize> = referenced.clone();
+        needed.sort_unstable();
+        needed.dedup();
+        for idx in needed {
+            if let Some(pos) = self.lora_cache.iter().position(|&a| a == idx) {
+                self.lora_hits += 1;
+                // Refresh LRU position.
+                self.lora_cache.remove(pos);
+                self.lora_cache.push_back(idx);
+                continue;
+            }
+            self.lora_misses += 1;
+            while self.lora_cache.len() >= self.config.lora_cache_slots {
+                let victim = self
+                    .lora_cache
+                    .iter()
+                    .position(|a| !referenced.contains(a))
+                    .expect("adapter_admissible gated admission on a free slot");
+                self.lora_cache.remove(victim);
+            }
+            self.lora_cache.push_back(idx);
+            let adapter = self
+                .adapters
+                .get(idx)
+                .unwrap_or_else(|| panic!("request references unknown adapter {idx}"));
+            if let Some(off) = self.offloader.as_mut() {
+                // Adapters persist in the offload store; loading is a read.
+                io_done = off.read_in(adapter.bytes, adapter.tensor_count, io_done);
+            }
+        }
+        io_done
+    }
+}
+
+impl Engine for VllmEngine {
+    fn submit(&mut self, mut req: InferenceRequest, now: SimTime) {
+        // Every request emits at least one token (a zero-token request would
+        // complete without a first-token timestamp).
+        req.output_tokens = req.output_tokens.max(1);
+        self.waiting.push_back(Seq {
+            req,
+            arrival: now,
+            generated: 0,
+            first_token: None,
+            prefilled: true, // set properly at admission
+            swapped: false,
+        });
+    }
+
+    fn has_work(&self) -> bool {
+        if !self.running.is_empty() {
+            return true;
+        }
+        self.waiting
+            .front()
+            .is_some_and(|s| self.kv.can_fit_tokens(s.prefill_tokens() + 1))
+    }
+
+    fn step(&mut self, now: SimTime) -> SimTime {
+        self.iterations += 1;
+        let mut now = self.run_informer(now);
+        if let Some(off) = self.offloader.as_mut() {
+            now = off.on_iteration_boundary(now).max(now);
+        }
+        self.admit();
+        // Admission may have consumed blocks the running batch needs for its
+        // next token; preempt (youngest first) until decode headroom exists.
+        self.make_room_for_decode();
+        if self.running.is_empty() {
+            return now;
+        }
+
+        let mut io_done = self.load_adapters(now);
+        if let Some(off) = self.offloader.as_mut() {
+            let chunks_per_gib = 2 * self.geom.layers;
+            if self.pending_swap_out > 0 {
+                io_done = io_done.max(off.swap_out(self.pending_swap_out, chunks_per_gib, now));
+                self.pending_swap_out = 0;
+            }
+            if self.pending_swap_in > 0 {
+                io_done = io_done.max(off.swap_in(self.pending_swap_in, chunks_per_gib, now));
+                self.pending_swap_in = 0;
+            }
+        } else {
+            // No offloader: swap preemption silently degrades to recompute
+            // semantics (nothing was marked swapped), so nothing pends.
+            self.pending_swap_out = 0;
+            self.pending_swap_in = 0;
+        }
+
+        let prefill_tokens: u64 = self
+            .running
+            .iter()
+            .filter(|s| !s.prefilled)
+            .map(Seq::prefill_tokens)
+            .sum();
+        let t_prefill = cost::llm_prefill_time(&self.geom, &self.gpu, prefill_tokens);
+        let batch = self.running.len() as u64;
+        let total_ctx = self.kv.total_context_tokens() + batch;
+        let t_decode = cost::llm_decode_step_time(&self.geom, &self.gpu, batch, total_ctx);
+        let end = io_done + t_prefill + t_decode;
+
+        let mut finished: Vec<usize> = Vec::new();
+        for (i, seq) in self.running.iter_mut().enumerate() {
+            seq.prefilled = true;
+            self.kv
+                .grow_seq(seq.req.id, 1)
+                .expect("make_room_for_decode guarantees headroom");
+            seq.generated += 1;
+            if seq.first_token.is_none() {
+                seq.first_token = Some(end);
+            }
+            if seq.generated >= seq.req.output_tokens {
+                finished.push(i);
+            }
+        }
+        for &i in finished.iter().rev() {
+            let seq = self.running.remove(i);
+            self.kv.free_seq(seq.req.id);
+            self.completions.push(RequestRecord {
+                id: seq.req.id.0,
+                arrival: seq.arrival,
+                first_token: seq.first_token.expect("finished sequences emitted tokens"),
+                completion: end,
+                output_tokens: seq.generated,
+            });
+        }
+        end
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        let _ = self.run_informer(now);
+    }
+
+    fn drain_completions(&mut self) -> Vec<RequestRecord> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+impl MemoryElastic for VllmEngine {
+    fn stats(&self) -> EngineStats {
+        let floor = self.config.donation_floor_bytes;
+        let donatable = self
+            .kv
+            .free_bytes()
+            .min(self.kv.capacity_bytes().saturating_sub(floor));
+        EngineStats {
+            pending_requests: self.waiting.len(),
+            running_requests: self.running.len(),
+            context_used_bytes: self.kv.used_bytes(),
+            context_reserved_bytes: self.kv.capacity_bytes(),
+            donatable_bytes: donatable,
+            donated_bytes: self.donated_bytes,
+        }
+    }
+
+    fn donate(&mut self, bytes: u64) -> u64 {
+        let floor = self.config.donation_floor_bytes;
+        let max_donation = self
+            .kv
+            .capacity_bytes()
+            .saturating_sub(floor.max(self.kv.used_bytes()));
+        let granted = self.kv.donate_bytes(bytes.min(max_donation));
+        self.donated_bytes += granted;
+        granted
+    }
+
+    fn reclaim(&mut self, bytes: u64) {
+        let bytes = bytes.min(self.donated_bytes);
+        self.kv.reclaim_bytes(bytes);
+        self.donated_bytes -= bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_models::zoo;
+
+    fn mistral_engine(pool_gib: u64) -> VllmEngine {
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        VllmEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            VllmConfig {
+                kv_pool_bytes: gib(pool_gib),
+                ..VllmConfig::default()
+            },
+        )
+    }
+
+    fn run_to_completion(engine: &mut VllmEngine) -> SimTime {
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        while engine.has_work() {
+            now = engine.step(now);
+            guard += 1;
+            assert!(guard < 1_000_000, "engine failed to make progress");
+        }
+        now
+    }
+
+    #[test]
+    fn single_request_completes_with_sane_latency() {
+        let mut e = mistral_engine(40);
+        e.submit(InferenceRequest::text(0, 256, 64), SimTime::ZERO);
+        run_to_completion(&mut e);
+        let recs = e.drain_completions();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.output_tokens, 64);
+        // TTFT: prefill + one decode step, tens of ms.
+        assert!(r.ttft() > 0.005 && r.ttft() < 0.5, "ttft = {}", r.ttft());
+        // 64 tokens at roughly 7-10 ms/token.
+        assert!(r.rct() > 0.3 && r.rct() < 2.0, "rct = {}", r.rct());
+        assert!(e.kv().used_blocks() == 0, "kv released after completion");
+    }
+
+    #[test]
+    fn batch_improves_aggregate_throughput() {
+        let mut single = mistral_engine(40);
+        single.submit(InferenceRequest::text(0, 128, 100), SimTime::ZERO);
+        let t_single = run_to_completion(&mut single);
+
+        let mut batched = mistral_engine(40);
+        for i in 0..16 {
+            batched.submit(InferenceRequest::text(i, 128, 100), SimTime::ZERO);
+        }
+        let t_batch = run_to_completion(&mut batched);
+        // 16 requests take far less than 16x one request's time.
+        assert!(
+            t_batch.as_secs_f64() < 4.0 * t_single.as_secs_f64(),
+            "batch {t_batch} vs single {t_single}"
+        );
+        assert_eq!(batched.drain_completions().len(), 16);
+    }
+
+    #[test]
+    fn admission_control_queues_when_pool_full() {
+        // Tiny pool: fits one 1000-token context but not two.
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let pool = geom.kv_bytes_per_token() * 16 * 80; // 80 blocks = 1280 tokens
+        let mut e = VllmEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            VllmConfig {
+                kv_pool_bytes: pool,
+                ..VllmConfig::default()
+            },
+        );
+        e.submit(InferenceRequest::text(0, 1000, 50), SimTime::ZERO);
+        e.submit(InferenceRequest::text(1, 1000, 50), SimTime::ZERO);
+        let mid = e.step(SimTime::ZERO);
+        assert_eq!(e.running_count(), 1, "second request must queue");
+        assert_eq!(e.queue_depth(), 1);
+        run_to_completion(&mut e);
+        let recs = e.drain_completions();
+        assert_eq!(recs.len(), 2);
+        // The queued request's TTFT includes the first one's entire run.
+        let ttfts: Vec<f64> = recs.iter().map(|r| r.ttft()).collect();
+        let max_ttft = ttfts.iter().cloned().fold(0.0, f64::max);
+        let min_ttft = ttfts.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max_ttft > 3.0 * min_ttft, "queued TTFT should spike: {ttfts:?}");
+        let _ = mid;
+    }
+
+    #[test]
+    fn preemption_recovers_from_kv_exhaustion() {
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        // Pool: 40 blocks = 640 tokens. Two seqs of prompt 256 + 200 output
+        // = 456 each → 912 > 640 → must preempt mid-decode.
+        let pool = geom.kv_bytes_per_token() * 16 * 40;
+        let mut e = VllmEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            VllmConfig {
+                kv_pool_bytes: pool,
+                ..VllmConfig::default()
+            },
+        );
+        e.submit(InferenceRequest::text(0, 256, 200), SimTime::ZERO);
+        e.submit(InferenceRequest::text(1, 256, 200), SimTime::ZERO);
+        run_to_completion(&mut e);
+        let recs = e.drain_completions();
+        assert_eq!(recs.len(), 2, "both must eventually finish");
+        assert!(e.preemptions() > 0, "expected at least one preemption");
+        assert!(recs.iter().all(|r| r.output_tokens == 200));
+    }
+
+    #[test]
+    fn donation_respects_floor_and_usage() {
+        let mut e = mistral_engine(20);
+        e.submit(InferenceRequest::text(0, 512, 4), SimTime::ZERO);
+        e.step(SimTime::ZERO);
+        let used = e.kv().used_bytes();
+        let granted = e.donate(gib(100));
+        assert!(granted > 0);
+        // Floor (5 GiB) and current usage both retained.
+        assert!(e.kv().capacity_bytes() >= gib(5).max(used));
+        let stats = e.stats();
+        assert_eq!(stats.donated_bytes, granted);
+        e.reclaim(granted);
+        assert_eq!(e.donated_bytes(), 0);
+        assert_eq!(e.kv().capacity_bytes(), gib(20));
+    }
+
+    #[test]
+    fn reclaim_is_capped_at_donated() {
+        let mut e = mistral_engine(20);
+        let granted = e.donate(gib(2));
+        e.reclaim(gib(50));
+        assert_eq!(e.donated_bytes(), 0);
+        assert_eq!(e.kv().capacity_bytes(), gib(20));
+        let _ = granted;
+    }
+
+    #[test]
+    fn lora_cache_hits_and_misses() {
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let adapters = LoraAdapter::zephyr().synthesize_pool(3);
+        let mut e = VllmEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            VllmConfig {
+                lora_cache_slots: 2,
+                ..VllmConfig::default()
+            },
+        )
+        .with_adapters(adapters);
+        e.submit(InferenceRequest::with_adapter(0, 64, 4, 0), SimTime::ZERO);
+        run_to_completion(&mut e);
+        e.submit(InferenceRequest::with_adapter(1, 64, 4, 0), SimTime::from_secs(10));
+        let mut now = SimTime::from_secs(10);
+        while e.has_work() {
+            now = e.step(now);
+        }
+        let (hits, misses) = e.lora_cache_stats();
+        assert_eq!(misses, 1, "first use misses");
+        assert!(hits >= 1, "second request reuses the cached adapter");
+    }
+
+    #[test]
+    fn swap_preemption_avoids_recompute() {
+        use crate::offload::DramOffloader;
+        use aqua_sim::topology::ServerTopology;
+        use aqua_sim::transfer::TransferEngine;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let pool = geom.kv_bytes_per_token() * 16 * 40; // 640 tokens
+        let run = |policy: PreemptionPolicy| -> (SimTime, u64) {
+            let server = ServerTopology::nvlink_pair(GpuSpec::a100_80g());
+            let xfer = Rc::new(RefCell::new(TransferEngine::new()));
+            let mut e = VllmEngine::new(
+                geom,
+                GpuSpec::a100_80g(),
+                VllmConfig {
+                    kv_pool_bytes: pool,
+                    preemption: policy,
+                    ..VllmConfig::default()
+                },
+            )
+            .with_offloader(Box::new(DramOffloader::pinned(&server, GpuId(0), xfer)));
+            e.submit(InferenceRequest::text(0, 256, 200), SimTime::ZERO);
+            e.submit(InferenceRequest::text(1, 256, 200), SimTime::ZERO);
+            let mut now = SimTime::ZERO;
+            while e.has_work() {
+                now = e.step(now);
+            }
+            assert_eq!(e.drain_completions().len(), 2);
+            (now, e.preemptions())
+        };
+        let (t_recompute, p1) = run(PreemptionPolicy::Recompute);
+        let (t_swap, p2) = run(PreemptionPolicy::Swap);
+        assert!(p1 > 0 && p2 > 0, "both must hit KV pressure");
+        // Mistral's GQA KV is tiny (0.125 MB/token): swapping ~450 tokens is
+        // far cheaper than re-prefilling them.
+        assert!(
+            t_swap < t_recompute,
+            "swap {t_swap} should beat recompute {t_recompute}"
+        );
+    }
+
+    use aqua_sim::gpu::GpuId;
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        // Liveness under both preemption policies: every admissible request
+        // completes with its exact token count and the pool drains.
+        #[test]
+        fn vllm_liveness_and_accounting(
+            reqs in proptest::collection::vec((1u64..400, 1u64..60, 0u64..10), 1..12),
+            swap in proptest::bool::ANY,
+        ) {
+            use crate::driver::Driver;
+            use crate::offload::DramOffloader;
+            use aqua_sim::gpu::GpuId;
+            use aqua_sim::topology::ServerTopology;
+            use aqua_sim::transfer::TransferEngine;
+            use std::cell::RefCell;
+            use std::rc::Rc;
+
+            let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+            let server = ServerTopology::nvlink_pair(GpuSpec::a100_80g());
+            let xfer = Rc::new(RefCell::new(TransferEngine::new()));
+            let mut e = VllmEngine::new(
+                geom,
+                GpuSpec::a100_80g(),
+                VllmConfig {
+                    kv_pool_bytes: geom.kv_bytes_per_token() * 16 * 60,
+                    preemption: if swap { PreemptionPolicy::Swap } else { PreemptionPolicy::Recompute },
+                    ..VllmConfig::default()
+                },
+            )
+            .with_offloader(Box::new(DramOffloader::pinned(&server, GpuId(0), xfer)));
+            let mut driver = Driver::new();
+            for (i, (prompt, output, at_s)) in reqs.iter().enumerate() {
+                driver.schedule_arrival(
+                    0,
+                    SimTime::from_secs(*at_s),
+                    InferenceRequest::text(i as u64, *prompt, *output),
+                );
+            }
+            {
+                let mut engines: Vec<&mut dyn crate::driver::Engine> = vec![&mut e];
+                driver.run(&mut engines, SimTime::from_secs(100_000));
+            }
+            proptest::prop_assert!(!e.has_work());
+            let recs = e.drain_completions();
+            proptest::prop_assert_eq!(recs.len(), reqs.len());
+            for r in &recs {
+                let (_, output, _) = reqs[r.id as usize];
+                proptest::prop_assert_eq!(r.output_tokens, output.max(1));
+                proptest::prop_assert!(r.first_token >= r.arrival);
+            }
+            proptest::prop_assert_eq!(e.kv().used_blocks(), 0);
+        }
+    }
+
+    #[test]
+    fn has_work_false_when_nothing_fits() {
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let pool = geom.kv_bytes_per_token() * 16 * 4; // 64 tokens
+        let mut e = VllmEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            VllmConfig {
+                kv_pool_bytes: pool,
+                ..VllmConfig::default()
+            },
+        );
+        e.submit(InferenceRequest::text(0, 10_000, 5), SimTime::ZERO);
+        assert!(!e.has_work(), "oversized prompt can never be admitted");
+    }
+}

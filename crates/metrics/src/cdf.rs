@@ -1,0 +1,170 @@
+//! Empirical CDFs — the presentation behind the paper's sorted-RCT plots.
+//!
+//! Figures 8, 11 and 12 plot request completion times in sorted order,
+//! which is the empirical CDF with the axes swapped. [`Cdf`] stores the
+//! sorted samples once and answers quantile and fraction-below queries, and
+//! can emit a fixed-size row of quantiles for table rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use aqua_metrics::cdf::Cdf;
+/// let cdf = Cdf::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+/// assert_eq!(cdf.quantile(0.0), 1.0);
+/// assert_eq!(cdf.quantile(1.0), 4.0);
+/// assert_eq!(cdf.fraction_below(2.5), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (order irrelevant; NaNs rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(
+            samples.iter().all(|s| !s.is_nan()),
+            "CDF samples must not be NaN"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples (the y-values of a sorted-RCT plot).
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Linearly interpolated quantile, `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        crate::latency::percentile_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Fraction of samples strictly below `x` (the CDF value at `x`).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// `n` evenly spaced quantiles from 0 to 1 inclusive — a compact row
+    /// for table output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty CDF or `n < 2`.
+    pub fn quantile_row(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 2, "need at least the two endpoints");
+        (0..n)
+            .map(|i| self.quantile(i as f64 / (n - 1) as f64))
+            .collect()
+    }
+
+    /// The largest horizontal gap between this CDF and `other` at their
+    /// merged sample points — a simple two-sample discrepancy score used to
+    /// compare systems' latency distributions.
+    pub fn max_quantile_gap(&self, other: &Cdf, probes: usize) -> f64 {
+        assert!(probes >= 2);
+        (0..probes)
+            .map(|i| {
+                let q = i as f64 / (probes - 1) as f64;
+                (self.quantile(q) - other.quantile(q)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let v: Vec<f64> = iter.into_iter().collect();
+        Cdf::from_samples(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantiles_and_fractions() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf.quantile(0.5), 3.0);
+        assert_eq!(cdf.fraction_below(3.0), 0.4);
+        assert_eq!(cdf.fraction_below(100.0), 1.0);
+        assert_eq!(cdf.fraction_below(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_row_endpoints() {
+        let cdf: Cdf = (1..=10).map(|i| i as f64).collect();
+        let row = cdf.quantile_row(5);
+        assert_eq!(row.first(), Some(&1.0));
+        assert_eq!(row.last(), Some(&10.0));
+        assert!(row.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn gap_between_identical_cdfs_is_zero() {
+        let a = Cdf::from_samples(&[1.0, 2.0, 3.0]);
+        let b = a.clone();
+        assert_eq!(a.max_quantile_gap(&b, 11), 0.0);
+        let shifted = Cdf::from_samples(&[2.0, 3.0, 4.0]);
+        assert!((a.max_quantile_gap(&shifted, 11) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_quantile_panics() {
+        Cdf::default().quantile(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Cdf::from_samples(&[1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn fraction_below_is_monotone(mut v in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+            let cdf = Cdf::from_samples(&v);
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut last = 0.0;
+            for x in [0.0, 10.0, 50.0, 99.0, 200.0] {
+                let f = cdf.fraction_below(x);
+                prop_assert!(f >= last);
+                prop_assert!((0.0..=1.0).contains(&f));
+                last = f;
+            }
+        }
+    }
+}

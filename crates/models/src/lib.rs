@@ -1,0 +1,54 @@
+//! # aqua-models — model zoo and roofline cost models
+//!
+//! The AQUA paper (§2, §6) hosts eight state-of-the-art generative models of
+//! three modalities on A100-80G GPUs:
+//!
+//! * **LLMs** (memory-bound): OPT-30B, Llama-2-13B, Mistral-7B, Codellama-34B
+//! * **Image** (compute-bound): StableDiffusion, StableDiffusion-XL, Kandinsky
+//! * **Audio** (compute-bound): MusicGen, AudioGen
+//!
+//! Reproducing the evaluation does not require running these models — it
+//! requires their *resource envelopes*: how many bytes of HBM the weights
+//! pin, how fast the KV cache grows per generated token, how long a decode
+//! step or diffusion step takes on a given GPU, and whether throughput is
+//! limited by memory or compute. This crate derives all of that from
+//! published model geometry with a roofline model:
+//!
+//! * [`geometry`] — layer/head/hidden dimensions → weight bytes, KV bytes per
+//!   token, LoRA adapter bytes.
+//! * [`zoo`] — the eight models of Tables 1–3 with their real geometry.
+//! * [`cost`] — roofline latency model: decode time is the max of the
+//!   weight+KV memory sweep and the batch GEMM compute time; diffusion and
+//!   audio generation are dominated by compute.
+//! * [`lora`] — LoRA adapter descriptors (the paper's Zephyr ≈ 320 MB and
+//!   Mteb ≈ 160 MB adapters, plus synthesized copies).
+//!
+//! # Example
+//!
+//! ```
+//! use aqua_models::prelude::*;
+//! use aqua_sim::gpu::GpuSpec;
+//!
+//! let llama = zoo::llama2_13b();
+//! let gpu = GpuSpec::a100_80g();
+//! let geom = llama.llm_geometry().unwrap();
+//! // One decode step over a batch of 32 sequences with 1k tokens of context
+//! // each is memory-bound on an A100.
+//! let t = cost::llm_decode_step_time(geom, &gpu, 32, 32 * 1024);
+//! assert!(t.as_secs_f64() > 0.01 && t.as_secs_f64() < 0.1);
+//! ```
+
+pub mod cost;
+pub mod geometry;
+pub mod lora;
+pub mod zoo;
+
+pub mod prelude {
+    //! Convenience re-exports.
+    pub use crate::cost;
+    pub use crate::geometry::{AudioGeometry, DiffusionGeometry, LlmGeometry};
+    pub use crate::lora::LoraAdapter;
+    pub use crate::zoo::{self, Modality, ModelKind, ModelProfile, ResourceBound};
+}
+
+pub use prelude::*;

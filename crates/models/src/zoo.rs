@@ -1,0 +1,352 @@
+//! The eight generative models the paper evaluates (Tables 1–3).
+//!
+//! | Model | Modality | Paper role |
+//! |---|---|---|
+//! | OPT-30B | text | long-prompt consumer (FlexGen) |
+//! | Mistral-7B | text | LoRA consumer / ShareGPT producer |
+//! | Codellama-34B | text | CFS consumer |
+//! | Llama-2-13B | text | ShareGPT producer |
+//! | StableDiffusion, SD-XL, Kandinsky | image | memory producers |
+//! | MusicGen, AudioGen | audio | memory producers |
+//!
+//! Geometry values are the published architecture numbers; diffusion/audio
+//! FLOP figures are calibrated so batch-1 latency and the throughput plateau
+//! match commonly reported A100 numbers (≈1 s per 50-step SD image, a few
+//! seconds per audio clip).
+
+use crate::geometry::{AudioGeometry, DiffusionGeometry, LlmGeometry};
+use serde::{Deserialize, Serialize};
+
+/// Output modality of a generative model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modality {
+    /// Large language models.
+    Text,
+    /// Latent-diffusion image generators.
+    Image,
+    /// Autoregressive audio generators.
+    Audio,
+}
+
+/// Which resource bottlenecks a model's inference throughput (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceBound {
+    /// Throughput limited by HBM capacity (LLMs: the KV cache fills memory
+    /// before compute saturates).
+    MemoryBound,
+    /// Throughput limited by GPU compute, with tens of GB of HBM to spare
+    /// (image and audio models).
+    ComputeBound,
+}
+
+/// Architecture-specific geometry of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Transformer decoder LLM.
+    Llm(LlmGeometry),
+    /// Latent-diffusion image generator.
+    Diffusion(DiffusionGeometry),
+    /// Autoregressive audio generator.
+    Audio(AudioGeometry),
+}
+
+/// A model in the zoo: name plus geometry.
+///
+/// # Example
+///
+/// ```
+/// use aqua_models::zoo::{self, Modality, ResourceBound};
+/// let sd = zoo::stable_diffusion();
+/// assert_eq!(sd.modality(), Modality::Image);
+/// assert_eq!(sd.resource_bound(), ResourceBound::ComputeBound);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Human-readable model name (matches the paper's tables).
+    pub name: String,
+    /// Architecture geometry.
+    pub kind: ModelKind,
+}
+
+impl ModelProfile {
+    /// Output modality.
+    pub fn modality(&self) -> Modality {
+        match self.kind {
+            ModelKind::Llm(_) => Modality::Text,
+            ModelKind::Diffusion(_) => Modality::Image,
+            ModelKind::Audio(_) => Modality::Audio,
+        }
+    }
+
+    /// The paper's §2.1 finding: LLMs are memory-bound; image and audio
+    /// generators are compute-bound.
+    pub fn resource_bound(&self) -> ResourceBound {
+        match self.modality() {
+            Modality::Text => ResourceBound::MemoryBound,
+            Modality::Image | Modality::Audio => ResourceBound::ComputeBound,
+        }
+    }
+
+    /// Bytes of HBM pinned by the fp16 weights.
+    pub fn weights_bytes(&self) -> u64 {
+        match &self.kind {
+            ModelKind::Llm(g) => g.weights_bytes(),
+            ModelKind::Diffusion(g) => g.weights_bytes(),
+            ModelKind::Audio(g) => g.weights_bytes(),
+        }
+    }
+
+    /// LLM geometry, if this is a text model.
+    pub fn llm_geometry(&self) -> Option<&LlmGeometry> {
+        match &self.kind {
+            ModelKind::Llm(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Diffusion geometry, if this is an image model.
+    pub fn diffusion_geometry(&self) -> Option<&DiffusionGeometry> {
+        match &self.kind {
+            ModelKind::Diffusion(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Audio geometry, if this is an audio model.
+    pub fn audio_geometry(&self) -> Option<&AudioGeometry> {
+        match &self.kind {
+            ModelKind::Audio(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+fn llm(name: &str, g: LlmGeometry) -> ModelProfile {
+    ModelProfile {
+        name: name.to_owned(),
+        kind: ModelKind::Llm(g),
+    }
+}
+
+/// OPT-30B — FlexGen's model (long-prompt consumer workload, Table 1).
+pub fn opt_30b() -> ModelProfile {
+    llm(
+        "OPT-30B",
+        LlmGeometry {
+            params: 30_000_000_000,
+            layers: 48,
+            hidden: 7168,
+            heads: 56,
+            kv_heads: 56,
+            head_dim: 128,
+            vocab: 50_272,
+        },
+    )
+}
+
+/// Llama-2-13B — ShareGPT producer workload (Table 2).
+pub fn llama2_13b() -> ModelProfile {
+    llm(
+        "Llama-2-13B",
+        LlmGeometry {
+            params: 13_000_000_000,
+            layers: 40,
+            hidden: 5120,
+            heads: 40,
+            kv_heads: 40,
+            head_dim: 128,
+            vocab: 32_000,
+        },
+    )
+}
+
+/// Mistral-7B — LoRA consumer (Table 1) and ShareGPT producer (Table 2).
+pub fn mistral_7b() -> ModelProfile {
+    llm(
+        "Mistral-7B",
+        LlmGeometry {
+            params: 7_240_000_000,
+            layers: 32,
+            hidden: 4096,
+            heads: 32,
+            kv_heads: 8,
+            head_dim: 128,
+            vocab: 32_000,
+        },
+    )
+}
+
+/// Codellama-34B — CFS code-summary consumer workload (Table 1).
+pub fn codellama_34b() -> ModelProfile {
+    llm(
+        "Codellama-34B",
+        LlmGeometry {
+            params: 34_000_000_000,
+            layers: 48,
+            hidden: 8192,
+            heads: 64,
+            kv_heads: 8,
+            head_dim: 128,
+            vocab: 32_016,
+        },
+    )
+}
+
+/// StableDiffusion v1.5 — image producer (Table 3).
+pub fn stable_diffusion() -> ModelProfile {
+    ModelProfile {
+        name: "StableDiffusion".to_owned(),
+        kind: ModelKind::Diffusion(DiffusionGeometry {
+            params: 1_100_000_000,
+            steps: 50,
+            flops_per_step_per_image: 3.0e12,
+            activation_bytes_per_image: 1 << 30, // 1 GiB
+        }),
+    }
+}
+
+/// StableDiffusion-XL — image producer (Table 3, Figure 8a/17).
+pub fn stable_diffusion_xl() -> ModelProfile {
+    ModelProfile {
+        name: "StableDiffusion-XL".to_owned(),
+        kind: ModelKind::Diffusion(DiffusionGeometry {
+            params: 3_500_000_000,
+            steps: 50,
+            flops_per_step_per_image: 9.0e12,
+            activation_bytes_per_image: 5 << 29, // 2.5 GiB
+        }),
+    }
+}
+
+/// Kandinsky 2.2 — image producer (Table 3, Figures 9/13).
+pub fn kandinsky() -> ModelProfile {
+    ModelProfile {
+        name: "Kandinsky".to_owned(),
+        kind: ModelKind::Diffusion(DiffusionGeometry {
+            params: 4_600_000_000,
+            steps: 50,
+            flops_per_step_per_image: 7.0e12,
+            activation_bytes_per_image: 1 << 31, // 2 GiB
+        }),
+    }
+}
+
+/// MusicGen (large) — audio producer (Table 3).
+pub fn musicgen() -> ModelProfile {
+    ModelProfile {
+        name: "MusicGen".to_owned(),
+        kind: ModelKind::Audio(AudioGeometry {
+            params: 3_300_000_000,
+            tokens_per_audio_second: 50,
+            clip_seconds: 10,
+            flops_per_token_per_item: 1.0e11,
+            activation_bytes_per_item: 1 << 29, // 512 MiB
+        }),
+    }
+}
+
+/// AudioGen (medium) — audio producer (Table 3, Figures 2a/7/17).
+pub fn audiogen() -> ModelProfile {
+    ModelProfile {
+        name: "AudioGen".to_owned(),
+        kind: ModelKind::Audio(AudioGeometry {
+            params: 1_500_000_000,
+            tokens_per_audio_second: 50,
+            clip_seconds: 10,
+            flops_per_token_per_item: 1.0e11,
+            activation_bytes_per_item: 1 << 29, // 512 MiB
+        }),
+    }
+}
+
+/// All eight models of Tables 1–3, in table order.
+pub fn all_models() -> Vec<ModelProfile> {
+    vec![
+        opt_30b(),
+        mistral_7b(),
+        codellama_34b(),
+        llama2_13b(),
+        stable_diffusion(),
+        stable_diffusion_xl(),
+        kandinsky(),
+        musicgen(),
+        audiogen(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_sim::link::bytes::gib;
+
+    #[test]
+    fn weights_fit_on_an_a100() {
+        // §2.1: "Even the largest generative ML models of each modality fit
+        // with[in] the memory of one GPU in our setup."
+        for m in all_models() {
+            assert!(
+                m.weights_bytes() < gib(80),
+                "{} weights {} exceed 80 GiB",
+                m.name,
+                m.weights_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn modality_classification() {
+        assert_eq!(opt_30b().modality(), Modality::Text);
+        assert_eq!(stable_diffusion_xl().modality(), Modality::Image);
+        assert_eq!(musicgen().modality(), Modality::Audio);
+        assert_eq!(opt_30b().resource_bound(), ResourceBound::MemoryBound);
+        assert_eq!(kandinsky().resource_bound(), ResourceBound::ComputeBound);
+        assert_eq!(audiogen().resource_bound(), ResourceBound::ComputeBound);
+    }
+
+    #[test]
+    fn geometry_accessors_dispatch() {
+        assert!(opt_30b().llm_geometry().is_some());
+        assert!(opt_30b().diffusion_geometry().is_none());
+        assert!(stable_diffusion().diffusion_geometry().is_some());
+        assert!(audiogen().audio_geometry().is_some());
+        assert!(audiogen().llm_geometry().is_none());
+    }
+
+    #[test]
+    fn kv_cache_rates_reflect_gqa() {
+        // Mistral and Codellama use grouped-query attention; their KV cache
+        // grows much slower per token than same-size MHA models.
+        let opt = opt_30b();
+        let mistral = mistral_7b();
+        let opt_rate = opt.llm_geometry().unwrap().kv_bytes_per_token();
+        let mis_rate = mistral.llm_geometry().unwrap().kv_bytes_per_token();
+        assert!(opt_rate > 8 * mis_rate);
+        // OPT-30B: 2*48*56*128*2 = 1.376 MB/token.
+        assert_eq!(opt_rate, 1_376_256);
+    }
+
+    #[test]
+    fn opt_long_prompt_context_is_gigabytes() {
+        // The Figure 7 workload: an 8,000-token prompt's KV cache on OPT-30B
+        // is ~11 GB — larger than FlexGen's GPU context budget.
+        let kv = opt_30b().llm_geometry().unwrap().kv_bytes(8_000);
+        assert!((gib(10)..gib(12)).contains(&kv), "kv = {kv}");
+    }
+
+    #[test]
+    fn zoo_has_nine_entries_with_unique_names() {
+        let models = all_models();
+        assert_eq!(models.len(), 9);
+        let mut names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+        assert_eq!(opt_30b().to_string(), "OPT-30B");
+    }
+}

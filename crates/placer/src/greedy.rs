@@ -1,0 +1,140 @@
+//! First-fit-decreasing baseline placer.
+//!
+//! A fast heuristic used (a) as a comparison point for the exact solver and
+//! (b) for instances with more distinct model types than
+//! [`crate::solver::MAX_TYPES`]. Consumers are placed largest-deficit first
+//! onto the server whose running memory balance best absorbs them;
+//! producers largest-excess first onto the server with the worst deficit.
+
+use crate::instance::{Placement, PlacementInstance, Role};
+
+/// Greedily places models; always returns a constraint-feasible placement.
+///
+/// # Example
+///
+/// ```
+/// use aqua_placer::prelude::*;
+/// let inst = PlacementInstance::new(2, 2, 80 << 30, vec![
+///     ModelSpec::producer("p", 40 << 30),
+///     ModelSpec::consumer("c", 30 << 30),
+/// ]);
+/// let p = solve_greedy(&inst);
+/// assert!(p.validate(&inst).is_ok());
+/// ```
+pub fn solve_greedy(inst: &PlacementInstance) -> Placement {
+    let mut order: Vec<usize> = (0..inst.models.len()).collect();
+    // Consumers first (most negative first), then producers (largest first):
+    // every consumer lands before the producers that will back it.
+    order.sort_by_key(|&m| {
+        let spec = &inst.models[m];
+        match spec.role() {
+            Role::Consumer => (0, spec.mem_bytes),
+            Role::Producer => (1, -spec.mem_bytes),
+        }
+    });
+
+    let mut assignment = vec![0usize; inst.models.len()];
+    let mut load = vec![0usize; inst.servers];
+    let mut mem = vec![0i64; inst.servers];
+    for &m in &order {
+        let spec = &inst.models[m];
+        let mut best: Option<(i64, usize)> = None;
+        for s in 0..inst.servers {
+            if load[s] >= inst.gpus_per_server {
+                continue;
+            }
+            // Pick the server whose balance moves closest to zero.
+            let after = (mem[s] + spec.mem_bytes).abs();
+            if best.is_none_or(|(b, _)| after < b) {
+                best = Some((after, s));
+            }
+        }
+        let (_, s) = best.expect("instance guarantees enough GPUs");
+        assignment[m] = s;
+        load[s] += 1;
+        mem[s] += spec.mem_bytes;
+    }
+    Placement { assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ModelSpec;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn produces_feasible_placements() {
+        let inst = PlacementInstance::new(
+            4,
+            8,
+            80 * GB,
+            (0..16)
+                .map(|i| ModelSpec::producer(format!("p{i}"), 40 * GB))
+                .chain((0..16).map(|i| ModelSpec::consumer(format!("c{i}"), 30 * GB)))
+                .collect(),
+        );
+        let p = solve_greedy(&inst);
+        p.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn pairs_producers_with_consumers() {
+        let inst = PlacementInstance::new(
+            2,
+            2,
+            80 * GB,
+            vec![
+                ModelSpec::producer("p0", 40 * GB),
+                ModelSpec::producer("p1", 40 * GB),
+                ModelSpec::consumer("c0", 30 * GB),
+                ModelSpec::consumer("c1", 30 * GB),
+            ],
+        );
+        let p = solve_greedy(&inst);
+        for s in 0..2 {
+            let t_sum: i64 = p.models_on(s).iter().map(|&m| inst.models[m].t()).sum();
+            assert_eq!(t_sum, 0, "each server balanced");
+        }
+    }
+
+    #[test]
+    fn respects_capacity_under_pressure() {
+        // 1 server with exactly as many GPUs as models.
+        let inst = PlacementInstance::new(
+            1,
+            3,
+            80 * GB,
+            vec![
+                ModelSpec::consumer("a", GB),
+                ModelSpec::consumer("b", GB),
+                ModelSpec::consumer("c", GB),
+            ],
+        );
+        let p = solve_greedy(&inst);
+        p.validate(&inst).unwrap();
+        assert_eq!(p.models_on(0).len(), 3);
+    }
+
+    #[test]
+    fn handles_many_distinct_types() {
+        // Beyond the exact solver's type limit: greedy still works.
+        let inst = PlacementInstance::new(
+            4,
+            8,
+            80 * GB,
+            (0..20)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        ModelSpec::producer(format!("p{i}"), (i as u64 + 1) * GB)
+                    } else {
+                        ModelSpec::consumer(format!("c{i}"), (i as u64 + 1) * GB)
+                    }
+                })
+                .collect(),
+        );
+        let p = solve_greedy(&inst);
+        p.validate(&inst).unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! # aqua-placer — optimal model placement (paper §4, Algorithm 1)
+//!
+//! AQUA-PLACER maps ML models to GPUs in a cluster so that every
+//! memory-bound model (consumer) sits on the same fast inter-GPU network as
+//! a memory-rich model (producer). The paper encodes the first step — models
+//! to *servers* — as an integer program solved with Gurobi, then matches
+//! producers to consumers *within* each server with simple stable matching.
+//!
+//! Gurobi is proprietary, so this crate implements Algorithm 1 exactly with
+//! an in-house solver:
+//!
+//! * [`instance`] — the optimisation instance: `S` servers of `G` GPUs with
+//!   `G_mem` HBM each, and models with signed memory requirements `R_m`
+//!   (positive = producer excess, negative = consumer deficit) and type
+//!   `t_m` (+1 producer / −1 consumer). The objective is the paper's
+//!   Equation 5: `max_s(mem_s) + G_mem · max_s(eq_s)`.
+//! * [`solver`] — an exact dynamic program over model *types* (models with
+//!   equal `R_m` are interchangeable) with Pareto-frontier merging of the
+//!   two max terms. It provably finds an Equation-5 optimum; its runtime
+//!   grows with the number of distinct model types, which reproduces
+//!   Figure 14's shape (mixed-modality inputs converge much slower than
+//!   50/50 LLM producer/consumer inputs).
+//! * [`greedy`] — a first-fit-decreasing baseline for comparison and for
+//!   instances with many distinct types.
+//! * [`matching`] — Gale–Shapley producer↔consumer stable matching within a
+//!   server ("AQUA-PLACER matches every consumer GPU with exactly one
+//!   producer GPU", §4).
+//!
+//! # Example
+//!
+//! ```
+//! use aqua_placer::prelude::*;
+//!
+//! // Figure 4's scenario: 2 servers × 2 GPUs, two vision producers
+//! // (+40 GB) and two LLM consumers (−30 GB).
+//! let inst = PlacementInstance::new(2, 2, 80 << 30, vec![
+//!     ModelSpec::producer("vision-0", 40 << 30),
+//!     ModelSpec::producer("vision-1", 40 << 30),
+//!     ModelSpec::consumer("llm-0", 30 << 30),
+//!     ModelSpec::consumer("llm-1", 30 << 30),
+//! ]);
+//! let placement = solve_optimal(&inst);
+//! // The optimum colocates one producer with one consumer per server.
+//! for s in 0..2 {
+//!     let models = placement.models_on(s);
+//!     assert_eq!(models.len(), 2);
+//! }
+//! assert!(placement.validate(&inst).is_ok());
+//! ```
+
+pub mod greedy;
+pub mod instance;
+pub mod matching;
+pub mod solver;
+
+pub mod prelude {
+    //! Convenience re-exports.
+    pub use crate::greedy::solve_greedy;
+    pub use crate::instance::{ModelSpec, Placement, PlacementInstance, Role};
+    pub use crate::matching::stable_match;
+    pub use crate::solver::{solve, solve_optimal};
+}
+
+pub use prelude::*;

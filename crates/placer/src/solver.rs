@@ -1,0 +1,463 @@
+//! Exact solver for Algorithm 1.
+//!
+//! Key observation: models with identical `R_m` are interchangeable, so the
+//! search runs over model *types* with multiplicities, filling servers one
+//! at a time. A state is `(remaining type counts, servers left)`; its value
+//! is the **Pareto frontier** of `(max mem_s, max eq_s)` pairs achievable
+//! over all completions — two maxima that cannot be collapsed into one
+//! scalar until the end, because `G_mem` weighs them only in the final
+//! objective (Equation 5).
+//!
+//! The state space — and therefore solve time — grows combinatorially with
+//! the number of *distinct* types, not the number of models. That is
+//! exactly the behaviour the paper reports in Figure 14: inputs mixing
+//! image/audio/LLM models take tens of seconds at 128 GPUs, while 50/50 LLM
+//! producer/consumer inputs solve in under a second.
+
+use crate::instance::{Placement, PlacementInstance};
+use std::collections::HashMap;
+
+/// Maximum number of distinct model types the exact solver accepts.
+pub const MAX_TYPES: usize = 7;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pair {
+    mem: i64,
+    eq: i64,
+}
+
+/// Merges a point into a Pareto frontier (minimising both coordinates).
+fn insert_pareto(frontier: &mut Vec<Pair>, p: Pair) {
+    if frontier
+        .iter()
+        .any(|q| q.mem <= p.mem && q.eq <= p.eq)
+    {
+        return;
+    }
+    frontier.retain(|q| !(p.mem <= q.mem && p.eq <= q.eq));
+    frontier.push(p);
+}
+
+struct TypeInfo {
+    mem: i64,
+    t: i64,
+    members: Vec<usize>,
+}
+
+struct Dp<'a> {
+    types: &'a [TypeInfo],
+    gpus_per_server: usize,
+    memo: HashMap<u64, Vec<Pair>>,
+}
+
+fn encode(counts: &[usize], servers_left: usize) -> u64 {
+    let mut key = servers_left as u64;
+    for &c in counts {
+        key = key << 8 | c as u64;
+    }
+    key
+}
+
+impl Dp<'_> {
+    /// Pareto-optimal `(max mem, max eq)` pairs over all ways of packing the
+    /// remaining `counts` into `servers_left` servers.
+    fn solve(&mut self, counts: &mut Vec<usize>, servers_left: usize) -> Vec<Pair> {
+        let key = encode(counts, servers_left);
+        if let Some(f) = self.memo.get(&key) {
+            return f.clone();
+        }
+        let total: usize = counts.iter().sum();
+        if servers_left == 0 {
+            let frontier = if total == 0 {
+                vec![Pair {
+                    mem: i64::MIN,
+                    eq: i64::MIN,
+                }]
+            } else {
+                Vec::new() // infeasible: models left but no servers
+            };
+            self.memo.insert(key, frontier.clone());
+            return frontier;
+        }
+        let mut frontier: Vec<Pair> = Vec::new();
+        let mut fill = vec![0usize; counts.len()];
+        self.enumerate_fills(0, self.gpus_per_server, counts, &mut fill, servers_left, &mut frontier);
+        self.memo.insert(key, frontier.clone());
+        frontier
+    }
+
+    fn enumerate_fills(
+        &mut self,
+        ty: usize,
+        room: usize,
+        counts: &mut Vec<usize>,
+        fill: &mut Vec<usize>,
+        servers_left: usize,
+        frontier: &mut Vec<Pair>,
+    ) {
+        if ty == counts.len() {
+            let (mem, eq) = self.fill_totals(fill);
+            let rest = self.solve(counts, servers_left - 1);
+            for r in rest {
+                insert_pareto(
+                    frontier,
+                    Pair {
+                        mem: mem.max(r.mem),
+                        eq: eq.max(r.eq),
+                    },
+                );
+            }
+            return;
+        }
+        let available = counts[ty].min(room);
+        for take in 0..=available {
+            counts[ty] -= take;
+            fill[ty] = take;
+            self.enumerate_fills(ty + 1, room - take, counts, fill, servers_left, frontier);
+            fill[ty] = 0;
+            counts[ty] += take;
+        }
+    }
+
+    fn fill_totals(&self, fill: &[usize]) -> (i64, i64) {
+        let mut mem = 0i64;
+        let mut eq = 0i64;
+        for (i, &n) in fill.iter().enumerate() {
+            mem += self.types[i].mem * n as i64;
+            eq += self.types[i].t * n as i64;
+        }
+        (mem, eq)
+    }
+}
+
+/// Solves Algorithm 1 exactly, returning an Equation-5-optimal placement.
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_TYPES`] distinct `R_m` values
+/// (the exact DP's state space is exponential in the type count; use
+/// [`crate::greedy::solve_greedy`] beyond that) or if no feasible placement
+/// exists (cannot happen for instances accepted by
+/// [`PlacementInstance::new`]).
+pub fn solve_optimal(inst: &PlacementInstance) -> Placement {
+    // Group models into types by signed memory.
+    let mut type_index: HashMap<i64, usize> = HashMap::new();
+    let mut types: Vec<TypeInfo> = Vec::new();
+    for (m, model) in inst.models.iter().enumerate() {
+        let idx = *type_index.entry(model.mem_bytes).or_insert_with(|| {
+            types.push(TypeInfo {
+                mem: model.mem_bytes,
+                t: model.t(),
+                members: Vec::new(),
+            });
+            types.len() - 1
+        });
+        types[idx].members.push(m);
+    }
+    assert!(
+        types.len() <= MAX_TYPES,
+        "exact solver supports at most {MAX_TYPES} distinct model types, got {}",
+        types.len()
+    );
+
+    let mut counts: Vec<usize> = types.iter().map(|t| t.members.len()).collect();
+    let mut dp = Dp {
+        types: &types,
+        gpus_per_server: inst.gpus_per_server,
+        memo: HashMap::new(),
+    };
+    let frontier = dp.solve(&mut counts, inst.servers);
+    let best = frontier
+        .iter()
+        .min_by_key(|p| scalar(inst, **p))
+        .copied()
+        .expect("instance admits a feasible placement");
+
+    // Reconstruct: walk servers, picking a fill whose combination with the
+    // child frontier reproduces the optimal scalar.
+    let mut assignment = vec![usize::MAX; inst.models.len()];
+    let mut next_member: Vec<usize> = vec![0; types.len()];
+    let target = scalar(inst, best);
+    let mut servers_left = inst.servers;
+    while servers_left > 0 {
+        let fill = find_fill(&mut dp, &mut counts, servers_left, target, inst)
+            .expect("optimal fill exists for every prefix");
+        let server = inst.servers - servers_left;
+        for (ty, &n) in fill.iter().enumerate() {
+            for _ in 0..n {
+                let member = dp.types[ty].members[next_member[ty]];
+                next_member[ty] += 1;
+                assignment[member] = server;
+                counts[ty] -= 1;
+            }
+        }
+        servers_left -= 1;
+    }
+    debug_assert!(assignment.iter().all(|&s| s < inst.servers));
+    Placement { assignment }
+}
+
+fn scalar(inst: &PlacementInstance, p: Pair) -> i128 {
+    // Empty-server maxima: a MIN sentinel means "no server yet", which the
+    // final objective treats as 0 only if no real server ever contributes —
+    // impossible here since every server contributes at least (0, 0).
+    let mem = p.mem.max(0);
+    let eq = p.eq.max(0);
+    mem as i128 + inst.gpu_mem_bytes as i128 * eq as i128
+}
+
+/// Finds a fill for the next server such that combining it with some point
+/// of the child frontier achieves `target`.
+fn find_fill(
+    dp: &mut Dp<'_>,
+    counts: &mut Vec<usize>,
+    servers_left: usize,
+    target: i128,
+    inst: &PlacementInstance,
+) -> Option<Vec<usize>> {
+    let room = dp.gpus_per_server;
+    let mut stack_fill = vec![0usize; counts.len()];
+    find_fill_rec(dp, 0, room, counts, &mut stack_fill, servers_left, target, inst)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn find_fill_rec(
+    dp: &mut Dp<'_>,
+    ty: usize,
+    room: usize,
+    counts: &mut Vec<usize>,
+    fill: &mut Vec<usize>,
+    servers_left: usize,
+    target: i128,
+    inst: &PlacementInstance,
+) -> Option<Vec<usize>> {
+    if ty == counts.len() {
+        let (mem, eq) = dp.fill_totals(fill);
+        let rest = dp.solve(counts, servers_left - 1);
+        for r in rest {
+            let combined = Pair {
+                mem: mem.max(r.mem),
+                eq: eq.max(r.eq),
+            };
+            if scalar(inst, combined) <= target {
+                return Some(fill.clone());
+            }
+        }
+        return None;
+    }
+    let available = counts[ty].min(room);
+    for take in 0..=available {
+        counts[ty] -= take;
+        fill[ty] = take;
+        let found = find_fill_rec(dp, ty + 1, room - take, counts, fill, servers_left, target, inst);
+        fill[ty] = 0;
+        counts[ty] += take;
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// Solves exactly when the instance has at most [`MAX_TYPES`] distinct
+/// model types, otherwise falls back to the greedy heuristic - the API a
+/// cluster scheduler would call on arbitrary inputs.
+pub fn solve(inst: &PlacementInstance) -> Placement {
+    let mut distinct: Vec<i64> = inst.models.iter().map(|m| m.mem_bytes).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    if distinct.len() <= MAX_TYPES {
+        solve_optimal(inst)
+    } else {
+        crate::greedy::solve_greedy(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::solve_greedy;
+    use crate::instance::ModelSpec;
+
+    const GB: i64 = 1 << 30;
+
+    fn brute_force(inst: &PlacementInstance) -> i128 {
+        fn rec(inst: &PlacementInstance, m: usize, assignment: &mut Vec<usize>, best: &mut i128) {
+            if m == inst.models.len() {
+                let mut counts = vec![0usize; inst.servers];
+                for &s in assignment.iter() {
+                    counts[s] += 1;
+                }
+                if counts.iter().all(|&c| c <= inst.gpus_per_server) {
+                    *best = (*best).min(inst.objective(assignment));
+                }
+                return;
+            }
+            for s in 0..inst.servers {
+                assignment.push(s);
+                rec(inst, m + 1, assignment, best);
+                assignment.pop();
+            }
+        }
+        let mut best = i128::MAX;
+        rec(inst, 0, &mut Vec::new(), &mut best);
+        best
+    }
+
+    fn fig4() -> PlacementInstance {
+        PlacementInstance::new(
+            2,
+            2,
+            80 * GB as u64,
+            vec![
+                ModelSpec::producer("v0", 40 * GB as u64),
+                ModelSpec::producer("v1", 40 * GB as u64),
+                ModelSpec::consumer("l0", 30 * GB as u64),
+                ModelSpec::consumer("l1", 30 * GB as u64),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure4_colocates() {
+        let inst = fig4();
+        let p = solve_optimal(&inst);
+        p.validate(&inst).unwrap();
+        for s in 0..2 {
+            let models = p.models_on(s);
+            let roles: Vec<i64> = models.iter().map(|&m| inst.models[m].t()).collect();
+            assert_eq!(roles.iter().sum::<i64>(), 0, "one producer + one consumer");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        let cases = vec![
+            fig4(),
+            PlacementInstance::new(
+                3,
+                2,
+                80 * GB as u64,
+                vec![
+                    ModelSpec::producer("p0", 50 * GB as u64),
+                    ModelSpec::producer("p1", 20 * GB as u64),
+                    ModelSpec::consumer("c0", 45 * GB as u64),
+                    ModelSpec::consumer("c1", 10 * GB as u64),
+                    ModelSpec::consumer("c2", 10 * GB as u64),
+                ],
+            ),
+            PlacementInstance::new(
+                2,
+                4,
+                80 * GB as u64,
+                vec![
+                    ModelSpec::producer("p0", 60 * GB as u64),
+                    ModelSpec::producer("p1", 60 * GB as u64),
+                    ModelSpec::producer("p2", 30 * GB as u64),
+                    ModelSpec::consumer("c0", 40 * GB as u64),
+                    ModelSpec::consumer("c1", 40 * GB as u64),
+                    ModelSpec::consumer("c2", 40 * GB as u64),
+                ],
+            ),
+        ];
+        for inst in cases {
+            let p = solve_optimal(&inst);
+            p.validate(&inst).unwrap();
+            let opt = brute_force(&inst);
+            assert_eq!(
+                p.objective(&inst),
+                opt,
+                "DP must match brute force on {} models",
+                inst.models.len()
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_never_worse_than_greedy() {
+        let inst = PlacementInstance::new(
+            4,
+            8,
+            80 * GB as u64,
+            (0..12)
+                .map(|i| ModelSpec::producer(format!("p{i}"), 40 * GB as u64))
+                .chain((0..12).map(|i| ModelSpec::consumer(format!("c{i}"), 35 * GB as u64)))
+                .collect(),
+        );
+        let opt = solve_optimal(&inst);
+        let greedy = solve_greedy(&inst);
+        opt.validate(&inst).unwrap();
+        greedy.validate(&inst).unwrap();
+        assert!(opt.objective(&inst) <= greedy.objective(&inst));
+    }
+
+    #[test]
+    fn scales_to_16_gpus_with_three_types() {
+        // A small Figure-14-style instance: 2 servers × 8 GPUs, three types.
+        let inst = PlacementInstance::new(
+            2,
+            8,
+            80 * GB as u64,
+            (0..5)
+                .map(|i| ModelSpec::producer(format!("img{i}"), 50 * GB as u64))
+                .chain((0..5).map(|i| ModelSpec::producer(format!("aud{i}"), 60 * GB as u64)))
+                .chain((0..6).map(|i| ModelSpec::consumer(format!("llm{i}"), 30 * GB as u64)))
+                .collect(),
+        );
+        let p = solve_optimal(&inst);
+        p.validate(&inst).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct model types")]
+    fn too_many_types_rejected() {
+        let inst = PlacementInstance::new(
+            2,
+            8,
+            80 * GB as u64,
+            (0..10)
+                .map(|i| ModelSpec::producer(format!("m{i}"), (i as u64 + 1) << 30))
+                .collect(),
+        );
+        solve_optimal(&inst);
+    }
+
+    #[test]
+    fn solve_dispatches_by_type_count() {
+        // Few types: exact.
+        let small = fig4();
+        assert_eq!(
+            solve(&small).objective(&small),
+            solve_optimal(&small).objective(&small)
+        );
+        // Many types: greedy fallback is still feasible.
+        let many = PlacementInstance::new(
+            4,
+            8,
+            80 * GB as u64,
+            (0..20u64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        ModelSpec::producer(format!("p{i}"), ((i + 10) * GB as u64))
+                    } else {
+                        ModelSpec::consumer(format!("c{i}"), ((i + 5) * GB as u64))
+                    }
+                })
+                .collect(),
+        );
+        solve(&many).validate(&many).unwrap();
+    }
+
+    #[test]
+    fn single_model_instance() {
+        let inst = PlacementInstance::new(
+            2,
+            1,
+            80 * GB as u64,
+            vec![ModelSpec::consumer("c", 10 * GB as u64)],
+        );
+        let p = solve_optimal(&inst);
+        p.validate(&inst).unwrap();
+        assert_eq!(p.assignment.len(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic discrete-event queue.
+//!
+//! The queue orders events by [`SimTime`] and breaks ties by insertion order,
+//! so a simulation that schedules the same events always executes them in the
+//! same order. Engine drivers (in `aqua-engines`) use this to interleave
+//! request arrivals, inference iterations, control-loop ticks and transfer
+//! completions.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue with stable FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use aqua_sim::event::EventQueue;
+/// use aqua_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "late");
+/// q.push(SimTime::from_secs(1), "early");
+/// q.push(SimTime::from_secs(1), "early-second");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(5), 2);
+        q.push(SimTime::from_nanos(10), 3);
+        q.push(SimTime::from_nanos(5), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn many_events_drain_sorted() {
+        let mut q = EventQueue::new();
+        // Pseudo-shuffled deterministic insertion.
+        for i in 0..1000u64 {
+            let t = (i * 7919) % 1000;
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        assert_eq!(count, 1000);
+    }
+}

@@ -1,0 +1,61 @@
+//! # aqua-sim — deterministic multi-GPU server simulator
+//!
+//! This crate is the hardware substrate for the AQUA reproduction. The paper
+//! evaluates AQUA on servers with 2× and 8× NVIDIA A100-80G GPUs connected by
+//! direct NVLinks or an NVSwitch fabric, with host DRAM reachable over PCIe.
+//! We cannot require that hardware, so this crate models it:
+//!
+//! * [`time`] — an integer-nanosecond simulation clock ([`SimTime`],
+//!   [`SimDuration`]) so every experiment is bit-for-bit deterministic.
+//! * [`event`] — a deterministic discrete-event queue with stable FIFO
+//!   tie-breaking.
+//! * [`link`] — interconnect bandwidth models with the *size-dependent*
+//!   effective bandwidth the paper measures in Figure 3a (small transfers on
+//!   NVLink are PCIe-slow; peak bandwidth needs multi-megabyte buffers).
+//! * [`memory`] — an HBM accounting allocator with labelled regions,
+//!   reservations and *leases* (memory donated to another GPU via AQUA).
+//! * [`gpu`] — GPU hardware specifications (A100-80G by default) and state.
+//! * [`topology`] — server topologies: 2-GPU direct-NVLink, 8-GPU NVSwitch,
+//!   and the PCIe path to host DRAM.
+//! * [`transfer`] — a port-level transfer engine: each directional port is a
+//!   FIFO resource, so concurrent transfers on disjoint ports overlap while
+//!   transfers sharing a port serialize (this is how NVSwitch contention and
+//!   the Figure 18 stress test are modelled).
+//! * [`cluster`] — clusters of servers (the §6.1 testbed: 8 servers × 2
+//!   GPUs); AQUA offloading is confined to each server's NVLink domain.
+//!
+//! # Example
+//!
+//! ```
+//! use aqua_sim::prelude::*;
+//!
+//! // An 8-GPU NVSwitch server like the paper's second testbed.
+//! let server = ServerTopology::nvswitch(8, GpuSpec::a100_80g());
+//! let path = server.gpu_to_gpu_path(GpuId(0), GpuId(3)).unwrap();
+//! // Offloading 1 GiB of KV cache as one coalesced copy:
+//! let t = path.model.transfer_time(TransferPlan::coalesced(1 << 30));
+//! assert!(t.as_secs_f64() < 0.01); // a few milliseconds over NVLink
+//! ```
+
+pub mod cluster;
+pub mod event;
+pub mod gpu;
+pub mod link;
+pub mod memory;
+pub mod time;
+pub mod topology;
+pub mod transfer;
+
+pub mod prelude {
+    //! Convenience re-exports of the most common simulator types.
+    pub use crate::cluster::{Cluster, ClusterGpu};
+    pub use crate::event::EventQueue;
+    pub use crate::gpu::{Gpu, GpuId, GpuSpec};
+    pub use crate::link::{BandwidthModel, LinkKind};
+    pub use crate::memory::{AllocId, HbmAllocator, MemoryError, RegionKind};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{LinkPath, PortId, ServerTopology};
+    pub use crate::transfer::{TransferEngine, TransferPlan};
+}
+
+pub use prelude::*;

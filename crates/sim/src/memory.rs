@@ -1,0 +1,370 @@
+//! HBM accounting allocator.
+//!
+//! The simulator does not need virtual addresses — what every experiment in
+//! the paper observes is *capacity accounting*: how many bytes of a GPU's HBM
+//! are consumed by model weights, KV-cache reservations, LoRA adapters,
+//! activation workspace, and (with AQUA) memory *leased out* to a consumer
+//! GPU. [`HbmAllocator`] tracks labelled regions with exact byte accounting
+//! and enforces the invariant `used + free == capacity` at all times.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What a region of HBM is used for. Labels drive the free-memory timelines
+/// in Figures 2 and 10 and make allocator state legible in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Model weights, resident for the lifetime of the hosted model.
+    Weights,
+    /// Reserved KV-cache pool (vLLM-style block pool).
+    KvCache,
+    /// Activation / scratch workspace for an inference iteration.
+    Workspace,
+    /// A cached LoRA adapter.
+    LoraAdapter,
+    /// Memory leased to another GPU through AQUA (this GPU is a producer).
+    AquaLease,
+    /// An offloaded AQUA tensor stored on this GPU (this GPU hosts a
+    /// consumer's context).
+    AquaTensor,
+    /// Anything else (tests, padding, experiments).
+    Other,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegionKind::Weights => "weights",
+            RegionKind::KvCache => "kv-cache",
+            RegionKind::Workspace => "workspace",
+            RegionKind::LoraAdapter => "lora-adapter",
+            RegionKind::AquaLease => "aqua-lease",
+            RegionKind::AquaTensor => "aqua-tensor",
+            RegionKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Handle to a live allocation inside one [`HbmAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AllocId(u64);
+
+/// Errors returned by [`HbmAllocator`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryError {
+    /// The requested allocation exceeds the currently free bytes.
+    OutOfMemory {
+        /// Bytes requested by the failed allocation.
+        requested: u64,
+        /// Bytes free at the time of the request.
+        free: u64,
+    },
+    /// The allocation id is unknown (double free or foreign id).
+    UnknownAllocation(AllocId),
+    /// A resize would shrink an allocation below zero bytes.
+    InvalidResize {
+        /// The allocation's current size.
+        current: u64,
+        /// The requested size delta.
+        shrink_by: u64,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfMemory { requested, free } => {
+                write!(f, "out of HBM: requested {requested} bytes, {free} free")
+            }
+            MemoryError::UnknownAllocation(id) => write!(f, "unknown allocation {id:?}"),
+            MemoryError::InvalidResize { current, shrink_by } => {
+                write!(f, "cannot shrink {current}-byte allocation by {shrink_by}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Region {
+    kind: RegionKind,
+    bytes: u64,
+}
+
+/// Byte-accurate accounting allocator for one GPU's HBM.
+///
+/// # Example
+///
+/// ```
+/// use aqua_sim::memory::{HbmAllocator, RegionKind};
+/// use aqua_sim::link::bytes::gib;
+///
+/// let mut hbm = HbmAllocator::new(gib(80));
+/// let weights = hbm.alloc(RegionKind::Weights, gib(26))?;
+/// assert_eq!(hbm.free_bytes(), gib(54));
+/// hbm.free(weights)?;
+/// assert_eq!(hbm.free_bytes(), gib(80));
+/// # Ok::<(), aqua_sim::memory::MemoryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HbmAllocator {
+    capacity: u64,
+    used: u64,
+    next_id: u64,
+    regions: BTreeMap<AllocId, Region>,
+}
+
+impl HbmAllocator {
+    /// Creates an allocator managing `capacity` bytes of HBM.
+    pub fn new(capacity: u64) -> Self {
+        HbmAllocator {
+            capacity,
+            used: 0,
+            next_id: 0,
+            regions: BTreeMap::new(),
+        }
+    }
+
+    /// Total HBM capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated across all regions.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Allocates `bytes` for `kind`.
+    ///
+    /// Zero-byte allocations are permitted (they model empty reservations and
+    /// keep callers free of special cases).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfMemory`] if fewer than `bytes` are free.
+    pub fn alloc(&mut self, kind: RegionKind, bytes: u64) -> Result<AllocId, MemoryError> {
+        if bytes > self.free_bytes() {
+            return Err(MemoryError::OutOfMemory {
+                requested: bytes,
+                free: self.free_bytes(),
+            });
+        }
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        self.used += bytes;
+        self.regions.insert(id, Region { kind, bytes });
+        Ok(id)
+    }
+
+    /// Releases an allocation and returns the freed byte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::UnknownAllocation`] on double free.
+    pub fn free(&mut self, id: AllocId) -> Result<u64, MemoryError> {
+        let region = self
+            .regions
+            .remove(&id)
+            .ok_or(MemoryError::UnknownAllocation(id))?;
+        self.used -= region.bytes;
+        Ok(region.bytes)
+    }
+
+    /// Grows an existing allocation by `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::UnknownAllocation`] for a bad id and
+    /// [`MemoryError::OutOfMemory`] if the growth does not fit.
+    pub fn grow(&mut self, id: AllocId, bytes: u64) -> Result<(), MemoryError> {
+        if !self.regions.contains_key(&id) {
+            return Err(MemoryError::UnknownAllocation(id));
+        }
+        if bytes > self.free_bytes() {
+            return Err(MemoryError::OutOfMemory {
+                requested: bytes,
+                free: self.free_bytes(),
+            });
+        }
+        self.used += bytes;
+        self.regions.get_mut(&id).expect("checked above").bytes += bytes;
+        Ok(())
+    }
+
+    /// Shrinks an existing allocation by `bytes`, returning memory to the
+    /// free pool. Used when a producer reclaims part of a lease.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::UnknownAllocation`] for a bad id and
+    /// [`MemoryError::InvalidResize`] if the region is smaller than `bytes`.
+    pub fn shrink(&mut self, id: AllocId, bytes: u64) -> Result<(), MemoryError> {
+        let region = self
+            .regions
+            .get_mut(&id)
+            .ok_or(MemoryError::UnknownAllocation(id))?;
+        if region.bytes < bytes {
+            return Err(MemoryError::InvalidResize {
+                current: region.bytes,
+                shrink_by: bytes,
+            });
+        }
+        region.bytes -= bytes;
+        self.used -= bytes;
+        Ok(())
+    }
+
+    /// Size in bytes of a live allocation.
+    pub fn size_of(&self, id: AllocId) -> Option<u64> {
+        self.regions.get(&id).map(|r| r.bytes)
+    }
+
+    /// Kind of a live allocation.
+    pub fn kind_of(&self, id: AllocId) -> Option<RegionKind> {
+        self.regions.get(&id).map(|r| r.kind)
+    }
+
+    /// Total bytes allocated to regions of `kind`.
+    pub fn bytes_of_kind(&self, kind: RegionKind) -> u64 {
+        self.regions
+            .values()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Iterates over `(id, kind, bytes)` of live allocations in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AllocId, RegionKind, u64)> + '_ {
+        self.regions.iter().map(|(id, r)| (*id, r.kind, r.bytes))
+    }
+
+    /// Debug invariant: the sum of region sizes equals `used_bytes()`.
+    pub fn check_invariants(&self) -> bool {
+        let sum: u64 = self.regions.values().map(|r| r.bytes).sum();
+        sum == self.used && self.used <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::bytes::{gib, mib};
+    use proptest::prelude::*;
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut hbm = HbmAllocator::new(gib(80));
+        let a = hbm.alloc(RegionKind::Weights, gib(26)).unwrap();
+        let b = hbm.alloc(RegionKind::KvCache, gib(40)).unwrap();
+        assert_eq!(hbm.free_bytes(), gib(14));
+        assert_eq!(hbm.bytes_of_kind(RegionKind::Weights), gib(26));
+        assert_eq!(hbm.free(a).unwrap(), gib(26));
+        assert_eq!(hbm.free(b).unwrap(), gib(40));
+        assert_eq!(hbm.free_bytes(), gib(80));
+        assert!(hbm.check_invariants());
+    }
+
+    #[test]
+    fn oom_reports_requested_and_free() {
+        let mut hbm = HbmAllocator::new(mib(10));
+        let err = hbm.alloc(RegionKind::Other, mib(11)).unwrap_err();
+        assert_eq!(
+            err,
+            MemoryError::OutOfMemory {
+                requested: mib(11),
+                free: mib(10)
+            }
+        );
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let mut hbm = HbmAllocator::new(mib(1));
+        let id = hbm.alloc(RegionKind::Other, 100).unwrap();
+        hbm.free(id).unwrap();
+        assert_eq!(hbm.free(id).unwrap_err(), MemoryError::UnknownAllocation(id));
+    }
+
+    #[test]
+    fn grow_and_shrink() {
+        let mut hbm = HbmAllocator::new(mib(100));
+        let id = hbm.alloc(RegionKind::AquaLease, mib(10)).unwrap();
+        hbm.grow(id, mib(20)).unwrap();
+        assert_eq!(hbm.size_of(id), Some(mib(30)));
+        hbm.shrink(id, mib(25)).unwrap();
+        assert_eq!(hbm.size_of(id), Some(mib(5)));
+        let err = hbm.shrink(id, mib(6)).unwrap_err();
+        assert!(matches!(err, MemoryError::InvalidResize { .. }));
+        assert!(hbm.check_invariants());
+    }
+
+    #[test]
+    fn zero_byte_allocations_are_fine() {
+        let mut hbm = HbmAllocator::new(0);
+        let id = hbm.alloc(RegionKind::Other, 0).unwrap();
+        assert_eq!(hbm.size_of(id), Some(0));
+        assert_eq!(hbm.kind_of(id), Some(RegionKind::Other));
+        hbm.free(id).unwrap();
+    }
+
+    #[test]
+    fn iter_and_counts() {
+        let mut hbm = HbmAllocator::new(gib(1));
+        hbm.alloc(RegionKind::Weights, mib(1)).unwrap();
+        hbm.alloc(RegionKind::KvCache, mib(2)).unwrap();
+        assert_eq!(hbm.allocation_count(), 2);
+        let total: u64 = hbm.iter().map(|(_, _, b)| b).sum();
+        assert_eq!(total, mib(3));
+    }
+
+    proptest! {
+        /// Any sequence of allocs/frees/grows/shrinks preserves the accounting
+        /// invariant and never lets usage exceed capacity.
+        #[test]
+        fn accounting_invariant_holds(ops in proptest::collection::vec((0u8..4, 0u64..mib(64)), 1..200)) {
+            let mut hbm = HbmAllocator::new(gib(2));
+            let mut live: Vec<AllocId> = Vec::new();
+            for (op, sz) in ops {
+                match op {
+                    0 => {
+                        if let Ok(id) = hbm.alloc(RegionKind::Other, sz) {
+                            live.push(id);
+                        }
+                    }
+                    1 => {
+                        if let Some(id) = live.pop() {
+                            hbm.free(id).unwrap();
+                        }
+                    }
+                    2 => {
+                        if let Some(id) = live.last() {
+                            let _ = hbm.grow(*id, sz);
+                        }
+                    }
+                    _ => {
+                        if let Some(id) = live.last() {
+                            let _ = hbm.shrink(*id, sz);
+                        }
+                    }
+                }
+                prop_assert!(hbm.check_invariants());
+                prop_assert!(hbm.used_bytes() <= hbm.capacity());
+                prop_assert_eq!(hbm.used_bytes() + hbm.free_bytes(), hbm.capacity());
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Transfer plans and the port-level transfer engine.
+//!
+//! Two ideas from the paper live here:
+//!
+//! 1. **Transfer shape matters** (§3, §5, Figure 3a). Copying many small
+//!    tensors (a prompt's per-layer KV slices, a LoRA adapter's per-layer
+//!    weights) pays NVLink's poor small-message efficiency once per tensor.
+//!    AQUA's custom gather/scatter kernels coalesce them into one large
+//!    staging buffer first. [`TransferPlan`] makes the shape explicit so both
+//!    strategies can be costed and compared (the `ablate_coalescing` bench).
+//! 2. **Ports serialize** (Figure 18). Each directional port processes one
+//!    transfer at a time, FIFO; transfers on disjoint ports overlap freely.
+//!    [`TransferEngine`] tracks per-port busy horizons to schedule transfers
+//!    deterministically.
+
+use crate::link::BandwidthModel;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::LinkPath;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The shape of a data movement: one big copy, or many small ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransferPlan {
+    /// A single contiguous copy of `bytes` (AQUA's gather-then-copy path).
+    Coalesced {
+        /// Total payload bytes.
+        bytes: u64,
+    },
+    /// `chunks` separate copies of `chunk_bytes` each (the naive path).
+    Scattered {
+        /// Number of individual copies issued.
+        chunks: u64,
+        /// Bytes per copy.
+        chunk_bytes: u64,
+    },
+}
+
+impl TransferPlan {
+    /// A single contiguous copy.
+    pub fn coalesced(bytes: u64) -> Self {
+        TransferPlan::Coalesced { bytes }
+    }
+
+    /// `chunks` copies of `chunk_bytes` each.
+    pub fn scattered(chunks: u64, chunk_bytes: u64) -> Self {
+        TransferPlan::Scattered { chunks, chunk_bytes }
+    }
+
+    /// Total payload bytes moved by the plan.
+    pub fn total_bytes(self) -> u64 {
+        match self {
+            TransferPlan::Coalesced { bytes } => bytes,
+            TransferPlan::Scattered { chunks, chunk_bytes } => chunks * chunk_bytes,
+        }
+    }
+}
+
+/// GPU-side cost of gathering scattered tensors into a contiguous staging
+/// buffer (or scattering one back): one HBM read plus one HBM write of the
+/// payload. This is the price AQUA pays to convert a [`TransferPlan::Scattered`]
+/// into a [`TransferPlan::Coalesced`] — tiny next to the link-time it saves.
+pub fn staging_time(bytes: u64, hbm_bandwidth: f64) -> SimDuration {
+    SimDuration::from_secs_f64(2.0 * bytes as f64 / hbm_bandwidth)
+}
+
+/// A scheduled transfer: when it starts (after queueing) and completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledTransfer {
+    /// When the transfer acquires all its ports.
+    pub start: SimTime,
+    /// When the last byte lands.
+    pub end: SimTime,
+    /// Pure wire time, excluding queueing behind earlier transfers.
+    pub wire_time: SimDuration,
+}
+
+impl ScheduledTransfer {
+    /// Total latency observed by the requester, including queueing.
+    pub fn latency_from(&self, requested_at: SimTime) -> SimDuration {
+        self.end.duration_since(requested_at)
+    }
+}
+
+/// Deterministic per-port FIFO transfer scheduler.
+///
+/// # Example
+///
+/// ```
+/// use aqua_sim::prelude::*;
+///
+/// let server = ServerTopology::nvlink_pair(GpuSpec::a100_80g());
+/// let mut engine = TransferEngine::new();
+/// let path = server.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+/// let a = engine.schedule(&path, TransferPlan::coalesced(1 << 28), SimTime::ZERO);
+/// let b = engine.schedule(&path, TransferPlan::coalesced(1 << 28), SimTime::ZERO);
+/// // Same ports: the second transfer queues behind the first.
+/// assert_eq!(b.start, a.end);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TransferEngine {
+    port_busy_until: HashMap<crate::topology::PortId, SimTime>,
+    port_bytes: HashMap<crate::topology::PortId, u64>,
+    port_busy_time: HashMap<crate::topology::PortId, SimDuration>,
+}
+
+impl TransferEngine {
+    /// Creates an idle transfer engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Earliest time a transfer issued at `now` could start on `path`.
+    pub fn earliest_start(&self, path: &LinkPath, now: SimTime) -> SimTime {
+        path.ports
+            .iter()
+            .filter_map(|p| self.port_busy_until.get(p).copied())
+            .fold(now, SimTime::max)
+    }
+
+    /// Schedules `plan` on `path` at `now`, occupying every port on the path
+    /// until completion. Returns the start/end times.
+    pub fn schedule(
+        &mut self,
+        path: &LinkPath,
+        plan: TransferPlan,
+        now: SimTime,
+    ) -> ScheduledTransfer {
+        let wire_time = path.model.transfer_time(plan);
+        self.commit(path, plan, wire_time, now)
+    }
+
+    /// Schedules a transfer using an explicit bandwidth model instead of the
+    /// path's (e.g. pageable PCIe for framework-level copies) while still
+    /// occupying the path's ports.
+    pub fn schedule_with_model(
+        &mut self,
+        path: &LinkPath,
+        model: &BandwidthModel,
+        plan: TransferPlan,
+        now: SimTime,
+    ) -> ScheduledTransfer {
+        let wire_time = model.transfer_time(plan);
+        self.commit(path, plan, wire_time, now)
+    }
+
+    fn commit(
+        &mut self,
+        path: &LinkPath,
+        plan: TransferPlan,
+        wire_time: SimDuration,
+        now: SimTime,
+    ) -> ScheduledTransfer {
+        let start = self.earliest_start(path, now);
+        let end = start + wire_time;
+        for p in &path.ports {
+            self.port_busy_until.insert(*p, end);
+            *self.port_bytes.entry(*p).or_insert(0) += plan.total_bytes();
+            let busy = self.port_busy_time.entry(*p).or_insert(SimDuration::ZERO);
+            *busy = *busy + wire_time;
+        }
+        ScheduledTransfer { start, end, wire_time }
+    }
+
+    /// Busy horizon of a single port (for tests and introspection).
+    pub fn port_busy_until(&self, port: crate::topology::PortId) -> SimTime {
+        self.port_busy_until
+            .get(&port)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Cumulative payload bytes that crossed a port.
+    pub fn port_bytes(&self, port: crate::topology::PortId) -> u64 {
+        self.port_bytes.get(&port).copied().unwrap_or(0)
+    }
+
+    /// Cumulative time a port spent transferring.
+    pub fn port_busy_time(&self, port: crate::topology::PortId) -> SimDuration {
+        self.port_busy_time
+            .get(&port)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Port utilisation over a window: busy time divided by `horizon`
+    /// (clamped to 1.0; 0 for a zero-length window).
+    pub fn port_utilization(&self, port: crate::topology::PortId, horizon: SimTime) -> f64 {
+        let h = horizon.as_secs_f64();
+        if h <= 0.0 {
+            return 0.0;
+        }
+        (self.port_busy_time(port).as_secs_f64() / h).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{GpuId, GpuSpec};
+    use crate::link::bytes::mib;
+    use crate::topology::ServerTopology;
+
+    fn pair() -> ServerTopology {
+        ServerTopology::nvlink_pair(GpuSpec::a100_80g())
+    }
+
+    #[test]
+    fn plan_total_bytes() {
+        assert_eq!(TransferPlan::coalesced(100).total_bytes(), 100);
+        assert_eq!(TransferPlan::scattered(10, 7).total_bytes(), 70);
+    }
+
+    #[test]
+    fn same_path_serializes() {
+        let s = pair();
+        let path = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let mut eng = TransferEngine::new();
+        let t1 = eng.schedule(&path, TransferPlan::coalesced(mib(64)), SimTime::ZERO);
+        let t2 = eng.schedule(&path, TransferPlan::coalesced(mib(64)), SimTime::ZERO);
+        assert_eq!(t1.start, SimTime::ZERO);
+        assert_eq!(t2.start, t1.end);
+        assert_eq!(t1.wire_time, t2.wire_time);
+    }
+
+    #[test]
+    fn disjoint_ports_overlap() {
+        let s = ServerTopology::nvswitch(4, GpuSpec::a100_80g());
+        let p01 = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let p23 = s.gpu_to_gpu_path(GpuId(2), GpuId(3)).unwrap();
+        let mut eng = TransferEngine::new();
+        let t1 = eng.schedule(&p01, TransferPlan::coalesced(mib(256)), SimTime::ZERO);
+        let t2 = eng.schedule(&p23, TransferPlan::coalesced(mib(256)), SimTime::ZERO);
+        assert_eq!(t1.start, SimTime::ZERO);
+        assert_eq!(t2.start, SimTime::ZERO, "disjoint ports should not queue");
+    }
+
+    #[test]
+    fn shared_ingress_port_contends() {
+        let s = ServerTopology::nvswitch(4, GpuSpec::a100_80g());
+        let p01 = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let p21 = s.gpu_to_gpu_path(GpuId(2), GpuId(1)).unwrap();
+        let mut eng = TransferEngine::new();
+        let t1 = eng.schedule(&p01, TransferPlan::coalesced(mib(256)), SimTime::ZERO);
+        let t2 = eng.schedule(&p21, TransferPlan::coalesced(mib(256)), SimTime::ZERO);
+        assert_eq!(t2.start, t1.end, "both target gpu1's ingress port");
+    }
+
+    #[test]
+    fn pcie_duplex_directions_are_independent() {
+        let s = pair();
+        let up = s.gpu_to_host_path(GpuId(0));
+        let down = s.host_to_gpu_path(GpuId(0));
+        let mut eng = TransferEngine::new();
+        let t1 = eng.schedule(&up, TransferPlan::coalesced(mib(512)), SimTime::ZERO);
+        let t2 = eng.schedule(&down, TransferPlan::coalesced(mib(512)), SimTime::ZERO);
+        assert_eq!(t1.start, SimTime::ZERO);
+        assert_eq!(t2.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn latency_includes_queueing() {
+        let s = pair();
+        let path = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let mut eng = TransferEngine::new();
+        let _ = eng.schedule(&path, TransferPlan::coalesced(mib(64)), SimTime::ZERO);
+        let t2 = eng.schedule(&path, TransferPlan::coalesced(mib(1)), SimTime::ZERO);
+        assert!(t2.latency_from(SimTime::ZERO).as_nanos() > t2.wire_time.as_nanos());
+    }
+
+    #[test]
+    fn telemetry_counts_bytes_and_busy_time() {
+        let s = pair();
+        let path = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let mut eng = TransferEngine::new();
+        let t1 = eng.schedule(&path, TransferPlan::coalesced(mib(64)), SimTime::ZERO);
+        let t2 = eng.schedule(&path, TransferPlan::coalesced(mib(64)), SimTime::ZERO);
+        let egress = crate::topology::PortId::NvlinkEgress(GpuId(0));
+        assert_eq!(eng.port_bytes(egress), mib(128));
+        assert_eq!(eng.port_busy_time(egress), t1.wire_time + t2.wire_time);
+        // Back-to-back transfers: ~100% utilized until t2.end.
+        let u = eng.port_utilization(egress, t2.end);
+        assert!(u > 0.99, "utilization {u}");
+        assert_eq!(eng.port_utilization(egress, SimTime::ZERO), 0.0);
+        let idle = crate::topology::PortId::PcieUp(GpuId(0));
+        assert_eq!(eng.port_bytes(idle), 0);
+    }
+
+    #[test]
+    fn staging_is_cheap_relative_to_pcie() {
+        let spec = GpuSpec::a100_80g();
+        let bytes = mib(320);
+        let gather = staging_time(bytes, spec.hbm_bandwidth);
+        let pcie = spec.pcie.copy_time(bytes);
+        assert!(gather.as_secs_f64() * 10.0 < pcie.as_secs_f64());
+    }
+
+    proptest::proptest! {
+        /// Random transfer sequences: time only moves forward, ports are
+        /// exclusive (no two transfers on one port overlap), and the port
+        /// horizon equals the latest completion crossing it.
+        #[test]
+        fn port_exclusivity_invariant(
+            ops in proptest::collection::vec((0usize..4, 0usize..4, 1u64..(64 << 20), 0u64..1_000_000), 1..60)
+        ) {
+            let s = ServerTopology::nvswitch(4, GpuSpec::a100_80g());
+            let mut eng = TransferEngine::new();
+            let mut per_port: std::collections::HashMap<crate::topology::PortId, Vec<(SimTime, SimTime)>> =
+                std::collections::HashMap::new();
+            for (a, b, bytes, at) in ops {
+                if a == b {
+                    continue;
+                }
+                let path = s.gpu_to_gpu_path(GpuId(a), GpuId(b)).unwrap();
+                let now = SimTime::from_nanos(at);
+                let t = eng.schedule(&path, TransferPlan::coalesced(bytes), now);
+                proptest::prop_assert!(t.start >= now);
+                proptest::prop_assert!(t.end > t.start);
+                for port in &path.ports {
+                    let spans = per_port.entry(*port).or_default();
+                    for (s0, e0) in spans.iter() {
+                        // Non-overlap: the new span starts at or after every
+                        // prior span's end, or ends before it starts.
+                        proptest::prop_assert!(t.start >= *e0 || t.end <= *s0);
+                    }
+                    spans.push((t.start, t.end));
+                    let horizon = spans.iter().map(|(_, e)| *e).max().unwrap();
+                    proptest::prop_assert_eq!(eng.port_busy_until(*port), horizon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_with_model_uses_override() {
+        let s = pair();
+        let down = s.host_to_gpu_path(GpuId(0));
+        let mut eng = TransferEngine::new();
+        let pageable = crate::link::BandwidthModel::pcie_gen4_pageable();
+        let fast = eng.schedule(&down, TransferPlan::coalesced(mib(320)), SimTime::ZERO);
+        let mut eng2 = TransferEngine::new();
+        let slow =
+            eng2.schedule_with_model(&down, &pageable, TransferPlan::coalesced(mib(320)), SimTime::ZERO);
+        assert!(slow.wire_time > fast.wire_time);
+    }
+}

@@ -1,0 +1,100 @@
+//! Producer-side item streams (images and audio clips).
+//!
+//! Image producers draw from the Parti prompts dataset and audio producers
+//! from the models' default prompt sets (§6); one request = one item. The
+//! Figure 10 elasticity experiment varies the arrival rate in phases ("we
+//! issue a 100 requests at 1 request/second … At the 400 second mark, we
+//! send 250 inference requests at the high rate of 5 requests/second").
+
+use crate::sampling::Sampler;
+use aqua_engines::request::InferenceRequest;
+use aqua_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One constant-rate phase of an item stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatePhase {
+    /// When the phase begins.
+    pub start: SimTime,
+    /// Arrival rate within the phase, items/s.
+    pub rate: f64,
+    /// Number of items issued in the phase.
+    pub count: usize,
+}
+
+/// A single-phase Poisson item stream from time zero.
+pub fn item_trace(rate: f64, count: usize, seed: u64, id_base: u64) -> Vec<(SimTime, InferenceRequest)> {
+    phased_item_trace(
+        &[RatePhase {
+            start: SimTime::ZERO,
+            rate,
+            count,
+        }],
+        seed,
+        id_base,
+    )
+}
+
+/// A multi-phase item stream (Figure 10's 1 req/s then 5 req/s pattern).
+///
+/// # Panics
+///
+/// Panics if any phase has a non-positive rate.
+pub fn phased_item_trace(
+    phases: &[RatePhase],
+    seed: u64,
+    id_base: u64,
+) -> Vec<(SimTime, InferenceRequest)> {
+    let mut s = Sampler::new(seed);
+    let mut out = Vec::new();
+    let mut id = id_base;
+    for phase in phases {
+        for at in s.poisson_arrivals(phase.start, phase.rate, phase.count) {
+            out.push((at, InferenceRequest::item(id)));
+            id += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_phase_stream() {
+        let trace = item_trace(2.0, 100, 3, 500);
+        assert_eq!(trace.len(), 100);
+        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(trace[0].1.id.0, 500);
+        assert!(trace.iter().all(|(_, r)| r.output_tokens == 1));
+    }
+
+    #[test]
+    fn figure10_phases() {
+        let phases = [
+            RatePhase {
+                start: SimTime::from_secs(150),
+                rate: 1.0,
+                count: 100,
+            },
+            RatePhase {
+                start: SimTime::from_secs(400),
+                rate: 5.0,
+                count: 250,
+            },
+        ];
+        let trace = phased_item_trace(&phases, 8, 0);
+        assert_eq!(trace.len(), 350);
+        assert!(trace[0].0 >= SimTime::from_secs(150));
+        assert!(trace[100].0 >= SimTime::from_secs(400));
+        // High-rate phase packs 250 requests into ~50 s.
+        let hi_span = trace[349].0.as_secs_f64() - trace[100].0.as_secs_f64();
+        assert!(hi_span < 80.0, "high-rate span {hi_span}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(item_trace(1.0, 10, 4, 0), item_trace(1.0, 10, 4, 0));
+    }
+}

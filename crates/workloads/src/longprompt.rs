@@ -1,0 +1,43 @@
+//! Long-prompt (FlexGen) workload.
+//!
+//! "On an A100 GPU, it is impossible to infer a single prompt of 8,000
+//! tokens — the context limit for the popular GPT-4 … We will use prompts
+//! of length 8,000 in our experiments" (§6). The jobs are non-interactive;
+//! the Figure 7 metric is tokens generated in a ten-minute window, so the
+//! trace keeps the engine busy for the whole window.
+
+use aqua_engines::request::InferenceRequest;
+use aqua_sim::time::SimTime;
+
+/// The paper's long-prompt length.
+pub const LONG_PROMPT_TOKENS: u64 = 8_000;
+
+/// Generates `count` back-to-back long-prompt jobs, each generating
+/// `output_tokens` tokens, all submitted at time zero (a batch queue).
+pub fn long_prompt_trace(count: usize, output_tokens: u64, id_base: u64) -> Vec<(SimTime, InferenceRequest)> {
+    (0..count)
+        .map(|i| {
+            (
+                SimTime::ZERO,
+                InferenceRequest::text(id_base + i as u64, LONG_PROMPT_TOKENS, output_tokens),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_jobs_are_long() {
+        let trace = long_prompt_trace(4, 512, 10);
+        assert_eq!(trace.len(), 4);
+        for (at, r) in &trace {
+            assert_eq!(*at, SimTime::ZERO);
+            assert_eq!(r.prompt_tokens, LONG_PROMPT_TOKENS);
+            assert_eq!(r.output_tokens, 512);
+        }
+        assert_eq!(trace[3].1.id.0, 13);
+    }
+}

@@ -1,0 +1,113 @@
+//! LoRA-adapter workloads (Figures 8 and 12, §A.2).
+//!
+//! Each request is assigned one adapter uniformly at random from a pool
+//! ("we randomly assign one of the 30 adapters to a request and this
+//! sometimes results in LoRA cache hits", §6.1). Prompt/response lengths
+//! follow the interactive distribution but with shorter outputs so adapter
+//! loading is a meaningful share of request time.
+
+use crate::sampling::Sampler;
+use aqua_engines::request::InferenceRequest;
+use aqua_sim::time::SimTime;
+
+/// Generates a LoRA trace: `count` requests at `rate` req/s, each needing
+/// one of `pool_size` adapters chosen uniformly.
+///
+/// # Panics
+///
+/// Panics if `pool_size == 0`.
+pub fn lora_trace(
+    rate: f64,
+    count: usize,
+    pool_size: usize,
+    seed: u64,
+    id_base: u64,
+) -> Vec<(SimTime, InferenceRequest)> {
+    assert!(pool_size > 0, "adapter pool must be non-empty");
+    let mut s = Sampler::new(seed);
+    let arrivals = s.poisson_arrivals(SimTime::ZERO, rate, count);
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, at)| {
+            let prompt = s.token_count(5.0, 0.8, 16, 1024);
+            let output = s.token_count(4.2, 0.7, 8, 256);
+            let adapter = s.index(pool_size);
+            (
+                at,
+                InferenceRequest::with_adapter(id_base + i as u64, prompt, output, adapter),
+            )
+        })
+        .collect()
+}
+
+/// Generates a LoRA trace with Zipf-skewed adapter popularity (exponent
+/// `skew`; 0 = uniform). Real adapter traffic is heavy-headed — a few
+/// popular adapters dominate — which raises the GPU cache hit rate and
+/// shrinks the loading cost AQUA accelerates (the `ablate_lora_skew`
+/// study).
+///
+/// # Panics
+///
+/// Panics if `pool_size == 0` or `skew < 0`.
+pub fn lora_trace_skewed(
+    rate: f64,
+    count: usize,
+    pool_size: usize,
+    skew: f64,
+    seed: u64,
+    id_base: u64,
+) -> Vec<(SimTime, InferenceRequest)> {
+    assert!(pool_size > 0, "adapter pool must be non-empty");
+    let mut s = Sampler::new(seed);
+    let arrivals = s.poisson_arrivals(SimTime::ZERO, rate, count);
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, at)| {
+            let prompt = s.token_count(5.0, 0.8, 16, 1024);
+            let output = s.token_count(4.2, 0.7, 8, 256);
+            let adapter = s.zipf(pool_size, skew);
+            (
+                at,
+                InferenceRequest::with_adapter(id_base + i as u64, prompt, output, adapter),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_request_has_an_adapter() {
+        let trace = lora_trace(10.0, 200, 30, 5, 0);
+        assert_eq!(trace.len(), 200);
+        let used: HashSet<usize> = trace.iter().map(|(_, r)| r.adapter.unwrap()).collect();
+        assert!(used.len() > 15, "uniform draw covers much of the pool");
+        assert!(used.iter().all(|&a| a < 30));
+    }
+
+    #[test]
+    fn skewed_trace_concentrates_on_popular_adapters() {
+        let trace = lora_trace_skewed(5.0, 500, 30, 1.5, 3, 0);
+        let mut counts = vec![0usize; 30];
+        for (_, r) in &trace {
+            counts[r.adapter.unwrap()] += 1;
+        }
+        assert!(counts[0] > counts[15] * 2, "head dominates: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(lora_trace(2.0, 50, 10, 1, 0), lora_trace(2.0, 50, 10, 1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must be non-empty")]
+    fn empty_pool_rejected() {
+        lora_trace(1.0, 1, 0, 0, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Placement planning: run AQUA-PLACER (Algorithm 1) on a mixed-modality
+//! cluster and pair producers with consumers via stable matching.
+//!
+//! Run with: `cargo run --release --example placement_planning`
+
+use aqua::models::zoo;
+use aqua::placer::prelude::*;
+use aqua::sim::link::bytes::gib;
+
+fn main() {
+    // A cluster of 4 servers x 2 GPUs hosting the paper's Table 1-3 mix.
+    // Memory numbers: producers offer their Figure-2 plateau free memory;
+    // consumers declare their context deficit.
+    let models = vec![
+        ModelSpec::consumer("OPT-30B/long-prompt", 12 * gib(1)),
+        ModelSpec::consumer("OPT-30B/long-prompt-2", 12 * gib(1)),
+        ModelSpec::consumer("Mistral-7B/lora", 10 * gib(1)),
+        ModelSpec::consumer("Codellama-34B/cfs", 8 * gib(1)),
+        ModelSpec::producer("StableDiffusion", 60 * gib(1)),
+        ModelSpec::producer("Kandinsky", 55 * gib(1)),
+        ModelSpec::producer("AudioGen", 65 * gib(1)),
+        ModelSpec::producer("MusicGen", 60 * gib(1)),
+    ];
+    let inst = PlacementInstance::new(4, 2, gib(80), models);
+
+    let optimal = solve_optimal(&inst);
+    let greedy = solve_greedy(&inst);
+    optimal.validate(&inst).expect("feasible");
+    greedy.validate(&inst).expect("feasible");
+
+    println!("AQUA-PLACER on 4 servers x 2 GPUs:");
+    println!(
+        "  optimal objective: {}   greedy objective: {}\n",
+        optimal.objective(&inst),
+        greedy.objective(&inst)
+    );
+
+    for s in 0..inst.servers {
+        let members = optimal.models_on(s);
+        println!("server {s}:");
+        let specs: Vec<ModelSpec> = members.iter().map(|&m| inst.models[m].clone()).collect();
+        for spec in &specs {
+            println!(
+                "    {:<24} {} {:>3} GB",
+                spec.name,
+                if spec.role() == Role::Producer { "offers" } else { "needs " },
+                spec.mem_bytes.abs() >> 30
+            );
+        }
+        // Within the server, stable matching pairs each consumer with
+        // exactly one producer that covers its deficit.
+        for pair in stable_match(&specs) {
+            println!(
+                "    pairing: {} <- {}",
+                specs[pair.consumer].name, specs[pair.producer].name
+            );
+        }
+    }
+
+    println!("\nModel inventory backing these numbers:");
+    for m in zoo::all_models() {
+        println!(
+            "  {:<20} {:?}: weights {:>2} GiB",
+            m.name,
+            m.resource_bound(),
+            m.weights_bytes() >> 30
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # AQUA — network-accelerated GPU memory offloading for responsive LLM inference
+//!
+//! A full Rust reproduction of *"Responsive ML inference in multi-tenanted
+//! environments using AQUA"* (a.k.a. *"Aqua: Network-Accelerated Memory
+//! Offloading for LLMs in Scale-Up GPU Domains"*, ASPLOS 2025).
+//!
+//! AQUA's idea: LLM serving is bottlenecked by GPU memory, while image and
+//! audio generators on the *same multi-GPU server* leave tens of GB of HBM
+//! idle. Instead of paging inference context (KV caches, LoRA adapters) to
+//! host DRAM over slow PCIe, AQUA pages it to a neighbouring GPU over
+//! NVLink/NVSwitch — fast enough to make *completely fair scheduling* of
+//! prompts practical, giving interactive users both responsiveness (4× TTFT)
+//! and throughput (6× tokens on long prompts).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `aqua-core` | **AQUA-LIB**: AQUA tensors, coordinator, offloader, informers |
+//! | [`placer`] | `aqua-placer` | **AQUA-PLACER**: optimal model placement + stable matching |
+//! | [`sim`] | `aqua-sim` | multi-GPU server simulator (HBM, NVLink/NVSwitch/PCIe) |
+//! | [`models`] | `aqua-models` | model zoo + roofline cost models |
+//! | [`engines`] | `aqua-engines` | vLLM / CFS / FlexGen / producer engine simulations |
+//! | [`workloads`] | `aqua-workloads` | seeded synthetic traces (ShareGPT-like, LoRA, chat, …) |
+//! | [`metrics`] | `aqua-metrics` | TTFT/RCT recorders, time series, tables |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aqua::core::prelude::*;
+//! use aqua::sim::prelude::*;
+//! use aqua::engines::offload::{DramOffloader, Offloader};
+//! use std::{cell::RefCell, rc::Rc, sync::Arc};
+//!
+//! // A 2-GPU server: GPU 1 hosts a compute-bound model with spare HBM.
+//! let server = Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g()));
+//! let transfers = Rc::new(RefCell::new(TransferEngine::new()));
+//! let coordinator = Arc::new(Coordinator::new());
+//! coordinator.lease(GpuRef::single(GpuId(1)), 20 << 30);
+//!
+//! // Offload 4 GiB of KV cache: AQUA vs the DRAM path.
+//! let mut aqua = AquaOffloader::new(
+//!     GpuRef::single(GpuId(0)), coordinator, server.clone(), transfers.clone());
+//! let mut dram = DramOffloader::pinned(&server, GpuId(0), transfers);
+//! let t_aqua = aqua.swap_out(4 << 30, 2048, SimTime::ZERO).as_secs_f64();
+//! let t_dram = dram.swap_out(4 << 30, 2048, SimTime::ZERO).as_secs_f64();
+//! assert!(t_dram / t_aqua > 5.0, "NVLink wins by ~10x");
+//! ```
+//!
+//! See `DESIGN.md` for the experiment index, `EXPERIMENTS.md` for
+//! paper-vs-measured results, and `crates/bench/benches/` for the harness
+//! that regenerates every figure and table (`cargo bench`).
+
+pub use aqua_core as core;
+pub use aqua_engines as engines;
+pub use aqua_metrics as metrics;
+pub use aqua_models as models;
+pub use aqua_placer as placer;
+pub use aqua_sim as sim;
+pub use aqua_workloads as workloads;

@@ -1,0 +1,85 @@
+//! The coordinator-as-a-service deployment shape (paper §3: the
+//! coordinator is its own program reached over the southbound interface),
+//! exercised from the umbrella crate with simulated GPU clients on real
+//! threads.
+
+use aqua::core::coordinator::{AllocationSite, Coordinator, GpuRef, ReclaimStatus};
+use aqua::core::service::CoordinatorService;
+use aqua::sim::gpu::GpuId;
+use aqua::sim::time::SimTime;
+use std::sync::Arc;
+
+/// A producer thread and a consumer thread run the donate/offload/reclaim
+/// protocol concurrently against the service.
+#[test]
+fn producer_and_consumer_threads_negotiate() {
+    let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
+    let producer_gpu = GpuRef::single(GpuId(1));
+    let consumer_gpu = GpuRef::single(GpuId(0));
+
+    // Producer: donate, then demand the memory back.
+    let producer_client = service.client();
+    let producer = std::thread::spawn(move || {
+        producer_client.lease(producer_gpu, 8 << 30);
+        // Poll until the consumer has taken something, then reclaim.
+        loop {
+            if let AllocationSite::Dram = producer_client.allocate(producer_gpu, 1) {
+                // (Producers never allocate; this is just a cheap probe that
+                // exercises a request while we wait.)
+            }
+            std::thread::yield_now();
+            producer_client.reclaim_request(producer_gpu);
+            match producer_client.reclaim_status(producer_gpu) {
+                ReclaimStatus::Released { bytes, .. } => return bytes,
+                _ => continue,
+            }
+        }
+    });
+
+    // Consumer: grab memory, notice the reclaim, release.
+    let consumer_client = service.client();
+    let consumer = std::thread::spawn(move || {
+        let lease = loop {
+            match consumer_client.allocate(consumer_gpu, 2 << 30) {
+                AllocationSite::Peer { lease, .. } => break lease,
+                AllocationSite::Dram => std::thread::yield_now(),
+            }
+        };
+        // Iteration boundaries: check /respond until a reclaim appears.
+        loop {
+            let must_move = consumer_client.respond(lease);
+            if must_move > 0 {
+                consumer_client.call(aqua::core::messages::CoordinatorRequest::Release {
+                    lease,
+                    bytes: must_move,
+                    at: SimTime::from_secs(1),
+                });
+                return must_move;
+            }
+            std::thread::yield_now();
+        }
+    });
+
+    let moved = consumer.join().expect("consumer thread");
+    let reclaimed = producer.join().expect("producer thread");
+    assert_eq!(moved, 2 << 30);
+    assert_eq!(reclaimed, 8 << 30);
+    assert_eq!(service.store().leased_bytes(), 0);
+}
+
+/// The service survives many short-lived clients.
+#[test]
+fn many_transient_clients() {
+    let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
+    service.client().lease(GpuRef::single(GpuId(1)), 1 << 30);
+    for _ in 0..50 {
+        let c = service.client();
+        assert!(matches!(
+            c.allocate(GpuRef::single(GpuId(0)), 1 << 20),
+            AllocationSite::Peer { .. }
+        ));
+        drop(c);
+    }
+    assert_eq!(service.store().used_bytes(), 50 << 20);
+    assert!(service.shutdown() >= 51);
+}

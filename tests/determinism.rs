@@ -1,0 +1,55 @@
+//! Reproducibility: every experiment is a pure function of its seed — the
+//! property the whole harness rests on (integer-nanosecond clock, explicit
+//! RNG seeds, FIFO event tie-breaking).
+
+use aqua::workloads::prelude::*;
+use aqua_bench::{fig07_long_prompt, fig08_lora, fig09_cfs};
+
+#[test]
+fn traces_are_seed_deterministic() {
+    let cfg = ShareGptConfig::new(5.0, 100);
+    assert_eq!(sharegpt_trace(&cfg, 1, 0), sharegpt_trace(&cfg, 1, 0));
+    assert_ne!(sharegpt_trace(&cfg, 1, 0), sharegpt_trace(&cfg, 2, 0));
+    assert_eq!(lora_trace(4.0, 50, 30, 9, 0), lora_trace(4.0, 50, 30, 9, 0));
+    assert_eq!(item_trace(1.0, 20, 3, 0), item_trace(1.0, 20, 3, 0));
+}
+
+#[test]
+fn long_prompt_experiment_is_deterministic() {
+    let a = fig07_long_prompt::run(30);
+    let b = fig07_long_prompt::run(30);
+    assert_eq!(a.tokens, b.tokens);
+}
+
+#[test]
+fn lora_experiment_is_deterministic() {
+    let a = fig08_lora::run(2.0, 40, 5);
+    let b = fig08_lora::run(2.0, 40, 5);
+    for ((na, la), (nb, lb)) in a.systems.iter().zip(b.systems.iter()) {
+        assert_eq!(na, nb);
+        assert_eq!(la.records(), lb.records());
+    }
+}
+
+#[test]
+fn cfs_experiment_is_deterministic() {
+    let cfg = fig09_cfs::CfsExperiment::figure9(5.0, 40, 3);
+    let a = fig09_cfs::run(&cfg);
+    let b = fig09_cfs::run(&cfg);
+    for ((na, la), (nb, lb)) in a.systems.iter().zip(b.systems.iter()) {
+        assert_eq!(na, nb);
+        assert_eq!(la.rcts(), lb.rcts());
+        assert_eq!(la.ttfts(), lb.ttfts());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = fig08_lora::run(2.0, 40, 5);
+    let b = fig08_lora::run(2.0, 40, 6);
+    assert_ne!(
+        a.systems[0].1.rcts(),
+        b.systems[0].1.rcts(),
+        "different seeds must explore different workloads"
+    );
+}
