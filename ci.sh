@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI for the aqua workspace.
+#
+# Note on offline environments: the workspace depends on a handful of
+# crates-io packages (serde, rand, parking_lot, crossbeam, bytes, plus
+# criterion/proptest for dev). In a container without registry access,
+# `cargo build` fails at dependency resolution before compiling any local
+# code — run this script from a networked environment (or with a vendored
+# registry / offline mirror configured in .cargo/config.toml).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --workspace --release
+cargo test --workspace -q
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings

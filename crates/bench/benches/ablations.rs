@@ -2,8 +2,8 @@
 //! coalescing, CFS slice length, producer sharing, reclaim threshold.
 
 use aqua_bench::ablations::{
-    cfs_slice_table, coalescing_table, lora_skew_table, preemption_table,
-    producer_sharing_table, reclaim_threshold_table,
+    cfs_slice_table, coalescing_table, lora_skew_table, preemption_table, producer_sharing_table,
+    reclaim_threshold_table,
 };
 use aqua_bench::fig10_elasticity::Timeline;
 
@@ -17,4 +17,5 @@ fn main() {
     );
     println!("{}", preemption_table(200, 3));
     println!("{}", lora_skew_table(&[0.0, 0.5, 1.0, 1.5, 2.0], 200, 11));
+    aqua_bench::trace::finish();
 }

@@ -13,4 +13,5 @@ fn main() {
     }
     println!("Paper: OPT-30B consumers generate ~6x more tokens; LoRA RCTs improve");
     println!("up to 1.8x; CFS consumers keep low TTFT — on both splits.");
+    aqua_bench::trace::finish();
 }

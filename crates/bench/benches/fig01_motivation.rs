@@ -8,4 +8,5 @@ fn main() {
     println!("{}", table(&result));
     println!("Paper shape: vLLM TTFT spikes once the pool fills (~20 in-flight");
     println!("contexts); CFS fixes TTFT but pays RCT over PCIe; AQUA keeps both low.");
+    aqua_bench::trace::finish();
 }

@@ -10,4 +10,5 @@ fn main() {
     }
     println!("Paper shape: audio/vision plateau with tens of GiB free;");
     println!("the LLM's free memory collapses toward 0 at peak throughput.");
+    aqua_bench::trace::finish();
 }

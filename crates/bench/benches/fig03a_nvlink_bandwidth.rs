@@ -1,0 +1,10 @@
+//! Regenerates Figure 3a: NVLink effective bandwidth vs buffer size
+//! between two A100s, against the PCIe curve.
+
+use aqua_bench::fig03_links::{bandwidth_table, default_sizes, run_bandwidth};
+
+fn main() {
+    println!("{}", bandwidth_table(&run_bandwidth(&default_sizes())));
+    println!("Paper anchors: ~100 GB/s at 2 MB, ~250 GB/s peak, ~10x PCIe at large buffers.");
+    aqua_bench::trace::finish();
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 3b: producer throughput with memory donated (S)
+//! vs isolated (I) — sharing costs the producer < 5%.
+
+use aqua_bench::fig03_links::{run_sharing, sharing_table};
+
+fn main() {
+    println!("{}", sharing_table(&run_sharing(10)));
+    println!("Paper anchor: donating memory costs every producer < 5% throughput.");
+    aqua_bench::trace::finish();
+}

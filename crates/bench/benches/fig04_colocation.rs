@@ -8,4 +8,5 @@ fn main() {
     let result = run(window);
     println!("{}", table(&result, window));
     println!("Paper: colocation gives LLMs reachable spare HBM; segregation strands them.");
+    aqua_bench::trace::finish();
 }

@@ -7,5 +7,9 @@ fn main() {
     let window = 600; // the paper's ten-minute window
     let result = run(window);
     println!("{}", table(&result, window));
-    println!("Paper: AQUA generates 6x more tokens; measured {:.2}x.", result.speedup());
+    println!(
+        "Paper: AQUA generates 6x more tokens; measured {:.2}x.",
+        result.speedup()
+    );
+    aqua_bench::trace::finish();
 }

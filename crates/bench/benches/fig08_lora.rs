@@ -6,10 +6,17 @@ use aqua_bench::fig08_lora::{run, table};
 fn main() {
     // 8a (image producer lease) and 8b (LLM producer lease) share the data
     // path; the run below is the canonical instance.
-    for (label, seed) in [("AQUA-0 (vs SD/SD-XL server)", 7u64), ("AQUA-1 (vs Llama-2-13B server)", 8)] {
+    for (label, seed) in [
+        ("AQUA-0 (vs SD/SD-XL server)", 7u64),
+        ("AQUA-1 (vs Llama-2-13B server)", 8),
+    ] {
         let result = run(2.0, 300, seed);
         println!("[{label}]");
         println!("{}", table(&result));
-        println!("p50 improvement: {:.2}x (paper: up to 1.8x)\n", result.p50_improvement());
+        println!(
+            "p50 improvement: {:.2}x (paper: up to 1.8x)\n",
+            result.p50_improvement()
+        );
     }
+    aqua_bench::trace::finish();
 }

@@ -20,4 +20,5 @@ fn main() {
             r.cfs_dram_rct_overhead()
         );
     }
+    aqua_bench::trace::finish();
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figures 10 and 11: elastic donation/reclaim between a
 //! Llama-2-13B producer and an OPT-30B long-prompt consumer.
 
-use aqua_bench::fig10_elasticity::{run, run_producer_baseline, producer_table, table, Timeline};
+use aqua_bench::fig10_elasticity::{producer_table, run, run_producer_baseline, table, Timeline};
 
 fn main() {
     let tl = Timeline::default();
@@ -17,4 +17,5 @@ fn main() {
     println!("snaps back on the 5 req/s burst; consumer throughput dips during the");
     println!("reclaim and recovers once memory is re-donated (Fig 10). Producer RCTs");
     println!("track the baseline except the reclaim pause (Fig 11).");
+    aqua_bench::trace::finish();
 }

@@ -1,0 +1,17 @@
+//! Regenerates Figure 11: producer RCTs over the Figure 10 timeline, with
+//! AQUA donating/reclaiming vs the same producer isolated.
+
+use aqua_bench::fig10_elasticity::Timeline;
+use aqua_bench::fig11_producer_overhead::{run_overhead, table};
+
+fn main() {
+    let tl = Timeline::default();
+    let r = run_overhead(&tl, 10, 11);
+    println!("{}", table(&r));
+    println!(
+        "Median producer RCT overhead: {:.2}x (paper: near parity; only the",
+        r.median_overhead()
+    );
+    println!("requests caught in the reclaim pause pay).");
+    aqua_bench::trace::finish();
+}

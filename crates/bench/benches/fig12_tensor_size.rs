@@ -10,4 +10,5 @@ fn main() {
         .collect();
     println!("{}", table(&results));
     println!("Paper: the larger adapter benefits more from AQUA.");
+    aqua_bench::trace::finish();
 }

@@ -8,4 +8,5 @@ fn main() {
     println!("{}", table(&result));
     println!("Paper shape: saw-tooth per turn; CFS-over-DRAM inflates RCT,");
     println!("AQUA stays close to vLLM while keeping CFS responsiveness.");
+    aqua_bench::trace::finish();
 }

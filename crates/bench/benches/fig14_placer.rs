@@ -9,4 +9,5 @@ fn main() {
     println!("Paper shape: mixed-modality inputs take tens of seconds at 128 GPUs");
     println!("(more model types => larger search space); 50/50 LLM inputs stay");
     println!("under a second.");
+    aqua_bench::trace::finish();
 }

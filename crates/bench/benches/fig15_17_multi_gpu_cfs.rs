@@ -6,9 +6,18 @@ use aqua_bench::fig09_cfs::{run, table, CfsExperiment, ProducerChoice};
 
 fn main() {
     let producers = [
-        ("Figure 15: CFS next to a Mistral-7B LLM producer", ProducerChoice::MistralLlm),
-        ("Figure 16: CFS next to StableDiffusion", ProducerChoice::StableDiffusion),
-        ("Figure 17: CFS next to SD-XL + AudioGen", ProducerChoice::SdxlAndAudiogen),
+        (
+            "Figure 15: CFS next to a Mistral-7B LLM producer",
+            ProducerChoice::MistralLlm,
+        ),
+        (
+            "Figure 16: CFS next to StableDiffusion",
+            ProducerChoice::StableDiffusion,
+        ),
+        (
+            "Figure 17: CFS next to SD-XL + AudioGen",
+            ProducerChoice::SdxlAndAudiogen,
+        ),
     ];
     for (title, producer) in producers {
         for rate in [2.0, 5.0] {
@@ -18,8 +27,12 @@ fn main() {
                 ..CfsExperiment::figure9(rate, 200, 5)
             };
             let r = run(&cfg);
-            println!("{}", table(&r, &format!("{title} ({rate} req/s, 8-GPU NVSwitch)")));
+            println!(
+                "{}",
+                table(&r, &format!("{title} ({rate} req/s, 8-GPU NVSwitch)"))
+            );
         }
     }
     println!("Paper: performance improvements mirror Figure 9 on the switched fabric.");
+    aqua_bench::trace::finish();
 }

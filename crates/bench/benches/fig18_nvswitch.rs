@@ -11,4 +11,5 @@ fn main() {
         "Worst consumer at {:.2}x of the 2-GPU reference (paper: parity).",
         result.worst_relative()
     );
+    aqua_bench::trace::finish();
 }

@@ -28,4 +28,5 @@ fn main() {
         b.p50 / a.p50,
         b.p95 / a.p95
     );
+    aqua_bench::trace::finish();
 }

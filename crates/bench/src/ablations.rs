@@ -26,7 +26,13 @@ pub fn coalescing_table() -> Table {
     let nv = BandwidthModel::nvlink_a100();
     let mut t = Table::new(
         "Ablation: coalesced vs scattered NVLink copies (gather/scatter kernels)",
-        &["payload", "chunks", "scattered_ms", "coalesced_ms", "penalty"],
+        &[
+            "payload",
+            "chunks",
+            "scattered_ms",
+            "coalesced_ms",
+            "penalty",
+        ],
     );
     for (label, bytes, chunks) in [
         ("LoRA 320MB", mib(320), 256u64),
@@ -157,7 +163,10 @@ pub fn preemption_table(count: usize, seed: u64) -> Table {
         (PreemptionPolicy::Recompute, "recompute"),
         (PreemptionPolicy::Swap, "swap"),
     ] {
-        for backend in [crate::setup::OffloadKind::DramScattered, crate::setup::OffloadKind::Aqua] {
+        for backend in [
+            crate::setup::OffloadKind::DramScattered,
+            crate::setup::OffloadKind::Aqua,
+        ] {
             let ctx = ServerCtx::eight_gpu();
             ctx.static_lease(GpuId(1), gib(20));
             let mut engine = VllmEngine::new(
@@ -221,13 +230,22 @@ pub fn lora_skew_table(skews: &[f64], count: usize, seed: u64) -> Table {
 
     let mut t = Table::new(
         "Ablation: LoRA adapter popularity skew (Zipf exponent)",
-        &["skew", "cache_hit_rate", "baseline_rct_p50_s", "aqua_rct_p50_s", "improvement"],
+        &[
+            "skew",
+            "cache_hit_rate",
+            "baseline_rct_p50_s",
+            "aqua_rct_p50_s",
+            "improvement",
+        ],
     );
     for &skew in skews {
         let trace = lora_trace_skewed(2.0, count, 30, skew, seed, 0);
         let mut row = Vec::new();
         let mut hit_rate = 0.0;
-        for kind in [crate::setup::OffloadKind::DramPageable, crate::setup::OffloadKind::Aqua] {
+        for kind in [
+            crate::setup::OffloadKind::DramPageable,
+            crate::setup::OffloadKind::Aqua,
+        ] {
             let ctx = ServerCtx::two_gpu();
             if kind == crate::setup::OffloadKind::Aqua {
                 ctx.static_lease(GpuId(1), gib(12));

@@ -47,7 +47,8 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig07", "long-prompt tokens: DeepSpeed/FlexGen/AQUA"),
     ("fig08", "LoRA adapter RCTs"),
     ("fig09", "CFS responsiveness at 2 and 5 req/s"),
-    ("fig10", "elastic donate/reclaim timeline (+ fig11)"),
+    ("fig10", "elastic donate/reclaim timeline"),
+    ("fig11", "producer RCT overhead of donating via AQUA"),
     ("fig12", "benefit vs offloaded tensor size"),
     ("fig13", "multi-turn chatbot saw-tooth"),
     ("fig14", "placer convergence time"),
@@ -77,7 +78,10 @@ fn run_experiment(name: &str, a: &Args) -> Result<(), String> {
                     &fig03_links::default_sizes()
                 ))
             );
-            println!("{}", fig03_links::sharing_table(&fig03_links::run_sharing(5)));
+            println!(
+                "{}",
+                fig03_links::sharing_table(&fig03_links::run_sharing(5))
+            );
         }
         "fig04" => {
             let r = fig04_colocation::run(a.window);
@@ -95,7 +99,10 @@ fn run_experiment(name: &str, a: &Args) -> Result<(), String> {
             for rate in [2.0, 5.0] {
                 let cfg = fig09_cfs::CfsExperiment::figure9(rate, a.count, a.seed);
                 let r = fig09_cfs::run(&cfg);
-                println!("{}", fig09_cfs::table(&r, &format!("Figure 9 at {rate} req/s")));
+                println!(
+                    "{}",
+                    fig09_cfs::table(&r, &format!("Figure 9 at {rate} req/s"))
+                );
             }
         }
         "fig10" => {
@@ -107,6 +114,12 @@ fn run_experiment(name: &str, a: &Args) -> Result<(), String> {
                 "{}",
                 fig10_elasticity::producer_table(&r.producer_log, &baseline)
             );
+        }
+        "fig11" => {
+            let tl = fig10_elasticity::Timeline::default();
+            let r = fig11_producer_overhead::run_overhead(&tl, 10, a.seed);
+            println!("{}", fig11_producer_overhead::table(&r));
+            println!("median overhead: {:.2}x", r.median_overhead());
         }
         "fig12" => {
             let results: Vec<_> = fig12_tensor_size::paper_sizes()
@@ -143,7 +156,10 @@ fn run_experiment(name: &str, a: &Args) -> Result<(), String> {
         }
         "ablations" => {
             println!("{}", ablations::coalescing_table());
-            println!("{}", ablations::cfs_slice_table(&[2, 4, 8, 16], a.count.min(120), a.seed));
+            println!(
+                "{}",
+                ablations::cfs_slice_table(&[2, 4, 8, 16], a.count.min(120), a.seed)
+            );
             println!("{}", ablations::producer_sharing_table(a.window));
             println!(
                 "{}",
@@ -154,7 +170,10 @@ fn run_experiment(name: &str, a: &Args) -> Result<(), String> {
                 )
             );
             println!("{}", ablations::preemption_table(a.count, a.seed));
-            println!("{}", ablations::lora_skew_table(&[0.0, 1.0, 2.0], a.count, a.seed));
+            println!(
+                "{}",
+                ablations::lora_skew_table(&[0.0, 1.0, 2.0], a.count, a.seed)
+            );
         }
         other => return Err(format!("unknown experiment `{other}` (try `list`)")),
     }
@@ -190,6 +209,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            trace::finish();
             ExitCode::SUCCESS
         }
         name => {
@@ -201,7 +221,10 @@ fn main() -> ExitCode {
                 }
             };
             match run_experiment(name, &args) {
-                Ok(()) => ExitCode::SUCCESS,
+                Ok(()) => {
+                    trace::finish();
+                    ExitCode::SUCCESS
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE

@@ -217,8 +217,7 @@ fn place(models: &[HostedModel]) -> (Vec<usize>, Vec<(usize, usize, usize)>) {
     let mut pairs = Vec::new();
     for s in 0..inst.servers {
         let members = placement.models_on(s);
-        let member_specs: Vec<ModelSpec> =
-            members.iter().map(|&m| specs[m].clone()).collect();
+        let member_specs: Vec<ModelSpec> = members.iter().map(|&m| specs[m].clone()).collect();
         for p in stable_match(&member_specs) {
             pairs.push((s, members[p.consumer], members[p.producer]));
         }
@@ -226,7 +225,7 @@ fn place(models: &[HostedModel]) -> (Vec<usize>, Vec<(usize, usize, usize)>) {
     (placement.assignment, pairs)
 }
 
-fn producer_for<'a>(models: &'a [HostedModel], idx: usize) -> &'a ModelProfile {
+fn producer_for(models: &[HostedModel], idx: usize) -> &ModelProfile {
     match &models[idx] {
         HostedModel::MediaProducer(m) | HostedModel::LlmProducer(m) => m,
         HostedModel::Consumer(_) => panic!("matching paired a consumer as producer"),
@@ -257,7 +256,10 @@ fn run_pair(
                             std::sync::Arc::clone(&ctx.coordinator),
                         ),
                     ));
-                    driver.schedule_trace(1, item_trace(0.4, (window_secs / 3) as usize, seed + 1, 1_000_000));
+                    driver.schedule_trace(
+                        1,
+                        item_trace(0.4, (window_secs / 3) as usize, seed + 1, 1_000_000),
+                    );
                     producers.push(Box::new(engine));
                 }
                 HostedModel::LlmProducer(m) => {
@@ -300,7 +302,11 @@ fn run_pair(
             }
             ConsumerKind::Lora => {
                 let adapters = LoraAdapter::zephyr().synthesize_pool(30);
-                let kind = if aqua { OffloadKind::Aqua } else { OffloadKind::DramPageable };
+                let kind = if aqua {
+                    OffloadKind::Aqua
+                } else {
+                    OffloadKind::DramPageable
+                };
                 let mut engine = mistral_lora_vllm(&ctx, kind, adapters, 10);
                 if aqua {
                     // Adapters are prestaged by mistral_lora_vllm once the
@@ -312,14 +318,16 @@ fn run_pair(
                 for p in producers.iter_mut() {
                     engines.push(p.as_mut());
                 }
-                driver.run(&mut engines, horizon + aqua_sim::time::SimDuration::from_secs(600));
+                driver.run(
+                    &mut engines,
+                    horizon + aqua_sim::time::SimDuration::from_secs(600),
+                );
                 let log: RequestLog = engine.drain_completions().into_iter().collect();
                 log.rct_summary().p50
             }
             ConsumerKind::Cfs => {
                 let count = (window_secs * 5) as usize;
-                let trace =
-                    sharegpt_trace(&ShareGptConfig::code_summary(5.0, count), seed, 0);
+                let trace = sharegpt_trace(&ShareGptConfig::code_summary(5.0, count), seed, 0);
                 if aqua {
                     let mut engine = codellama_cfs(&ctx, OffloadKind::Aqua, 1 << 30, 4);
                     driver.schedule_trace(0, trace);
@@ -327,14 +335,20 @@ fn run_pair(
                     for p in producers.iter_mut() {
                         engines.push(p.as_mut());
                     }
-                    driver.run(&mut engines, horizon + aqua_sim::time::SimDuration::from_secs(1_200));
+                    driver.run(
+                        &mut engines,
+                        horizon + aqua_sim::time::SimDuration::from_secs(1_200),
+                    );
                     let log: RequestLog = engine.drain_completions().into_iter().collect();
                     ttft_p90(&log)
                 } else {
                     let mut engine = crate::setup::codellama_vllm(1 << 30);
                     driver.schedule_trace(0, trace);
                     let mut engines: Vec<&mut dyn Engine> = vec![&mut engine];
-                    driver.run(&mut engines, horizon + aqua_sim::time::SimDuration::from_secs(1_200));
+                    driver.run(
+                        &mut engines,
+                        horizon + aqua_sim::time::SimDuration::from_secs(1_200),
+                    );
                     let log: RequestLog = engine.drain_completions().into_iter().collect();
                     ttft_p90(&log)
                 }
@@ -393,7 +407,10 @@ pub fn run(split: Split, window_secs: u64, seed: u64) -> E2eResult {
 /// Renders the placement and per-consumer outcomes.
 pub fn tables(result: &E2eResult) -> (Table, Table) {
     let mut placement = Table::new(
-        format!("Section 6.1 ({}) — AQUA-PLACER placement, 8 servers x 2 GPUs", result.split),
+        format!(
+            "Section 6.1 ({}) — AQUA-PLACER placement, 8 servers x 2 GPUs",
+            result.split
+        ),
         &["server", "models"],
     );
     for (s, names) in &result.placement {
@@ -401,7 +418,15 @@ pub fn tables(result: &E2eResult) -> (Table, Table) {
     }
     let mut outcomes = Table::new(
         format!("Section 6.1 ({}) — per-consumer results", result.split),
-        &["server", "workload", "paired_producer", "metric", "baseline", "aqua", "factor"],
+        &[
+            "server",
+            "workload",
+            "paired_producer",
+            "metric",
+            "baseline",
+            "aqua",
+            "factor",
+        ],
     );
     for o in &result.outcomes {
         outcomes.row(&[

@@ -55,11 +55,17 @@ pub fn run(rate: f64, count: usize, seed: u64) -> Fig01Result {
         driver.schedule_trace(0, trace.clone());
         let mut engines: Vec<&mut dyn Engine> = vec![&mut engine];
         driver.run(&mut engines, horizon);
-        systems.push(("vllm".to_owned(), engine.drain_completions().into_iter().collect()));
+        systems.push((
+            "vllm".to_owned(),
+            engine.drain_completions().into_iter().collect(),
+        ));
     }
 
     // vLLM + CFS over DRAM, and AQUA (CFS over NVLink).
-    for (name, kind) in [("vllm+cfs", OffloadKind::DramScattered), ("aqua", OffloadKind::Aqua)] {
+    for (name, kind) in [
+        ("vllm+cfs", OffloadKind::DramScattered),
+        ("aqua", OffloadKind::Aqua),
+    ] {
         let ctx = ServerCtx::two_gpu();
         if kind == OffloadKind::Aqua {
             // The neighbouring GPU (hosting a compute-bound model) leases
@@ -81,7 +87,10 @@ pub fn run(rate: f64, count: usize, seed: u64) -> Fig01Result {
         driver.schedule_trace(0, trace.clone());
         let mut engines: Vec<&mut dyn Engine> = vec![&mut engine];
         driver.run(&mut engines, horizon);
-        systems.push((name.to_owned(), engine.drain_completions().into_iter().collect()));
+        systems.push((
+            name.to_owned(),
+            engine.drain_completions().into_iter().collect(),
+        ));
     }
 
     Fig01Result { systems }
@@ -91,7 +100,14 @@ pub fn run(rate: f64, count: usize, seed: u64) -> Fig01Result {
 pub fn table(result: &Fig01Result) -> Table {
     let mut t = Table::new(
         "Figure 1: responsiveness (TTFT) and throughput (RCT) at 5 req/s",
-        &["system", "n", "ttft_p50_s", "ttft_p99_s", "rct_p50_s", "rct_p99_s"],
+        &[
+            "system",
+            "n",
+            "ttft_p50_s",
+            "ttft_p99_s",
+            "rct_p50_s",
+            "rct_p99_s",
+        ],
     );
     for (name, log) in &result.systems {
         let ttft = log.ttft_summary();

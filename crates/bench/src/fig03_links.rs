@@ -6,8 +6,8 @@
 //! (S = shared vs I = isolated).
 
 use crate::setup::producer_engine;
-use aqua_engines::northbound::MemoryElastic;
 use aqua_engines::driver::Engine;
+use aqua_engines::northbound::MemoryElastic;
 use aqua_engines::request::InferenceRequest;
 use aqua_metrics::table::Table;
 use aqua_models::zoo;

@@ -70,7 +70,10 @@ pub fn run(window_secs: u64) -> Fig07Result {
         driver.run(&mut engines, SimTime::from_secs(window_secs));
         tokens.push(("deepspeed".to_owned(), engine.tokens_generated()));
     }
-    for (name, kind) in [("flexgen", OffloadKind::DramPinned), ("aqua", OffloadKind::Aqua)] {
+    for (name, kind) in [
+        ("flexgen", OffloadKind::DramPinned),
+        ("aqua", OffloadKind::Aqua),
+    ] {
         let ctx = ServerCtx::two_gpu();
         if kind == OffloadKind::Aqua {
             ctx.static_lease(GpuId(1), PRODUCER_LEASE);
@@ -119,7 +122,10 @@ mod tests {
     #[test]
     fn premise_holds() {
         assert!(context_exceeds_budget());
-        assert!(PRODUCER_LEASE > gib(11), "lease covers the streamed context");
+        assert!(
+            PRODUCER_LEASE > gib(11),
+            "lease covers the streamed context"
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub fn run(rate: f64, count: usize, seed: u64) -> Fig08Result {
         driver.schedule_trace(0, trace.clone());
         let mut engines: Vec<&mut dyn Engine> = vec![&mut engine];
         driver.run(&mut engines, SimTime::from_secs(3_600));
-        systems.push((name.to_owned(), engine.drain_completions().into_iter().collect()));
+        systems.push((
+            name.to_owned(),
+            engine.drain_completions().into_iter().collect(),
+        ));
     }
     Fig08Result { systems }
 }
@@ -80,7 +83,15 @@ pub fn run(rate: f64, count: usize, seed: u64) -> Fig08Result {
 pub fn table(result: &Fig08Result) -> Table {
     let mut t = Table::new(
         "Figure 8: sorted LoRA request completion times (Mistral-7B, 30x320MB adapters)",
-        &["system", "n", "rct_p0_s", "rct_p25_s", "rct_p50_s", "rct_p75_s", "rct_p100_s"],
+        &[
+            "system",
+            "n",
+            "rct_p0_s",
+            "rct_p25_s",
+            "rct_p50_s",
+            "rct_p75_s",
+            "rct_p100_s",
+        ],
     );
     for (name, log) in &result.systems {
         let cdf = aqua_metrics::cdf::Cdf::from_samples(&log.rcts());

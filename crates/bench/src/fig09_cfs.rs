@@ -133,10 +133,10 @@ pub fn attach_producers(
             ProducerChoice::SdxlAndAudiogen => zoo::stable_diffusion_xl(),
             ProducerChoice::MistralLlm => unreachable!("handled separately"),
         };
-        let engine = producer_engine(&model).with_informer(Box::new(BatchInformer::new(
-            GpuRef::single(GpuId(gpu)),
-            Arc::clone(&ctx.coordinator),
-        )));
+        let engine = producer_engine(&model).with_informer(Box::new(
+            BatchInformer::new(GpuRef::single(GpuId(gpu)), Arc::clone(&ctx.coordinator))
+                .with_tracer(ctx.tracer.clone()),
+        ));
         engines.push(Box::new(engine));
     };
 
@@ -150,7 +150,8 @@ pub fn attach_producers(
                 BatchInformer::new(
                     GpuRef::single(GpuId(first_gpu + 1)),
                     Arc::clone(&ctx.coordinator),
-                ),
+                )
+                .with_tracer(ctx.tracer.clone()),
             ));
             engines.push(Box::new(audio));
         }
@@ -168,9 +169,11 @@ pub fn attach_producers(
     for (i, _) in engines.iter().enumerate() {
         let count = (duration_secs as f64 * 0.4) as usize;
         let trace = match choice {
-            ProducerChoice::MistralLlm => {
-                sharegpt_trace(&ShareGptConfig::new(0.4, count), seed + 100 + i as u64, 1_000_000)
-            }
+            ProducerChoice::MistralLlm => sharegpt_trace(
+                &ShareGptConfig::new(0.4, count),
+                seed + 100 + i as u64,
+                1_000_000,
+            ),
             _ => item_trace(0.4, count, seed + 100 + i as u64, 1_000_000),
         };
         driver.schedule_trace(base_index + i, trace);
@@ -178,29 +181,48 @@ pub fn attach_producers(
     engines
 }
 
-/// Runs the three systems over the same trace.
+/// Runs the three systems over the same trace with the process tracer
+/// (`AQUA_TRACE` when set, otherwise the no-op tracer).
 pub fn run(cfg: &CfsExperiment) -> CfsResult {
+    run_traced(cfg, crate::trace::tracer())
+}
+
+/// Runs the three systems over the same trace, journalling every transfer,
+/// lease and slice into `tracer`. Same-seed runs produce byte-identical
+/// journals (the determinism-digest property `tests/determinism.rs` pins).
+pub fn run_traced(cfg: &CfsExperiment, tracer: aqua_telemetry::SharedTracer) -> CfsResult {
     // The consumer workload is the Table-1 code-summary trace.
-    let trace = sharegpt_trace(&ShareGptConfig::code_summary(cfg.rate, cfg.count), cfg.seed, 0);
+    let trace = sharegpt_trace(
+        &ShareGptConfig::code_summary(cfg.rate, cfg.count),
+        cfg.seed,
+        0,
+    );
     let duration = (cfg.count as f64 / cfg.rate) as u64 + 600;
     let horizon = SimTime::from_secs(duration + 1_200);
     let mut systems = Vec::new();
 
     // vLLM baseline (no producer interaction needed).
     {
-        let mut engine = codellama_vllm(cfg.pool_bytes);
+        let mut engine =
+            codellama_vllm(cfg.pool_bytes).with_tracer(tracer.clone(), "vllm:baseline");
         let mut driver = Driver::new();
         driver.schedule_trace(0, trace.clone());
         let mut engines: Vec<&mut dyn Engine> = vec![&mut engine];
         driver.run(&mut engines, horizon);
-        systems.push(("vllm".to_owned(), engine.drain_completions().into_iter().collect()));
+        systems.push((
+            "vllm".to_owned(),
+            engine.drain_completions().into_iter().collect(),
+        ));
     }
 
-    for (name, kind) in [("vllm+cfs", OffloadKind::DramScattered), ("aqua", OffloadKind::Aqua)] {
+    for (name, kind) in [
+        ("vllm+cfs", OffloadKind::DramScattered),
+        ("aqua", OffloadKind::Aqua),
+    ] {
         let ctx = if cfg.eight_gpu {
-            ServerCtx::eight_gpu()
+            ServerCtx::eight_gpu_traced(tracer.clone())
         } else {
-            ServerCtx::two_gpu()
+            ServerCtx::two_gpu_traced(tracer.clone())
         };
         let mut driver = Driver::new();
         driver.schedule_trace(0, trace.clone());
@@ -215,7 +237,10 @@ pub fn run(cfg: &CfsExperiment) -> CfsResult {
             engines.push(p.as_mut());
         }
         driver.run(&mut engines, horizon);
-        systems.push((name.to_owned(), consumer.drain_completions().into_iter().collect()));
+        systems.push((
+            name.to_owned(),
+            consumer.drain_completions().into_iter().collect(),
+        ));
     }
     CfsResult { systems }
 }
@@ -224,13 +249,27 @@ pub fn run(cfg: &CfsExperiment) -> CfsResult {
 pub fn table(result: &CfsResult, title: &str) -> Table {
     let mut t = Table::new(
         title,
-        &["system", "n", "ttft_p50_s", "ttft_p90_s", "rct_p50_s", "rct_p90_s"],
+        &[
+            "system",
+            "n",
+            "ttft_p50_s",
+            "ttft_p90_s",
+            "rct_p50_s",
+            "rct_p90_s",
+        ],
     );
     for (name, log) in &result.systems {
         let ttfts = log.ttfts();
         let rcts = log.rcts();
         if ttfts.is_empty() {
-            t.row(&[name.clone(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            t.row(&[
+                name.clone(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         t.row(&[

@@ -71,12 +71,21 @@ pub struct Fig10Result {
     pub consumer_tokens: u64,
 }
 
-fn producer_trace(tl: &Timeline, seed: u64) -> Vec<(SimTime, aqua_engines::request::InferenceRequest)> {
+fn producer_trace(
+    tl: &Timeline,
+    seed: u64,
+) -> Vec<(SimTime, aqua_engines::request::InferenceRequest)> {
     // ShareGPT-like lengths with the paper's two-phase arrival pattern.
     let mut s = Sampler::new(seed);
     let mut out = Vec::new();
     let mut id = 500_000u64;
-    let phase = |start: u64, rate: f64, count: usize, output_mu: f64, s: &mut Sampler, out: &mut Vec<_>, id: &mut u64| {
+    let phase = |start: u64,
+                 rate: f64,
+                 count: usize,
+                 output_mu: f64,
+                 s: &mut Sampler,
+                 out: &mut Vec<_>,
+                 id: &mut u64| {
         for at in s.poisson_arrivals(SimTime::from_secs(start), rate, count) {
             let prompt = s.token_count(5.2, 0.9, 16, 1024);
             let output = s.token_count(output_mu, 0.7, 16, 1024);
@@ -88,22 +97,39 @@ fn producer_trace(tl: &Timeline, seed: u64) -> Vec<(SimTime, aqua_engines::reque
         }
     };
     // Low phase: ordinary ShareGPT responses — the retained 5 GB copes.
-    phase(tl.low_phase_start, 1.0, tl.low_count, 5.0, &mut s, &mut out, &mut id);
+    phase(
+        tl.low_phase_start,
+        1.0,
+        tl.low_count,
+        5.0,
+        &mut s,
+        &mut out,
+        &mut id,
+    );
     // Burst: long responses at 5 req/s genuinely exhaust the retained
     // memory, so the informer reclaims.
-    phase(tl.burst_start, 5.0, tl.burst_count, 5.8, &mut s, &mut out, &mut id);
+    phase(
+        tl.burst_start,
+        5.0,
+        tl.burst_count,
+        5.8,
+        &mut s,
+        &mut out,
+        &mut id,
+    );
     out
 }
 
 /// Runs the elasticity experiment, sampling every `sample_secs`.
 pub fn run(tl: &Timeline, sample_secs: u64, seed: u64) -> Fig10Result {
     let ctx = ServerCtx::two_gpu();
-    let mut producer = ctx.llm_producer_with_informer(
-        &zoo::llama2_13b(),
-        GpuId(1),
-        LlmInformerConfig::default(),
+    let mut producer =
+        ctx.llm_producer_with_informer(&zoo::llama2_13b(), GpuId(1), LlmInformerConfig::default());
+    let mut consumer = opt_flexgen(
+        &ctx,
+        OffloadKind::Aqua,
+        crate::fig07_long_prompt::CONTEXT_BUDGET,
     );
-    let mut consumer = opt_flexgen(&ctx, OffloadKind::Aqua, crate::fig07_long_prompt::CONTEXT_BUDGET);
 
     let mut driver = Driver::new();
     driver.schedule_trace(
@@ -149,11 +175,8 @@ pub fn run(tl: &Timeline, sample_secs: u64, seed: u64) -> Fig10Result {
 /// Figure 11 baseline: the identical producer workload without AQUA.
 pub fn run_producer_baseline(tl: &Timeline, seed: u64) -> RequestLog {
     let ctx = ServerCtx::two_gpu();
-    let mut producer = ctx.llm_producer_with_informer(
-        &zoo::llama2_13b(),
-        GpuId(1),
-        LlmInformerConfig::default(),
-    );
+    let mut producer =
+        ctx.llm_producer_with_informer(&zoo::llama2_13b(), GpuId(1), LlmInformerConfig::default());
     // Strip the informer by rebuilding a plain engine with the same pool.
     let _ = &mut producer;
     let geom = *zoo::llama2_13b().llm_geometry().unwrap();
@@ -215,14 +238,14 @@ pub fn producer_table(aqua: &RequestLog, baseline: &RequestLog) -> Table {
 }
 
 /// Helper for tests and ablations: run with a custom informer threshold.
-pub fn run_with_informer(
-    tl: &Timeline,
-    config: LlmInformerConfig,
-    seed: u64,
-) -> (u64, RequestLog) {
+pub fn run_with_informer(tl: &Timeline, config: LlmInformerConfig, seed: u64) -> (u64, RequestLog) {
     let ctx = ServerCtx::two_gpu();
     let mut producer = ctx.llm_producer_with_informer(&zoo::llama2_13b(), GpuId(1), config);
-    let mut consumer = opt_flexgen(&ctx, OffloadKind::Aqua, crate::fig07_long_prompt::CONTEXT_BUDGET);
+    let mut consumer = opt_flexgen(
+        &ctx,
+        OffloadKind::Aqua,
+        crate::fig07_long_prompt::CONTEXT_BUDGET,
+    );
     let mut driver = Driver::new();
     driver.schedule_trace(
         0,

@@ -1,0 +1,72 @@
+//! Figure 11 — producer-side cost of donating memory through AQUA.
+//!
+//! Reuses the Figure 10 workload (Llama-2-13B producer sharing the 2-GPU
+//! server with an OPT-30B FlexGen consumer) but reports the *producer's*
+//! request completion times: one run with AQUA active (the informer donates,
+//! the consumer borrows, the burst forces a reclaim) and one baseline run of
+//! the identical trace with the producer isolated. The paper's claim is that
+//! the two RCT curves coincide except for the requests caught in the reclaim
+//! pause.
+
+use crate::fig10_elasticity::{producer_table, run, run_producer_baseline, Timeline};
+use aqua_metrics::requests::RequestLog;
+use aqua_metrics::table::Table;
+
+/// Producer logs with and without AQUA, over the same trace and seed.
+#[derive(Debug)]
+pub struct Fig11Result {
+    /// Producer RCT log while donating through AQUA.
+    pub aqua: RequestLog,
+    /// Producer RCT log serving the same trace in isolation.
+    pub baseline: RequestLog,
+}
+
+impl Fig11Result {
+    /// Median producer RCT ratio, AQUA over baseline (the paper reports
+    /// near parity — the donation itself is free, only the reclaim pauses).
+    pub fn median_overhead(&self) -> f64 {
+        self.aqua.rct_summary().p50 / self.baseline.rct_summary().p50
+    }
+}
+
+/// Runs the Figure 10 timeline twice, once with AQUA and once isolated, and
+/// keeps only the producer-side logs.
+pub fn run_overhead(tl: &Timeline, sample_secs: u64, seed: u64) -> Fig11Result {
+    let aqua = run(tl, sample_secs, seed).producer_log;
+    let baseline = run_producer_baseline(tl, seed);
+    Fig11Result { aqua, baseline }
+}
+
+/// Renders the Figure 11 RCT comparison.
+pub fn table(result: &Fig11Result) -> Table {
+    producer_table(&result.aqua, &result.baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn producer_rcts_near_parity_outside_reclaim() {
+        let tl = Timeline {
+            low_phase_start: 20,
+            low_count: 20,
+            burst_start: 80,
+            burst_count: 200,
+            end: 180,
+        };
+        let r = run_overhead(&tl, 5, 17);
+        assert!(
+            r.aqua.len() >= 130,
+            "aqua producer finished {}",
+            r.aqua.len()
+        );
+        assert_eq!(r.baseline.len(), 220);
+        let overhead = r.median_overhead();
+        assert!(
+            overhead < 2.0,
+            "median producer RCT ratio {overhead:.2} (paper: near parity)"
+        );
+        assert!(!table(&r).is_empty());
+    }
+}

@@ -44,7 +44,10 @@ fn trace(count: usize, rate: f64, seed: u64) -> Vec<(SimTime, InferenceRequest)>
             let prompt = s.token_count(5.0, 0.8, 16, 1024);
             let output = s.token_count(4.2, 0.7, 8, 256);
             // Each prompt gets its own adapter: guaranteed miss.
-            (at, InferenceRequest::with_adapter(i as u64, prompt, output, i))
+            (
+                at,
+                InferenceRequest::with_adapter(i as u64, prompt, output, i),
+            )
         })
         .collect()
 }
@@ -82,7 +85,12 @@ pub fn run(adapter_bytes: u64, count: usize, rate: f64, seed: u64) -> Fig12Resul
 pub fn table(results: &[Fig12Result]) -> Table {
     let mut t = Table::new(
         "Figure 12: AQUA benefit vs offloaded tensor size (200 adapters, 10 req/s)",
-        &["adapter_mb", "baseline_rct_p50_s", "aqua_rct_p50_s", "improvement"],
+        &[
+            "adapter_mb",
+            "baseline_rct_p50_s",
+            "aqua_rct_p50_s",
+            "improvement",
+        ],
     );
     for r in results {
         t.row(&[

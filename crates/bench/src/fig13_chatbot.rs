@@ -68,7 +68,7 @@ fn run_closed_loop(
         let mut turn_records: Vec<RequestRecord> = Vec::new();
         let mut t = wave_max;
         while turn_records.len() < wave.len() && t < horizon {
-            t = t + SimDuration::from_secs(5);
+            t += SimDuration::from_secs(5);
             {
                 let mut engines: Vec<&mut dyn Engine> = vec![&mut *engine];
                 for p in producers.iter_mut() {
@@ -114,7 +114,10 @@ pub fn run(users: usize, turns: usize, seed: u64) -> Fig13Result {
         });
     }
 
-    for (name, kind) in [("vllm+cfs", OffloadKind::DramScattered), ("aqua", OffloadKind::Aqua)] {
+    for (name, kind) in [
+        ("vllm+cfs", OffloadKind::DramScattered),
+        ("aqua", OffloadKind::Aqua),
+    ] {
         let ctx = ServerCtx::two_gpu();
         let mut driver = Driver::new();
         let producers = if kind == OffloadKind::Aqua {

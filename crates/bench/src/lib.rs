@@ -22,11 +22,13 @@ pub mod fig07_long_prompt;
 pub mod fig08_lora;
 pub mod fig09_cfs;
 pub mod fig10_elasticity;
+pub mod fig11_producer_overhead;
 pub mod fig12_tensor_size;
 pub mod fig13_chatbot;
 pub mod fig14_placer;
 pub mod fig18_nvswitch;
 pub mod setup;
 pub mod tables_registry;
+pub mod trace;
 
 pub use setup::{OffloadKind, ServerCtx};

@@ -15,6 +15,7 @@ use aqua_sim::gpu::{GpuId, GpuSpec};
 use aqua_sim::link::bytes::gib;
 use aqua_sim::topology::ServerTopology;
 use aqua_sim::transfer::TransferEngine;
+use aqua_telemetry::SharedTracer;
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -55,33 +56,54 @@ pub struct ServerCtx {
     pub transfers: Rc<RefCell<TransferEngine>>,
     /// The AQUA coordinator.
     pub coordinator: Arc<Coordinator>,
+    /// The tracer every component built through this context reports to
+    /// (the process `AQUA_TRACE` tracer unless injected explicitly).
+    pub tracer: SharedTracer,
 }
 
 impl ServerCtx {
     /// The paper's first testbed: 2× A100-80G joined by direct NVLinks.
     pub fn two_gpu() -> Self {
-        ServerCtx {
-            server: Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g())),
-            transfers: Rc::new(RefCell::new(TransferEngine::new())),
-            coordinator: Arc::new(Coordinator::new()),
-        }
+        Self::two_gpu_traced(crate::trace::tracer())
     }
 
     /// The paper's second testbed: 8× A100-80G behind an NVSwitch.
     pub fn eight_gpu() -> Self {
+        Self::eight_gpu_traced(crate::trace::tracer())
+    }
+
+    /// [`ServerCtx::two_gpu`] with an explicit tracer (determinism tests
+    /// journal the same scenario into two independent journals).
+    pub fn two_gpu_traced(tracer: SharedTracer) -> Self {
+        Self::build(ServerTopology::nvlink_pair(GpuSpec::a100_80g()), tracer)
+    }
+
+    /// [`ServerCtx::eight_gpu`] with an explicit tracer.
+    pub fn eight_gpu_traced(tracer: SharedTracer) -> Self {
+        Self::build(ServerTopology::nvswitch(8, GpuSpec::a100_80g()), tracer)
+    }
+
+    fn build(server: ServerTopology, tracer: SharedTracer) -> Self {
+        let mut transfers = TransferEngine::new();
+        transfers.set_tracer(tracer.clone(), 0);
+        let coordinator = Arc::new(Coordinator::new());
+        coordinator.set_tracer(tracer.clone());
         ServerCtx {
-            server: Rc::new(ServerTopology::nvswitch(8, GpuSpec::a100_80g())),
-            transfers: Rc::new(RefCell::new(TransferEngine::new())),
-            coordinator: Arc::new(Coordinator::new()),
+            server: Rc::new(server),
+            transfers: Rc::new(RefCell::new(transfers)),
+            coordinator,
+            tracer,
         }
     }
 
     /// Builds an offload backend of `kind` for the consumer at `gpu`.
     pub fn offloader(&self, kind: OffloadKind, gpu: GpuId) -> Box<dyn Offloader> {
         match kind {
-            OffloadKind::DramPinned => {
-                Box::new(DramOffloader::pinned(&self.server, gpu, self.transfers.clone()))
-            }
+            OffloadKind::DramPinned => Box::new(DramOffloader::pinned(
+                &self.server,
+                gpu,
+                self.transfers.clone(),
+            )),
             OffloadKind::DramScattered => Box::new(DramOffloader::pinned_scattered(
                 &self.server,
                 gpu,
@@ -105,6 +127,7 @@ impl ServerCtx {
             self.server.clone(),
             self.transfers.clone(),
         )
+        .with_tracer(self.tracer.clone())
     }
 
     /// Registers a static lease of `bytes` from the producer at `gpu`
@@ -123,10 +146,10 @@ impl ServerCtx {
     /// with a batch informer donating its free memory.
     pub fn producer_with_informer(&self, model: &ModelProfile, gpu: GpuId) -> ProducerEngine {
         let engine = producer_engine(model);
-        engine.with_informer(Box::new(BatchInformer::new(
-            GpuRef::single(gpu),
-            Arc::clone(&self.coordinator),
-        )))
+        engine.with_informer(Box::new(
+            BatchInformer::new(GpuRef::single(gpu), Arc::clone(&self.coordinator))
+                .with_tracer(self.tracer.clone()),
+        ))
     }
 
     /// An LLM producer (vLLM serving ShareGPT) with an llm-informer.
@@ -149,11 +172,11 @@ impl ServerCtx {
                 ..VllmConfig::default()
             },
         )
-        .with_informer(Box::new(LlmInformer::new(
-            GpuRef::single(gpu),
-            Arc::clone(&self.coordinator),
-            config,
-        )))
+        .with_tracer(self.tracer.clone(), format!("vllm-producer:{gpu}"))
+        .with_informer(Box::new(
+            LlmInformer::new(GpuRef::single(gpu), Arc::clone(&self.coordinator), config)
+                .with_tracer(self.tracer.clone()),
+        ))
     }
 }
 
@@ -205,6 +228,7 @@ pub fn codellama_cfs(ctx: &ServerCtx, kind: OffloadKind, pool_bytes: u64, slice:
         },
         ctx.offloader(kind, GpuId(0)),
     )
+    .with_tracer(ctx.tracer.clone(), format!("cfs:{kind}"))
 }
 
 /// Builds the Figure 9 vLLM baseline for Codellama-34B.
@@ -235,6 +259,7 @@ pub fn opt_flexgen(ctx: &ServerCtx, kind: OffloadKind, budget: u64) -> FlexGenEn
         },
         ctx.offloader(kind, GpuId(0)),
     )
+    .with_tracer(ctx.tracer.clone(), format!("flexgen:{kind}"))
 }
 
 /// Builds the Figure 8/12 consumer: Mistral-7B with a LoRA adapter pool.
@@ -267,6 +292,7 @@ pub fn mistral_lora_vllm(
             ..VllmConfig::default()
         },
     )
+    .with_tracer(ctx.tracer.clone(), format!("vllm-lora:{kind}"))
     .with_adapters(adapters)
     .with_offloader(offloader)
 }

@@ -15,9 +15,17 @@ pub fn table1() -> Table {
         "Table 1: LLM inference jobs with GPU memory deficit (consumers)",
         &["model", "workload", "serving_engine"],
     );
-    t.row(&["OPT-30B".into(), "Long-prompt inference".into(), "FlexGen".into()]);
+    t.row(&[
+        "OPT-30B".into(),
+        "Long-prompt inference".into(),
+        "FlexGen".into(),
+    ]);
     t.row(&["Mistral-7B".into(), "LoRA adapters".into(), "vLLM".into()]);
-    t.row(&["Codellama-34B".into(), "Code summary".into(), "vLLM + CFS".into()]);
+    t.row(&[
+        "Codellama-34B".into(),
+        "Code summary".into(),
+        "vLLM + CFS".into(),
+    ]);
     t
 }
 
@@ -56,7 +64,13 @@ pub fn table3() -> Table {
 pub fn model_inventory() -> Table {
     let mut t = Table::new(
         "Model inventory (derived from published geometry)",
-        &["model", "modality", "bound", "weights_gib", "kv_mb_per_token"],
+        &[
+            "model",
+            "modality",
+            "bound",
+            "weights_gib",
+            "kv_mb_per_token",
+        ],
     );
     for m in zoo::all_models() {
         let bound = match m.resource_bound() {

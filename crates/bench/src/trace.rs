@@ -1,0 +1,86 @@
+//! `AQUA_TRACE` wiring: one process-wide tracer for bench runs.
+//!
+//! Every experiment builds its simulated server through [`ServerCtx`], which
+//! asks this module for the process tracer. By default that is the
+//! [`NullTracer`](aqua_telemetry::NullTracer) and instrumentation costs one
+//! branch per event. Setting `AQUA_TRACE=<path>` switches the process to a
+//! shared [`JournalTracer`]; calling [`finish`] at the end of a bench `main`
+//! then writes
+//!
+//! * `<path>` — a Chrome trace (load it at `chrome://tracing` or
+//!   <https://ui.perfetto.dev>),
+//! * `<path>.jsonl` — the canonical JSONL journal,
+//!
+//! and prints the journal's determinism digest.
+//!
+//! ```console
+//! $ AQUA_TRACE=/tmp/fig09.json cargo bench --bench fig09_cfs
+//! ```
+//!
+//! [`ServerCtx`]: crate::setup::ServerCtx
+
+use aqua_telemetry::{null_tracer, JournalTracer, SharedTracer};
+use std::sync::{Arc, OnceLock};
+
+static JOURNAL: OnceLock<Option<Arc<JournalTracer>>> = OnceLock::new();
+
+/// The journal backing `AQUA_TRACE`, if the variable is set.
+pub fn journal() -> Option<&'static Arc<JournalTracer>> {
+    JOURNAL
+        .get_or_init(|| std::env::var_os("AQUA_TRACE").map(|_| Arc::new(JournalTracer::new())))
+        .as_ref()
+}
+
+/// The process tracer: the `AQUA_TRACE` journal when enabled, otherwise the
+/// zero-overhead null tracer.
+pub fn tracer() -> SharedTracer {
+    match journal() {
+        Some(j) => j.clone() as SharedTracer,
+        None => null_tracer(),
+    }
+}
+
+/// Writes the collected trace to the `AQUA_TRACE` path (Chrome format, plus
+/// the canonical journal at `<path>.jsonl`) and prints the determinism
+/// digest. A no-op when `AQUA_TRACE` is unset.
+pub fn finish() {
+    let Some(journal) = journal() else { return };
+    let Some(path) = std::env::var_os("AQUA_TRACE") else {
+        return;
+    };
+    let path = std::path::PathBuf::from(path);
+    let jsonl = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.jsonl"),
+        None => "jsonl".to_owned(),
+    });
+    if let Err(e) = journal.write_chrome_trace(&path) {
+        eprintln!("AQUA_TRACE: failed to write {}: {e}", path.display());
+        return;
+    }
+    if let Err(e) = journal.write_jsonl(&jsonl) {
+        eprintln!("AQUA_TRACE: failed to write {}: {e}", jsonl.display());
+        return;
+    }
+    eprintln!(
+        "AQUA_TRACE: {} events → {} (chrome) + {} (journal), digest {:016x}",
+        journal.len(),
+        path.display(),
+        jsonl.display(),
+        journal.digest()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_defaults_to_null_without_env() {
+        // Cargo test runs without AQUA_TRACE; the process tracer must be the
+        // no-op tracer and finish() must be a no-op.
+        if std::env::var_os("AQUA_TRACE").is_none() {
+            assert!(!tracer().enabled());
+            finish();
+        }
+    }
+}

@@ -280,7 +280,12 @@ mod tests {
         if lease_gib > 0 {
             coord.lease(GpuRef::single(GpuId(1)), gib(lease_gib));
         }
-        let lib = AquaLib::new(GpuRef::single(GpuId(0)), Arc::clone(&coord), server, transfers);
+        let lib = AquaLib::new(
+            GpuRef::single(GpuId(0)),
+            Arc::clone(&coord),
+            server,
+            transfers,
+        );
         (lib, coord)
     }
 
@@ -292,7 +297,10 @@ mod tests {
     fn tensors_land_on_peer_when_leased() {
         let (mut lib, coord) = setup(10);
         let (id, done) = lib.to_responsive_tensor(payload(512), SimTime::ZERO);
-        assert!(done.as_secs_f64() < 0.01, "512 MiB over NVLink, done {done}");
+        assert!(
+            done.as_secs_f64() < 0.01,
+            "512 MiB over NVLink, done {done}"
+        );
         let ptr = lib.to_torch_tensor(id).unwrap();
         assert_eq!(ptr.location(), TensorLocation::PeerGpu { gpu: 1 });
         assert_eq!(coord.used_bytes(), mib(512));

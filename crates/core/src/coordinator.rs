@@ -21,14 +21,13 @@
 
 use aqua_sim::gpu::GpuId;
 use aqua_sim::time::SimTime;
+use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Cluster-wide address of a GPU: server index plus GPU index.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GpuRef {
     /// Server index within the cluster.
     pub server: usize,
@@ -55,9 +54,7 @@ impl std::fmt::Display for GpuRef {
 }
 
 /// Identifier of one memory lease (one producer's donation).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LeaseId(pub u64);
 
 /// Where the coordinator placed an allocation.
@@ -130,19 +127,42 @@ struct State {
 ///     AllocationSite::Dram => unreachable!("lease had room"),
 /// }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Coordinator {
     state: Mutex<State>,
+    tracer: Mutex<SharedTracer>,
+}
+
+impl Default for Coordinator {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Coordinator {
-    /// Creates an empty coordinator.
+    /// Creates an empty coordinator (tracing disabled).
     pub fn new() -> Self {
-        Self::default()
+        Coordinator {
+            state: Mutex::new(State::default()),
+            tracer: Mutex::new(null_tracer()),
+        }
+    }
+
+    /// Attaches a tracer. Verb invocations feed always-on counters
+    /// (`coordinator.*`); the timed lease/reclaim events are emitted by the
+    /// callers that own the simulation clock (informers and offloaders) —
+    /// most verbs, like their REST originals, carry no timestamp.
+    pub fn set_tracer(&self, tracer: SharedTracer) {
+        *self.tracer.lock() = tracer;
+    }
+
+    fn tracer(&self) -> SharedTracer {
+        self.tracer.lock().clone()
     }
 
     /// `/lease`: a producer offers `bytes` of its HBM. Returns the lease id.
     pub fn lease(&self, producer: GpuRef, bytes: u64) -> LeaseId {
+        self.tracer().incr("coordinator.lease", 1);
         let mut st = self.state.lock();
         // Extend an existing live lease from the same producer if present.
         if let Some((id, lease)) = st
@@ -182,6 +202,7 @@ impl Coordinator {
     /// context. Prefers the paired producer's lease (or, unpaired, the
     /// least-loaded same-server lease with room); otherwise DRAM.
     pub fn allocate(&self, consumer: GpuRef, bytes: u64) -> AllocationSite {
+        self.tracer().incr("coordinator.allocate", 1);
         let mut st = self.state.lock();
         let paired = st.pairings.get(&consumer).copied();
         let mut candidates: Vec<(&LeaseId, &mut Lease)> = st
@@ -233,9 +254,14 @@ impl Coordinator {
     /// Panics if the lease does not exist or fewer than `bytes` are in use —
     /// both indicate double-free bugs in the caller.
     pub fn free(&self, lease: LeaseId, bytes: u64) {
+        self.tracer().incr("coordinator.free", 1);
         let mut st = self.state.lock();
         let l = st.leases.get_mut(&lease).expect("free of unknown lease");
-        assert!(l.used >= bytes, "free of {bytes} bytes but only {} used", l.used);
+        assert!(
+            l.used >= bytes,
+            "free of {bytes} bytes but only {} used",
+            l.used
+        );
         l.used -= bytes;
     }
 
@@ -243,6 +269,7 @@ impl Coordinator {
     /// live lease of `producer` as reclaiming; consumers observe it at their
     /// next `respond()` boundary.
     pub fn reclaim_request(&self, producer: GpuRef) {
+        self.tracer().incr("coordinator.reclaim_request", 1);
         let mut st = self.state.lock();
         for l in st.leases.values_mut() {
             if l.producer == producer && !l.revoked {
@@ -265,6 +292,16 @@ impl Coordinator {
     /// Consumer notification that `bytes` finished leaving the lease at
     /// simulated time `at`.
     pub fn release(&self, lease: LeaseId, bytes: u64, at: SimTime) {
+        let tracer = self.tracer();
+        tracer.incr("coordinator.release", 1);
+        trace!(
+            tracer,
+            TraceEvent::CoordinatorVerb {
+                verb: "release".to_owned(),
+                detail: format!("lease={} bytes={bytes}", lease.0),
+                at,
+            }
+        );
         let mut st = self.state.lock();
         let l = st.leases.get_mut(&lease).expect("release of unknown lease");
         assert!(l.used >= bytes, "release exceeds usage");
@@ -306,13 +343,21 @@ impl Coordinator {
     /// Total bytes currently leased (live leases only).
     pub fn leased_bytes(&self) -> u64 {
         let st = self.state.lock();
-        st.leases.values().filter(|l| !l.revoked).map(|l| l.total).sum()
+        st.leases
+            .values()
+            .filter(|l| !l.revoked)
+            .map(|l| l.total)
+            .sum()
     }
 
     /// Total bytes of leases currently used by consumers.
     pub fn used_bytes(&self) -> u64 {
         let st = self.state.lock();
-        st.leases.values().filter(|l| !l.revoked).map(|l| l.used).sum()
+        st.leases
+            .values()
+            .filter(|l| !l.revoked)
+            .map(|l| l.used)
+            .sum()
     }
 
     /// Bytes available for new allocations on server `server`.
@@ -346,7 +391,10 @@ mod tests {
         ));
         // Only 4 bytes left: a 6-byte allocation falls back to DRAM.
         assert_eq!(c.allocate(consumer, 6), AllocationSite::Dram);
-        assert!(matches!(c.allocate(consumer, 4), AllocationSite::Peer { .. }));
+        assert!(matches!(
+            c.allocate(consumer, 4),
+            AllocationSite::Peer { .. }
+        ));
     }
 
     #[test]
@@ -354,7 +402,11 @@ mod tests {
         let c = Coordinator::new();
         let me = GpuRef::single(GpuId(0));
         c.lease(me, 100);
-        assert_eq!(c.allocate(me, 10), AllocationSite::Dram, "self-lease unusable");
+        assert_eq!(
+            c.allocate(me, 10),
+            AllocationSite::Dram,
+            "self-lease unusable"
+        );
         let other_server = GpuRef::new(1, GpuId(1));
         c.lease(other_server, 100);
         assert_eq!(
@@ -382,7 +434,10 @@ mod tests {
         c.allocate(consumer, 10);
         assert_eq!(c.allocate(consumer, 1), AllocationSite::Dram);
         c.free(lease, 10);
-        assert!(matches!(c.allocate(consumer, 1), AllocationSite::Peer { .. }));
+        assert!(matches!(
+            c.allocate(consumer, 1),
+            AllocationSite::Peer { .. }
+        ));
     }
 
     #[test]
@@ -420,6 +475,26 @@ mod tests {
             c.reclaim_status(producer),
             ReclaimStatus::Released { bytes: 50, .. }
         ));
+    }
+
+    #[test]
+    fn verbs_feed_the_counter_registry() {
+        let journal = Arc::new(aqua_telemetry::JournalTracer::new());
+        let c = Coordinator::new();
+        c.set_tracer(journal.clone());
+        let (consumer, producer) = refs();
+        let lease = c.lease(producer, 100);
+        c.allocate(consumer, 60);
+        c.reclaim_request(producer);
+        c.release(lease, 60, SimTime::from_secs(1));
+        let reg = journal.registry();
+        assert_eq!(reg.counter("coordinator.lease"), 1);
+        assert_eq!(reg.counter("coordinator.allocate"), 1);
+        assert_eq!(reg.counter("coordinator.reclaim_request"), 1);
+        assert_eq!(reg.counter("coordinator.release"), 1);
+        // release is the one verb that carries simulated time, so it also
+        // lands in the journal.
+        assert_eq!(journal.len(), 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::coordinator::{Coordinator, GpuRef, ReclaimStatus};
 use aqua_engines::northbound::{Informer, MemoryElastic};
 use aqua_sim::time::SimTime;
+use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -49,12 +50,24 @@ pub const MIN_DONATION_BYTES: u64 = 512 * 1024 * 1024;
 pub struct BatchInformer {
     gpu: GpuRef,
     coordinator: Arc<Coordinator>,
+    tracer: SharedTracer,
 }
 
 impl BatchInformer {
     /// Creates a batch informer for the producer at `gpu`.
     pub fn new(gpu: GpuRef, coordinator: Arc<Coordinator>) -> Self {
-        BatchInformer { gpu, coordinator }
+        BatchInformer {
+            gpu,
+            coordinator,
+            tracer: null_tracer(),
+        }
+    }
+
+    /// Attaches a tracer; donations show up as [`TraceEvent::Donated`] +
+    /// [`TraceEvent::LeaseGranted`] pairs.
+    pub fn with_tracer(mut self, tracer: SharedTracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 }
 
@@ -64,7 +77,25 @@ impl Informer for BatchInformer {
         if stats.donatable_bytes >= MIN_DONATION_BYTES {
             let granted = engine.donate(stats.donatable_bytes);
             if granted > 0 {
-                self.coordinator.lease(self.gpu, granted);
+                let lease = self.coordinator.lease(self.gpu, granted);
+                self.tracer.incr("informer.donations", 1);
+                trace!(
+                    self.tracer,
+                    TraceEvent::Donated {
+                        gpu: self.gpu.to_string(),
+                        bytes: granted,
+                        at: now,
+                    }
+                );
+                trace!(
+                    self.tracer,
+                    TraceEvent::LeaseGranted {
+                        producer: self.gpu.to_string(),
+                        lease: lease.0,
+                        bytes: granted,
+                        at: now,
+                    }
+                );
             }
         }
         now
@@ -108,6 +139,7 @@ pub struct LlmInformer {
     history: VecDeque<usize>,
     state: LlmState,
     reclaims_started: u64,
+    tracer: SharedTracer,
 }
 
 impl LlmInformer {
@@ -125,7 +157,16 @@ impl LlmInformer {
             history: VecDeque::new(),
             state: LlmState::Normal,
             reclaims_started: 0,
+            tracer: null_tracer(),
         }
+    }
+
+    /// Attaches a tracer; the donate/reclaim state machine becomes visible as
+    /// [`TraceEvent::InformerDecision`] events plus the memory events they
+    /// cause.
+    pub fn with_tracer(mut self, tracer: SharedTracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Number of reclaim cycles initiated.
@@ -148,17 +189,56 @@ impl Informer for LlmInformer {
                     self.coordinator.reclaim_request(self.gpu);
                     self.state = LlmState::Reclaiming;
                     self.reclaims_started += 1;
+                    self.tracer.incr("informer.reclaims", 1);
+                    trace!(
+                        self.tracer,
+                        TraceEvent::InformerDecision {
+                            gpu: self.gpu.to_string(),
+                            decision: format!("reclaim-start pending={}", stats.pending_requests),
+                            at: now,
+                        }
+                    );
+                    trace!(
+                        self.tracer,
+                        TraceEvent::ReclaimRequested {
+                            producer: self.gpu.to_string(),
+                            at: now,
+                        }
+                    );
                     return now;
                 }
                 let quiet = self.history.len() == self.config.window
-                    && self
-                        .history
-                        .iter()
-                        .all(|&p| p <= self.config.low_pending);
+                    && self.history.iter().all(|&p| p <= self.config.low_pending);
                 if quiet && stats.donatable_bytes >= MIN_DONATION_BYTES {
                     let granted = engine.donate(stats.donatable_bytes);
                     if granted > 0 {
-                        self.coordinator.lease(self.gpu, granted);
+                        let lease = self.coordinator.lease(self.gpu, granted);
+                        self.tracer.incr("informer.donations", 1);
+                        trace!(
+                            self.tracer,
+                            TraceEvent::InformerDecision {
+                                gpu: self.gpu.to_string(),
+                                decision: format!("donate bytes={granted}"),
+                                at: now,
+                            }
+                        );
+                        trace!(
+                            self.tracer,
+                            TraceEvent::Donated {
+                                gpu: self.gpu.to_string(),
+                                bytes: granted,
+                                at: now,
+                            }
+                        );
+                        trace!(
+                            self.tracer,
+                            TraceEvent::LeaseGranted {
+                                producer: self.gpu.to_string(),
+                                lease: lease.0,
+                                bytes: granted,
+                                at: now,
+                            }
+                        );
                     }
                 }
                 now
@@ -171,7 +251,24 @@ impl Informer for LlmInformer {
                     self.history.clear();
                     // The engine was effectively paused while its memory was
                     // being released (Figure 11).
-                    at.max(now)
+                    let resume = at.max(now);
+                    trace!(
+                        self.tracer,
+                        TraceEvent::Reclaimed {
+                            gpu: self.gpu.to_string(),
+                            bytes,
+                            at: resume,
+                        }
+                    );
+                    trace!(
+                        self.tracer,
+                        TraceEvent::InformerDecision {
+                            gpu: self.gpu.to_string(),
+                            decision: format!("resume bytes={bytes}"),
+                            at: resume,
+                        }
+                    );
+                    resume
                 }
                 ReclaimStatus::None => {
                     self.state = LlmState::Normal;
@@ -228,7 +325,8 @@ mod tests {
     #[test]
     fn llm_informer_donates_after_quiet_window() {
         let coord = Arc::new(Coordinator::new());
-        let mut inf = LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
+        let mut inf =
+            LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
         let mut eng = FakeEngine {
             pending: 0,
             donatable: gib(30),
@@ -248,7 +346,8 @@ mod tests {
     fn llm_informer_reclaims_on_burst_and_pauses_until_release() {
         let coord = Arc::new(Coordinator::new());
         let consumer = GpuRef::single(GpuId(0));
-        let mut inf = LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
+        let mut inf =
+            LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
         let mut eng = FakeEngine {
             pending: 0,
             donatable: gib(30),
@@ -276,7 +375,11 @@ mod tests {
         // Consumer releases at t=14.
         coord.release(lease_used, gib(10), SimTime::from_secs(14));
         let resume = inf.control(&mut eng, SimTime::from_secs(12));
-        assert_eq!(resume, SimTime::from_secs(14), "resume when bytes have left");
+        assert_eq!(
+            resume,
+            SimTime::from_secs(14),
+            "resume when bytes have left"
+        );
         assert_eq!(eng.donated, 0);
         assert_eq!(eng.donatable, gib(30));
     }
@@ -284,7 +387,8 @@ mod tests {
     #[test]
     fn llm_informer_ignores_burst_when_nothing_donated() {
         let coord = Arc::new(Coordinator::new());
-        let mut inf = LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
+        let mut inf =
+            LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
         let mut eng = FakeEngine {
             pending: 50,
             donatable: gib(30),
@@ -321,6 +425,52 @@ mod tests {
         };
         inf.control(&mut eng, SimTime::ZERO);
         assert_eq!(coord.leased_bytes(), 0);
+    }
+
+    #[test]
+    fn traced_informer_journals_donate_and_reclaim_cycle() {
+        use aqua_telemetry::{JournalTracer, TraceEvent};
+
+        let coord = Arc::new(Coordinator::new());
+        let journal = Arc::new(JournalTracer::new());
+        let tracer: aqua_telemetry::SharedTracer = journal.clone();
+        let mut inf =
+            LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default())
+                .with_tracer(tracer);
+        let mut eng = FakeEngine {
+            pending: 0,
+            donatable: gib(30),
+            donated: 0,
+        };
+        for i in 0..5 {
+            inf.control(&mut eng, SimTime::from_secs(i));
+        }
+        let events = journal.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Donated { bytes, .. } if *bytes == gib(30)
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::LeaseGranted { .. })));
+
+        // Burst → reclaim-start decision + ReclaimRequested.
+        eng.pending = 20;
+        inf.control(&mut eng, SimTime::from_secs(10));
+        let events = journal.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ReclaimRequested { .. })));
+
+        // Nothing was allocated, so the reclaim resolves immediately.
+        inf.control(&mut eng, SimTime::from_secs(11));
+        let events = journal.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Reclaimed { bytes, .. } if *bytes == gib(30)
+        )));
+        assert_eq!(journal.registry().counter("informer.donations"), 1);
+        assert_eq!(journal.registry().counter("informer.reclaims"), 1);
     }
 
     #[test]

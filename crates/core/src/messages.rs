@@ -132,11 +132,23 @@ mod tests {
         let producer = GpuRef::single(GpuId(1));
         let consumer = GpuRef::single(GpuId(0));
 
-        let lease = match handle(&coord, CoordinatorRequest::Lease { producer, bytes: 100 }) {
+        let lease = match handle(
+            &coord,
+            CoordinatorRequest::Lease {
+                producer,
+                bytes: 100,
+            },
+        ) {
             CoordinatorResponse::Leased { lease } => lease,
             other => panic!("unexpected {other:?}"),
         };
-        let site = match handle(&coord, CoordinatorRequest::Allocate { consumer, bytes: 60 }) {
+        let site = match handle(
+            &coord,
+            CoordinatorRequest::Allocate {
+                consumer,
+                bytes: 60,
+            },
+        ) {
             CoordinatorResponse::Allocated { site } => site,
             other => panic!("unexpected {other:?}"),
         };

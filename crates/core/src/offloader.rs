@@ -23,6 +23,7 @@ use aqua_engines::offload::{OffloadLocation, Offloader};
 use aqua_sim::time::SimTime;
 use aqua_sim::topology::ServerTopology;
 use aqua_sim::transfer::{staging_time, TransferEngine, TransferPlan};
+use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -48,6 +49,7 @@ pub struct AquaOffloader {
     /// Number of blocking release migrations performed.
     releases: u64,
     label: String,
+    tracer: SharedTracer,
 }
 
 impl std::fmt::Debug for AquaOffloader {
@@ -81,7 +83,15 @@ impl AquaOffloader {
             pcie_bytes_moved: 0,
             releases: 0,
             label: "aqua".to_owned(),
+            tracer: null_tracer(),
         }
+    }
+
+    /// Attaches a tracer; allocation-site decisions, lease frees, blocking
+    /// reclaim releases and background promotions are journalled.
+    pub fn with_tracer(mut self, tracer: SharedTracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Bytes currently offloaded to peer GPUs.
@@ -164,6 +174,26 @@ impl AquaOffloader {
             .end
     }
 
+    fn trace_allocation(&self, site: &str, bytes: u64, at: SimTime) {
+        self.tracer.incr(
+            if site == "dram" {
+                "offloader.dram_allocations"
+            } else {
+                "offloader.peer_allocations"
+            },
+            1,
+        );
+        trace!(
+            self.tracer,
+            TraceEvent::LeaseAllocated {
+                consumer: self.consumer.to_string(),
+                site: site.to_owned(),
+                bytes,
+                at,
+            }
+        );
+    }
+
     /// Splits an inbound read/swap across current storage sites,
     /// peer-resident bytes first (they are both faster and preferred).
     fn split_inbound(&self, bytes: u64) -> (Vec<(LeaseId, GpuRef, u64)>, u64) {
@@ -193,15 +223,13 @@ impl Offloader for AquaOffloader {
         // Lease affinity: keep growing context on the producer that already
         // holds it (1:1 pairing; avoids fanning one consumer's bytes across
         // every lease on the server).
-        let existing: Vec<(LeaseId, GpuRef)> = self
-            .peer_bytes
-            .iter()
-            .map(|(l, (g, _))| (*l, *g))
-            .collect();
+        let existing: Vec<(LeaseId, GpuRef)> =
+            self.peer_bytes.iter().map(|(l, (g, _))| (*l, *g)).collect();
         for (lease, gpu) in existing {
             if self.coordinator.try_allocate_on(lease, bytes) {
                 let end = self.fabric_copy(self.consumer, gpu, bytes, start);
                 self.peer_bytes.get_mut(&lease).expect("tracked").1 += bytes;
+                self.trace_allocation(&format!("peer:{gpu}"), bytes, now);
                 return end;
             }
         }
@@ -210,11 +238,13 @@ impl Offloader for AquaOffloader {
                 let end = self.fabric_copy(self.consumer, gpu, bytes, start);
                 let entry = self.peer_bytes.entry(lease).or_insert((gpu, 0));
                 entry.1 += bytes;
+                self.trace_allocation(&format!("peer:{gpu}"), bytes, now);
                 end
             }
             AllocationSite::Dram => {
                 let end = self.pcie_to_host(self.consumer, bytes, start);
                 self.dram_bytes += bytes;
+                self.trace_allocation("dram", bytes, now);
                 end
             }
         }
@@ -230,6 +260,15 @@ impl Offloader for AquaOffloader {
             let done = self.fabric_copy(gpu, self.consumer, take, now);
             end = end.max(done);
             self.coordinator.free(lease, take);
+            trace!(
+                self.tracer,
+                TraceEvent::LeaseFreed {
+                    consumer: self.consumer.to_string(),
+                    lease: lease.0,
+                    bytes: take,
+                    at: now,
+                }
+            );
             let entry = self.peer_bytes.get_mut(&lease).expect("tracked lease");
             entry.1 -= take;
             if entry.1 == 0 {
@@ -277,6 +316,16 @@ impl Offloader for AquaOffloader {
             self.coordinator.release(lease, held, end);
             self.dram_bytes += held;
             self.releases += 1;
+            self.tracer.incr("offloader.releases", 1);
+            trace!(
+                self.tracer,
+                TraceEvent::ReclaimReleased {
+                    producer: gpu.to_string(),
+                    lease: lease.0,
+                    bytes: held,
+                    at: end,
+                }
+            );
             resume = resume.max(end);
         }
         // 2. Background promotion of DRAM-resident bytes back to a peer.
@@ -293,6 +342,16 @@ impl Offloader for AquaOffloader {
                     self.dram_bytes -= promote;
                     let entry = self.peer_bytes.entry(lease).or_insert((gpu, 0));
                     entry.1 += promote;
+                    self.tracer.incr("offloader.promotions", 1);
+                    trace!(
+                        self.tracer,
+                        TraceEvent::LeasePromoted {
+                            consumer: self.consumer.to_string(),
+                            lease: lease.0,
+                            bytes: promote,
+                            at: resume,
+                        }
+                    );
                 }
             }
         }
@@ -418,6 +477,40 @@ mod tests {
     }
 
     #[test]
+    fn traced_offloader_journals_lease_lifecycle() {
+        use aqua_telemetry::JournalTracer;
+
+        let journal = Arc::new(JournalTracer::new());
+        let server = Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g()));
+        let xfer = Rc::new(RefCell::new(TransferEngine::new()));
+        let coord = Arc::new(Coordinator::new());
+        coord.lease(GpuRef::single(GpuId(1)), gib(10));
+        let mut off =
+            AquaOffloader::new(GpuRef::single(GpuId(0)), Arc::clone(&coord), server, xfer)
+                .with_tracer(journal.clone());
+
+        off.swap_out(gib(2), 1, SimTime::ZERO);
+        off.swap_in(gib(2), 1, SimTime::from_secs(1));
+        coord.reclaim_request(GpuRef::single(GpuId(1)));
+        off.swap_out(gib(1), 1, SimTime::from_secs(2)); // reclaiming: lands in DRAM
+        off.on_iteration_boundary(SimTime::from_secs(3));
+
+        let events = journal.events();
+        let has = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().any(f);
+        assert!(has(
+            &|e| matches!(e, TraceEvent::LeaseAllocated { site, .. } if site == "peer:s0/gpu1")
+        ));
+        assert!(has(
+            &|e| matches!(e, TraceEvent::LeaseAllocated { site, .. } if site == "dram")
+        ));
+        assert!(has(
+            &|e| matches!(e, TraceEvent::LeaseFreed { bytes, .. } if *bytes == gib(2))
+        ));
+        assert_eq!(journal.registry().counter("offloader.peer_allocations"), 1);
+        assert_eq!(journal.registry().counter("offloader.dram_allocations"), 1);
+    }
+
+    #[test]
     fn zero_byte_ops_are_instant() {
         let (mut off, _) = setup(1);
         let t = SimTime::from_secs(3);
@@ -435,6 +528,9 @@ mod tests {
         let (mut off2, _) = setup(10);
         let t_many = off2.swap_out(mib(320), 100_000, SimTime::ZERO);
         let ratio = t_many.as_secs_f64() / t_few.as_secs_f64();
-        assert!(ratio < 1.5, "coalescing keeps scatter cheap, ratio {ratio:.2}");
+        assert!(
+            ratio < 1.5,
+            "coalescing keeps scatter cheap, ratio {ratio:.2}"
+        );
     }
 }

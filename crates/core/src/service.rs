@@ -112,9 +112,9 @@ impl CoordinatorService {
 
     fn stop(&mut self) {
         self.tx.take(); // no new requests from our own handle
-        // Dropping the shutdown sender closes that channel, which the
-        // worker's select treats as a stop signal — so shutdown completes
-        // even while client handles are still alive.
+                        // Dropping the shutdown sender closes that channel, which the
+                        // worker's select treats as a stop signal — so shutdown completes
+                        // even while client handles are still alive.
         self.shutdown_tx.take();
     }
 }
@@ -253,7 +253,7 @@ mod tests {
         assert_eq!(service.store().used_bytes(), 0);
         assert_eq!(service.store().leased_bytes(), 1_000_000);
         let served = service.shutdown();
-        assert!(served >= 1 + 8 * 200);
+        assert!(served > 8 * 200);
     }
 
     #[test]

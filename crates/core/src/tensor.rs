@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifier of one AQUA tensor within a [`TensorTable`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TensorId(pub u64);
 
 /// Physical location of an AQUA tensor.

@@ -22,6 +22,7 @@ use aqua_models::geometry::LlmGeometry;
 use aqua_sim::gpu::GpuSpec;
 use aqua_sim::link::bytes::gib;
 use aqua_sim::time::SimTime;
+use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
 
 /// Configuration of a [`CfsEngine`].
 #[derive(Debug, Clone)]
@@ -106,6 +107,9 @@ pub struct CfsEngine {
     context_switches: u64,
     swapped_bytes: u64,
     slices: u64,
+    tracer: SharedTracer,
+    scope: String,
+    last_outstanding_gauge: Option<f64>,
 }
 
 impl std::fmt::Debug for CfsEngine {
@@ -139,7 +143,19 @@ impl CfsEngine {
             context_switches: 0,
             swapped_bytes: 0,
             slices: 0,
+            tracer: null_tracer(),
+            scope: "cfs".to_owned(),
+            last_outstanding_gauge: None,
         }
+    }
+
+    /// Attaches a tracer; every slice becomes a [`TraceEvent::SliceFinished`]
+    /// and context switching feeds the `cfs.*` counters. `scope` labels this
+    /// engine's events (e.g. `"cfs:s0/gpu0"`).
+    pub fn with_tracer(mut self, tracer: SharedTracer, scope: impl Into<String>) -> Self {
+        self.tracer = tracer;
+        self.scope = scope.into();
+        self
     }
 
     /// Number of scheduling slices executed.
@@ -222,7 +238,9 @@ impl Engine for CfsEngine {
     fn step(&mut self, now: SimTime) -> SimTime {
         self.slices += 1;
         let now = self.offloader.on_iteration_boundary(now).max(now);
+        let slice_start = now;
         let active = self.select_active();
+        let active_count = active.len() as u64;
         let is_active = |i: usize| active.contains(&i);
 
         // Page out residents that lost their slot.
@@ -266,6 +284,13 @@ impl Engine for CfsEngine {
         }
         let in_done = self.offloader.swap_in(bytes_in, chunks_in, now);
         self.swapped_bytes += bytes_out + bytes_in;
+        if chunks_out > 0 {
+            self.tracer.incr(
+                "cfs.context_switches_out",
+                chunks_out / (2 * self.geom.layers),
+            );
+        }
+        self.tracer.incr("cfs.swapped_bytes", bytes_out + bytes_in);
 
         // Compute starts once incoming context has landed; outgoing copies
         // overlap on the other link direction but must also finish before
@@ -276,17 +301,19 @@ impl Engine for CfsEngine {
 
         // Run the slice: up to `slice_tokens` decode steps.
         let mut live: Vec<usize> = active;
+        let mut slice_tokens_generated = 0u64;
         for _ in 0..self.config.slice_tokens {
             live.retain(|&i| self.seqs[i].generated < self.seqs[i].req.output_tokens);
             if live.is_empty() {
                 break;
             }
             let batch = live.len() as u64;
+            slice_tokens_generated += batch;
             let total_ctx: u64 = live
                 .iter()
                 .map(|&i| self.seqs[i].context_tokens() + 1)
                 .sum();
-            cursor = cursor + cost::llm_decode_step_time(&self.geom, &self.gpu, batch, total_ctx);
+            cursor += cost::llm_decode_step_time(&self.geom, &self.gpu, batch, total_ctx);
             for &i in &live {
                 let s = &mut self.seqs[i];
                 self.kv
@@ -316,6 +343,31 @@ impl Engine for CfsEngine {
                 i += 1;
             }
         }
+
+        trace!(
+            self.tracer,
+            TraceEvent::SliceFinished {
+                engine: self.scope.clone(),
+                slice: self.slices,
+                active: active_count,
+                tokens: slice_tokens_generated,
+                start: slice_start,
+                end: cursor,
+            }
+        );
+        if self.tracer.enabled() {
+            let outstanding = self.seqs.len() as f64;
+            if self.last_outstanding_gauge != Some(outstanding) {
+                self.last_outstanding_gauge = Some(outstanding);
+                let name = format!("{}.outstanding", self.scope);
+                self.tracer.gauge(&name, outstanding);
+                self.tracer.emit(TraceEvent::Gauge {
+                    name,
+                    value: outstanding,
+                    at: cursor,
+                });
+            }
+        }
         cursor
     }
 
@@ -327,16 +379,8 @@ impl Engine for CfsEngine {
 impl MemoryElastic for CfsEngine {
     fn stats(&self) -> EngineStats {
         EngineStats {
-            pending_requests: self
-                .seqs
-                .iter()
-                .filter(|s| s.place == Place::New)
-                .count(),
-            running_requests: self
-                .seqs
-                .iter()
-                .filter(|s| s.place != Place::New)
-                .count(),
+            pending_requests: self.seqs.iter().filter(|s| s.place == Place::New).count(),
+            running_requests: self.seqs.iter().filter(|s| s.place != Place::New).count(),
             context_used_bytes: self.kv.used_bytes(),
             context_reserved_bytes: self.kv.capacity_bytes(),
             donatable_bytes: 0, // CFS hosts memory-bound consumers
@@ -502,6 +546,41 @@ mod tests {
             }
             proptest::prop_assert_eq!(e.kv.used_blocks(), 0, "pool drains");
         }
+    }
+
+    #[test]
+    fn traced_engine_journals_slices_and_paging() {
+        use aqua_telemetry::{JournalTracer, TraceEvent};
+        use std::sync::Arc;
+
+        let journal = Arc::new(JournalTracer::new());
+        let mut e = engine(1, 5, 16);
+        e = e.with_tracer(journal.clone(), "cfs:test");
+        for i in 0..12 {
+            e.submit(InferenceRequest::text(i, 800, 40), SimTime::ZERO);
+        }
+        run(&mut e);
+        let events = journal.events();
+        let slices = events
+            .iter()
+            .filter(
+                |ev| matches!(ev, TraceEvent::SliceFinished { engine, .. } if engine == "cfs:test"),
+            )
+            .count() as u64;
+        assert_eq!(slices, e.slices());
+        // Every slice's duration is non-negative and tokens are accounted.
+        for ev in &events {
+            if let TraceEvent::SliceFinished { start, end, .. } = ev {
+                assert!(end >= start);
+            }
+        }
+        assert_eq!(
+            journal.registry().counter("cfs.swapped_bytes"),
+            e.swapped_bytes()
+        );
+        assert!(events.iter().any(
+            |ev| matches!(ev, TraceEvent::Gauge { name, .. } if name == "cfs:test.outstanding")
+        ));
     }
 
     #[test]

@@ -158,7 +158,8 @@ impl Engine for DeepSpeedEngine {
         let end;
         if !seq.prefilled {
             // Prefill, then write the whole context out — strictly serial.
-            let compute_done = now + cost::llm_prefill_time(&self.geom, &self.gpu, seq.req.prompt_tokens);
+            let compute_done =
+                now + cost::llm_prefill_time(&self.geom, &self.gpu, seq.req.prompt_tokens);
             end = if seq.streaming {
                 let bytes = self.geom.kv_bytes(seq.req.prompt_tokens);
                 self.offloader
@@ -181,14 +182,14 @@ impl Engine for DeepSpeedEngine {
                     // no overlap between the stages.
                     let bytes = self.geom.kv_bytes(ctx);
                     cursor = self.offloader.read_in(bytes, self.geom.layers, cursor);
-                    cursor = cursor + cost::llm_decode_step_time(&self.geom, &self.gpu, 1, ctx);
+                    cursor += cost::llm_decode_step_time(&self.geom, &self.gpu, 1, ctx);
                     cursor = self.offloader.swap_out(
                         self.geom.kv_bytes_per_token(),
                         self.geom.layers,
                         cursor,
                     );
                 } else {
-                    cursor = cursor + cost::llm_decode_step_time(&self.geom, &self.gpu, 1, ctx);
+                    cursor += cost::llm_decode_step_time(&self.geom, &self.gpu, 1, ctx);
                 }
                 seq.generated += 1;
                 self.tokens_generated += 1;
@@ -236,7 +237,11 @@ mod tests {
         while engine.has_work() && now < end {
             now = engine.step(now);
         }
-        engine.drain_completions().iter().map(|r| r.output_tokens).sum()
+        engine
+            .drain_completions()
+            .iter()
+            .map(|r| r.output_tokens)
+            .sum()
     }
 
     #[test]

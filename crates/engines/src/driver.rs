@@ -243,8 +243,14 @@ mod tests {
             let mut engines: Vec<&mut dyn Engine> = vec![&mut a, &mut b];
             driver.run(&mut engines, SimTime::from_secs(1));
         }
-        assert_eq!(a.drain_completions()[0].completion, SimTime::from_millis(100));
-        assert_eq!(b.drain_completions()[0].completion, SimTime::from_millis(100));
+        assert_eq!(
+            a.drain_completions()[0].completion,
+            SimTime::from_millis(100)
+        );
+        assert_eq!(
+            b.drain_completions()[0].completion,
+            SimTime::from_millis(100)
+        );
     }
 
     #[test]
@@ -255,7 +261,7 @@ mod tests {
         let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
         driver.run(&mut engines, SimTime::from_secs(1));
         assert!(e.drain_completions().is_empty());
-        assert!(e.has_work() == false);
+        assert!(!e.has_work());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use aqua_models::geometry::LlmGeometry;
 use aqua_sim::gpu::GpuSpec;
 use aqua_sim::link::bytes::gib;
 use aqua_sim::time::SimTime;
+use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
 use std::collections::VecDeque;
 
 /// Configuration of a [`FlexGenEngine`].
@@ -90,6 +91,8 @@ pub struct FlexGenEngine {
     offloader: Box<dyn Offloader>,
     tokens_generated: u64,
     streamed_bytes: u64,
+    tracer: SharedTracer,
+    scope: String,
 }
 
 impl std::fmt::Debug for FlexGenEngine {
@@ -121,7 +124,18 @@ impl FlexGenEngine {
             offloader,
             tokens_generated: 0,
             streamed_bytes: 0,
+            tracer: null_tracer(),
+            scope: "flexgen".to_owned(),
         }
+    }
+
+    /// Attaches a tracer; every streamed decode chunk becomes a
+    /// [`TraceEvent::WindowFetched`] and streamed bytes feed the
+    /// `flexgen.streamed_bytes` counter. `scope` labels this engine's events.
+    pub fn with_tracer(mut self, tracer: SharedTracer, scope: impl Into<String>) -> Self {
+        self.tracer = tracer;
+        self.scope = scope.into();
+        self
     }
 
     /// Total tokens generated so far (the Figure 7 metric).
@@ -183,9 +197,8 @@ impl Engine for FlexGenEngine {
             end = if seq.streaming {
                 let bytes = self.geom.kv_bytes(seq.req.prompt_tokens);
                 self.streamed_bytes += bytes;
-                let io_done = self
-                    .offloader
-                    .swap_out(bytes, self.geom.layers * 2, now);
+                self.tracer.incr("flexgen.streamed_bytes", bytes);
+                let io_done = self.offloader.swap_out(bytes, self.geom.layers * 2, now);
                 compute_done.max(io_done)
             } else {
                 compute_done
@@ -202,27 +215,29 @@ impl Engine for FlexGenEngine {
                 .max(1);
             let mut compute_cursor = now;
             let mut io_cursor = now;
+            let mut chunk_bytes = 0u64;
             for t in 0..chunk {
                 let ctx = seq.req.prompt_tokens + seq.generated + 1;
-                let compute =
-                    cost::llm_decode_step_time(&self.geom, &self.gpu, 1, ctx);
+                let compute = cost::llm_decode_step_time(&self.geom, &self.gpu, 1, ctx);
                 if seq.streaming {
                     let bytes = self.geom.kv_bytes(ctx);
                     self.streamed_bytes += bytes;
+                    chunk_bytes += bytes;
                     // Streaming read: the context stays offloaded. The new
                     // token's KV is appended to the store on the other link
                     // direction (tiny; overlaps the read).
-                    io_cursor = self
-                        .offloader
-                        .read_in(bytes, self.geom.layers, io_cursor);
-                    self.offloader
-                        .swap_out(self.geom.kv_bytes_per_token(), self.geom.layers, io_cursor);
+                    io_cursor = self.offloader.read_in(bytes, self.geom.layers, io_cursor);
+                    self.offloader.swap_out(
+                        self.geom.kv_bytes_per_token(),
+                        self.geom.layers,
+                        io_cursor,
+                    );
                     // A token completes when both its context stream and its
                     // compute are done; compute for token t+1 overlaps the
                     // stream for token t+1.
                     compute_cursor = compute_cursor.max(io_cursor) + compute;
                 } else {
-                    compute_cursor = compute_cursor + compute;
+                    compute_cursor += compute;
                 }
                 seq.generated += 1;
                 self.tokens_generated += 1;
@@ -230,6 +245,18 @@ impl Engine for FlexGenEngine {
                     seq.first_token = Some(compute_cursor);
                 }
                 let _ = t;
+            }
+            if chunk_bytes > 0 {
+                self.tracer.incr("flexgen.streamed_bytes", chunk_bytes);
+                trace!(
+                    self.tracer,
+                    TraceEvent::WindowFetched {
+                        engine: self.scope.clone(),
+                        bytes: chunk_bytes,
+                        start: now,
+                        end: io_cursor,
+                    }
+                );
             }
             end = compute_cursor;
         }
@@ -336,6 +363,33 @@ mod tests {
         run_for(&mut e, 3_600);
         assert_eq!(e.tokens_generated(), 20);
         assert_eq!(e.drain_completions().len(), 2);
+    }
+
+    #[test]
+    fn traced_engine_journals_window_fetches() {
+        use aqua_telemetry::{JournalTracer, TraceEvent};
+        use std::sync::Arc;
+
+        let journal = Arc::new(JournalTracer::new());
+        let mut e = dram_engine(gib(8)).with_tracer(journal.clone(), "flexgen:test");
+        e.submit(InferenceRequest::text(0, 8_000, 16), SimTime::ZERO);
+        run_for(&mut e, 3_600);
+        assert_eq!(e.drain_completions().len(), 1);
+        let events = journal.events();
+        let fetched: u64 = events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::WindowFetched { engine, bytes, .. } if engine == "flexgen:test" => {
+                    Some(*bytes)
+                }
+                _ => None,
+            })
+            .sum();
+        assert!(fetched > 0, "streaming decode journals window fetches");
+        assert_eq!(
+            journal.registry().counter("flexgen.streamed_bytes"),
+            e.streamed_bytes()
+        );
     }
 
     #[test]

@@ -27,9 +27,7 @@ use crate::request::RequestId;
 pub const DEFAULT_BLOCK_TOKENS: u64 = 16;
 
 /// Physical index of one KV block within the pool.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BlockId(pub u64);
 
 /// A paged KV-cache pool for one model on one GPU.
@@ -125,7 +123,10 @@ impl PagedKvCache {
 
     /// Blocks currently mapped to sequences.
     pub fn used_blocks(&self) -> u64 {
-        self.seq_blocks.values().map(|s| s.blocks.len() as u64).sum()
+        self.seq_blocks
+            .values()
+            .map(|s| s.blocks.len() as u64)
+            .sum()
     }
 
     /// Blocks currently free.
@@ -165,7 +166,10 @@ impl PagedKvCache {
 
     /// KV bytes currently mapped for a sequence (block-granular).
     pub fn bytes_of(&self, id: RequestId) -> u64 {
-        self.seq_blocks.get(&id).map_or(0, |s| s.blocks.len() as u64) * self.block_bytes()
+        self.seq_blocks
+            .get(&id)
+            .map_or(0, |s| s.blocks.len() as u64)
+            * self.block_bytes()
     }
 
     /// The sequence's physical block table (its scatter pattern), if live.
@@ -442,7 +446,10 @@ mod tests {
         assert_eq!(kv.total_blocks(), 4);
         assert!(kv.compacted_bytes() > 0, "live top-half blocks moved");
         let table = kv.block_table(RequestId(2)).unwrap();
-        assert!(table.iter().all(|b| b.0 < 4), "all blocks below the cut: {table:?}");
+        assert!(
+            table.iter().all(|b| b.0 < 4),
+            "all blocks below the cut: {table:?}"
+        );
         assert!(kv.check_invariants());
     }
 

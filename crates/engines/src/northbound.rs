@@ -50,8 +50,11 @@ impl EngineStats {
 /// requests for a few seconds to reclaim memory", Figure 11).
 pub trait Informer {
     /// Runs one control decision at `now`.
-    fn control(&mut self, engine: &mut dyn MemoryElastic, now: aqua_sim::time::SimTime)
-        -> aqua_sim::time::SimTime;
+    fn control(
+        &mut self,
+        engine: &mut dyn MemoryElastic,
+        now: aqua_sim::time::SimTime,
+    ) -> aqua_sim::time::SimTime;
 }
 
 /// An engine whose HBM footprint AQUA can elastically resize.

@@ -27,7 +27,8 @@ use aqua_models::lora::LoraAdapter;
 use aqua_sim::gpu::GpuSpec;
 use aqua_sim::link::bytes::gib;
 use aqua_sim::time::SimTime;
-use std::collections::VecDeque;
+use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
+use std::collections::{BTreeMap, VecDeque};
 
 /// What happens to a sequence preempted when the KV pool runs dry.
 ///
@@ -137,6 +138,9 @@ pub struct VllmEngine {
     swapped_bytes_total: u64,
     lora_misses: u64,
     lora_hits: u64,
+    tracer: SharedTracer,
+    scope: String,
+    last_gauges: BTreeMap<String, f64>,
 }
 
 impl std::fmt::Debug for VllmEngine {
@@ -174,7 +178,34 @@ impl VllmEngine {
             swapped_bytes_total: 0,
             lora_misses: 0,
             lora_hits: 0,
+            tracer: null_tracer(),
+            scope: "vllm".to_owned(),
+            last_gauges: BTreeMap::new(),
         }
+    }
+
+    /// Attaches a tracer. `scope` labels this engine's events and gauges
+    /// (e.g. `"vllm:s1/gpu0"`) so traces from multi-engine experiments stay
+    /// disentangled.
+    pub fn with_tracer(mut self, tracer: SharedTracer, scope: impl Into<String>) -> Self {
+        self.tracer = tracer;
+        self.scope = scope.into();
+        self
+    }
+
+    /// Journals a gauge sample only when the value changed, so long runs do
+    /// not fill the journal with identical samples.
+    fn emit_gauge(&mut self, suffix: &str, value: f64, at: SimTime) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let name = format!("{}.{suffix}", self.scope);
+        if self.last_gauges.get(&name) == Some(&value) {
+            return;
+        }
+        self.last_gauges.insert(name.clone(), value);
+        self.tracer.gauge(&name, value);
+        self.tracer.emit(TraceEvent::Gauge { name, value, at });
     }
 
     /// Installs the adapter pool available to LoRA requests.
@@ -247,7 +278,7 @@ impl VllmEngine {
 
     /// Ensures every running sequence can grow by one token this iteration,
     /// preempting the youngest sequences if the pool is exhausted.
-    fn make_room_for_decode(&mut self) {
+    fn make_room_for_decode(&mut self, now: SimTime) {
         loop {
             let need: u64 = self
                 .running
@@ -265,7 +296,19 @@ impl VllmEngine {
             let mut victim = self.running.pop().expect("non-empty");
             self.kv.free_seq(victim.req.id);
             self.preemptions += 1;
-            if self.config.preemption == PreemptionPolicy::Swap && self.offloader.is_some() {
+            self.tracer.incr("vllm.preemptions", 1);
+            let swapping =
+                self.config.preemption == PreemptionPolicy::Swap && self.offloader.is_some();
+            trace!(
+                self.tracer,
+                TraceEvent::RequestPreempted {
+                    engine: self.scope.clone(),
+                    request: victim.req.id.0,
+                    policy: if swapping { "swap" } else { "recompute" }.to_owned(),
+                    at: now,
+                }
+            );
+            if swapping {
                 // Swap the context out; it returns without recomputation.
                 let bytes = self.geom.kv_bytes(victim.prefill_tokens());
                 self.pending_swap_out += bytes;
@@ -296,9 +339,11 @@ impl VllmEngine {
         needed.len() <= self.config.lora_cache_slots
     }
 
-    fn admit(&mut self) {
+    fn admit(&mut self, now: SimTime) {
         while self.running.len() < self.config.max_batch {
-            let Some(front) = self.waiting.front() else { break };
+            let Some(front) = self.waiting.front() else {
+                break;
+            };
             let needed = front.prefill_tokens() + 1;
             if !self.kv.can_fit_tokens(needed) {
                 break;
@@ -307,6 +352,15 @@ impl VllmEngine {
                 break;
             }
             let mut seq = self.waiting.pop_front().expect("checked");
+            trace!(
+                self.tracer,
+                TraceEvent::RequestAdmitted {
+                    engine: self.scope.clone(),
+                    request: seq.req.id.0,
+                    waiting: self.waiting.len() as u64,
+                    at: now,
+                }
+            );
             self.kv
                 .grow_seq(seq.req.id, seq.prefill_tokens())
                 .expect("can_fit_tokens checked");
@@ -395,10 +449,13 @@ impl Engine for VllmEngine {
         if let Some(off) = self.offloader.as_mut() {
             now = off.on_iteration_boundary(now).max(now);
         }
-        self.admit();
+        self.admit(now);
         // Admission may have consumed blocks the running batch needs for its
         // next token; preempt (youngest first) until decode headroom exists.
-        self.make_room_for_decode();
+        self.make_room_for_decode(now);
+        self.emit_gauge("queue_depth", self.waiting.len() as f64, now);
+        self.emit_gauge("running", self.running.len() as f64, now);
+        self.emit_gauge("kv_used_bytes", self.kv.used_bytes() as f64, now);
         if self.running.is_empty() {
             return now;
         }
@@ -495,6 +552,7 @@ impl MemoryElastic for VllmEngine {
             .saturating_sub(floor.max(self.kv.used_bytes()));
         let granted = self.kv.donate_bytes(bytes.min(max_donation));
         self.donated_bytes += granted;
+        self.tracer.incr("vllm.donated_bytes", granted);
         granted
     }
 
@@ -502,6 +560,7 @@ impl MemoryElastic for VllmEngine {
         let bytes = bytes.min(self.donated_bytes);
         self.kv.reclaim_bytes(bytes);
         self.donated_bytes -= bytes;
+        self.tracer.incr("vllm.reclaimed_bytes", bytes);
     }
 }
 
@@ -593,7 +652,10 @@ mod tests {
         let ttfts: Vec<f64> = recs.iter().map(|r| r.ttft()).collect();
         let max_ttft = ttfts.iter().cloned().fold(0.0, f64::max);
         let min_ttft = ttfts.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max_ttft > 3.0 * min_ttft, "queued TTFT should spike: {ttfts:?}");
+        assert!(
+            max_ttft > 3.0 * min_ttft,
+            "queued TTFT should spike: {ttfts:?}"
+        );
         let _ = mid;
     }
 
@@ -662,7 +724,10 @@ mod tests {
         .with_adapters(adapters);
         e.submit(InferenceRequest::with_adapter(0, 64, 4, 0), SimTime::ZERO);
         run_to_completion(&mut e);
-        e.submit(InferenceRequest::with_adapter(1, 64, 4, 0), SimTime::from_secs(10));
+        e.submit(
+            InferenceRequest::with_adapter(1, 64, 4, 0),
+            SimTime::from_secs(10),
+        );
         let mut now = SimTime::from_secs(10);
         while e.has_work() {
             now = e.step(now);
@@ -770,6 +835,49 @@ mod tests {
             }
             proptest::prop_assert_eq!(e.kv().used_blocks(), 0);
         }
+    }
+
+    #[test]
+    fn traced_engine_journals_admissions_and_preemptions() {
+        use aqua_telemetry::{JournalTracer, TraceEvent};
+        use std::sync::Arc;
+
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let pool = geom.kv_bytes_per_token() * 16 * 40; // 640 tokens → preempts
+        let journal = Arc::new(JournalTracer::new());
+        let mut e = VllmEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            VllmConfig {
+                kv_pool_bytes: pool,
+                ..VllmConfig::default()
+            },
+        )
+        .with_tracer(journal.clone(), "vllm:test");
+        e.submit(InferenceRequest::text(0, 256, 200), SimTime::ZERO);
+        e.submit(InferenceRequest::text(1, 256, 200), SimTime::ZERO);
+        run_to_completion(&mut e);
+
+        let events = journal.events();
+        let admissions = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RequestAdmitted { engine, .. } if engine == "vllm:test"))
+            .count();
+        assert!(
+            admissions >= 2,
+            "both requests admitted (plus re-admissions)"
+        );
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::RequestPreempted { policy, .. } if policy == "recompute"
+        )));
+        assert!(events.iter().any(
+            |e| matches!(e, TraceEvent::Gauge { name, .. } if name == "vllm:test.queue_depth")
+        ));
+        assert_eq!(
+            journal.registry().counter("vllm.preemptions"),
+            e.preemptions()
+        );
     }
 
     #[test]

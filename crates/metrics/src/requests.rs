@@ -178,7 +178,9 @@ mod tests {
 
     #[test]
     fn sorted_rcts_ascend() {
-        let log: RequestLog = vec![rec(1, 0, 1, 500), rec(2, 0, 1, 100)].into_iter().collect();
+        let log: RequestLog = vec![rec(1, 0, 1, 500), rec(2, 0, 1, 100)]
+            .into_iter()
+            .collect();
         let s = log.sorted_rcts();
         assert!(s[0] < s[1]);
     }

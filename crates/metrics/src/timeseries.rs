@@ -78,16 +78,18 @@ impl TimeSeries {
 
     /// Minimum sampled value.
     pub fn min(&self) -> Option<f64> {
-        self.points.iter().map(|(_, v)| *v).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.points
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Maximum sampled value.
     pub fn max(&self) -> Option<f64> {
-        self.points.iter().map(|(_, v)| *v).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.points
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Mean of values sampled within `[from, to)`.
@@ -161,7 +163,10 @@ mod tests {
             ts.mean_in(SimTime::from_secs(2), SimTime::from_secs(5)),
             Some(3.0)
         );
-        assert_eq!(ts.mean_in(SimTime::from_secs(20), SimTime::from_secs(30)), None);
+        assert_eq!(
+            ts.mean_in(SimTime::from_secs(20), SimTime::from_secs(30)),
+            None
+        );
     }
 
     #[test]

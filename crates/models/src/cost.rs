@@ -238,7 +238,11 @@ mod tests {
     fn compute_bound_models_leave_tens_of_gb_free() {
         // Figure 2a/2b: at the throughput plateau the GPU has 10s of GB free.
         let gpu = a100();
-        for m in [zoo::stable_diffusion(), zoo::stable_diffusion_xl(), zoo::kandinsky()] {
+        for m in [
+            zoo::stable_diffusion(),
+            zoo::stable_diffusion_xl(),
+            zoo::kandinsky(),
+        ] {
             let g = *m.diffusion_geometry().unwrap();
             let (batch, _tput, free) = peak_batch_under_memory(
                 gpu.hbm_bytes,

@@ -67,7 +67,11 @@ impl LoraAdapter {
 
     /// Derives an adapter of rank `rank` for a concrete LLM geometry.
     pub fn for_geometry(name: impl Into<String>, geom: &LlmGeometry, rank: u64) -> Self {
-        Self::new(name, geom.lora_adapter_bytes(rank), geom.lora_tensor_count())
+        Self::new(
+            name,
+            geom.lora_adapter_bytes(rank),
+            geom.lora_tensor_count(),
+        )
     }
 
     /// Transfer plan of the naive loader: one copy per stored tensor.

@@ -84,7 +84,10 @@ impl PlacementInstance {
         gpu_mem_bytes: u64,
         models: Vec<ModelSpec>,
     ) -> Self {
-        assert!(servers > 0 && gpus_per_server > 0, "cluster must be non-empty");
+        assert!(
+            servers > 0 && gpus_per_server > 0,
+            "cluster must be non-empty"
+        );
         assert!(
             models.len() <= servers * gpus_per_server,
             "more models ({}) than GPUs ({})",
@@ -165,7 +168,10 @@ impl std::fmt::Display for PlacementError {
                 server,
                 assigned,
                 capacity,
-            } => write!(f, "server {server} holds {assigned} models but has {capacity} GPUs"),
+            } => write!(
+                f,
+                "server {server} holds {assigned} models but has {capacity} GPUs"
+            ),
             PlacementError::WrongLength { expected, actual } => {
                 write!(f, "assignment covers {actual} models, expected {expected}")
             }
@@ -201,7 +207,10 @@ impl Placement {
         let mut counts = vec![0usize; inst.servers];
         for (m, &s) in self.assignment.iter().enumerate() {
             if s >= inst.servers {
-                return Err(PlacementError::ServerOutOfRange { model: m, server: s });
+                return Err(PlacementError::ServerOutOfRange {
+                    model: m,
+                    server: s,
+                });
             }
             counts[s] += 1;
         }
@@ -312,20 +321,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "more models")]
     fn too_many_models_rejected() {
-        PlacementInstance::new(1, 1, GB, vec![
-            ModelSpec::producer("a", 1),
-            ModelSpec::producer("b", 1),
-        ]);
+        PlacementInstance::new(
+            1,
+            1,
+            GB,
+            vec![ModelSpec::producer("a", 1), ModelSpec::producer("b", 1)],
+        );
     }
 
     #[test]
     fn empty_server_contributes_zero_to_maxes() {
-        let inst = PlacementInstance::new(
-            2,
-            2,
-            80 * GB,
-            vec![ModelSpec::consumer("c", 30 * GB)],
-        );
+        let inst = PlacementInstance::new(2, 2, 80 * GB, vec![ModelSpec::consumer("c", 30 * GB)]);
         // Consumer alone: mem_0 = -30 GB, but server 1 is empty with mem = 0,
         // so max_s(mem_s) = 0 and max_s(eq_s) = 0.
         assert_eq!(inst.objective(&[0]), 0);

@@ -28,10 +28,7 @@ struct Pair {
 
 /// Merges a point into a Pareto frontier (minimising both coordinates).
 fn insert_pareto(frontier: &mut Vec<Pair>, p: Pair) {
-    if frontier
-        .iter()
-        .any(|q| q.mem <= p.mem && q.eq <= p.eq)
-    {
+    if frontier.iter().any(|q| q.mem <= p.mem && q.eq <= p.eq) {
         return;
     }
     frontier.retain(|q| !(p.mem <= q.mem && p.eq <= q.eq));
@@ -81,7 +78,14 @@ impl Dp<'_> {
         }
         let mut frontier: Vec<Pair> = Vec::new();
         let mut fill = vec![0usize; counts.len()];
-        self.enumerate_fills(0, self.gpus_per_server, counts, &mut fill, servers_left, &mut frontier);
+        self.enumerate_fills(
+            0,
+            self.gpus_per_server,
+            counts,
+            &mut fill,
+            servers_left,
+            &mut frontier,
+        );
         self.memo.insert(key, frontier.clone());
         frontier
     }
@@ -217,7 +221,16 @@ fn find_fill(
 ) -> Option<Vec<usize>> {
     let room = dp.gpus_per_server;
     let mut stack_fill = vec![0usize; counts.len()];
-    find_fill_rec(dp, 0, room, counts, &mut stack_fill, servers_left, target, inst)
+    find_fill_rec(
+        dp,
+        0,
+        room,
+        counts,
+        &mut stack_fill,
+        servers_left,
+        target,
+        inst,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -249,7 +262,16 @@ fn find_fill_rec(
     for take in 0..=available {
         counts[ty] -= take;
         fill[ty] = take;
-        let found = find_fill_rec(dp, ty + 1, room - take, counts, fill, servers_left, target, inst);
+        let found = find_fill_rec(
+            dp,
+            ty + 1,
+            room - take,
+            counts,
+            fill,
+            servers_left,
+            target,
+            inst,
+        );
         fill[ty] = 0;
         counts[ty] += take;
         if found.is_some() {
@@ -438,9 +460,9 @@ mod tests {
             (0..20u64)
                 .map(|i| {
                     if i % 2 == 0 {
-                        ModelSpec::producer(format!("p{i}"), ((i + 10) * GB as u64))
+                        ModelSpec::producer(format!("p{i}"), (i + 10) * GB as u64)
                     } else {
-                        ModelSpec::consumer(format!("c{i}"), ((i + 5) * GB as u64))
+                        ModelSpec::consumer(format!("c{i}"), (i + 5) * GB as u64)
                     }
                 })
                 .collect(),

@@ -51,7 +51,9 @@ impl Cluster {
     pub fn of_nvlink_pairs(n: usize, spec: GpuSpec) -> Self {
         assert!(n > 0, "a cluster needs at least one server");
         Cluster {
-            servers: (0..n).map(|_| ServerTopology::nvlink_pair(spec.clone())).collect(),
+            servers: (0..n)
+                .map(|_| ServerTopology::nvlink_pair(spec.clone()))
+                .collect(),
         }
     }
 
@@ -132,9 +134,18 @@ mod tests {
     #[test]
     fn nvlink_domain_is_intra_server() {
         let c = Cluster::of_nvlink_pairs(2, GpuSpec::a100_80g());
-        let a = ClusterGpu { server: 0, gpu: GpuId(0) };
-        let b = ClusterGpu { server: 0, gpu: GpuId(1) };
-        let x = ClusterGpu { server: 1, gpu: GpuId(0) };
+        let a = ClusterGpu {
+            server: 0,
+            gpu: GpuId(0),
+        };
+        let b = ClusterGpu {
+            server: 0,
+            gpu: GpuId(1),
+        };
+        let x = ClusterGpu {
+            server: 1,
+            gpu: GpuId(0),
+        };
         assert!(c.same_nvlink_domain(a, b));
         assert!(!c.same_nvlink_domain(a, x), "no NVLink across servers");
         assert!(!c.same_nvlink_domain(a, a), "a GPU is not its own peer");
@@ -146,7 +157,11 @@ mod tests {
         assert_eq!(c.total_gpus(), 16);
         assert_eq!(c.server(1).gpu_count(), 8);
         assert_eq!(
-            ClusterGpu { server: 1, gpu: GpuId(3) }.to_string(),
+            ClusterGpu {
+                server: 1,
+                gpu: GpuId(3)
+            }
+            .to_string(),
             "server1/gpu3"
         );
     }

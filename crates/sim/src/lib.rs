@@ -42,9 +42,13 @@ pub mod event;
 pub mod gpu;
 pub mod link;
 pub mod memory;
-pub mod time;
 pub mod topology;
 pub mod transfer;
+
+// The simulation clock lives in `aqua-telemetry` (the bottom crate of the
+// workspace) so trace events can be stamped with `SimTime` without a
+// dependency cycle; `aqua_sim::time` remains the canonical path.
+pub use aqua_telemetry::time;
 
 pub mod prelude {
     //! Convenience re-exports of the most common simulator types.

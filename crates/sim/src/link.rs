@@ -139,7 +139,10 @@ impl BandwidthModel {
     pub fn transfer_time(&self, plan: TransferPlan) -> SimDuration {
         match plan {
             TransferPlan::Coalesced { bytes } => self.copy_time(bytes),
-            TransferPlan::Scattered { chunks, chunk_bytes } => {
+            TransferPlan::Scattered {
+                chunks,
+                chunk_bytes,
+            } => {
                 if chunks == 0 {
                     return SimDuration::ZERO;
                 }
@@ -248,14 +251,17 @@ mod tests {
         let nv = BandwidthModel::nvlink_a100();
         let pcie = BandwidthModel::pcie_gen4_pinned();
         let plan = TransferPlan::coalesced(bytes::gib(1));
-        let ratio =
-            pcie.transfer_time(plan).as_secs_f64() / nv.transfer_time(plan).as_secs_f64();
+        let ratio = pcie.transfer_time(plan).as_secs_f64() / nv.transfer_time(plan).as_secs_f64();
         assert!(ratio > 8.0, "NVLink should be ~10x PCIe, got {ratio:.1}x");
     }
 
     #[test]
     fn for_kind_covers_all_kinds() {
-        for kind in [LinkKind::PcieHost, LinkKind::NvlinkDirect, LinkKind::NvSwitch] {
+        for kind in [
+            LinkKind::PcieHost,
+            LinkKind::NvlinkDirect,
+            LinkKind::NvSwitch,
+        ] {
             let m = BandwidthModel::for_kind(kind);
             assert!(m.peak_bytes_per_sec > 0.0);
             assert!(!kind.to_string().is_empty());

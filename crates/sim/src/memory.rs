@@ -179,6 +179,65 @@ impl HbmAllocator {
         Ok(region.bytes)
     }
 
+    /// Like [`HbmAllocator::alloc`], additionally journalling a
+    /// [`MemAllocated`](aqua_telemetry::TraceEvent::MemAllocated) event
+    /// through `tracer` on success.
+    ///
+    /// The allocator itself cannot hold a tracer (it is `Clone + PartialEq +
+    /// Serialize`, i.e. plain data), so instrumented callers pass one in.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HbmAllocator::alloc`]; nothing is journalled on failure.
+    pub fn alloc_traced(
+        &mut self,
+        kind: RegionKind,
+        bytes: u64,
+        gpu: &str,
+        tracer: &dyn aqua_telemetry::Tracer,
+        now: crate::time::SimTime,
+    ) -> Result<AllocId, MemoryError> {
+        let id = self.alloc(kind, bytes)?;
+        aqua_telemetry::trace!(
+            tracer,
+            aqua_telemetry::TraceEvent::MemAllocated {
+                gpu: gpu.to_owned(),
+                kind: kind.to_string(),
+                bytes,
+                at: now,
+            }
+        );
+        Ok(id)
+    }
+
+    /// Like [`HbmAllocator::free`], additionally journalling a
+    /// [`MemFreed`](aqua_telemetry::TraceEvent::MemFreed) event through
+    /// `tracer` on success.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HbmAllocator::free`]; nothing is journalled on failure.
+    pub fn free_traced(
+        &mut self,
+        id: AllocId,
+        gpu: &str,
+        tracer: &dyn aqua_telemetry::Tracer,
+        now: crate::time::SimTime,
+    ) -> Result<u64, MemoryError> {
+        let kind = self.kind_of(id);
+        let bytes = self.free(id)?;
+        aqua_telemetry::trace!(
+            tracer,
+            aqua_telemetry::TraceEvent::MemFreed {
+                gpu: gpu.to_owned(),
+                kind: kind.map(|k| k.to_string()).unwrap_or_default(),
+                bytes,
+                at: now,
+            }
+        );
+        Ok(bytes)
+    }
+
     /// Grows an existing allocation by `bytes`.
     ///
     /// # Errors
@@ -279,6 +338,39 @@ mod tests {
     }
 
     #[test]
+    fn traced_alloc_and_free_journal_events() {
+        use crate::time::SimTime;
+        use aqua_telemetry::{JournalTracer, TraceEvent};
+
+        let journal = JournalTracer::new();
+        let mut hbm = HbmAllocator::new(gib(80));
+        let id = hbm
+            .alloc_traced(
+                RegionKind::KvCache,
+                gib(2),
+                "gpu0",
+                &journal,
+                SimTime::from_secs(1),
+            )
+            .unwrap();
+        hbm.free_traced(id, "gpu0", &journal, SimTime::from_secs(2))
+            .unwrap();
+        let events = journal.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0],
+            TraceEvent::MemAllocated { gpu, bytes, .. } if gpu == "gpu0" && *bytes == gib(2)
+        ));
+        assert!(matches!(&events[1], TraceEvent::MemFreed { bytes, .. } if *bytes == gib(2)));
+        // Failures journal nothing.
+        let before = journal.len();
+        assert!(hbm
+            .alloc_traced(RegionKind::Other, gib(100), "gpu0", &journal, SimTime::ZERO)
+            .is_err());
+        assert_eq!(journal.len(), before);
+    }
+
+    #[test]
     fn oom_reports_requested_and_free() {
         let mut hbm = HbmAllocator::new(mib(10));
         let err = hbm.alloc(RegionKind::Other, mib(11)).unwrap_err();
@@ -296,7 +388,10 @@ mod tests {
         let mut hbm = HbmAllocator::new(mib(1));
         let id = hbm.alloc(RegionKind::Other, 100).unwrap();
         hbm.free(id).unwrap();
-        assert_eq!(hbm.free(id).unwrap_err(), MemoryError::UnknownAllocation(id));
+        assert_eq!(
+            hbm.free(id).unwrap_err(),
+            MemoryError::UnknownAllocation(id)
+        );
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub enum PortId {
     PcieDown(GpuId),
 }
 
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortId::NvlinkEgress(g) => write!(f, "nvlink-egress:{g}"),
+            PortId::NvlinkIngress(g) => write!(f, "nvlink-ingress:{g}"),
+            PortId::PcieUp(g) => write!(f, "pcie-up:{g}"),
+            PortId::PcieDown(g) => write!(f, "pcie-down:{g}"),
+        }
+    }
+}
+
 /// A resolved path between two memory endpoints.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinkPath {
@@ -194,8 +205,20 @@ mod tests {
         let ab = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
         let ba = s.gpu_to_gpu_path(GpuId(1), GpuId(0)).unwrap();
         assert_eq!(ab.kind, LinkKind::NvlinkDirect);
-        assert_eq!(ab.ports, vec![PortId::NvlinkEgress(GpuId(0)), PortId::NvlinkIngress(GpuId(1))]);
-        assert_eq!(ba.ports, vec![PortId::NvlinkEgress(GpuId(1)), PortId::NvlinkIngress(GpuId(0))]);
+        assert_eq!(
+            ab.ports,
+            vec![
+                PortId::NvlinkEgress(GpuId(0)),
+                PortId::NvlinkIngress(GpuId(1))
+            ]
+        );
+        assert_eq!(
+            ba.ports,
+            vec![
+                PortId::NvlinkEgress(GpuId(1)),
+                PortId::NvlinkIngress(GpuId(0))
+            ]
+        );
     }
 
     #[test]
@@ -236,9 +259,15 @@ mod tests {
     #[test]
     fn endpoint_path_dispatch() {
         let s = ServerTopology::nvswitch(4, GpuSpec::a100_80g());
-        assert!(s.path(Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(1))).is_some());
-        assert!(s.path(Endpoint::Gpu(GpuId(0)), Endpoint::HostDram).is_some());
-        assert!(s.path(Endpoint::HostDram, Endpoint::Gpu(GpuId(3))).is_some());
+        assert!(s
+            .path(Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(1)))
+            .is_some());
+        assert!(s
+            .path(Endpoint::Gpu(GpuId(0)), Endpoint::HostDram)
+            .is_some());
+        assert!(s
+            .path(Endpoint::HostDram, Endpoint::Gpu(GpuId(3)))
+            .is_some());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::link::BandwidthModel;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::LinkPath;
+use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -44,14 +45,20 @@ impl TransferPlan {
 
     /// `chunks` copies of `chunk_bytes` each.
     pub fn scattered(chunks: u64, chunk_bytes: u64) -> Self {
-        TransferPlan::Scattered { chunks, chunk_bytes }
+        TransferPlan::Scattered {
+            chunks,
+            chunk_bytes,
+        }
     }
 
     /// Total payload bytes moved by the plan.
     pub fn total_bytes(self) -> u64 {
         match self {
             TransferPlan::Coalesced { bytes } => bytes,
-            TransferPlan::Scattered { chunks, chunk_bytes } => chunks * chunk_bytes,
+            TransferPlan::Scattered {
+                chunks,
+                chunk_bytes,
+            } => chunks * chunk_bytes,
         }
     }
 }
@@ -97,17 +104,38 @@ impl ScheduledTransfer {
 /// // Same ports: the second transfer queues behind the first.
 /// assert_eq!(b.start, a.end);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TransferEngine {
     port_busy_until: HashMap<crate::topology::PortId, SimTime>,
     port_bytes: HashMap<crate::topology::PortId, u64>,
     port_busy_time: HashMap<crate::topology::PortId, SimDuration>,
+    tracer: SharedTracer,
+    server: u32,
+}
+
+impl Default for TransferEngine {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TransferEngine {
-    /// Creates an idle transfer engine.
+    /// Creates an idle transfer engine (tracing disabled).
     pub fn new() -> Self {
-        Self::default()
+        TransferEngine {
+            port_busy_until: HashMap::new(),
+            port_bytes: HashMap::new(),
+            port_busy_time: HashMap::new(),
+            tracer: null_tracer(),
+            server: 0,
+        }
+    }
+
+    /// Attaches a tracer; every scheduled transfer emits enqueue/start/
+    /// complete events per port, tagged with `server` as the trace process.
+    pub fn set_tracer(&mut self, tracer: SharedTracer, server: u32) {
+        self.tracer = tracer;
+        self.server = server;
     }
 
     /// Earliest time a transfer issued at `now` could start on `path`.
@@ -153,13 +181,58 @@ impl TransferEngine {
     ) -> ScheduledTransfer {
         let start = self.earliest_start(path, now);
         let end = start + wire_time;
+        let bytes = plan.total_bytes();
+        let chunks = match plan {
+            TransferPlan::Coalesced { .. } => 1,
+            TransferPlan::Scattered { chunks, .. } => chunks,
+        };
+        self.tracer.incr("transfer.count", 1);
+        self.tracer.incr("transfer.bytes", bytes);
         for p in &path.ports {
             self.port_busy_until.insert(*p, end);
-            *self.port_bytes.entry(*p).or_insert(0) += plan.total_bytes();
+            *self.port_bytes.entry(*p).or_insert(0) += bytes;
             let busy = self.port_busy_time.entry(*p).or_insert(SimDuration::ZERO);
-            *busy = *busy + wire_time;
+            *busy += wire_time;
+            if self.tracer.enabled() {
+                let lane = p.to_string();
+                self.tracer.incr(&format!("link.bytes.{lane}"), bytes);
+                trace!(
+                    self.tracer,
+                    TraceEvent::TransferEnqueued {
+                        server: self.server,
+                        lane: lane.clone(),
+                        bytes,
+                        chunks,
+                        at: now,
+                    }
+                );
+                trace!(
+                    self.tracer,
+                    TraceEvent::TransferStarted {
+                        server: self.server,
+                        lane: lane.clone(),
+                        bytes,
+                        at: start,
+                    }
+                );
+                trace!(
+                    self.tracer,
+                    TraceEvent::TransferCompleted {
+                        server: self.server,
+                        lane,
+                        bytes,
+                        chunks,
+                        start,
+                        end,
+                    }
+                );
+            }
         }
-        ScheduledTransfer { start, end, wire_time }
+        ScheduledTransfer {
+            start,
+            end,
+            wire_time,
+        }
     }
 
     /// Busy horizon of a single port (for tests and introspection).
@@ -287,6 +360,46 @@ mod tests {
     }
 
     #[test]
+    fn traced_schedules_journal_per_port_lifecycle() {
+        use aqua_telemetry::JournalTracer;
+        use std::sync::Arc;
+
+        let s = pair();
+        let path = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let journal = Arc::new(JournalTracer::new());
+        let mut eng = TransferEngine::new();
+        eng.set_tracer(journal.clone(), 0);
+        let t = eng.schedule(&path, TransferPlan::scattered(4, mib(16)), SimTime::ZERO);
+
+        // enqueue + start + complete for each of the two ports on the path.
+        assert_eq!(journal.len(), 3 * path.ports.len());
+        let events = journal.events();
+        let completed = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::TransferCompleted {
+                    lane,
+                    bytes,
+                    chunks,
+                    start,
+                    end,
+                    ..
+                } => Some((lane.clone(), *bytes, *chunks, *start, *end)),
+                _ => None,
+            })
+            .expect("a completion event");
+        assert_eq!(completed.0, "nvlink-egress:gpu0");
+        assert_eq!(completed.1, mib(64));
+        assert_eq!(completed.2, 4);
+        assert_eq!((completed.3, completed.4), (t.start, t.end));
+        assert_eq!(journal.registry().counter("transfer.bytes"), mib(64));
+        assert_eq!(
+            journal.registry().counter("link.bytes.nvlink-egress:gpu0"),
+            mib(64)
+        );
+    }
+
+    #[test]
     fn staging_is_cheap_relative_to_pcie() {
         let spec = GpuSpec::a100_80g();
         let bytes = mib(320);
@@ -339,8 +452,12 @@ mod tests {
         let pageable = crate::link::BandwidthModel::pcie_gen4_pageable();
         let fast = eng.schedule(&down, TransferPlan::coalesced(mib(320)), SimTime::ZERO);
         let mut eng2 = TransferEngine::new();
-        let slow =
-            eng2.schedule_with_model(&down, &pageable, TransferPlan::coalesced(mib(320)), SimTime::ZERO);
+        let slow = eng2.schedule_with_model(
+            &down,
+            &pageable,
+            TransferPlan::coalesced(mib(320)),
+            SimTime::ZERO,
+        );
         assert!(slow.wire_time > fast.wire_time);
     }
 }

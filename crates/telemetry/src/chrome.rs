@@ -1,0 +1,613 @@
+//! Chrome/Perfetto trace-event export.
+//!
+//! [`chrome_trace`] renders a journal into the JSON object format understood
+//! by `chrome://tracing`, Perfetto and speedscope: one process (`pid`) per
+//! simulated server plus a process for engines and control plane, one thread
+//! (`tid`) per link lane or engine scope, `"X"` duration events for
+//! transfers/slices/window fetches, `"i"` instants for discrete actions and
+//! `"C"` counter tracks for gauges. Timestamps are microseconds of simulated
+//! time; events are sorted so `ts` is monotone within every `tid`.
+
+use crate::event::{fmt_f64, TraceEvent};
+use crate::json::escape_into;
+use std::collections::BTreeMap;
+
+/// The `pid` used for engines, informers and the coordinator (servers get
+/// `server + 1`).
+const CONTROL_PID: u32 = 0;
+
+/// One rendered trace event, before sorting.
+struct Entry {
+    ts: u64,
+    pid: u32,
+    tid: u32,
+    ph: char,
+    name: String,
+    cat: &'static str,
+    dur: Option<u64>,
+    /// `(key, pre-rendered JSON fragment)` pairs.
+    args: Vec<(&'static str, String)>,
+}
+
+/// Deterministic `(pid, label) -> tid` assignment in first-appearance order.
+#[derive(Default)]
+struct Lanes {
+    ids: BTreeMap<(u32, String), u32>,
+    order: Vec<(u32, String, u32)>,
+    next: u32,
+}
+
+impl Lanes {
+    fn tid(&mut self, pid: u32, label: &str) -> u32 {
+        if let Some(&tid) = self.ids.get(&(pid, label.to_owned())) {
+            return tid;
+        }
+        self.next += 1;
+        let tid = self.next;
+        self.ids.insert((pid, label.to_owned()), tid);
+        self.order.push((pid, label.to_owned(), tid));
+        tid
+    }
+}
+
+fn us(t: crate::time::SimTime) -> u64 {
+    t.as_nanos() / 1_000
+}
+
+fn span(start: crate::time::SimTime, end: crate::time::SimTime) -> (u64, u64) {
+    (us(start), end.duration_since(start).as_nanos() / 1_000)
+}
+
+/// Renders a journal as a complete Chrome trace-event JSON document.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut lanes = Lanes::default();
+    let mut entries: Vec<Entry> = Vec::with_capacity(events.len());
+    let mut servers: BTreeMap<u32, ()> = BTreeMap::new();
+
+    let instant = |lanes: &mut Lanes, pid: u32, label: &str, name: &str, ts, args| Entry {
+        ts,
+        pid,
+        tid: lanes.tid(pid, label),
+        ph: 'i',
+        name: name.to_owned(),
+        cat: "event",
+        dur: None,
+        args,
+    };
+
+    for e in events {
+        match e {
+            TraceEvent::TransferEnqueued {
+                server,
+                lane,
+                bytes,
+                chunks,
+                at,
+            } => {
+                servers.insert(*server, ());
+                let mut en = instant(
+                    &mut lanes,
+                    server + 1,
+                    lane,
+                    "transfer-enqueued",
+                    us(*at),
+                    vec![("bytes", bytes.to_string()), ("chunks", chunks.to_string())],
+                );
+                en.cat = "transfer";
+                entries.push(en);
+            }
+            TraceEvent::TransferStarted {
+                server,
+                lane,
+                bytes,
+                at,
+            } => {
+                servers.insert(*server, ());
+                let mut en = instant(
+                    &mut lanes,
+                    server + 1,
+                    lane,
+                    "transfer-started",
+                    us(*at),
+                    vec![("bytes", bytes.to_string())],
+                );
+                en.cat = "transfer";
+                entries.push(en);
+            }
+            TraceEvent::TransferCompleted {
+                server,
+                lane,
+                bytes,
+                chunks,
+                start,
+                end,
+            } => {
+                servers.insert(*server, ());
+                let (ts, dur) = span(*start, *end);
+                entries.push(Entry {
+                    ts,
+                    pid: server + 1,
+                    tid: lanes.tid(server + 1, lane),
+                    ph: 'X',
+                    name: "transfer".to_owned(),
+                    cat: "transfer",
+                    dur: Some(dur),
+                    args: vec![("bytes", bytes.to_string()), ("chunks", chunks.to_string())],
+                });
+            }
+            TraceEvent::MemAllocated {
+                gpu,
+                kind,
+                bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gpu,
+                    "mem-alloc",
+                    us(*at),
+                    vec![
+                        ("kind", format!("\"{}\"", esc(kind))),
+                        ("bytes", bytes.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::MemFreed {
+                gpu,
+                kind,
+                bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gpu,
+                    "mem-free",
+                    us(*at),
+                    vec![
+                        ("kind", format!("\"{}\"", esc(kind))),
+                        ("bytes", bytes.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::LeaseGranted {
+                producer,
+                lease,
+                bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    producer,
+                    "lease-granted",
+                    us(*at),
+                    vec![("lease", lease.to_string()), ("bytes", bytes.to_string())],
+                ));
+            }
+            TraceEvent::LeaseAllocated {
+                consumer,
+                site,
+                bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    consumer,
+                    "lease-allocated",
+                    us(*at),
+                    vec![
+                        ("site", format!("\"{}\"", esc(site))),
+                        ("bytes", bytes.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::LeaseFreed {
+                consumer,
+                lease,
+                bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    consumer,
+                    "lease-freed",
+                    us(*at),
+                    vec![("lease", lease.to_string()), ("bytes", bytes.to_string())],
+                ));
+            }
+            TraceEvent::LeasePromoted {
+                consumer,
+                lease,
+                bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    consumer,
+                    "lease-promoted",
+                    us(*at),
+                    vec![("lease", lease.to_string()), ("bytes", bytes.to_string())],
+                ));
+            }
+            TraceEvent::Donated { gpu, bytes, at } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gpu,
+                    "donated",
+                    us(*at),
+                    vec![("bytes", bytes.to_string())],
+                ));
+            }
+            TraceEvent::Compacted { gpu, bytes, at } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gpu,
+                    "compacted",
+                    us(*at),
+                    vec![("bytes", bytes.to_string())],
+                ));
+            }
+            TraceEvent::ReclaimRequested { producer, at } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    producer,
+                    "reclaim-requested",
+                    us(*at),
+                    Vec::new(),
+                ));
+            }
+            TraceEvent::ReclaimReleased {
+                producer,
+                lease,
+                bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    producer,
+                    "reclaim-released",
+                    us(*at),
+                    vec![("lease", lease.to_string()), ("bytes", bytes.to_string())],
+                ));
+            }
+            TraceEvent::Reclaimed { gpu, bytes, at } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gpu,
+                    "reclaimed",
+                    us(*at),
+                    vec![("bytes", bytes.to_string())],
+                ));
+            }
+            TraceEvent::CoordinatorVerb { verb, detail, at } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "coordinator",
+                    verb,
+                    us(*at),
+                    vec![("detail", format!("\"{}\"", esc(detail)))],
+                ));
+            }
+            TraceEvent::InformerDecision { gpu, decision, at } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gpu,
+                    "informer-decision",
+                    us(*at),
+                    vec![("decision", format!("\"{}\"", esc(decision)))],
+                ));
+            }
+            TraceEvent::RequestAdmitted {
+                engine,
+                request,
+                waiting,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    engine,
+                    "admitted",
+                    us(*at),
+                    vec![
+                        ("request", request.to_string()),
+                        ("waiting", waiting.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::RequestPreempted {
+                engine,
+                request,
+                policy,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    engine,
+                    "preempted",
+                    us(*at),
+                    vec![
+                        ("request", request.to_string()),
+                        ("policy", format!("\"{}\"", esc(policy))),
+                    ],
+                ));
+            }
+            TraceEvent::SliceFinished {
+                engine,
+                slice,
+                active,
+                tokens,
+                start,
+                end,
+            } => {
+                let (ts, dur) = span(*start, *end);
+                entries.push(Entry {
+                    ts,
+                    pid: CONTROL_PID,
+                    tid: lanes.tid(CONTROL_PID, engine),
+                    ph: 'X',
+                    name: "slice".to_owned(),
+                    cat: "scheduler",
+                    dur: Some(dur),
+                    args: vec![
+                        ("slice", slice.to_string()),
+                        ("active", active.to_string()),
+                        ("tokens", tokens.to_string()),
+                    ],
+                });
+            }
+            TraceEvent::WindowFetched {
+                engine,
+                bytes,
+                start,
+                end,
+            } => {
+                let (ts, dur) = span(*start, *end);
+                entries.push(Entry {
+                    ts,
+                    pid: CONTROL_PID,
+                    tid: lanes.tid(CONTROL_PID, engine),
+                    ph: 'X',
+                    name: "window-fetch".to_owned(),
+                    cat: "scheduler",
+                    dur: Some(dur),
+                    args: vec![("bytes", bytes.to_string())],
+                });
+            }
+            TraceEvent::Gauge { name, value, at } => {
+                entries.push(Entry {
+                    ts: us(*at),
+                    pid: CONTROL_PID,
+                    tid: 0,
+                    ph: 'C',
+                    name: name.clone(),
+                    cat: "gauge",
+                    dur: None,
+                    args: vec![("value", fmt_f64(*value))],
+                });
+            }
+        }
+    }
+
+    // Monotone ts per tid: stable sort by (ts, pid, tid) keeps emission order
+    // for ties while ordering every thread's timeline.
+    entries.sort_by_key(|e| (e.ts, e.pid, e.tid));
+
+    let mut out = String::with_capacity(entries.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, fragment: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&fragment);
+    };
+
+    // Process/thread naming metadata first.
+    push(
+        &mut out,
+        metadata_entry("process_name", CONTROL_PID, None, "aqua"),
+    );
+    for server in servers.keys() {
+        push(
+            &mut out,
+            metadata_entry("process_name", server + 1, None, &format!("server{server}")),
+        );
+    }
+    for (pid, label, tid) in &lanes.order {
+        push(
+            &mut out,
+            metadata_entry("thread_name", *pid, Some(*tid), label),
+        );
+    }
+
+    for e in &entries {
+        let mut frag = String::with_capacity(96);
+        frag.push_str("{\"name\":\"");
+        escape_into(&mut frag, &e.name);
+        frag.push_str("\",\"cat\":\"");
+        frag.push_str(e.cat);
+        frag.push_str("\",\"ph\":\"");
+        frag.push(e.ph);
+        frag.push('"');
+        if e.ph == 'i' {
+            frag.push_str(",\"s\":\"t\"");
+        }
+        frag.push_str(&format!(
+            ",\"ts\":{},\"pid\":{},\"tid\":{}",
+            e.ts, e.pid, e.tid
+        ));
+        if let Some(dur) = e.dur {
+            frag.push_str(&format!(",\"dur\":{dur}"));
+        }
+        frag.push_str(",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                frag.push(',');
+            }
+            frag.push('"');
+            frag.push_str(k);
+            frag.push_str("\":");
+            frag.push_str(v);
+        }
+        frag.push_str("}}");
+        push(&mut out, frag);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn metadata_entry(name: &str, pid: u32, tid: Option<u32>, label: &str) -> String {
+    let mut frag = String::with_capacity(64);
+    frag.push_str("{\"name\":\"");
+    frag.push_str(name);
+    frag.push_str("\",\"ph\":\"M\",\"pid\":");
+    frag.push_str(&pid.to_string());
+    if let Some(tid) = tid {
+        frag.push_str(",\"tid\":");
+        frag.push_str(&tid.to_string());
+    }
+    frag.push_str(",\"args\":{\"name\":\"");
+    escape_into(&mut frag, label);
+    frag.push_str("\"}}");
+    frag
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, JsonValue};
+    use crate::time::SimTime;
+    use std::collections::HashMap;
+
+    fn sample_journal() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::TransferEnqueued {
+                server: 0,
+                lane: "nvlink-egress:gpu0".into(),
+                bytes: 100,
+                chunks: 1,
+                at: SimTime::from_millis(2),
+            },
+            TraceEvent::TransferCompleted {
+                server: 0,
+                lane: "nvlink-egress:gpu0".into(),
+                bytes: 100,
+                chunks: 1,
+                start: SimTime::from_millis(2),
+                end: SimTime::from_millis(4),
+            },
+            TraceEvent::SliceFinished {
+                engine: "cfs".into(),
+                slice: 1,
+                active: 3,
+                tokens: 12,
+                start: SimTime::from_millis(1),
+                end: SimTime::from_millis(5),
+            },
+            TraceEvent::LeaseGranted {
+                producer: "s0/gpu1".into(),
+                lease: 1,
+                bytes: 1 << 30,
+                at: SimTime::from_millis(3),
+            },
+            TraceEvent::Gauge {
+                name: "cfs.outstanding".into(),
+                value: 4.0,
+                at: SimTime::from_millis(3),
+            },
+            TraceEvent::TransferCompleted {
+                server: 0,
+                lane: "nvlink-egress:gpu0".into(),
+                bytes: 50,
+                chunks: 1,
+                start: SimTime::from_millis(4),
+                end: SimTime::from_millis(5),
+            },
+        ]
+    }
+
+    #[test]
+    fn output_is_well_formed_json_with_expected_phases() {
+        let doc = chrome_trace(&sample_journal());
+        let v = json::parse(&doc).expect("chrome trace parses");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert!(phases.contains(&"M"), "metadata events present");
+        assert!(phases.contains(&"X"), "duration events present");
+        assert!(phases.contains(&"i"), "instant events present");
+        assert!(phases.contains(&"C"), "counter events present");
+    }
+
+    #[test]
+    fn ts_is_monotone_within_every_tid() {
+        let doc = chrome_trace(&sample_journal());
+        let v = json::parse(&doc).unwrap();
+        let mut last: HashMap<(u64, u64), u64> = HashMap::new();
+        for e in v.get("traceEvents").unwrap().as_arr().unwrap() {
+            if e.get("ph").unwrap().as_str() == Some("M") {
+                continue;
+            }
+            let key = (
+                e.get("pid").unwrap().as_u64().unwrap(),
+                e.get("tid").unwrap().as_u64().unwrap(),
+            );
+            let ts = e.get("ts").unwrap().as_u64().unwrap();
+            if let Some(&prev) = last.get(&key) {
+                assert!(prev <= ts, "ts regressed on {key:?}: {prev} > {ts}");
+            }
+            last.insert(key, ts);
+        }
+        assert!(!last.is_empty());
+    }
+
+    #[test]
+    fn lanes_are_named_and_durations_are_microseconds() {
+        let doc = chrome_trace(&sample_journal());
+        let v = json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let lane_named = events.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("M")
+                && e.get("args").unwrap().get("name").unwrap().as_str()
+                    == Some("nvlink-egress:gpu0")
+        });
+        assert!(lane_named, "lane thread_name metadata missing");
+        let xfer: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("transfer"))
+            .collect();
+        assert_eq!(xfer.len(), 2);
+        // 2ms wire time -> 2000us duration.
+        assert_eq!(xfer[0].get("dur").unwrap().as_u64(), Some(2000));
+    }
+
+    #[test]
+    fn empty_journal_renders_a_valid_document() {
+        let doc = chrome_trace(&[]);
+        let v = json::parse(&doc).unwrap();
+        assert!(matches!(v.get("traceEvents"), Some(JsonValue::Arr(_))));
+    }
+}

@@ -1,0 +1,622 @@
+//! The typed trace-event vocabulary.
+//!
+//! Every observable action in the stack — a transfer hitting a link, a lease
+//! changing hands, a scheduler slice finishing — is one [`TraceEvent`]
+//! variant stamped with the [`SimTime`](crate::time::SimTime) at which it
+//! happened. Events carry plain strings for entity names (lanes, GPUs,
+//! engines) so the vocabulary does not depend on any upper crate's id types.
+//!
+//! The canonical encoding ([`TraceEvent::to_json_line`]) is a single JSON
+//! object per event with a stable field order; the determinism digest in
+//! [`crate::tracer::JournalTracer`] hashes exactly these bytes, so two runs
+//! agree on the digest iff they emitted byte-identical journals.
+
+use crate::json::escape_into;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One structured event in a run's journal.
+///
+/// Variants group into four families mirroring the stack's layers: transfer
+/// lifecycle (the simulator's transfer engine), memory/lease movement (HBM
+/// allocators, donation, reclaim), control plane (coordinator verbs, informer
+/// decisions) and scheduler actions (vLLM admission/preemption, CFS slices,
+/// FlexGen window fetches).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A transfer plan was queued on a link lane (per egress/ingress port).
+    TransferEnqueued {
+        /// Server the lane belongs to.
+        server: u32,
+        /// Lane label, e.g. `nvlink-egress:gpu0`.
+        lane: String,
+        /// Total payload bytes.
+        bytes: u64,
+        /// Chunk count (1 for a coalesced plan).
+        chunks: u64,
+        /// Enqueue time.
+        at: SimTime,
+    },
+    /// A queued transfer reached the head of its lane and started moving.
+    TransferStarted {
+        /// Server the lane belongs to.
+        server: u32,
+        /// Lane label.
+        lane: String,
+        /// Total payload bytes.
+        bytes: u64,
+        /// Wire start time.
+        at: SimTime,
+    },
+    /// A transfer finished draining through a lane.
+    TransferCompleted {
+        /// Server the lane belongs to.
+        server: u32,
+        /// Lane label.
+        lane: String,
+        /// Total payload bytes.
+        bytes: u64,
+        /// Chunk count (1 for a coalesced plan).
+        chunks: u64,
+        /// Wire start time.
+        start: SimTime,
+        /// Wire end time.
+        end: SimTime,
+    },
+    /// An HBM region was allocated.
+    MemAllocated {
+        /// Owning GPU label.
+        gpu: String,
+        /// Region kind, e.g. `kv-cache`.
+        kind: String,
+        /// Region size.
+        bytes: u64,
+        /// Allocation time.
+        at: SimTime,
+    },
+    /// An HBM region was freed.
+    MemFreed {
+        /// Owning GPU label.
+        gpu: String,
+        /// Region kind.
+        kind: String,
+        /// Region size.
+        bytes: u64,
+        /// Free time.
+        at: SimTime,
+    },
+    /// A producer donated HBM and the coordinator granted a lease over it.
+    LeaseGranted {
+        /// Producer GPU label.
+        producer: String,
+        /// Coordinator lease id.
+        lease: u64,
+        /// Donated bytes.
+        bytes: u64,
+        /// Grant time.
+        at: SimTime,
+    },
+    /// A consumer carved an allocation out of a lease (or fell back to DRAM).
+    LeaseAllocated {
+        /// Consumer GPU label.
+        consumer: String,
+        /// Allocation site, e.g. `peer:s0/gpu1` or `dram`.
+        site: String,
+        /// Allocated bytes.
+        bytes: u64,
+        /// Allocation time.
+        at: SimTime,
+    },
+    /// A consumer returned bytes to a lease.
+    LeaseFreed {
+        /// Consumer GPU label.
+        consumer: String,
+        /// Coordinator lease id.
+        lease: u64,
+        /// Freed bytes.
+        bytes: u64,
+        /// Free time.
+        at: SimTime,
+    },
+    /// Leased context was promoted from DRAM back onto a producer GPU.
+    LeasePromoted {
+        /// Consumer GPU label.
+        consumer: String,
+        /// Destination lease id.
+        lease: u64,
+        /// Promoted bytes.
+        bytes: u64,
+        /// Promotion start time.
+        at: SimTime,
+    },
+    /// An engine donated free pool bytes to the coordinator.
+    Donated {
+        /// Donating GPU label.
+        gpu: String,
+        /// Donated bytes.
+        bytes: u64,
+        /// Donation time.
+        at: SimTime,
+    },
+    /// A KV cache compacted live blocks to make a donation contiguous.
+    Compacted {
+        /// Compacting GPU label.
+        gpu: String,
+        /// Bytes moved by compaction.
+        bytes: u64,
+        /// Compaction time.
+        at: SimTime,
+    },
+    /// A producer asked for its donated memory back.
+    ReclaimRequested {
+        /// Producer GPU label.
+        producer: String,
+        /// Request time.
+        at: SimTime,
+    },
+    /// A consumer drained a lease and released it back to the producer.
+    ReclaimReleased {
+        /// Producer GPU label the bytes went back to.
+        producer: String,
+        /// Released lease id.
+        lease: u64,
+        /// Released bytes.
+        bytes: u64,
+        /// Release completion time.
+        at: SimTime,
+    },
+    /// A producer engine re-absorbed reclaimed bytes into its pool.
+    Reclaimed {
+        /// Producer GPU label.
+        gpu: String,
+        /// Reclaimed bytes.
+        bytes: u64,
+        /// Re-absorption time.
+        at: SimTime,
+    },
+    /// A coordinator verb was invoked (southbound REST surface).
+    CoordinatorVerb {
+        /// Verb name, e.g. `release`.
+        verb: String,
+        /// Free-form detail, e.g. the lease id.
+        detail: String,
+        /// Invocation time.
+        at: SimTime,
+    },
+    /// An informer made a donate/reclaim/pause decision.
+    InformerDecision {
+        /// GPU the informer watches.
+        gpu: String,
+        /// Decision label, e.g. `donate` or `reclaim-start`.
+        decision: String,
+        /// Decision time.
+        at: SimTime,
+    },
+    /// A scheduler admitted a request into the running batch.
+    RequestAdmitted {
+        /// Engine scope label.
+        engine: String,
+        /// Request id.
+        request: u64,
+        /// Requests still waiting after admission.
+        waiting: u64,
+        /// Admission time.
+        at: SimTime,
+    },
+    /// A scheduler preempted a running request.
+    RequestPreempted {
+        /// Engine scope label.
+        engine: String,
+        /// Request id.
+        request: u64,
+        /// Preemption policy, `recompute` or `swap`.
+        policy: String,
+        /// Preemption time.
+        at: SimTime,
+    },
+    /// A CFS token slice ran to completion.
+    SliceFinished {
+        /// Engine scope label.
+        engine: String,
+        /// Monotone slice index.
+        slice: u64,
+        /// Sequences active in the slice.
+        active: u64,
+        /// Tokens generated during the slice.
+        tokens: u64,
+        /// Slice start time.
+        start: SimTime,
+        /// Slice end time.
+        end: SimTime,
+    },
+    /// FlexGen streamed a context window through HBM for a decode chunk.
+    WindowFetched {
+        /// Engine scope label.
+        engine: String,
+        /// Bytes fetched for the window.
+        bytes: u64,
+        /// Fetch start time.
+        start: SimTime,
+        /// Fetch end time.
+        end: SimTime,
+    },
+    /// A sampled gauge (queue depth, free pool bytes, ...).
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Sampled value.
+        value: f64,
+        /// Sample time.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The variant name used as the `event` field of the canonical encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::TransferEnqueued { .. } => "transfer_enqueued",
+            TraceEvent::TransferStarted { .. } => "transfer_started",
+            TraceEvent::TransferCompleted { .. } => "transfer_completed",
+            TraceEvent::MemAllocated { .. } => "mem_allocated",
+            TraceEvent::MemFreed { .. } => "mem_freed",
+            TraceEvent::LeaseGranted { .. } => "lease_granted",
+            TraceEvent::LeaseAllocated { .. } => "lease_allocated",
+            TraceEvent::LeaseFreed { .. } => "lease_freed",
+            TraceEvent::LeasePromoted { .. } => "lease_promoted",
+            TraceEvent::Donated { .. } => "donated",
+            TraceEvent::Compacted { .. } => "compacted",
+            TraceEvent::ReclaimRequested { .. } => "reclaim_requested",
+            TraceEvent::ReclaimReleased { .. } => "reclaim_released",
+            TraceEvent::Reclaimed { .. } => "reclaimed",
+            TraceEvent::CoordinatorVerb { .. } => "coordinator_verb",
+            TraceEvent::InformerDecision { .. } => "informer_decision",
+            TraceEvent::RequestAdmitted { .. } => "request_admitted",
+            TraceEvent::RequestPreempted { .. } => "request_preempted",
+            TraceEvent::SliceFinished { .. } => "slice_finished",
+            TraceEvent::WindowFetched { .. } => "window_fetched",
+            TraceEvent::Gauge { .. } => "gauge",
+        }
+    }
+
+    /// The timestamp that orders this event in a journal (start time for
+    /// duration-shaped events).
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::TransferEnqueued { at, .. }
+            | TraceEvent::TransferStarted { at, .. }
+            | TraceEvent::MemAllocated { at, .. }
+            | TraceEvent::MemFreed { at, .. }
+            | TraceEvent::LeaseGranted { at, .. }
+            | TraceEvent::LeaseAllocated { at, .. }
+            | TraceEvent::LeaseFreed { at, .. }
+            | TraceEvent::LeasePromoted { at, .. }
+            | TraceEvent::Donated { at, .. }
+            | TraceEvent::Compacted { at, .. }
+            | TraceEvent::ReclaimRequested { at, .. }
+            | TraceEvent::ReclaimReleased { at, .. }
+            | TraceEvent::Reclaimed { at, .. }
+            | TraceEvent::CoordinatorVerb { at, .. }
+            | TraceEvent::InformerDecision { at, .. }
+            | TraceEvent::RequestAdmitted { at, .. }
+            | TraceEvent::RequestPreempted { at, .. }
+            | TraceEvent::Gauge { at, .. } => *at,
+            TraceEvent::TransferCompleted { start, .. }
+            | TraceEvent::SliceFinished { start, .. }
+            | TraceEvent::WindowFetched { start, .. } => *start,
+        }
+    }
+
+    /// Serialises the event as one canonical JSON line (no trailing newline).
+    ///
+    /// Field order is fixed per variant and times are integer nanoseconds, so
+    /// the output is byte-stable across runs and platforms — the property the
+    /// determinism digest relies on.
+    pub fn to_json_line(&self) -> String {
+        let mut w = LineWriter::new(self.name());
+        match self {
+            TraceEvent::TransferEnqueued {
+                server,
+                lane,
+                bytes,
+                chunks,
+                at,
+            } => {
+                w.num("server", u64::from(*server));
+                w.str("lane", lane);
+                w.num("bytes", *bytes);
+                w.num("chunks", *chunks);
+                w.time("at", *at);
+            }
+            TraceEvent::TransferStarted {
+                server,
+                lane,
+                bytes,
+                at,
+            } => {
+                w.num("server", u64::from(*server));
+                w.str("lane", lane);
+                w.num("bytes", *bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::TransferCompleted {
+                server,
+                lane,
+                bytes,
+                chunks,
+                start,
+                end,
+            } => {
+                w.num("server", u64::from(*server));
+                w.str("lane", lane);
+                w.num("bytes", *bytes);
+                w.num("chunks", *chunks);
+                w.time("start", *start);
+                w.time("end", *end);
+            }
+            TraceEvent::MemAllocated {
+                gpu,
+                kind,
+                bytes,
+                at,
+            }
+            | TraceEvent::MemFreed {
+                gpu,
+                kind,
+                bytes,
+                at,
+            } => {
+                w.str("gpu", gpu);
+                w.str("kind", kind);
+                w.num("bytes", *bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::LeaseGranted {
+                producer,
+                lease,
+                bytes,
+                at,
+            } => {
+                w.str("producer", producer);
+                w.num("lease", *lease);
+                w.num("bytes", *bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::LeaseAllocated {
+                consumer,
+                site,
+                bytes,
+                at,
+            } => {
+                w.str("consumer", consumer);
+                w.str("site", site);
+                w.num("bytes", *bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::LeaseFreed {
+                consumer,
+                lease,
+                bytes,
+                at,
+            }
+            | TraceEvent::LeasePromoted {
+                consumer,
+                lease,
+                bytes,
+                at,
+            } => {
+                w.str("consumer", consumer);
+                w.num("lease", *lease);
+                w.num("bytes", *bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::Donated { gpu, bytes, at }
+            | TraceEvent::Compacted { gpu, bytes, at }
+            | TraceEvent::Reclaimed { gpu, bytes, at } => {
+                w.str("gpu", gpu);
+                w.num("bytes", *bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::ReclaimRequested { producer, at } => {
+                w.str("producer", producer);
+                w.time("at", *at);
+            }
+            TraceEvent::ReclaimReleased {
+                producer,
+                lease,
+                bytes,
+                at,
+            } => {
+                w.str("producer", producer);
+                w.num("lease", *lease);
+                w.num("bytes", *bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::CoordinatorVerb { verb, detail, at } => {
+                w.str("verb", verb);
+                w.str("detail", detail);
+                w.time("at", *at);
+            }
+            TraceEvent::InformerDecision { gpu, decision, at } => {
+                w.str("gpu", gpu);
+                w.str("decision", decision);
+                w.time("at", *at);
+            }
+            TraceEvent::RequestAdmitted {
+                engine,
+                request,
+                waiting,
+                at,
+            } => {
+                w.str("engine", engine);
+                w.num("request", *request);
+                w.num("waiting", *waiting);
+                w.time("at", *at);
+            }
+            TraceEvent::RequestPreempted {
+                engine,
+                request,
+                policy,
+                at,
+            } => {
+                w.str("engine", engine);
+                w.num("request", *request);
+                w.str("policy", policy);
+                w.time("at", *at);
+            }
+            TraceEvent::SliceFinished {
+                engine,
+                slice,
+                active,
+                tokens,
+                start,
+                end,
+            } => {
+                w.str("engine", engine);
+                w.num("slice", *slice);
+                w.num("active", *active);
+                w.num("tokens", *tokens);
+                w.time("start", *start);
+                w.time("end", *end);
+            }
+            TraceEvent::WindowFetched {
+                engine,
+                bytes,
+                start,
+                end,
+            } => {
+                w.str("engine", engine);
+                w.num("bytes", *bytes);
+                w.time("start", *start);
+                w.time("end", *end);
+            }
+            TraceEvent::Gauge { name, value, at } => {
+                w.str("name", name);
+                w.f64("value", *value);
+                w.time("at", *at);
+            }
+        }
+        w.finish()
+    }
+}
+
+/// Formats an `f64` as a JSON-safe token (non-finite values map to `0`).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Tiny builder for one canonical JSON object line.
+struct LineWriter {
+    out: String,
+}
+
+impl LineWriter {
+    fn new(event: &str) -> Self {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"event\":\"");
+        out.push_str(event);
+        out.push('"');
+        LineWriter { out }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.out.push_str(",\"");
+        self.out.push_str(key);
+        self.out.push_str("\":");
+    }
+
+    fn num(&mut self, key: &str, v: u64) {
+        self.key(key);
+        self.out.push_str(&v.to_string());
+    }
+
+    fn f64(&mut self, key: &str, v: f64) {
+        self.key(key);
+        self.out.push_str(&fmt_f64(v));
+    }
+
+    fn time(&mut self, key: &str, t: SimTime) {
+        self.num(key, t.as_nanos());
+    }
+
+    fn str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        self.out.push('"');
+        escape_into(&mut self.out, v);
+        self.out.push('"');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn canonical_lines_are_valid_json() {
+        let events = [
+            TraceEvent::TransferCompleted {
+                server: 0,
+                lane: "nvlink-egress:gpu0".into(),
+                bytes: 1 << 20,
+                chunks: 2,
+                start: SimTime::from_millis(1),
+                end: SimTime::from_millis(3),
+            },
+            TraceEvent::LeaseGranted {
+                producer: "s0/gpu1".into(),
+                lease: 7,
+                bytes: 42,
+                at: SimTime::from_secs(1),
+            },
+            TraceEvent::Gauge {
+                name: "cfs.outstanding".into(),
+                value: 3.5,
+                at: SimTime::ZERO,
+            },
+        ];
+        for e in &events {
+            let line = e.to_json_line();
+            let v = json::parse(&line).expect("canonical line parses");
+            assert_eq!(
+                v.get("event").and_then(|v| v.as_str()),
+                Some(e.name()),
+                "line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = TraceEvent::CoordinatorVerb {
+            verb: "lease".into(),
+            detail: "quote \" slash \\ newline \n".into(),
+            at: SimTime::ZERO,
+        };
+        let line = e.to_json_line();
+        let v = json::parse(&line).expect("escaped line parses");
+        assert_eq!(
+            v.get("detail").and_then(|v| v.as_str()),
+            Some("quote \" slash \\ newline \n")
+        );
+    }
+
+    #[test]
+    fn non_finite_gauges_stay_valid_json() {
+        let e = TraceEvent::Gauge {
+            name: "bad".into(),
+            value: f64::NAN,
+            at: SimTime::ZERO,
+        };
+        assert!(json::parse(&e.to_json_line()).is_ok());
+    }
+}

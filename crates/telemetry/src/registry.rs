@@ -1,0 +1,107 @@
+//! A tiny counter/gauge registry for cheap always-on statistics.
+//!
+//! The journal captures *when* things happened; the registry captures *how
+//! much* with no per-event cost — bytes per link lane, preemption counts,
+//! reclaim counts. Keys are plain strings; maps are `BTreeMap` so snapshots
+//! iterate in a deterministic order.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Named monotonic counters and last-write-wins gauges.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to `counter`, creating it at zero on first touch.
+    pub fn incr(&self, counter: &str, delta: u64) {
+        let mut counters = self.counters.lock().unwrap();
+        if let Some(v) = counters.get_mut(counter) {
+            *v = v.saturating_add(delta);
+        } else {
+            counters.insert(counter.to_owned(), delta);
+        }
+    }
+
+    /// Sets `gauge` to `value`.
+    pub fn set_gauge(&self, gauge: &str, value: f64) {
+        let mut gauges = self.gauges.lock().unwrap();
+        if let Some(v) = gauges.get_mut(gauge) {
+            *v = value;
+        } else {
+            gauges.insert(gauge.to_owned(), value);
+        }
+    }
+
+    /// The current value of one counter (zero if never touched).
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(counter)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The current value of one gauge, if ever set.
+    pub fn gauge(&self, gauge: &str) -> Option<f64> {
+        self.gauges.lock().unwrap().get(gauge).copied()
+    }
+
+    /// A sorted snapshot of every counter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// A sorted snapshot of every gauge.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = Registry::new();
+        r.incr("bytes", 10);
+        r.incr("bytes", 5);
+        assert_eq!(r.counter("bytes"), 15);
+        assert_eq!(r.counter("missing"), 0);
+        r.incr("bytes", u64::MAX);
+        assert_eq!(r.counter("bytes"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_keep_the_last_value_and_snapshots_sort() {
+        let r = Registry::new();
+        r.set_gauge("b.depth", 1.0);
+        r.set_gauge("a.depth", 2.0);
+        r.set_gauge("b.depth", 3.0);
+        assert_eq!(r.gauge("b.depth"), Some(3.0));
+        assert_eq!(r.gauge("missing"), None);
+        let snap = r.gauges();
+        assert_eq!(snap[0].0, "a.depth");
+        assert_eq!(snap[1], ("b.depth".to_owned(), 3.0));
+    }
+}

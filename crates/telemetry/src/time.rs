@@ -15,7 +15,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// # Example
 ///
 /// ```
-/// use aqua_sim::time::{SimTime, SimDuration};
+/// use aqua_telemetry::time::{SimTime, SimDuration};
 /// let t = SimTime::ZERO + SimDuration::from_millis(5);
 /// assert_eq!(t.as_nanos(), 5_000_000);
 /// ```
@@ -29,7 +29,7 @@ pub struct SimTime(u64);
 /// # Example
 ///
 /// ```
-/// use aqua_sim::time::SimDuration;
+/// use aqua_telemetry::time::SimDuration;
 /// let d = SimDuration::from_secs_f64(0.25);
 /// assert_eq!(d.as_millis(), 250);
 /// ```

@@ -67,8 +67,8 @@ impl ChatWorkload {
         self.issued_turns = 1;
         (0..self.users)
             .map(|user| {
-                let at =
-                    SimTime::ZERO + SimDuration::from_secs_f64(self.sampler.exponential(self.think_rate));
+                let at = SimTime::ZERO
+                    + SimDuration::from_secs_f64(self.sampler.exponential(self.think_rate));
                 (at, self.fresh_request(user))
             })
             .collect()
@@ -139,7 +139,10 @@ mod tests {
 
         w.next_turn(&fake_records(25, 60)).unwrap();
         w.next_turn(&fake_records(25, 90)).unwrap();
-        assert!(w.next_turn(&fake_records(25, 120)).is_none(), "4 turns only");
+        assert!(
+            w.next_turn(&fake_records(25, 120)).is_none(),
+            "4 turns only"
+        );
     }
 
     #[test]

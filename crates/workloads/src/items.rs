@@ -23,7 +23,12 @@ pub struct RatePhase {
 }
 
 /// A single-phase Poisson item stream from time zero.
-pub fn item_trace(rate: f64, count: usize, seed: u64, id_base: u64) -> Vec<(SimTime, InferenceRequest)> {
+pub fn item_trace(
+    rate: f64,
+    count: usize,
+    seed: u64,
+    id_base: u64,
+) -> Vec<(SimTime, InferenceRequest)> {
     phased_item_trace(
         &[RatePhase {
             start: SimTime::ZERO,

@@ -14,7 +14,11 @@ pub const LONG_PROMPT_TOKENS: u64 = 8_000;
 
 /// Generates `count` back-to-back long-prompt jobs, each generating
 /// `output_tokens` tokens, all submitted at time zero (a batch queue).
-pub fn long_prompt_trace(count: usize, output_tokens: u64, id_base: u64) -> Vec<(SimTime, InferenceRequest)> {
+pub fn long_prompt_trace(
+    count: usize,
+    output_tokens: u64,
+    id_base: u64,
+) -> Vec<(SimTime, InferenceRequest)> {
     (0..count)
         .map(|i| {
             (

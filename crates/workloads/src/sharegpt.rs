@@ -43,9 +43,9 @@ impl ShareGptConfig {
         ShareGptConfig {
             rate,
             count,
-            prompt_mu: 5.2,  // median ≈ 180 tokens
+            prompt_mu: 5.2, // median ≈ 180 tokens
             prompt_sigma: 0.9,
-            output_mu: 5.3,  // median ≈ 200 tokens
+            output_mu: 5.3, // median ≈ 200 tokens
             output_sigma: 0.8,
             prompt_range: (16, 2048),
             output_range: (8, 1024),
@@ -96,7 +96,10 @@ pub fn sharegpt_trace(
                 config.output_range.0,
                 config.output_range.1,
             );
-            (at, InferenceRequest::text(id_base + i as u64, prompt, output))
+            (
+                at,
+                InferenceRequest::text(id_base + i as u64, prompt, output),
+            )
         })
         .collect()
 }
@@ -110,7 +113,10 @@ mod tests {
         let cfg = ShareGptConfig::new(5.0, 200);
         let trace = sharegpt_trace(&cfg, 1, 100);
         assert_eq!(trace.len(), 200);
-        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0), "sorted arrivals");
+        assert!(
+            trace.windows(2).all(|w| w[0].0 <= w[1].0),
+            "sorted arrivals"
+        );
         assert_eq!(trace[0].1.id.0, 100);
         assert_eq!(trace[199].1.id.0, 299);
         for (_, r) in &trace {

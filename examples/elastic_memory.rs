@@ -16,8 +16,10 @@ fn main() {
     // --- Part 1: the AQUA TENSOR abstraction (paper §B). ---
     println!("== AQUA TENSORS: migratable, location-transparent ==");
     let mut table = TensorTable::new();
-    let id: TensorId =
-        table.to_responsive_tensor(Bytes::from_static(b"kv-cache-of-prompt-42"), TensorLocation::LocalHbm);
+    let id: TensorId = table.to_responsive_tensor(
+        Bytes::from_static(b"kv-cache-of-prompt-42"),
+        TensorLocation::LocalHbm,
+    );
     let ptr = table.to_torch_tensor(id).expect("live tensor");
     println!("tensor {id:?} resolved at {}", ptr.location());
 
@@ -45,16 +47,12 @@ fn main() {
     coordinator.lease(producer, 10 << 30);
     println!("producer leased 10 GiB");
 
-    let mut offloader = AquaOffloader::new(
-        consumer,
-        Arc::clone(&coordinator),
-        server,
-        transfers,
-    );
+    let mut offloader = AquaOffloader::new(consumer, Arc::clone(&coordinator), server, transfers);
     let t = offloader.swap_out(6 << 30, 3_000, SimTime::ZERO);
     println!(
         "consumer offloaded 6 GiB over NVLink in {} (location: {})",
-        t, offloader.location()
+        t,
+        offloader.location()
     );
 
     // The producer's load spikes: it reclaims.

@@ -43,7 +43,11 @@ fn main() {
             println!(
                 "    {:<24} {} {:>3} GB",
                 spec.name,
-                if spec.role() == Role::Producer { "offers" } else { "needs " },
+                if spec.role() == Role::Producer {
+                    "offers"
+                } else {
+                    "needs "
+                },
                 spec.mem_bytes.abs() >> 30
             );
         }

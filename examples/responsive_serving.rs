@@ -58,12 +58,7 @@ fn main() {
         Arc::clone(&coordinator),
     )));
 
-    let offloader = AquaOffloader::new(
-        GpuRef::single(GpuId(0)),
-        coordinator,
-        server,
-        transfers,
-    );
+    let offloader = AquaOffloader::new(GpuRef::single(GpuId(0)), coordinator, server, transfers);
     let mut cfs = CfsEngine::new(
         geom,
         GpuSpec::a100_80g(),

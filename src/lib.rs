@@ -23,6 +23,7 @@
 //! | [`engines`] | `aqua-engines` | vLLM / CFS / FlexGen / producer engine simulations |
 //! | [`workloads`] | `aqua-workloads` | seeded synthetic traces (ShareGPT-like, LoRA, chat, …) |
 //! | [`metrics`] | `aqua-metrics` | TTFT/RCT recorders, time series, tables |
+//! | [`telemetry`] | `aqua-telemetry` | structured trace events, Chrome-trace export, determinism digests |
 //!
 //! # Quickstart
 //!
@@ -57,4 +58,5 @@ pub use aqua_metrics as metrics;
 pub use aqua_models as models;
 pub use aqua_placer as placer;
 pub use aqua_sim as sim;
+pub use aqua_telemetry as telemetry;
 pub use aqua_workloads as workloads;

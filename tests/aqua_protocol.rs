@@ -17,7 +17,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-fn setup() -> (Rc<ServerTopology>, Rc<RefCell<TransferEngine>>, Arc<Coordinator>) {
+fn setup() -> (
+    Rc<ServerTopology>,
+    Rc<RefCell<TransferEngine>>,
+    Arc<Coordinator>,
+) {
     (
         Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g())),
         Rc::new(RefCell::new(TransferEngine::new())),
@@ -99,7 +103,11 @@ fn llm_producer_lifecycle_through_driver() {
 
     // A burst of requests builds the queue past the high-water mark.
     for i in 0..40 {
-        driver.schedule_arrival(0, SimTime::from_secs(2), InferenceRequest::text(i, 6_000, 400));
+        driver.schedule_arrival(
+            0,
+            SimTime::from_secs(2),
+            InferenceRequest::text(i, 6_000, 400),
+        );
     }
     {
         let mut engines: Vec<&mut dyn Engine> = vec![&mut producer];
@@ -135,7 +143,10 @@ fn dram_fallback_without_producers() {
     assert_eq!(off.dram_total(), 2 << 30);
     assert_eq!(off.peer_total(), 0);
     // 2 GiB at 25 GB/s PCIe ≈ 86 ms — an order slower than NVLink.
-    assert!(t.as_secs_f64() > 0.05, "fallback runs at PCIe speed, t = {t}");
+    assert!(
+        t.as_secs_f64() > 0.05,
+        "fallback runs at PCIe speed, t = {t}"
+    );
 }
 
 /// Engines expose coherent northbound stats throughout a run.

@@ -21,7 +21,10 @@ fn nvlink_curve_anchors() {
     // "transferring small sizes of buffers … nearly as slow as … PCIe"
     let small = nv.effective_bandwidth(kib(64));
     let pcie_small = BandwidthModel::pcie_gen4_pinned().effective_bandwidth(kib(64));
-    assert!(small < 3.0 * pcie_small, "small NVLink {small:.2e} ~ PCIe {pcie_small:.2e}");
+    assert!(
+        small < 3.0 * pcie_small,
+        "small NVLink {small:.2e} ~ PCIe {pcie_small:.2e}"
+    );
 }
 
 /// §2.3: "the bandwidth of fifth generation PCIe connectivity is 64 GB/s
@@ -40,8 +43,14 @@ fn nvlink_to_pcie_ratio_is_an_order_of_magnitude() {
 fn a100_spec() {
     let a100 = GpuSpec::a100_80g();
     assert_eq!(a100.hbm_bytes, gib(80), "80 GB HBM (paper testbed)");
-    assert!((1.9e12..2.1e12).contains(&a100.hbm_bandwidth), "HBM2e ~2 TB/s");
-    assert!((300e12..320e12).contains(&a100.dense_flops), "312 TFLOPS fp16");
+    assert!(
+        (1.9e12..2.1e12).contains(&a100.hbm_bandwidth),
+        "HBM2e ~2 TB/s"
+    );
+    assert!(
+        (300e12..320e12).contains(&a100.dense_flops),
+        "312 TFLOPS fp16"
+    );
 }
 
 /// Model weights (fp16) match published parameter counts.
@@ -67,13 +76,34 @@ fn model_weight_footprints() {
 #[test]
 fn kv_rates() {
     // OPT-30B: 2 * 48 layers * 56 heads * 128 dim * 2 B = 1.376 MB/token.
-    assert_eq!(zoo::opt_30b().llm_geometry().unwrap().kv_bytes_per_token(), 1_376_256);
+    assert_eq!(
+        zoo::opt_30b().llm_geometry().unwrap().kv_bytes_per_token(),
+        1_376_256
+    );
     // Llama-2-13B (MHA): 2 * 40 * 40 * 128 * 2 = 0.819 MB/token.
-    assert_eq!(zoo::llama2_13b().llm_geometry().unwrap().kv_bytes_per_token(), 819_200);
+    assert_eq!(
+        zoo::llama2_13b()
+            .llm_geometry()
+            .unwrap()
+            .kv_bytes_per_token(),
+        819_200
+    );
     // Mistral-7B (GQA, 8 kv heads): 2 * 32 * 8 * 128 * 2 = 131 KB/token.
-    assert_eq!(zoo::mistral_7b().llm_geometry().unwrap().kv_bytes_per_token(), 131_072);
+    assert_eq!(
+        zoo::mistral_7b()
+            .llm_geometry()
+            .unwrap()
+            .kv_bytes_per_token(),
+        131_072
+    );
     // Codellama-34B (GQA): 2 * 48 * 8 * 128 * 2 = 196.6 KB/token.
-    assert_eq!(zoo::codellama_34b().llm_geometry().unwrap().kv_bytes_per_token(), 196_608);
+    assert_eq!(
+        zoo::codellama_34b()
+            .llm_geometry()
+            .unwrap()
+            .kv_bytes_per_token(),
+        196_608
+    );
 }
 
 /// §6 long prompts: "it is impossible to infer a single prompt of 8,000
@@ -98,7 +128,11 @@ fn adapter_sizes() {
 #[test]
 fn modality_envelopes() {
     let gpu = GpuSpec::a100_80g();
-    for m in [zoo::stable_diffusion(), zoo::kandinsky(), zoo::stable_diffusion_xl()] {
+    for m in [
+        zoo::stable_diffusion(),
+        zoo::kandinsky(),
+        zoo::stable_diffusion_xl(),
+    ] {
         let g = *m.diffusion_geometry().unwrap();
         let (_, _, free) = cost::peak_batch_under_memory(
             gpu.hbm_bytes,
@@ -122,18 +156,10 @@ fn modality_envelopes() {
 #[test]
 fn decode_rate_sanity() {
     let gpu = GpuSpec::a100_80g();
-    let rate_13b = cost::llm_decode_throughput(
-        zoo::llama2_13b().llm_geometry().unwrap(),
-        &gpu,
-        1,
-        256,
-    );
+    let rate_13b =
+        cost::llm_decode_throughput(zoo::llama2_13b().llm_geometry().unwrap(), &gpu, 1, 256);
     assert!((30.0..90.0).contains(&rate_13b), "13B: {rate_13b:.0} tok/s");
-    let rate_34b = cost::llm_decode_throughput(
-        zoo::codellama_34b().llm_geometry().unwrap(),
-        &gpu,
-        1,
-        256,
-    );
+    let rate_34b =
+        cost::llm_decode_throughput(zoo::codellama_34b().llm_geometry().unwrap(), &gpu, 1, 256);
     assert!((15.0..40.0).contains(&rate_34b), "34B: {rate_34b:.0} tok/s");
 }

@@ -64,12 +64,8 @@ fn colocation_benefit_is_measurable_at_runtime() {
             coordinator.pair(GpuRef::single(GpuId(0)), GpuRef::single(GpuId(1)));
         }
         let geom = *zoo::opt_30b().llm_geometry().unwrap();
-        let offloader = AquaOffloader::new(
-            GpuRef::single(GpuId(0)),
-            coordinator,
-            server,
-            transfers,
-        );
+        let offloader =
+            AquaOffloader::new(GpuRef::single(GpuId(0)), coordinator, server, transfers);
         let mut engine = FlexGenEngine::new(
             geom,
             GpuSpec::a100_80g(),
@@ -104,13 +100,13 @@ fn optimal_dominates_greedy_everywhere() {
             if 2 * n_pairs > servers * gpus {
                 continue;
             }
-            let models: Vec<ModelSpec> = (0..n_pairs)
-                .map(|i| ModelSpec::producer(format!("p{i}"), gib(30 + (i as u64 % 3) * 10)))
-                .chain(
-                    (0..n_pairs)
-                        .map(|i| ModelSpec::consumer(format!("c{i}"), gib(20 + (i as u64 % 2) * 10))),
-                )
-                .collect();
+            let models: Vec<ModelSpec> =
+                (0..n_pairs)
+                    .map(|i| ModelSpec::producer(format!("p{i}"), gib(30 + (i as u64 % 3) * 10)))
+                    .chain((0..n_pairs).map(|i| {
+                        ModelSpec::consumer(format!("c{i}"), gib(20 + (i as u64 % 2) * 10))
+                    }))
+                    .collect();
             let inst = PlacementInstance::new(servers, gpus, gib(80), models);
             let opt = solve_optimal(&inst);
             let greedy = solve_greedy(&inst);
