@@ -12,5 +12,8 @@ cd "$(dirname "$0")"
 
 cargo build --workspace --release
 cargo test --workspace -q
+# Chaos acceptance: producer crash mid-lease → degrade to DRAM → recover,
+# and the faulted run stays digest-deterministic.
+cargo test -q --test chaos_recovery
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings

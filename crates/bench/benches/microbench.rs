@@ -82,7 +82,7 @@ fn bench_coordinator(c: &mut Criterion) {
         b.iter(|| {
             match coord.allocate(consumer, 1 << 20) {
                 aqua_core::coordinator::AllocationSite::Peer { lease, .. } => {
-                    coord.free(lease, 1 << 20)
+                    coord.free(lease, 1 << 20).unwrap()
                 }
                 aqua_core::coordinator::AllocationSite::Dram => unreachable!(),
             };

@@ -53,6 +53,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig13", "multi-turn chatbot saw-tooth"),
     ("fig14", "placer convergence time"),
     ("fig18", "NVSwitch stress: 4 consumers + 4 producers"),
+    (
+        "chaos",
+        "producer crash at t=300s: degrade to DRAM, recover",
+    ),
     ("e2e", "section 6.1 cluster evaluation (both splits)"),
     ("tables", "Tables 1-3 and the model inventory"),
     ("ablations", "all ablation studies"),
@@ -139,6 +143,12 @@ fn run_experiment(name: &str, a: &Args) -> Result<(), String> {
         "fig18" => {
             let r = fig18_nvswitch::run(a.window);
             println!("{}", fig18_nvswitch::table(&r, a.window));
+        }
+        "chaos" => {
+            let tl = chaos_degradation::ChaosTimeline::default();
+            let r = chaos_degradation::run(&tl, 10);
+            println!("{}", chaos_degradation::table(&r));
+            println!("{}", chaos_degradation::summary_table(&r));
         }
         "e2e" => {
             for split in [e2e_cluster::Split::Balanced, e2e_cluster::Split::LlmHeavy] {

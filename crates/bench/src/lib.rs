@@ -13,6 +13,7 @@
 //! for paper-vs-measured numbers.
 
 pub mod ablations;
+pub mod chaos_degradation;
 pub mod e2e_cluster;
 pub mod fig01_motivation;
 pub mod fig02_contention;

@@ -11,6 +11,7 @@ use aqua_engines::producer::{ProducerEngine, ProducerModel};
 use aqua_engines::vllm::{VllmConfig, VllmEngine};
 use aqua_models::lora::LoraAdapter;
 use aqua_models::zoo::{self, ModelProfile};
+use aqua_sim::fault::FaultPlan;
 use aqua_sim::gpu::{GpuId, GpuSpec};
 use aqua_sim::link::bytes::gib;
 use aqua_sim::topology::ServerTopology;
@@ -59,6 +60,8 @@ pub struct ServerCtx {
     /// The tracer every component built through this context reports to
     /// (the process `AQUA_TRACE` tracer unless injected explicitly).
     pub tracer: SharedTracer,
+    /// The injected fault schedule, when this is a chaos run.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl ServerCtx {
@@ -93,7 +96,19 @@ impl ServerCtx {
             transfers: Rc::new(RefCell::new(transfers)),
             coordinator,
             tracer,
+            fault_plan: None,
         }
+    }
+
+    /// Injects a fault schedule: the transfer engine aborts/degrades
+    /// transfers accordingly, and offloaders built from this context model
+    /// coordinator stalls from the same plan.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.transfers
+            .borrow_mut()
+            .set_fault_plan(Arc::clone(&plan));
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Builds an offload backend of `kind` for the consumer at `gpu`.
@@ -121,13 +136,17 @@ impl ServerCtx {
     /// Builds a concrete [`AquaOffloader`] (when the caller needs to
     /// prestage content before boxing).
     pub fn aqua_offloader(&self, gpu: GpuId) -> AquaOffloader {
-        AquaOffloader::new(
+        let off = AquaOffloader::new(
             GpuRef::single(gpu),
             Arc::clone(&self.coordinator),
             self.server.clone(),
             self.transfers.clone(),
         )
-        .with_tracer(self.tracer.clone())
+        .with_tracer(self.tracer.clone());
+        match &self.fault_plan {
+            Some(plan) => off.with_fault_plan(Arc::clone(plan)),
+            None => off,
+        }
     }
 
     /// Registers a static lease of `bytes` from the producer at `gpu`

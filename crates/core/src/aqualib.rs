@@ -210,7 +210,8 @@ impl AquaLib {
     pub fn free(&mut self, id: TensorId, _now: SimTime) -> Option<u64> {
         let bytes = self.tensors.free(id)?;
         if let Some(lease) = self.backing.remove(&id) {
-            self.coordinator.free(lease, bytes);
+            // A lease revoked underneath us already took the bytes back.
+            let _ = self.coordinator.free(lease, bytes);
         }
         Some(bytes)
     }
@@ -246,7 +247,9 @@ impl AquaLib {
             resume = resume.max(done);
         }
         for (lease, (bytes, at)) in released {
-            self.coordinator.release(lease, bytes, at);
+            // A force-revocation racing the migration means the coordinator
+            // already returned the bytes; the migration itself still stands.
+            let _ = self.coordinator.release(lease, bytes, at);
         }
 
         // 2. Promotion: DRAM tensors move back to a peer in the background.

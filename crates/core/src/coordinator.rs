@@ -19,8 +19,9 @@
 //!    [`Coordinator::reclaim_status`] until it reads
 //!    [`ReclaimStatus::Released`].
 
+use crate::error::AquaError;
 use aqua_sim::gpu::GpuId;
-use aqua_sim::time::SimTime;
+use aqua_sim::time::{SimDuration, SimTime};
 use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,44 @@ pub enum ReclaimStatus {
     },
 }
 
+/// Observable lifecycle state of a lease (for failure handling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseState {
+    /// Accepting allocations.
+    Live,
+    /// Reclaim in flight; no new allocations, existing bytes draining.
+    Reclaiming,
+    /// Gone: drained, expired, or force-revoked.
+    Revoked,
+    /// The coordinator has never heard of this lease id.
+    Unknown,
+}
+
+/// Failure-detection knobs. Both default to `None` (disabled), which keeps
+/// fault-free runs byte-identical to the pre-fault-injection behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureConfig {
+    /// A producer that goes longer than this without a heartbeat is
+    /// presumed dead; its leases are revoked with the consumer bytes inside
+    /// them marked stranded.
+    pub heartbeat_ttl: Option<SimDuration>,
+    /// A reclaiming lease whose consumer has not finished releasing within
+    /// this deadline is force-revoked so the producer is not held hostage
+    /// by a stuck consumer.
+    pub reclaim_deadline: Option<SimDuration>,
+}
+
+impl FailureConfig {
+    /// The configuration the chaos experiments run with: 10 s heartbeat
+    /// TTL, 60 s reclaim deadline.
+    pub fn chaos() -> Self {
+        FailureConfig {
+            heartbeat_ttl: Some(SimDuration::from_secs(10)),
+            reclaim_deadline: Some(SimDuration::from_secs(60)),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Lease {
     producer: GpuRef,
@@ -95,6 +134,15 @@ struct Lease {
     reclaiming: bool,
     released_at: SimTime,
     revoked: bool,
+    /// Last heartbeat from the producer; `None` until the first `advance`
+    /// arms the watchdog (leases are granted without a timestamp).
+    last_heartbeat: Option<SimTime>,
+    /// Absolute deadline for a reclaim in flight; armed by `advance` or
+    /// [`Coordinator::reclaim_request_at`].
+    reclaim_deadline: Option<SimTime>,
+    /// A force-revoked lease still owes the producer one
+    /// [`ReclaimStatus::Released`] report.
+    pending_report: bool,
 }
 
 #[derive(Debug, Default)]
@@ -105,6 +153,7 @@ struct State {
     /// "Selecting which GPU will be the producer for a consumer GPU is
     /// explicitly done by the AQUA-PLACER before the model starts").
     pairings: HashMap<GpuRef, GpuRef>,
+    failure_config: FailureConfig,
 }
 
 /// The thread-safe central store.
@@ -184,9 +233,141 @@ impl Coordinator {
                 reclaiming: false,
                 released_at: SimTime::ZERO,
                 revoked: false,
+                last_heartbeat: None,
+                reclaim_deadline: None,
+                pending_report: false,
             },
         );
         id
+    }
+
+    /// Installs the failure-detection knobs (heartbeat TTL, reclaim
+    /// deadline). With the default config [`Coordinator::advance`] is a
+    /// no-op.
+    pub fn set_failure_config(&self, cfg: FailureConfig) {
+        self.state.lock().failure_config = cfg;
+    }
+
+    /// `/heartbeat`: a producer proves it is alive at `now`. Stamps every
+    /// live lease of `producer`. Cheap and journal-silent (counter only),
+    /// so informers can call it every control tick.
+    pub fn heartbeat(&self, producer: GpuRef, now: SimTime) {
+        self.tracer().incr("coordinator.heartbeat", 1);
+        let mut st = self.state.lock();
+        for l in st.leases.values_mut() {
+            if l.producer == producer && !l.revoked {
+                l.last_heartbeat = Some(now);
+            }
+        }
+    }
+
+    /// Observable state of a lease.
+    pub fn lease_state(&self, lease: LeaseId) -> LeaseState {
+        let st = self.state.lock();
+        match st.leases.get(&lease) {
+            None => LeaseState::Unknown,
+            Some(l) if l.revoked => LeaseState::Revoked,
+            Some(l) if l.reclaiming => LeaseState::Reclaiming,
+            Some(_) => LeaseState::Live,
+        }
+    }
+
+    /// Total bytes still leased by `producer` on non-revoked leases —
+    /// what a producer's informer should believe it has donated.
+    pub fn live_lease_bytes(&self, producer: GpuRef) -> u64 {
+        let st = self.state.lock();
+        st.leases
+            .values()
+            .filter(|l| l.producer == producer && !l.revoked)
+            .map(|l| l.total)
+            .sum()
+    }
+
+    /// Failure-detection sweep at simulated time `now`: expires leases
+    /// whose producers missed the heartbeat TTL and force-revokes reclaims
+    /// that blew their deadline. Returns how many leases were revoked.
+    ///
+    /// Watchdogs arm lazily: the first `advance` after a grant (or after a
+    /// reclaim starts) stamps the baseline, so a lease is never punished
+    /// for time that passed before monitoring began.
+    pub fn advance(&self, now: SimTime) -> u64 {
+        let cfg = self.state.lock().failure_config;
+        if cfg.heartbeat_ttl.is_none() && cfg.reclaim_deadline.is_none() {
+            return 0;
+        }
+        // Collect events first, emit after unlocking — and sort by lease id
+        // so the journal does not depend on HashMap iteration order.
+        let mut events: Vec<(LeaseId, TraceEvent)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for (id, l) in st.leases.iter_mut() {
+                if l.revoked {
+                    continue;
+                }
+                if let Some(ttl) = cfg.heartbeat_ttl {
+                    match l.last_heartbeat {
+                        None => l.last_heartbeat = Some(now),
+                        Some(hb) if now.duration_since(hb.min(now)) > ttl => {
+                            // Producer is dead: nobody is left to take the
+                            // memory back, so no Released report is owed.
+                            l.revoked = true;
+                            l.pending_report = false;
+                            events.push((
+                                *id,
+                                TraceEvent::LeaseExpired {
+                                    producer: l.producer.to_string(),
+                                    lease: id.0,
+                                    stranded: l.used,
+                                    at: now,
+                                },
+                            ));
+                            continue;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if !l.reclaiming {
+                    continue;
+                }
+                if let Some(deadline) = cfg.reclaim_deadline {
+                    match l.reclaim_deadline {
+                        None => l.reclaim_deadline = Some(now + deadline),
+                        Some(d) if now >= d && l.used > 0 => {
+                            // Consumer blew the deadline: hand the memory
+                            // back to the (live) producer anyway.
+                            l.revoked = true;
+                            l.pending_report = true;
+                            l.released_at = l.released_at.max(d);
+                            events.push((
+                                *id,
+                                TraceEvent::LeaseForceRevoked {
+                                    producer: l.producer.to_string(),
+                                    lease: id.0,
+                                    stranded: l.used,
+                                    at: now,
+                                },
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        events.sort_by_key(|(id, _)| *id);
+        let revoked = events.len() as u64;
+        if revoked > 0 {
+            let tracer = self.tracer();
+            for (_, ev) in events {
+                match &ev {
+                    TraceEvent::LeaseExpired { .. } => {
+                        tracer.incr("coordinator.lease_expirations", 1)
+                    }
+                    _ => tracer.incr("coordinator.forced_revocations", 1),
+                }
+                trace!(tracer, ev);
+            }
+        }
+        revoked
     }
 
     /// Records an AQUA-PLACER pairing: `consumer` offloads to `producer`
@@ -249,20 +430,32 @@ impl Coordinator {
     /// `/free`: a consumer returns `bytes` previously allocated on `lease`
     /// (after freeing or migrating the tensors away).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the lease does not exist or fewer than `bytes` are in use —
-    /// both indicate double-free bugs in the caller.
-    pub fn free(&self, lease: LeaseId, bytes: u64) {
+    /// [`AquaError::UnknownLease`] for an id the coordinator never issued,
+    /// [`AquaError::LeaseRevoked`] when the lease was revoked (e.g. by
+    /// heartbeat expiry) before the free arrived, and [`AquaError::OverFree`]
+    /// when `bytes` exceeds the lease's usage — the caller's bytes are
+    /// already gone in the first two cases and the third is a double-free.
+    pub fn free(&self, lease: LeaseId, bytes: u64) -> Result<(), AquaError> {
         self.tracer().incr("coordinator.free", 1);
         let mut st = self.state.lock();
-        let l = st.leases.get_mut(&lease).expect("free of unknown lease");
-        assert!(
-            l.used >= bytes,
-            "free of {bytes} bytes but only {} used",
-            l.used
-        );
+        let l = st
+            .leases
+            .get_mut(&lease)
+            .ok_or(AquaError::UnknownLease(lease))?;
+        if l.revoked {
+            return Err(AquaError::LeaseRevoked(lease));
+        }
+        if l.used < bytes {
+            return Err(AquaError::OverFree {
+                lease,
+                used: l.used,
+                requested: bytes,
+            });
+        }
         l.used -= bytes;
+        Ok(())
     }
 
     /// `/reclaim_request`: the producer wants its memory back. Marks every
@@ -274,6 +467,23 @@ impl Coordinator {
         for l in st.leases.values_mut() {
             if l.producer == producer && !l.revoked {
                 l.reclaiming = true;
+            }
+        }
+    }
+
+    /// Timestamped `/reclaim_request` that also arms the reclaim deadline
+    /// immediately (instead of waiting for the next [`Coordinator::advance`]
+    /// sweep to notice the reclaim).
+    pub fn reclaim_request_at(&self, producer: GpuRef, now: SimTime) {
+        self.tracer().incr("coordinator.reclaim_request", 1);
+        let mut st = self.state.lock();
+        let deadline = st.failure_config.reclaim_deadline;
+        for l in st.leases.values_mut() {
+            if l.producer == producer && !l.revoked {
+                l.reclaiming = true;
+                if let (Some(d), None) = (deadline, l.reclaim_deadline) {
+                    l.reclaim_deadline = Some(now + d);
+                }
             }
         }
     }
@@ -291,7 +501,13 @@ impl Coordinator {
 
     /// Consumer notification that `bytes` finished leaving the lease at
     /// simulated time `at`.
-    pub fn release(&self, lease: LeaseId, bytes: u64, at: SimTime) {
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Coordinator::free`]: unknown lease, revoked lease
+    /// (the bytes were already handed back by a forced revocation), or an
+    /// over-release.
+    pub fn release(&self, lease: LeaseId, bytes: u64, at: SimTime) -> Result<(), AquaError> {
         let tracer = self.tracer();
         tracer.incr("coordinator.release", 1);
         trace!(
@@ -303,26 +519,55 @@ impl Coordinator {
             }
         );
         let mut st = self.state.lock();
-        let l = st.leases.get_mut(&lease).expect("release of unknown lease");
-        assert!(l.used >= bytes, "release exceeds usage");
+        let l = st
+            .leases
+            .get_mut(&lease)
+            .ok_or(AquaError::UnknownLease(lease))?;
+        if l.revoked {
+            return Err(AquaError::LeaseRevoked(lease));
+        }
+        if l.used < bytes {
+            return Err(AquaError::OverFree {
+                lease,
+                used: l.used,
+                requested: bytes,
+            });
+        }
         l.used -= bytes;
         l.released_at = l.released_at.max(at);
+        Ok(())
     }
 
     /// `/reclaim_status`: the producer polls for completion. When released,
     /// the lease is revoked and its bytes reported back exactly once.
+    /// Force-revoked leases also report here once, so a producer whose
+    /// consumer got stuck still learns its memory came back.
     pub fn reclaim_status(&self, producer: GpuRef) -> ReclaimStatus {
         let mut st = self.state.lock();
-        let mut any_pending = false;
+        let any_pending = st
+            .leases
+            .values()
+            .any(|l| l.producer == producer && !l.revoked && l.reclaiming && l.used > 0);
         let mut released_bytes = 0u64;
         let mut released_at = SimTime::ZERO;
         for l in st.leases.values_mut() {
-            if l.producer != producer || l.revoked || !l.reclaiming {
+            if l.producer != producer {
                 continue;
             }
-            if l.used > 0 {
-                any_pending = true;
-            } else {
+            if l.revoked {
+                // A force-revocation reports exactly once, and only on a
+                // poll that actually answers Released.
+                if l.pending_report && !any_pending {
+                    l.pending_report = false;
+                    released_bytes += l.total;
+                    released_at = released_at.max(l.released_at);
+                }
+                continue;
+            }
+            if !l.reclaiming {
+                continue;
+            }
+            if l.used == 0 {
                 l.revoked = true;
                 released_bytes += l.total;
                 released_at = released_at.max(l.released_at);
@@ -433,7 +678,7 @@ mod tests {
         let lease = c.lease(producer, 10);
         c.allocate(consumer, 10);
         assert_eq!(c.allocate(consumer, 1), AllocationSite::Dram);
-        c.free(lease, 10);
+        c.free(lease, 10).unwrap();
         assert!(matches!(
             c.allocate(consumer, 1),
             AllocationSite::Peer { .. }
@@ -455,7 +700,7 @@ mod tests {
         assert_eq!(c.allocate(consumer, 1), AllocationSite::Dram);
 
         let at = SimTime::from_secs(42);
-        c.release(lease, 60, at);
+        c.release(lease, 60, at).unwrap();
         assert_eq!(
             c.reclaim_status(producer),
             ReclaimStatus::Released { bytes: 100, at }
@@ -486,7 +731,7 @@ mod tests {
         let lease = c.lease(producer, 100);
         c.allocate(consumer, 60);
         c.reclaim_request(producer);
-        c.release(lease, 60, SimTime::from_secs(1));
+        c.release(lease, 60, SimTime::from_secs(1)).unwrap();
         let reg = journal.registry();
         assert_eq!(reg.counter("coordinator.lease"), 1);
         assert_eq!(reg.counter("coordinator.allocate"), 1);
@@ -498,9 +743,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "free of unknown lease")]
-    fn free_unknown_lease_panics() {
-        Coordinator::new().free(LeaseId(9), 1);
+    fn free_errors_instead_of_panicking() {
+        use crate::error::AquaError;
+
+        let c = Coordinator::new();
+        assert_eq!(
+            c.free(LeaseId(9), 1),
+            Err(AquaError::UnknownLease(LeaseId(9)))
+        );
+        let (consumer, producer) = refs();
+        let lease = c.lease(producer, 10);
+        c.allocate(consumer, 4);
+        assert_eq!(
+            c.free(lease, 5),
+            Err(AquaError::OverFree {
+                lease,
+                used: 4,
+                requested: 5
+            })
+        );
+        assert_eq!(c.used_bytes(), 4, "failed free must not change state");
+        assert_eq!(
+            c.release(LeaseId(9), 1, SimTime::ZERO),
+            Err(AquaError::UnknownLease(LeaseId(9)))
+        );
     }
 
     #[test]
@@ -564,7 +830,7 @@ mod tests {
                 for _ in 0..100 {
                     if let AllocationSite::Peer { lease, .. } = c.allocate(consumer, 100) {
                         peer += 100;
-                        c.free(lease, 100);
+                        c.free(lease, 100).unwrap();
                     }
                 }
                 let _ = t;
@@ -576,5 +842,182 @@ mod tests {
         }
         assert_eq!(c.used_bytes(), 0, "all allocations returned");
         assert_eq!(c.leased_bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn heartbeat_expiry_revokes_and_journals() {
+        let journal = Arc::new(aqua_telemetry::JournalTracer::new());
+        let c = Coordinator::new();
+        c.set_tracer(journal.clone());
+        c.set_failure_config(FailureConfig::chaos());
+        let (consumer, producer) = refs();
+        let lease = c.lease(producer, 100);
+        c.allocate(consumer, 40);
+
+        // First sweep arms the watchdog; nothing expires yet.
+        assert_eq!(c.advance(SimTime::from_secs(1)), 0);
+        c.heartbeat(producer, SimTime::from_secs(5));
+        assert_eq!(c.advance(SimTime::from_secs(10)), 0, "5s silence < 10s TTL");
+        // 20s of silence blows the TTL.
+        assert_eq!(c.advance(SimTime::from_secs(25)), 1);
+        assert_eq!(c.lease_state(lease), LeaseState::Revoked);
+        assert_eq!(c.leased_bytes(), 0);
+        assert_eq!(c.live_lease_bytes(producer), 0);
+        assert!(!c.try_allocate_on(lease, 1), "revoked lease takes nothing");
+        // A dead producer gets no Released report.
+        assert_eq!(c.reclaim_status(producer), ReclaimStatus::None);
+        assert_eq!(
+            journal.registry().counter("coordinator.lease_expirations"),
+            1
+        );
+        assert!(journal
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::LeaseExpired { stranded: 40, .. })));
+        // Idempotent: a later sweep does not double-revoke.
+        assert_eq!(c.advance(SimTime::from_secs(40)), 0);
+    }
+
+    #[test]
+    fn reclaim_deadline_force_revokes_and_still_reports() {
+        let journal = Arc::new(aqua_telemetry::JournalTracer::new());
+        let c = Coordinator::new();
+        c.set_tracer(journal.clone());
+        c.set_failure_config(FailureConfig {
+            heartbeat_ttl: None,
+            reclaim_deadline: Some(SimDuration::from_secs(60)),
+        });
+        let (consumer, producer) = refs();
+        let lease = c.lease(producer, 100);
+        c.allocate(consumer, 70);
+        c.reclaim_request_at(producer, SimTime::from_secs(10));
+        assert_eq!(c.lease_state(lease), LeaseState::Reclaiming);
+        assert_eq!(c.reclaim_status(producer), ReclaimStatus::Pending);
+
+        // Consumer never finishes releasing; the deadline fires at t=70.
+        assert_eq!(c.advance(SimTime::from_secs(69)), 0);
+        assert_eq!(c.advance(SimTime::from_secs(70)), 1);
+        assert_eq!(c.lease_state(lease), LeaseState::Revoked);
+        // The producer still learns its memory came back — exactly once.
+        assert!(matches!(
+            c.reclaim_status(producer),
+            ReclaimStatus::Released { bytes: 100, .. }
+        ));
+        assert_eq!(c.reclaim_status(producer), ReclaimStatus::None);
+        assert_eq!(
+            journal.registry().counter("coordinator.forced_revocations"),
+            1
+        );
+        // A release arriving after the revocation is an error, not a panic.
+        assert_eq!(
+            c.release(lease, 70, SimTime::from_secs(80)),
+            Err(crate::error::AquaError::LeaseRevoked(lease))
+        );
+    }
+
+    #[test]
+    fn advance_is_a_noop_without_failure_config() {
+        let c = Coordinator::new();
+        let (consumer, producer) = refs();
+        c.lease(producer, 100);
+        c.allocate(consumer, 40);
+        c.reclaim_request(producer);
+        assert_eq!(c.advance(SimTime::from_secs(1_000_000)), 0);
+        assert_eq!(c.leased_bytes(), 100);
+    }
+
+    #[test]
+    fn lease_state_tracks_the_lifecycle() {
+        let c = Coordinator::new();
+        let (_, producer) = refs();
+        assert_eq!(c.lease_state(LeaseId(0)), LeaseState::Unknown);
+        let lease = c.lease(producer, 10);
+        assert_eq!(c.lease_state(lease), LeaseState::Live);
+        c.reclaim_request(producer);
+        assert_eq!(c.lease_state(lease), LeaseState::Reclaiming);
+        c.reclaim_status(producer); // drained -> revoked
+        assert_eq!(c.lease_state(lease), LeaseState::Revoked);
+    }
+
+    proptest::proptest! {
+        /// Random interleavings of the lease lifecycle: bytes are conserved
+        /// (coordinator usage always equals the model's outstanding bytes),
+        /// double frees error instead of corrupting state, and revoked
+        /// leases accept no allocations.
+        #[test]
+        fn lease_lifecycle_invariants(
+            ops in proptest::collection::vec((0u8..7, 1u64..64), 1..80)
+        ) {
+            let c = Coordinator::new();
+            c.set_failure_config(FailureConfig {
+                heartbeat_ttl: None, // no heartbeats in this model: TTL off
+                reclaim_deadline: Some(SimDuration::from_secs(5)),
+            });
+            let (consumer, producer) = refs();
+            let mut now = SimTime::ZERO;
+            // Model: outstanding (lease, bytes) pairs held by the consumer.
+            let mut held: Vec<(LeaseId, u64)> = Vec::new();
+            for (op, amount) in ops {
+                now += SimDuration::from_secs(1);
+                match op {
+                    0 => {
+                        c.lease(producer, amount * 10);
+                    }
+                    1 => {
+                        if let AllocationSite::Peer { lease, .. } = c.allocate(consumer, amount) {
+                            held.push((lease, amount));
+                        }
+                    }
+                    2 => {
+                        if let Some((lease, bytes)) = held.pop() {
+                            match c.free(lease, bytes) {
+                                Ok(()) => {}
+                                // A revocation beat us to it; bytes are gone.
+                                Err(AquaError::LeaseRevoked(_)) => {}
+                                Err(e) => panic!("unexpected free error: {e}"),
+                            }
+                            // Freeing more than is in use must always be
+                            // rejected without touching state (double-free
+                            // protection).
+                            proptest::prop_assert!(c.free(lease, u64::MAX).is_err());
+                        }
+                    }
+                    3 => c.reclaim_request_at(producer, now),
+                    4 => {
+                        if let Some((lease, bytes)) = held.pop() {
+                            match c.release(lease, bytes, now) {
+                                Ok(()) | Err(AquaError::LeaseRevoked(_)) => {}
+                                Err(e) => panic!("unexpected release error: {e}"),
+                            }
+                        }
+                    }
+                    5 => {
+                        now += SimDuration::from_secs(6);
+                        c.advance(now);
+                        // Anything stranded in a force-revoked lease is gone
+                        // from the consumer's point of view too.
+                        held.retain(|(l, _)| c.lease_state(*l) != LeaseState::Revoked);
+                    }
+                    _ => {
+                        let _ = c.reclaim_status(producer);
+                        held.retain(|(l, _)| c.lease_state(*l) != LeaseState::Revoked);
+                    }
+                }
+                // Conservation: live usage equals what the model still holds
+                // on non-revoked leases.
+                let model: u64 = held
+                    .iter()
+                    .filter(|(l, _)| c.lease_state(*l) != LeaseState::Revoked)
+                    .map(|(_, b)| *b)
+                    .sum();
+                proptest::prop_assert_eq!(c.used_bytes(), model);
+                // Revoked leases accept nothing.
+                for (l, _) in &held {
+                    if c.lease_state(*l) == LeaseState::Revoked {
+                        proptest::prop_assert!(!c.try_allocate_on(*l, 1));
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,87 @@
+//! Typed control-plane errors.
+//!
+//! The coordinator's verbs used to panic on any abnormal state; a production
+//! control plane cannot. [`AquaError`] covers every fallible control-plane
+//! path in this crate — unknown/revoked leases, double frees, a dead
+//! coordinator service, protocol mismatches over the message envelope —
+//! while true invariant violations (e.g. a placer pairing two GPUs on
+//! different servers) remain panics.
+
+use crate::coordinator::LeaseId;
+
+/// A control-plane failure that callers are expected to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AquaError {
+    /// The lease id is not (or no longer) known to the coordinator.
+    UnknownLease(LeaseId),
+    /// The lease was revoked (reclaim completed, heartbeat expiry, or a
+    /// forced revocation) before the call arrived.
+    LeaseRevoked(LeaseId),
+    /// A free/release exceeded the bytes actually in use on the lease.
+    OverFree {
+        /// The offending lease.
+        lease: LeaseId,
+        /// Bytes in use when the call arrived.
+        used: u64,
+        /// Bytes the caller tried to return.
+        requested: u64,
+    },
+    /// The coordinator service is shut down or its thread is gone.
+    ServiceUnavailable,
+    /// The service answered with a response variant the verb cannot accept.
+    ProtocolViolation {
+        /// The response variant the wrapper expected.
+        expected: &'static str,
+        /// Debug rendering of what actually arrived.
+        got: String,
+    },
+    /// The remote side reported an error through the message envelope.
+    Remote(String),
+}
+
+impl std::fmt::Display for AquaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AquaError::UnknownLease(lease) => write!(f, "unknown lease {}", lease.0),
+            AquaError::LeaseRevoked(lease) => write!(f, "lease {} is revoked", lease.0),
+            AquaError::OverFree {
+                lease,
+                used,
+                requested,
+            } => write!(
+                f,
+                "over-free on lease {}: {requested} bytes requested, {used} in use",
+                lease.0
+            ),
+            AquaError::ServiceUnavailable => write!(f, "coordinator service unavailable"),
+            AquaError::ProtocolViolation { expected, got } => {
+                write!(f, "protocol violation: expected {expected}, got {got}")
+            }
+            AquaError::Remote(msg) => write!(f, "remote error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AquaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AquaError::OverFree {
+            lease: LeaseId(3),
+            used: 10,
+            requested: 12,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("lease 3") && s.contains("12") && s.contains("10"),
+            "{s}"
+        );
+        assert!(AquaError::ServiceUnavailable
+            .to_string()
+            .contains("unavailable"));
+    }
+}

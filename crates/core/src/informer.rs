@@ -73,6 +73,9 @@ impl BatchInformer {
 
 impl Informer for BatchInformer {
     fn control(&mut self, engine: &mut dyn MemoryElastic, now: SimTime) -> SimTime {
+        // Every control tick proves the producer alive to the coordinator's
+        // failure detector.
+        self.coordinator.heartbeat(self.gpu, now);
         let stats = engine.stats();
         if stats.donatable_bytes >= MIN_DONATION_BYTES {
             let granted = engine.donate(stats.donatable_bytes);
@@ -177,16 +180,41 @@ impl LlmInformer {
 
 impl Informer for LlmInformer {
     fn control(&mut self, engine: &mut dyn MemoryElastic, now: SimTime) -> SimTime {
+        self.coordinator.heartbeat(self.gpu, now);
         let stats = engine.stats();
         match self.state {
             LlmState::Normal => {
+                // Resync: leases the coordinator revoked (expiry, forced
+                // revocation) are memory the engine believes is donated but
+                // nobody will ever release. Take it back immediately.
+                let live = self.coordinator.live_lease_bytes(self.gpu);
+                if stats.donated_bytes > live {
+                    let lost = stats.donated_bytes - live;
+                    engine.reclaim(lost);
+                    // The quiet history predates the outage (no ticks ran
+                    // while the producer was dark); demand a fresh quiet
+                    // window before donating again.
+                    self.history.clear();
+                    self.tracer.incr("informer.resyncs", 1);
+                    trace!(
+                        self.tracer,
+                        TraceEvent::InformerDecision {
+                            gpu: self.gpu.to_string(),
+                            decision: format!("resync-revoked bytes={lost}"),
+                            at: now,
+                        }
+                    );
+                }
+                // The resync may have changed the engine's books.
+                let stats = engine.stats();
                 self.history.push_back(stats.pending_requests);
                 while self.history.len() > self.config.window {
                     self.history.pop_front();
                 }
                 if stats.pending_requests >= self.config.high_pending && stats.donated_bytes > 0 {
-                    // Queue build-up: take the memory back.
-                    self.coordinator.reclaim_request(self.gpu);
+                    // Queue build-up: take the memory back (timestamped, so
+                    // the reclaim deadline arms right now).
+                    self.coordinator.reclaim_request_at(self.gpu, now);
                     self.state = LlmState::Reclaiming;
                     self.reclaims_started += 1;
                     self.tracer.incr("informer.reclaims", 1);
@@ -373,7 +401,9 @@ mod tests {
         assert_eq!(eng.donated, gib(30), "memory not yet back");
 
         // Consumer releases at t=14.
-        coord.release(lease_used, gib(10), SimTime::from_secs(14));
+        coord
+            .release(lease_used, gib(10), SimTime::from_secs(14))
+            .unwrap();
         let resume = inf.control(&mut eng, SimTime::from_secs(12));
         assert_eq!(
             resume,
@@ -471,6 +501,64 @@ mod tests {
         )));
         assert_eq!(journal.registry().counter("informer.donations"), 1);
         assert_eq!(journal.registry().counter("informer.reclaims"), 1);
+    }
+
+    #[test]
+    fn informer_heartbeats_every_control_tick() {
+        use aqua_telemetry::JournalTracer;
+
+        let journal = Arc::new(JournalTracer::new());
+        let coord = Arc::new(Coordinator::new());
+        coord.set_tracer(journal.clone());
+        let mut inf =
+            LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default());
+        let mut eng = FakeEngine {
+            pending: 0,
+            donatable: 0,
+            donated: 0,
+        };
+        for i in 0..3 {
+            inf.control(&mut eng, SimTime::from_secs(i));
+        }
+        assert_eq!(journal.registry().counter("coordinator.heartbeat"), 3);
+        assert_eq!(journal.len(), 0, "heartbeats are journal-silent");
+    }
+
+    #[test]
+    fn informer_resyncs_after_its_lease_expires() {
+        use crate::coordinator::FailureConfig;
+        use aqua_telemetry::JournalTracer;
+
+        let journal = Arc::new(JournalTracer::new());
+        let coord = Arc::new(Coordinator::new());
+        coord.set_failure_config(FailureConfig::chaos());
+        let mut inf =
+            LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default())
+                .with_tracer(journal.clone());
+        let mut eng = FakeEngine {
+            pending: 0,
+            donatable: gib(30),
+            donated: 0,
+        };
+        for i in 0..5 {
+            inf.control(&mut eng, SimTime::from_secs(i));
+        }
+        assert_eq!(eng.donated, gib(30));
+        // The producer goes dark (no control ticks, no heartbeats); the
+        // coordinator's watchdog expires the lease.
+        coord.advance(SimTime::from_secs(5));
+        coord.advance(SimTime::from_secs(30));
+        assert_eq!(coord.live_lease_bytes(producer()), 0);
+        assert_eq!(eng.donated, gib(30), "engine books are now stale");
+        // It comes back: the first control tick resyncs the books.
+        inf.control(&mut eng, SimTime::from_secs(31));
+        assert_eq!(eng.donated, 0);
+        assert_eq!(eng.donatable, gib(30), "engine books match the coordinator");
+        assert_eq!(journal.registry().counter("informer.resyncs"), 1);
+        assert!(journal.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::InformerDecision { decision, .. } if decision.starts_with("resync-revoked")
+        )));
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 pub mod aqualib;
 pub mod coordinator;
+pub mod error;
 pub mod informer;
 pub mod messages;
 pub mod offloader;
@@ -62,9 +63,12 @@ pub mod tensor;
 pub mod prelude {
     //! Convenience re-exports.
     pub use crate::aqualib::AquaLib;
-    pub use crate::coordinator::{AllocationSite, Coordinator, GpuRef, LeaseId, ReclaimStatus};
+    pub use crate::coordinator::{
+        AllocationSite, Coordinator, FailureConfig, GpuRef, LeaseId, LeaseState, ReclaimStatus,
+    };
+    pub use crate::error::AquaError;
     pub use crate::informer::{BatchInformer, LlmInformer, LlmInformerConfig};
-    pub use crate::offloader::AquaOffloader;
+    pub use crate::offloader::{AquaOffloader, FailoverPolicy};
     pub use crate::service::{CoordinatorClient, CoordinatorService};
     pub use crate::tensor::{AquaTensor, TensorLocation, TensorTable};
 }

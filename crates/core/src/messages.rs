@@ -89,6 +89,11 @@ pub enum CoordinatorResponse {
     },
     /// Generic acknowledgement (`Free`, `ReclaimRequest`, `Release`).
     Ack,
+    /// The verb failed on the coordinator side (HTTP 4xx/5xx equivalent).
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
 }
 
 /// Dispatches a request envelope onto a coordinator — the REST shim.
@@ -100,10 +105,12 @@ pub fn handle(coord: &Coordinator, req: CoordinatorRequest) -> CoordinatorRespon
         CoordinatorRequest::Allocate { consumer, bytes } => CoordinatorResponse::Allocated {
             site: coord.allocate(consumer, bytes),
         },
-        CoordinatorRequest::Free { lease, bytes } => {
-            coord.free(lease, bytes);
-            CoordinatorResponse::Ack
-        }
+        CoordinatorRequest::Free { lease, bytes } => match coord.free(lease, bytes) {
+            Ok(()) => CoordinatorResponse::Ack,
+            Err(e) => CoordinatorResponse::Error {
+                message: e.to_string(),
+            },
+        },
         CoordinatorRequest::ReclaimRequest { producer } => {
             coord.reclaim_request(producer);
             CoordinatorResponse::Ack
@@ -114,10 +121,12 @@ pub fn handle(coord: &Coordinator, req: CoordinatorRequest) -> CoordinatorRespon
         CoordinatorRequest::Respond { lease } => CoordinatorResponse::MustMigrate {
             bytes: coord.pending_reclaim(lease),
         },
-        CoordinatorRequest::Release { lease, bytes, at } => {
-            coord.release(lease, bytes, at);
-            CoordinatorResponse::Ack
-        }
+        CoordinatorRequest::Release { lease, bytes, at } => match coord.release(lease, bytes, at) {
+            Ok(()) => CoordinatorResponse::Ack,
+            Err(e) => CoordinatorResponse::Error {
+                message: e.to_string(),
+            },
+        },
     }
 }
 
@@ -178,6 +187,23 @@ mod tests {
                 assert_eq!(at, SimTime::from_secs(3));
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_plane_errors_cross_the_envelope() {
+        let coord = Coordinator::new();
+        match handle(
+            &coord,
+            CoordinatorRequest::Free {
+                lease: LeaseId(99),
+                bytes: 1,
+            },
+        ) {
+            CoordinatorResponse::Error { message } => {
+                assert!(message.contains("unknown lease"), "{message}")
+            }
+            other => panic!("expected an error response, got {other:?}"),
         }
     }
 

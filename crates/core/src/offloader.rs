@@ -18,9 +18,10 @@
 //!   back", §B). When lease capacity reappears, DRAM-resident bytes are
 //!   promoted back to the peer in the background.
 
-use crate::coordinator::{AllocationSite, Coordinator, GpuRef, LeaseId};
+use crate::coordinator::{AllocationSite, Coordinator, GpuRef, LeaseId, LeaseState};
 use aqua_engines::offload::{OffloadLocation, Offloader};
-use aqua_sim::time::SimTime;
+use aqua_sim::fault::FaultPlan;
+use aqua_sim::time::{SimDuration, SimTime};
 use aqua_sim::topology::ServerTopology;
 use aqua_sim::transfer::{staging_time, TransferEngine, TransferPlan};
 use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
@@ -28,6 +29,34 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// How the offloader reacts when the fabric fails underneath a transfer.
+///
+/// The ladder is: retry the same path (transient flap), then fail over down
+/// the site ladder (same lease → sibling lease → host DRAM), then pin new
+/// allocations to DRAM for `degraded_window` so a dead link is not probed
+/// on every swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverPolicy {
+    /// Retries per transfer before the ladder advances (exponential
+    /// backoff: `backoff`, `2*backoff`, ...).
+    pub retry_budget: u32,
+    /// Base backoff between retries.
+    pub backoff: SimDuration,
+    /// How long after a fabric failure new allocations stay pinned to
+    /// DRAM before peer placement is attempted again.
+    pub degraded_window: SimDuration,
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> Self {
+        FailoverPolicy {
+            retry_budget: 2,
+            backoff: SimDuration::from_millis(2),
+            degraded_window: SimDuration::from_secs(30),
+        }
+    }
+}
 
 /// AQUA's fabric-accelerated offloader for one consumer GPU.
 ///
@@ -48,6 +77,19 @@ pub struct AquaOffloader {
     pcie_bytes_moved: u64,
     /// Number of blocking release migrations performed.
     releases: u64,
+    /// Failure-handling knobs.
+    policy: FailoverPolicy,
+    /// Injected fault schedule (for coordinator-stall latency); the
+    /// transfer engine carries its own copy for the data plane.
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// While set, new allocations are pinned to DRAM until this time.
+    degraded_until: Option<SimTime>,
+    /// Transfer retries attempted after fabric failures.
+    retries: u64,
+    /// Failovers down the site ladder (peer → sibling → DRAM).
+    failovers: u64,
+    /// Bytes stranded on revoked leases and re-materialised in DRAM.
+    lost_bytes: u64,
     label: String,
     tracer: SharedTracer,
 }
@@ -82,6 +124,12 @@ impl AquaOffloader {
             fabric_bytes_moved: 0,
             pcie_bytes_moved: 0,
             releases: 0,
+            policy: FailoverPolicy::default(),
+            fault_plan: None,
+            degraded_until: None,
+            retries: 0,
+            failovers: 0,
+            lost_bytes: 0,
             label: "aqua".to_owned(),
             tracer: null_tracer(),
         }
@@ -91,6 +139,20 @@ impl AquaOffloader {
     /// reclaim releases and background promotions are journalled.
     pub fn with_tracer(mut self, tracer: SharedTracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Overrides the failure-handling knobs.
+    pub fn with_policy(mut self, policy: FailoverPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches the injected fault schedule so iteration boundaries model
+    /// coordinator stalls. The shared [`TransferEngine`] needs the same
+    /// plan (via `set_fault_plan`) for data-plane aborts.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -119,6 +181,26 @@ impl AquaOffloader {
         self.releases
     }
 
+    /// Transfer retries attempted after fabric failures.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Failovers taken down the site ladder.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Bytes stranded on revoked leases and re-materialised in DRAM.
+    pub fn lost_bytes(&self) -> u64 {
+        self.lost_bytes
+    }
+
+    /// `true` while new allocations are pinned to DRAM after a failure.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_until.is_some()
+    }
+
     /// Pre-stages `bytes` into the offload store without charging transfer
     /// time — used to model content that already lives there before the
     /// experiment starts (e.g. a LoRA adapter pool).
@@ -144,16 +226,100 @@ impl AquaOffloader {
         }
     }
 
-    fn fabric_copy(&mut self, from: GpuRef, to: GpuRef, bytes: u64, start: SimTime) -> SimTime {
+    /// One fabric copy with the retry ladder: on an abort or a dead path,
+    /// back off and retry up to `retry_budget` times (a flap may clear),
+    /// then give up so the caller can fail over. `None` means the fabric
+    /// stayed unusable for the whole budget.
+    fn try_fabric(
+        &mut self,
+        from: GpuRef,
+        to: GpuRef,
+        bytes: u64,
+        start: SimTime,
+    ) -> Option<SimTime> {
         let path = self
             .server
             .gpu_to_gpu_path(from.gpu, to.gpu)
             .expect("coordinator only pairs distinct same-server GPUs");
-        self.fabric_bytes_moved += bytes;
-        self.transfers
-            .borrow_mut()
-            .schedule(&path, TransferPlan::coalesced(bytes), start)
-            .end
+        let mut at = start;
+        let mut attempt: u32 = 0;
+        loop {
+            let res =
+                self.transfers
+                    .borrow_mut()
+                    .try_schedule(&path, TransferPlan::coalesced(bytes), at);
+            match res {
+                Ok(sched) => {
+                    self.fabric_bytes_moved += bytes;
+                    return Some(sched.end);
+                }
+                Err(e) => {
+                    if attempt >= self.policy.retry_budget {
+                        return None;
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    self.tracer.incr("offloader.retries", 1);
+                    at = e.at().max(at)
+                        + SimDuration::from_nanos(self.policy.backoff.as_nanos() << (attempt - 1));
+                    trace!(
+                        self.tracer,
+                        TraceEvent::TransferRetried {
+                            consumer: self.consumer.to_string(),
+                            attempt: attempt as u64,
+                            at,
+                        }
+                    );
+                }
+            }
+        }
+    }
+
+    fn note_failover(&mut self, from: &str, to: &str, bytes: u64, at: SimTime) {
+        self.failovers += 1;
+        self.tracer.incr("offloader.failovers", 1);
+        trace!(
+            self.tracer,
+            TraceEvent::FailoverEngaged {
+                consumer: self.consumer.to_string(),
+                from: from.to_owned(),
+                to: to.to_owned(),
+                bytes,
+                at,
+            }
+        );
+    }
+
+    fn enter_degraded(&mut self, now: SimTime) {
+        let until = now + self.policy.degraded_window;
+        if self.degraded_until.is_none() {
+            self.tracer.incr("offloader.degraded_entries", 1);
+            trace!(
+                self.tracer,
+                TraceEvent::DegradedMode {
+                    consumer: self.consumer.to_string(),
+                    state: "enter".to_owned(),
+                    at: now,
+                }
+            );
+        }
+        self.degraded_until = Some(self.degraded_until.map_or(until, |d| d.max(until)));
+    }
+
+    fn maybe_exit_degraded(&mut self, now: SimTime) {
+        if let Some(until) = self.degraded_until {
+            if now >= until {
+                self.degraded_until = None;
+                trace!(
+                    self.tracer,
+                    TraceEvent::DegradedMode {
+                        consumer: self.consumer.to_string(),
+                        state: "exit".to_owned(),
+                        at: now,
+                    }
+                );
+            }
+        }
     }
 
     fn pcie_to_host(&mut self, from: GpuRef, bytes: u64, start: SimTime) -> SimTime {
@@ -220,25 +386,50 @@ impl Offloader for AquaOffloader {
             return now;
         }
         let start = now + self.gather_cost(bytes, chunks);
-        // Lease affinity: keep growing context on the producer that already
-        // holds it (1:1 pairing; avoids fanning one consumer's bytes across
-        // every lease on the server).
+        // Degraded mode: a recent fabric failure pins new allocations to
+        // DRAM so every swap does not re-probe a dead link.
+        if self.is_degraded() {
+            let end = self.pcie_to_host(self.consumer, bytes, start);
+            self.dram_bytes += bytes;
+            self.trace_allocation("dram", bytes, now);
+            return end;
+        }
+        // Rung 1 — lease affinity: keep growing context on the producer
+        // that already holds it (1:1 pairing; avoids fanning one consumer's
+        // bytes across every lease on the server).
         let existing: Vec<(LeaseId, GpuRef)> =
             self.peer_bytes.iter().map(|(l, (g, _))| (*l, *g)).collect();
         for (lease, gpu) in existing {
             if self.coordinator.try_allocate_on(lease, bytes) {
-                let end = self.fabric_copy(self.consumer, gpu, bytes, start);
-                self.peer_bytes.get_mut(&lease).expect("tracked").1 += bytes;
-                self.trace_allocation(&format!("peer:{gpu}"), bytes, now);
-                return end;
+                if let Some(end) = self.try_fabric(self.consumer, gpu, bytes, start) {
+                    self.peer_bytes.get_mut(&lease).expect("tracked").1 += bytes;
+                    self.trace_allocation(&format!("peer:{gpu}"), bytes, now);
+                    return end;
+                }
+                // Fabric to that producer is gone: undo the reservation and
+                // drop to the next rung.
+                let _ = self.coordinator.free(lease, bytes);
+                self.note_failover(&format!("peer:{gpu}"), "sibling", bytes, now);
+                break;
             }
         }
+        // Rung 2 — any lease the coordinator picks (possibly a sibling
+        // producer reachable over a different set of ports).
         match self.coordinator.allocate(self.consumer, bytes) {
             AllocationSite::Peer { lease, gpu } => {
-                let end = self.fabric_copy(self.consumer, gpu, bytes, start);
-                let entry = self.peer_bytes.entry(lease).or_insert((gpu, 0));
-                entry.1 += bytes;
-                self.trace_allocation(&format!("peer:{gpu}"), bytes, now);
+                if let Some(end) = self.try_fabric(self.consumer, gpu, bytes, start) {
+                    let entry = self.peer_bytes.entry(lease).or_insert((gpu, 0));
+                    entry.1 += bytes;
+                    self.trace_allocation(&format!("peer:{gpu}"), bytes, now);
+                    return end;
+                }
+                let _ = self.coordinator.free(lease, bytes);
+                self.note_failover(&format!("peer:{gpu}"), "dram", bytes, now);
+                // Rung 3 — host DRAM, and stay there for a while.
+                self.enter_degraded(now);
+                let end = self.pcie_to_host(self.consumer, bytes, start);
+                self.dram_bytes += bytes;
+                self.trace_allocation("dram", bytes, now);
                 end
             }
             AllocationSite::Dram => {
@@ -257,9 +448,20 @@ impl Offloader for AquaOffloader {
         let (from_peer, from_dram) = self.split_inbound(bytes);
         let mut end = now;
         for (lease, gpu, take) in from_peer {
-            let done = self.fabric_copy(gpu, self.consumer, take, now);
+            let done = match self.try_fabric(gpu, self.consumer, take, now) {
+                Some(done) => done,
+                None => {
+                    // Detour: producer HBM → host → consumer over PCIe.
+                    self.note_failover(&format!("peer:{gpu}"), "dram-detour", take, now);
+                    let mid = self.pcie_to_host(gpu, take, now);
+                    self.pcie_from_host(self.consumer, take, mid)
+                }
+            };
             end = end.max(done);
-            self.coordinator.free(lease, take);
+            if self.coordinator.free(lease, take).is_err() {
+                // A revocation already took the bytes back.
+                self.tracer.incr("offloader.free_after_revoke", 1);
+            }
             trace!(
                 self.tracer,
                 TraceEvent::LeaseFreed {
@@ -291,8 +493,28 @@ impl Offloader for AquaOffloader {
         let (from_peer, from_dram) = self.split_inbound(bytes);
         let mut end = now;
         let mut covered = 0u64;
-        for (_, gpu, take) in from_peer {
-            end = end.max(self.fabric_copy(gpu, self.consumer, take, now));
+        for (lease, gpu, take) in from_peer {
+            match self.try_fabric(gpu, self.consumer, take, now) {
+                Some(done) => end = end.max(done),
+                None => {
+                    // Detour over PCIe, and permanently migrate these bytes
+                    // to DRAM: re-reading them should cost one DRAM fetch,
+                    // not a dead-fabric probe plus a double PCIe hop.
+                    self.note_failover(&format!("peer:{gpu}"), "dram", take, now);
+                    let mid = self.pcie_to_host(gpu, take, now);
+                    end = end.max(self.pcie_from_host(self.consumer, take, mid));
+                    if self.coordinator.free(lease, take).is_err() {
+                        self.tracer.incr("offloader.free_after_revoke", 1);
+                    }
+                    let entry = self.peer_bytes.get_mut(&lease).expect("tracked lease");
+                    entry.1 -= take;
+                    if entry.1 == 0 {
+                        self.peer_bytes.remove(&lease);
+                    }
+                    self.dram_bytes += take;
+                    self.enter_degraded(now);
+                }
+            }
             covered += take;
         }
         let dram_part = from_dram + bytes.saturating_sub(covered + from_dram);
@@ -304,7 +526,41 @@ impl Offloader for AquaOffloader {
 
     fn on_iteration_boundary(&mut self, now: SimTime) -> SimTime {
         let mut resume = now;
-        // 1. Blocking release of any lease being reclaimed.
+        // 0. A stalled coordinator delays every control-plane verb below.
+        if let Some(plan) = &self.fault_plan {
+            let stall = plan.stall_at(now);
+            if !stall.is_zero() {
+                resume += stall;
+            }
+        }
+        // Drive the coordinator's failure watchdogs from the consumer's
+        // clock (in a real deployment the coordinator has its own timer).
+        self.coordinator.advance(resume);
+        // 1. Stranded sweep: leases revoked underneath us (producer crash
+        // or blown reclaim deadline). The peer copy is gone; re-materialise
+        // the context in host DRAM, blocking, so no request is lost.
+        let tracked: Vec<(LeaseId, GpuRef, u64)> = self
+            .peer_bytes
+            .iter()
+            .map(|(l, (g, b))| (*l, *g, *b))
+            .collect();
+        for (lease, gpu, held) in tracked {
+            match self.coordinator.lease_state(lease) {
+                LeaseState::Revoked | LeaseState::Unknown => {
+                    self.peer_bytes.remove(&lease);
+                    self.lost_bytes += held;
+                    self.tracer.incr("offloader.stranded_bytes", held);
+                    self.note_failover(&format!("peer:{gpu}"), "dram", held, resume);
+                    // Rewrite the consumer's retained copy out to DRAM.
+                    let end = self.pcie_to_host(self.consumer, held, resume);
+                    self.dram_bytes += held;
+                    self.enter_degraded(resume);
+                    resume = resume.max(end);
+                }
+                _ => {}
+            }
+        }
+        // 2. Blocking release of any lease being reclaimed.
         let leases: Vec<LeaseId> = self.peer_bytes.keys().copied().collect();
         for lease in leases {
             if self.coordinator.pending_reclaim(lease) == 0 {
@@ -313,7 +569,11 @@ impl Offloader for AquaOffloader {
             let (gpu, held) = self.peer_bytes.remove(&lease).expect("tracked lease");
             // Migrate producer HBM -> host DRAM over the producer's PCIe.
             let end = self.pcie_to_host(gpu, held, resume);
-            self.coordinator.release(lease, held, end);
+            if self.coordinator.release(lease, held, end).is_err() {
+                // Force-revoked while we migrated; the producer already got
+                // its memory back, our DRAM copy is still the live one.
+                self.tracer.incr("offloader.free_after_revoke", 1);
+            }
             self.dram_bytes += held;
             self.releases += 1;
             self.tracer.incr("offloader.releases", 1);
@@ -328,8 +588,11 @@ impl Offloader for AquaOffloader {
             );
             resume = resume.max(end);
         }
-        // 2. Background promotion of DRAM-resident bytes back to a peer.
-        if self.dram_bytes > 0 {
+        // 3. Degraded mode ends only at a boundary, and promotion is
+        // skipped while it lasts (new peer placements are suspect).
+        self.maybe_exit_degraded(resume);
+        // 4. Background promotion of DRAM-resident bytes back to a peer.
+        if self.dram_bytes > 0 && !self.is_degraded() {
             let available = self.coordinator.available_on_server(self.consumer.server);
             let promote = self.dram_bytes.min(available);
             if promote > 0 {
@@ -517,6 +780,95 @@ mod tests {
         assert_eq!(off.swap_out(0, 0, t), t);
         assert_eq!(off.swap_in(0, 0, t), t);
         assert_eq!(off.read_in(0, 0, t), t);
+    }
+
+    fn faulty_setup(lease_gib: u64, plan: FaultPlan) -> (AquaOffloader, Arc<Coordinator>) {
+        let server = Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g()));
+        let xfer = Rc::new(RefCell::new(TransferEngine::new()));
+        let coord = Arc::new(Coordinator::new());
+        if lease_gib > 0 {
+            coord.lease(GpuRef::single(GpuId(1)), gib(lease_gib));
+        }
+        let plan = Arc::new(plan);
+        xfer.borrow_mut().set_fault_plan(Arc::clone(&plan));
+        let off = AquaOffloader::new(GpuRef::single(GpuId(0)), Arc::clone(&coord), server, xfer)
+            .with_fault_plan(plan);
+        (off, coord)
+    }
+
+    #[test]
+    fn fabric_outage_fails_over_to_dram_and_degrades() {
+        let plan = FaultPlan::new().gpu_crash(GpuId(1), SimTime::ZERO, SimTime::from_secs(100));
+        let (mut off, coord) = faulty_setup(20, plan);
+        off.swap_out(gib(1), 1, SimTime::ZERO);
+        assert_eq!(off.peer_total(), 0);
+        assert_eq!(off.dram_total(), gib(1), "ladder bottoms out in DRAM");
+        assert_eq!(coord.used_bytes(), 0, "failed peer reservation was undone");
+        assert!(off.is_degraded());
+        assert_eq!(off.failovers(), 1);
+        assert_eq!(off.retries(), 2, "full retry budget was spent");
+        // Degraded: the next swap goes straight to DRAM, no new failover.
+        off.swap_out(gib(1), 1, SimTime::from_secs(1));
+        assert_eq!(off.dram_total(), gib(2));
+        assert_eq!(off.failovers(), 1);
+        assert_eq!(off.location(), OffloadLocation::HostDram);
+    }
+
+    #[test]
+    fn short_flap_is_ridden_out_by_retries() {
+        // A 1 ms flap: the 2 ms backoff lands the first retry after it.
+        let plan = FaultPlan::new().gpu_crash(
+            GpuId(1),
+            SimTime::ZERO,
+            SimTime::ZERO + aqua_sim::time::SimDuration::from_millis(1),
+        );
+        let (mut off, _) = faulty_setup(20, plan);
+        off.swap_out(gib(1), 1, SimTime::ZERO);
+        assert_eq!(off.peer_total(), gib(1), "retry rode out the flap");
+        assert_eq!(off.retries(), 1);
+        assert_eq!(off.failovers(), 0);
+        assert!(!off.is_degraded());
+    }
+
+    #[test]
+    fn degraded_mode_expires_and_promotes_back() {
+        let plan = FaultPlan::new().gpu_crash(GpuId(1), SimTime::ZERO, SimTime::from_secs(10));
+        let (mut off, _) = faulty_setup(20, plan);
+        off.swap_out(gib(1), 1, SimTime::ZERO);
+        assert!(off.is_degraded());
+        // Still inside the 30 s degraded window: pinned to DRAM.
+        off.on_iteration_boundary(SimTime::from_secs(20));
+        assert!(off.is_degraded());
+        assert_eq!(off.dram_total(), gib(1));
+        // Window over: degraded mode lifts and the bytes promote back.
+        off.on_iteration_boundary(SimTime::from_secs(40));
+        assert!(!off.is_degraded());
+        assert_eq!(off.dram_total(), 0);
+        assert_eq!(off.peer_total(), gib(1));
+    }
+
+    #[test]
+    fn stranded_lease_bytes_rematerialise_in_dram() {
+        use crate::coordinator::FailureConfig;
+
+        let (mut off, coord) = setup(10);
+        coord.set_failure_config(FailureConfig::chaos());
+        off.swap_out(gib(2), 1, SimTime::ZERO);
+        assert_eq!(off.peer_total(), gib(2));
+        // First boundary arms the heartbeat watchdog; the producer then
+        // goes silent and the lease expires underneath the consumer.
+        off.on_iteration_boundary(SimTime::from_secs(5));
+        assert_eq!(off.peer_total(), gib(2));
+        let resume = off.on_iteration_boundary(SimTime::from_secs(30));
+        assert_eq!(off.peer_total(), 0);
+        assert_eq!(off.dram_total(), gib(2), "context re-materialised in DRAM");
+        assert_eq!(off.lost_bytes(), gib(2));
+        assert!(off.failovers() >= 1);
+        assert!(off.is_degraded());
+        assert!(
+            resume > SimTime::from_secs(30),
+            "re-materialisation blocks the boundary"
+        );
     }
 
     #[test]

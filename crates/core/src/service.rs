@@ -10,6 +10,7 @@
 //! and nothing else.
 
 use crate::coordinator::{AllocationSite, Coordinator, GpuRef, LeaseId, ReclaimStatus};
+use crate::error::AquaError;
 use crate::messages::{handle, CoordinatorRequest, CoordinatorResponse};
 use crossbeam::channel::{select, unbounded, Sender};
 use std::sync::Arc;
@@ -47,8 +48,11 @@ impl CoordinatorService {
     ///
     /// let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
     /// let client = service.client();
-    /// let lease = client.lease(GpuRef::single(GpuId(1)), 1 << 30);
-    /// assert!(client.allocate(GpuRef::single(GpuId(0)), 1 << 20).is_peer());
+    /// let lease = client.lease(GpuRef::single(GpuId(1)), 1 << 30).unwrap();
+    /// assert!(client
+    ///     .allocate(GpuRef::single(GpuId(0)), 1 << 20)
+    ///     .unwrap()
+    ///     .is_peer());
     /// let _ = lease;
     /// let served = service.shutdown();
     /// assert_eq!(served, 2);
@@ -139,62 +143,73 @@ impl AllocationSite {
 impl CoordinatorClient {
     /// Sends one request and waits for the response.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the service has shut down.
-    pub fn call(&self, req: CoordinatorRequest) -> CoordinatorResponse {
+    /// [`AquaError::ServiceUnavailable`] when the service has shut down (or
+    /// its thread died) — the paper's "coordinator unreachable" case.
+    pub fn call(&self, req: CoordinatorRequest) -> Result<CoordinatorResponse, AquaError> {
         let (reply_tx, reply_rx) = unbounded();
         self.tx
             .send((req, reply_tx))
-            .expect("coordinator service is running");
-        reply_rx.recv().expect("coordinator service replies")
+            .map_err(|_| AquaError::ServiceUnavailable)?;
+        reply_rx.recv().map_err(|_| AquaError::ServiceUnavailable)
+    }
+
+    fn violation(expected: &'static str, got: CoordinatorResponse) -> AquaError {
+        match got {
+            CoordinatorResponse::Error { message } => AquaError::Remote(message),
+            other => AquaError::ProtocolViolation {
+                expected,
+                got: format!("{other:?}"),
+            },
+        }
     }
 
     /// `/lease` convenience wrapper.
-    pub fn lease(&self, producer: GpuRef, bytes: u64) -> LeaseId {
-        match self.call(CoordinatorRequest::Lease { producer, bytes }) {
-            CoordinatorResponse::Leased { lease } => lease,
-            other => panic!("protocol violation: {other:?}"),
+    pub fn lease(&self, producer: GpuRef, bytes: u64) -> Result<LeaseId, AquaError> {
+        match self.call(CoordinatorRequest::Lease { producer, bytes })? {
+            CoordinatorResponse::Leased { lease } => Ok(lease),
+            other => Err(Self::violation("Leased", other)),
         }
     }
 
     /// `/allocate` convenience wrapper.
-    pub fn allocate(&self, consumer: GpuRef, bytes: u64) -> AllocationSite {
-        match self.call(CoordinatorRequest::Allocate { consumer, bytes }) {
-            CoordinatorResponse::Allocated { site } => site,
-            other => panic!("protocol violation: {other:?}"),
+    pub fn allocate(&self, consumer: GpuRef, bytes: u64) -> Result<AllocationSite, AquaError> {
+        match self.call(CoordinatorRequest::Allocate { consumer, bytes })? {
+            CoordinatorResponse::Allocated { site } => Ok(site),
+            other => Err(Self::violation("Allocated", other)),
         }
     }
 
     /// `/free` convenience wrapper.
-    pub fn free(&self, lease: LeaseId, bytes: u64) {
-        match self.call(CoordinatorRequest::Free { lease, bytes }) {
-            CoordinatorResponse::Ack => {}
-            other => panic!("protocol violation: {other:?}"),
+    pub fn free(&self, lease: LeaseId, bytes: u64) -> Result<(), AquaError> {
+        match self.call(CoordinatorRequest::Free { lease, bytes })? {
+            CoordinatorResponse::Ack => Ok(()),
+            other => Err(Self::violation("Ack", other)),
         }
     }
 
     /// `/reclaim_request` convenience wrapper.
-    pub fn reclaim_request(&self, producer: GpuRef) {
-        match self.call(CoordinatorRequest::ReclaimRequest { producer }) {
-            CoordinatorResponse::Ack => {}
-            other => panic!("protocol violation: {other:?}"),
+    pub fn reclaim_request(&self, producer: GpuRef) -> Result<(), AquaError> {
+        match self.call(CoordinatorRequest::ReclaimRequest { producer })? {
+            CoordinatorResponse::Ack => Ok(()),
+            other => Err(Self::violation("Ack", other)),
         }
     }
 
     /// `/reclaim_status` convenience wrapper.
-    pub fn reclaim_status(&self, producer: GpuRef) -> ReclaimStatus {
-        match self.call(CoordinatorRequest::ReclaimStatusQuery { producer }) {
-            CoordinatorResponse::Reclaim { status } => status,
-            other => panic!("protocol violation: {other:?}"),
+    pub fn reclaim_status(&self, producer: GpuRef) -> Result<ReclaimStatus, AquaError> {
+        match self.call(CoordinatorRequest::ReclaimStatusQuery { producer })? {
+            CoordinatorResponse::Reclaim { status } => Ok(status),
+            other => Err(Self::violation("Reclaim", other)),
         }
     }
 
     /// `/respond` convenience wrapper: bytes to migrate off `lease`.
-    pub fn respond(&self, lease: LeaseId) -> u64 {
-        match self.call(CoordinatorRequest::Respond { lease }) {
-            CoordinatorResponse::MustMigrate { bytes } => bytes,
-            other => panic!("protocol violation: {other:?}"),
+    pub fn respond(&self, lease: LeaseId) -> Result<u64, AquaError> {
+        match self.call(CoordinatorRequest::Respond { lease })? {
+            CoordinatorResponse::MustMigrate { bytes } => Ok(bytes),
+            other => Err(Self::violation("MustMigrate", other)),
         }
     }
 }
@@ -212,17 +227,19 @@ mod tests {
         let producer = GpuRef::single(GpuId(1));
         let consumer = GpuRef::single(GpuId(0));
 
-        let lease = client.lease(producer, 100);
-        assert!(client.allocate(consumer, 60).is_peer());
-        client.reclaim_request(producer);
-        assert_eq!(client.respond(lease), 60);
-        client.call(CoordinatorRequest::Release {
-            lease,
-            bytes: 60,
-            at: SimTime::from_secs(1),
-        });
+        let lease = client.lease(producer, 100).unwrap();
+        assert!(client.allocate(consumer, 60).unwrap().is_peer());
+        client.reclaim_request(producer).unwrap();
+        assert_eq!(client.respond(lease).unwrap(), 60);
+        client
+            .call(CoordinatorRequest::Release {
+                lease,
+                bytes: 60,
+                at: SimTime::from_secs(1),
+            })
+            .unwrap();
         assert!(matches!(
-            client.reclaim_status(producer),
+            client.reclaim_status(producer).unwrap(),
             ReclaimStatus::Released { bytes: 100, .. }
         ));
         let served = service.shutdown();
@@ -233,7 +250,7 @@ mod tests {
     fn concurrent_clients_do_not_lose_capacity() {
         let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
         let producer = GpuRef::single(GpuId(1));
-        service.client().lease(producer, 1_000_000);
+        service.client().lease(producer, 1_000_000).unwrap();
 
         let mut handles = Vec::new();
         for _ in 0..8 {
@@ -241,8 +258,10 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let consumer = GpuRef::single(GpuId(0));
                 for _ in 0..200 {
-                    if let AllocationSite::Peer { lease, .. } = client.allocate(consumer, 128) {
-                        client.free(lease, 128);
+                    if let AllocationSite::Peer { lease, .. } =
+                        client.allocate(consumer, 128).unwrap()
+                    {
+                        client.free(lease, 128).unwrap();
                     }
                 }
             }));
@@ -260,7 +279,33 @@ mod tests {
     fn drop_is_a_clean_shutdown() {
         let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
         let client = service.client();
-        client.lease(GpuRef::single(GpuId(1)), 10);
+        client.lease(GpuRef::single(GpuId(1)), 10).unwrap();
         drop(service); // must not hang or panic
+    }
+
+    #[test]
+    fn calls_after_shutdown_are_errors_not_panics() {
+        let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
+        let client = service.client();
+        client.lease(GpuRef::single(GpuId(1)), 10).unwrap();
+        service.shutdown();
+        assert_eq!(
+            client.lease(GpuRef::single(GpuId(1)), 10),
+            Err(AquaError::ServiceUnavailable)
+        );
+        assert_eq!(
+            client.allocate(GpuRef::single(GpuId(0)), 1),
+            Err(AquaError::ServiceUnavailable)
+        );
+    }
+
+    #[test]
+    fn remote_errors_surface_as_typed_errors() {
+        let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
+        let client = service.client();
+        match client.free(LeaseId(42), 1) {
+            Err(AquaError::Remote(msg)) => assert!(msg.contains("unknown lease"), "{msg}"),
+            other => panic!("expected a remote error, got {other:?}"),
+        }
     }
 }

@@ -66,6 +66,10 @@ pub struct Driver {
     tick_interval: SimDuration,
     next_tick: SimTime,
     busy: Vec<bool>,
+    /// `(engine, start, end)` spans during which an engine is crashed: it
+    /// takes no arrivals, steps and ticks. Arrivals landing inside a span
+    /// are re-queued at its end, so requests are delayed, never lost.
+    crash_windows: Vec<(usize, SimTime, SimTime)>,
 }
 
 impl Driver {
@@ -76,7 +80,25 @@ impl Driver {
             tick_interval: SimDuration::from_millis(100),
             next_tick: SimTime::ZERO,
             busy: Vec::new(),
+            crash_windows: Vec::new(),
         }
+    }
+
+    /// Marks engine `engine` as crashed over `[start, end)`: no steps, no
+    /// control ticks (so no informer heartbeats), and arrivals are held
+    /// until the engine comes back.
+    pub fn crash_window(&mut self, engine: usize, start: SimTime, end: SimTime) {
+        assert!(start < end, "crash window must have positive length");
+        self.crash_windows.push((engine, start, end));
+    }
+
+    /// If `engine` is crashed at `now`, the time it comes back.
+    fn crashed_until(&self, engine: usize, now: SimTime) -> Option<SimTime> {
+        self.crash_windows
+            .iter()
+            .filter(|(e, start, end)| *e == engine && *start <= now && now < *end)
+            .map(|(_, _, end)| *end)
+            .max()
     }
 
     /// Overrides the idle-tick interval.
@@ -121,13 +143,19 @@ impl Driver {
                 let (now, ev) = self.events.pop().expect("peeked");
                 match ev {
                     Ev::Arrival(i, req) => {
-                        engines[i].submit(req, now);
-                        self.maybe_start(engines, i, now);
+                        if let Some(until) = self.crashed_until(i, now) {
+                            // The engine is down: hold the request until it
+                            // comes back rather than dropping it.
+                            self.events.push(until, Ev::Arrival(i, req));
+                        } else {
+                            engines[i].submit(req, now);
+                            self.maybe_start(engines, i, now);
+                        }
                     }
                     Ev::StepDone(i) => {
                         self.busy[i] = false;
                         self.maybe_start(engines, i, now);
-                        if !self.busy[i] {
+                        if !self.busy[i] && self.crashed_until(i, now).is_none() {
                             engines[i].tick(now);
                             self.maybe_start(engines, i, now);
                         }
@@ -136,7 +164,7 @@ impl Driver {
             } else {
                 let now = self.next_tick;
                 for i in 0..engines.len() {
-                    if !self.busy[i] {
+                    if !self.busy[i] && self.crashed_until(i, now).is_none() {
                         engines[i].tick(now);
                         self.maybe_start(engines, i, now);
                     }
@@ -147,6 +175,9 @@ impl Driver {
     }
 
     fn maybe_start(&mut self, engines: &mut [&mut dyn Engine], i: usize, now: SimTime) {
+        if self.crashed_until(i, now).is_some() {
+            return;
+        }
         if !self.busy[i] && engines[i].has_work() {
             let mut done = engines[i].step(now);
             if done <= now {
@@ -274,6 +305,42 @@ mod tests {
         }
         // 1 s of 100 ms ticks ≈ 10 tick events (plus step-done ticks).
         assert!(e.ticks >= 9, "got {} ticks", e.ticks);
+    }
+
+    #[test]
+    fn crashed_engine_holds_arrivals_instead_of_losing_them() {
+        let mut driver = Driver::new();
+        driver.crash_window(0, SimTime::from_secs(1), SimTime::from_secs(3));
+        // One arrival before, one during, one after the crash.
+        driver.schedule_arrival(
+            0,
+            SimTime::from_millis(500),
+            InferenceRequest::text(0, 1, 1),
+        );
+        driver.schedule_arrival(0, SimTime::from_secs(2), InferenceRequest::text(1, 1, 1));
+        driver.schedule_arrival(0, SimTime::from_secs(4), InferenceRequest::text(2, 1, 1));
+        let mut e = FixedEngine::new(10);
+        let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
+        driver.run(&mut engines, SimTime::from_secs(10));
+        let recs = e.drain_completions();
+        assert_eq!(recs.len(), 3, "no request is lost to the crash");
+        // The mid-crash arrival was held until the engine came back.
+        let held = recs.iter().find(|r| r.id == 1).expect("completed");
+        assert!(held.completion >= SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn crashed_engine_gets_no_ticks() {
+        let mut driver = Driver::new();
+        driver.crash_window(0, SimTime::ZERO, SimTime::from_secs(2));
+        let mut crashed = FixedEngine::new(10);
+        let mut healthy = FixedEngine::new(10);
+        {
+            let mut engines: Vec<&mut dyn Engine> = vec![&mut crashed, &mut healthy];
+            driver.run(&mut engines, SimTime::from_secs(1));
+        }
+        assert_eq!(crashed.ticks, 0, "no control ticks while down");
+        assert!(healthy.ticks >= 9, "sibling keeps ticking");
     }
 
     #[test]

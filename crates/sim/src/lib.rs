@@ -39,6 +39,7 @@
 
 pub mod cluster;
 pub mod event;
+pub mod fault;
 pub mod gpu;
 pub mod link;
 pub mod memory;
@@ -54,12 +55,13 @@ pub mod prelude {
     //! Convenience re-exports of the most common simulator types.
     pub use crate::cluster::{Cluster, ClusterGpu};
     pub use crate::event::EventQueue;
+    pub use crate::fault::{FaultKind, FaultPlan, FaultWindow, RandomFaultProfile};
     pub use crate::gpu::{Gpu, GpuId, GpuSpec};
     pub use crate::link::{BandwidthModel, LinkKind};
     pub use crate::memory::{AllocId, HbmAllocator, MemoryError, RegionKind};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{LinkPath, PortId, ServerTopology};
-    pub use crate::transfer::{TransferEngine, TransferPlan};
+    pub use crate::transfer::{TransferEngine, TransferError, TransferPlan};
 }
 
 pub use prelude::*;

@@ -461,5 +461,62 @@ mod tests {
                 prop_assert_eq!(hbm.used_bytes() + hbm.free_bytes(), hbm.capacity());
             }
         }
+
+        /// A freed id never frees twice, no matter what happened in between:
+        /// the second free must report `UnknownAllocation` and must not
+        /// disturb the books.
+        #[test]
+        fn double_free_always_errors(ops in proptest::collection::vec((0u8..2, 0u64..mib(64)), 1..100)) {
+            let mut hbm = HbmAllocator::new(gib(2));
+            let mut live: Vec<AllocId> = Vec::new();
+            let mut dead: Vec<AllocId> = Vec::new();
+            for (op, sz) in ops {
+                match op {
+                    0 => {
+                        if let Ok(id) = hbm.alloc(RegionKind::AquaTensor, sz) {
+                            live.push(id);
+                        }
+                    }
+                    _ => {
+                        if let Some(id) = live.pop() {
+                            hbm.free(id).unwrap();
+                            dead.push(id);
+                        }
+                    }
+                }
+                for id in &dead {
+                    let used = hbm.used_bytes();
+                    prop_assert_eq!(
+                        hbm.free(*id).unwrap_err(),
+                        MemoryError::UnknownAllocation(*id)
+                    );
+                    prop_assert_eq!(hbm.used_bytes(), used);
+                }
+            }
+        }
+
+        /// Every byte allocated is returned exactly once: the sum of freed
+        /// byte counts equals the sum of successful allocation sizes, and the
+        /// allocator ends empty.
+        #[test]
+        fn bytes_are_conserved(sizes in proptest::collection::vec(0u64..mib(64), 1..100)) {
+            let mut hbm = HbmAllocator::new(gib(80));
+            let mut allocated = 0u64;
+            let mut ids = Vec::new();
+            for sz in sizes {
+                let id = hbm.alloc(RegionKind::AquaLease, sz).unwrap();
+                allocated += sz;
+                ids.push(id);
+            }
+            prop_assert_eq!(hbm.used_bytes(), allocated);
+            let mut freed = 0u64;
+            for id in ids {
+                freed += hbm.free(id).unwrap();
+            }
+            prop_assert_eq!(freed, allocated);
+            prop_assert_eq!(hbm.used_bytes(), 0);
+            prop_assert_eq!(hbm.free_bytes(), hbm.capacity());
+            prop_assert_eq!(hbm.allocation_count(), 0);
+        }
     }
 }

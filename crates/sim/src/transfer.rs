@@ -13,12 +13,14 @@
 //!    [`TransferEngine`] tracks per-port busy horizons to schedule transfers
 //!    deterministically.
 
+use crate::fault::FaultPlan;
 use crate::link::BandwidthModel;
 use crate::time::{SimDuration, SimTime};
-use crate::topology::LinkPath;
+use crate::topology::{LinkPath, PortId};
 use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The shape of a data movement: one big copy, or many small ones.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -89,6 +91,65 @@ impl ScheduledTransfer {
     }
 }
 
+/// Why a fault-aware transfer could not complete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferError {
+    /// A port on the path was already down when the transfer would start.
+    PathDown {
+        /// The first dead port found on the path.
+        port: PortId,
+        /// When the transfer would have started.
+        at: SimTime,
+    },
+    /// The transfer started but an outage cut it mid-flight.
+    Aborted {
+        /// The port whose outage cut the transfer.
+        port: PortId,
+        /// When the cut happened.
+        at: SimTime,
+        /// Bytes that made it across before the cut.
+        partial_bytes: u64,
+    },
+}
+
+impl TransferError {
+    /// When the failure was observed.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TransferError::PathDown { at, .. } | TransferError::Aborted { at, .. } => *at,
+        }
+    }
+
+    /// Bytes delivered before the failure (0 for a path that never started).
+    pub fn partial_bytes(&self) -> u64 {
+        match self {
+            TransferError::PathDown { .. } => 0,
+            TransferError::Aborted { partial_bytes, .. } => *partial_bytes,
+        }
+    }
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::PathDown { port, at } => {
+                write!(f, "path down: port {port} dead at {}ns", at.as_nanos())
+            }
+            TransferError::Aborted {
+                port,
+                at,
+                partial_bytes,
+            } => write!(
+                f,
+                "transfer aborted on {port} at {}ns after {partial_bytes} bytes",
+                at.as_nanos()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
 /// Deterministic per-port FIFO transfer scheduler.
 ///
 /// # Example
@@ -111,6 +172,7 @@ pub struct TransferEngine {
     port_busy_time: HashMap<crate::topology::PortId, SimDuration>,
     tracer: SharedTracer,
     server: u32,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for TransferEngine {
@@ -128,6 +190,7 @@ impl TransferEngine {
             port_busy_time: HashMap::new(),
             tracer: null_tracer(),
             server: 0,
+            faults: None,
         }
     }
 
@@ -136,6 +199,18 @@ impl TransferEngine {
     pub fn set_tracer(&mut self, tracer: SharedTracer, server: u32) {
         self.tracer = tracer;
         self.server = server;
+    }
+
+    /// Attaches a fault plan. Degradation windows stretch wire times on all
+    /// scheduling paths; outage windows make [`TransferEngine::try_schedule`]
+    /// fail with partial-byte accounting.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Detaches the fault plan (back to fault-free behaviour).
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
     }
 
     /// Earliest time a transfer issued at `now` could start on `path`.
@@ -154,7 +229,8 @@ impl TransferEngine {
         plan: TransferPlan,
         now: SimTime,
     ) -> ScheduledTransfer {
-        let wire_time = path.model.transfer_time(plan);
+        let start = self.earliest_start(path, now);
+        let wire_time = self.degraded_wire_time(path, path.model.transfer_time(plan), start);
         self.commit(path, plan, wire_time, now)
     }
 
@@ -168,8 +244,114 @@ impl TransferEngine {
         plan: TransferPlan,
         now: SimTime,
     ) -> ScheduledTransfer {
-        let wire_time = model.transfer_time(plan);
+        let start = self.earliest_start(path, now);
+        let wire_time = self.degraded_wire_time(path, model.transfer_time(plan), start);
         self.commit(path, plan, wire_time, now)
+    }
+
+    /// Fault-aware scheduling: fails instead of silently completing when an
+    /// outage window (link down, GPU crash) covers the path.
+    ///
+    /// * Path already down at the would-be start → [`TransferError::PathDown`]
+    ///   and no port state changes.
+    /// * Outage opens mid-flight → the transfer is cut at the outage start:
+    ///   ports are occupied (and byte counters credited) only up to the cut,
+    ///   and [`TransferError::Aborted`] reports the partial bytes delivered.
+    ///
+    /// Without a fault plan this is exactly [`TransferEngine::schedule`].
+    pub fn try_schedule(
+        &mut self,
+        path: &LinkPath,
+        plan: TransferPlan,
+        now: SimTime,
+    ) -> Result<ScheduledTransfer, TransferError> {
+        let Some(faults) = self.faults.clone() else {
+            return Ok(self.schedule(path, plan, now));
+        };
+        let start = self.earliest_start(path, now);
+        if let Some(port) = path.ports.iter().find(|p| faults.port_down(**p, start)) {
+            let port = *port;
+            self.tracer.incr("transfer.aborts", 1);
+            if self.tracer.enabled() {
+                trace!(
+                    self.tracer,
+                    TraceEvent::TransferAborted {
+                        server: self.server,
+                        lane: port.to_string(),
+                        bytes: plan.total_bytes(),
+                        partial: 0,
+                        at: start,
+                    }
+                );
+            }
+            return Err(TransferError::PathDown { port, at: start });
+        }
+        let wire_time = self.degraded_wire_time(path, path.model.transfer_time(plan), start);
+        let end = start + wire_time;
+        let cut = path
+            .ports
+            .iter()
+            .filter_map(|p| faults.first_outage_in(*p, start, end).map(|t| (*p, t)))
+            .min_by_key(|(_, t)| *t);
+        let Some((cut_port, cut_at)) = cut else {
+            return Ok(self.commit(path, plan, wire_time, now));
+        };
+        // Mid-flight abort: bytes stream linearly, so the partial payload is
+        // proportional to the elapsed fraction of the wire time.
+        let bytes = plan.total_bytes();
+        let elapsed = cut_at.duration_since(start);
+        let partial = if wire_time.is_zero() {
+            0
+        } else {
+            (bytes as u128 * elapsed.as_nanos() as u128 / wire_time.as_nanos() as u128) as u64
+        };
+        self.tracer.incr("transfer.aborts", 1);
+        self.tracer.incr("transfer.partial_bytes", partial);
+        for p in &path.ports {
+            self.port_busy_until.insert(*p, cut_at);
+            *self.port_bytes.entry(*p).or_insert(0) += partial;
+            let busy = self.port_busy_time.entry(*p).or_insert(SimDuration::ZERO);
+            *busy += elapsed;
+            if self.tracer.enabled() {
+                trace!(
+                    self.tracer,
+                    TraceEvent::TransferAborted {
+                        server: self.server,
+                        lane: p.to_string(),
+                        bytes,
+                        partial,
+                        at: cut_at,
+                    }
+                );
+            }
+        }
+        Err(TransferError::Aborted {
+            port: cut_port,
+            at: cut_at,
+            partial_bytes: partial,
+        })
+    }
+
+    /// Stretches a nominal wire time by the worst degradation multiplier
+    /// active on any of the path's ports at `start`.
+    fn degraded_wire_time(
+        &self,
+        path: &LinkPath,
+        wire_time: SimDuration,
+        start: SimTime,
+    ) -> SimDuration {
+        let Some(faults) = &self.faults else {
+            return wire_time;
+        };
+        let slow = path
+            .ports
+            .iter()
+            .fold(1.0f64, |acc, p| acc.max(faults.port_slowdown(*p, start)));
+        if slow > 1.0 {
+            SimDuration::from_secs_f64(wire_time.as_secs_f64() * slow)
+        } else {
+            wire_time
+        }
     }
 
     fn commit(
@@ -442,6 +624,133 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_schedule_without_a_plan_matches_schedule() {
+        let s = pair();
+        let path = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let mut a = TransferEngine::new();
+        let mut b = TransferEngine::new();
+        let plain = a.schedule(&path, TransferPlan::coalesced(mib(64)), SimTime::ZERO);
+        let faulty = b
+            .try_schedule(&path, TransferPlan::coalesced(mib(64)), SimTime::ZERO)
+            .expect("no plan, no faults");
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn outage_at_start_fails_without_occupying_ports() {
+        use crate::fault::FaultPlan;
+        use std::sync::Arc;
+
+        let s = pair();
+        let path = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let mut eng = TransferEngine::new();
+        eng.set_fault_plan(Arc::new(FaultPlan::new().link_down(
+            crate::topology::PortId::NvlinkEgress(GpuId(0)),
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        )));
+        let err = eng
+            .try_schedule(
+                &path,
+                TransferPlan::coalesced(mib(64)),
+                SimTime::from_secs(15),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TransferError::PathDown { .. }));
+        assert_eq!(err.partial_bytes(), 0);
+        assert_eq!(
+            eng.port_bytes(crate::topology::PortId::NvlinkEgress(GpuId(0))),
+            0
+        );
+        // After the window the same transfer goes through.
+        assert!(eng
+            .try_schedule(
+                &path,
+                TransferPlan::coalesced(mib(64)),
+                SimTime::from_secs(20)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn mid_flight_outage_cuts_with_partial_bytes() {
+        use crate::fault::FaultPlan;
+        use aqua_telemetry::JournalTracer;
+        use std::sync::Arc;
+
+        let s = pair();
+        let path = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let egress = crate::topology::PortId::NvlinkEgress(GpuId(0));
+        // Find the healthy wire time first, then cut halfway through it.
+        let probe =
+            TransferEngine::new().schedule(&path, TransferPlan::coalesced(mib(256)), SimTime::ZERO);
+        let halfway = SimTime::from_nanos(probe.wire_time.as_nanos() / 2);
+
+        let journal = Arc::new(JournalTracer::new());
+        let mut eng = TransferEngine::new();
+        eng.set_tracer(journal.clone(), 0);
+        eng.set_fault_plan(Arc::new(FaultPlan::new().gpu_crash(
+            GpuId(1),
+            halfway,
+            SimTime::from_secs(100),
+        )));
+        let err = eng
+            .try_schedule(&path, TransferPlan::coalesced(mib(256)), SimTime::ZERO)
+            .unwrap_err();
+        let TransferError::Aborted {
+            at, partial_bytes, ..
+        } = err
+        else {
+            panic!("expected mid-flight abort, got {err:?}");
+        };
+        assert_eq!(at, halfway);
+        // ~half the payload crossed before the cut.
+        let half = mib(256) / 2;
+        assert!(partial_bytes.abs_diff(half) < mib(1), "{partial_bytes}");
+        assert_eq!(eng.port_bytes(egress), partial_bytes);
+        assert_eq!(eng.port_busy_until(egress), halfway);
+        assert_eq!(journal.registry().counter("transfer.aborts"), 1);
+        assert!(journal
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::TransferAborted { .. })));
+    }
+
+    #[test]
+    fn degradation_stretches_wire_time() {
+        use crate::fault::FaultPlan;
+        use std::sync::Arc;
+
+        let s = pair();
+        let path = s.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+        let healthy = TransferEngine::new()
+            .schedule(&path, TransferPlan::coalesced(mib(256)), SimTime::ZERO)
+            .wire_time;
+        let mut eng = TransferEngine::new();
+        eng.set_fault_plan(Arc::new(FaultPlan::new().link_degraded(
+            crate::topology::PortId::NvlinkEgress(GpuId(0)),
+            3.0,
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        )));
+        let slow = eng
+            .schedule(&path, TransferPlan::coalesced(mib(256)), SimTime::ZERO)
+            .wire_time;
+        let ratio = slow.as_secs_f64() / healthy.as_secs_f64();
+        assert!((ratio - 3.0).abs() < 1e-6, "ratio {ratio}");
+        // Outside the window behaviour is nominal again.
+        eng.clear_fault_plan();
+        let after = eng
+            .schedule(
+                &path,
+                TransferPlan::coalesced(mib(256)),
+                SimTime::from_secs(200),
+            )
+            .wire_time;
+        assert_eq!(after, healthy);
     }
 
     #[test]

@@ -399,6 +399,142 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     args: vec![("value", fmt_f64(*value))],
                 });
             }
+            TraceEvent::FaultInjected { kind, target, at } => {
+                let mut en = instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "faults",
+                    "fault-injected",
+                    us(*at),
+                    vec![
+                        ("kind", format!("\"{}\"", esc(kind))),
+                        ("target", format!("\"{}\"", esc(target))),
+                    ],
+                );
+                en.cat = "fault";
+                entries.push(en);
+            }
+            TraceEvent::FaultCleared { kind, target, at } => {
+                let mut en = instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "faults",
+                    "fault-cleared",
+                    us(*at),
+                    vec![
+                        ("kind", format!("\"{}\"", esc(kind))),
+                        ("target", format!("\"{}\"", esc(target))),
+                    ],
+                );
+                en.cat = "fault";
+                entries.push(en);
+            }
+            TraceEvent::TransferAborted {
+                server,
+                lane,
+                bytes,
+                partial,
+                at,
+            } => {
+                servers.insert(*server, ());
+                let mut en = instant(
+                    &mut lanes,
+                    server + 1,
+                    lane,
+                    "transfer-aborted",
+                    us(*at),
+                    vec![
+                        ("bytes", bytes.to_string()),
+                        ("partial", partial.to_string()),
+                    ],
+                );
+                en.cat = "transfer";
+                entries.push(en);
+            }
+            TraceEvent::TransferRetried {
+                consumer,
+                attempt,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    consumer,
+                    "transfer-retried",
+                    us(*at),
+                    vec![("attempt", attempt.to_string())],
+                ));
+            }
+            TraceEvent::FailoverEngaged {
+                consumer,
+                from,
+                to,
+                bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    consumer,
+                    "failover-engaged",
+                    us(*at),
+                    vec![
+                        ("from", format!("\"{}\"", esc(from))),
+                        ("to", format!("\"{}\"", esc(to))),
+                        ("bytes", bytes.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::LeaseExpired {
+                producer,
+                lease,
+                stranded,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    producer,
+                    "lease-expired",
+                    us(*at),
+                    vec![
+                        ("lease", lease.to_string()),
+                        ("stranded", stranded.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::LeaseForceRevoked {
+                producer,
+                lease,
+                stranded,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    producer,
+                    "lease-force-revoked",
+                    us(*at),
+                    vec![
+                        ("lease", lease.to_string()),
+                        ("stranded", stranded.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::DegradedMode {
+                consumer,
+                state,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    consumer,
+                    "degraded-mode",
+                    us(*at),
+                    vec![("state", format!("\"{}\"", esc(state)))],
+                ));
+            }
         }
     }
 

@@ -249,6 +249,91 @@ pub enum TraceEvent {
         /// Sample time.
         at: SimTime,
     },
+    /// A fault window opened (link outage, GPU crash, congestion, ...).
+    FaultInjected {
+        /// Fault kind label, e.g. `link-down` or `gpu-crash`.
+        kind: String,
+        /// Affected entity, e.g. `nvlink-egress:gpu1` or `coordinator`.
+        target: String,
+        /// Window start time.
+        at: SimTime,
+    },
+    /// A fault window closed and the entity recovered.
+    FaultCleared {
+        /// Fault kind label.
+        kind: String,
+        /// Affected entity.
+        target: String,
+        /// Window end time.
+        at: SimTime,
+    },
+    /// An in-flight transfer was cut short by a link/GPU failure.
+    TransferAborted {
+        /// Server the lane belongs to.
+        server: u32,
+        /// Lane label.
+        lane: String,
+        /// Bytes the transfer intended to move.
+        bytes: u64,
+        /// Bytes that made it across before the cut.
+        partial: u64,
+        /// Abort time.
+        at: SimTime,
+    },
+    /// The offloader retried a failed fabric transfer after backoff.
+    TransferRetried {
+        /// Consumer GPU label.
+        consumer: String,
+        /// 1-based retry attempt number.
+        attempt: u64,
+        /// Retry time.
+        at: SimTime,
+    },
+    /// The offloader fell down its failover ladder (lease → sibling → DRAM).
+    FailoverEngaged {
+        /// Consumer GPU label.
+        consumer: String,
+        /// Failed placement, e.g. `peer:gpu1`.
+        from: String,
+        /// Replacement placement, e.g. `sibling` or `dram`.
+        to: String,
+        /// Bytes redirected.
+        bytes: u64,
+        /// Failover time.
+        at: SimTime,
+    },
+    /// A lease's producer missed its heartbeat TTL and the lease was revoked.
+    LeaseExpired {
+        /// Producer GPU label.
+        producer: String,
+        /// Expired lease id.
+        lease: u64,
+        /// Consumer bytes stranded inside the lease.
+        stranded: u64,
+        /// Expiry time.
+        at: SimTime,
+    },
+    /// A reclaim deadline passed and the coordinator force-revoked the lease.
+    LeaseForceRevoked {
+        /// Producer GPU label.
+        producer: String,
+        /// Revoked lease id.
+        lease: u64,
+        /// Consumer bytes stranded inside the lease.
+        stranded: u64,
+        /// Revocation time.
+        at: SimTime,
+    },
+    /// A consumer entered or left degraded mode (new allocations pinned to
+    /// DRAM while a fault is active).
+    DegradedMode {
+        /// Consumer GPU label.
+        consumer: String,
+        /// `enter` or `exit`.
+        state: String,
+        /// Transition time.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -276,6 +361,14 @@ impl TraceEvent {
             TraceEvent::SliceFinished { .. } => "slice_finished",
             TraceEvent::WindowFetched { .. } => "window_fetched",
             TraceEvent::Gauge { .. } => "gauge",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::FaultCleared { .. } => "fault_cleared",
+            TraceEvent::TransferAborted { .. } => "transfer_aborted",
+            TraceEvent::TransferRetried { .. } => "transfer_retried",
+            TraceEvent::FailoverEngaged { .. } => "failover_engaged",
+            TraceEvent::LeaseExpired { .. } => "lease_expired",
+            TraceEvent::LeaseForceRevoked { .. } => "lease_force_revoked",
+            TraceEvent::DegradedMode { .. } => "degraded_mode",
         }
     }
 
@@ -300,7 +393,15 @@ impl TraceEvent {
             | TraceEvent::InformerDecision { at, .. }
             | TraceEvent::RequestAdmitted { at, .. }
             | TraceEvent::RequestPreempted { at, .. }
-            | TraceEvent::Gauge { at, .. } => *at,
+            | TraceEvent::Gauge { at, .. }
+            | TraceEvent::FaultInjected { at, .. }
+            | TraceEvent::FaultCleared { at, .. }
+            | TraceEvent::TransferAborted { at, .. }
+            | TraceEvent::TransferRetried { at, .. }
+            | TraceEvent::FailoverEngaged { at, .. }
+            | TraceEvent::LeaseExpired { at, .. }
+            | TraceEvent::LeaseForceRevoked { at, .. }
+            | TraceEvent::DegradedMode { at, .. } => *at,
             TraceEvent::TransferCompleted { start, .. }
             | TraceEvent::SliceFinished { start, .. }
             | TraceEvent::WindowFetched { start, .. } => *start,
@@ -493,6 +594,73 @@ impl TraceEvent {
             TraceEvent::Gauge { name, value, at } => {
                 w.str("name", name);
                 w.f64("value", *value);
+                w.time("at", *at);
+            }
+            TraceEvent::FaultInjected { kind, target, at }
+            | TraceEvent::FaultCleared { kind, target, at } => {
+                w.str("kind", kind);
+                w.str("target", target);
+                w.time("at", *at);
+            }
+            TraceEvent::TransferAborted {
+                server,
+                lane,
+                bytes,
+                partial,
+                at,
+            } => {
+                w.num("server", u64::from(*server));
+                w.str("lane", lane);
+                w.num("bytes", *bytes);
+                w.num("partial", *partial);
+                w.time("at", *at);
+            }
+            TraceEvent::TransferRetried {
+                consumer,
+                attempt,
+                at,
+            } => {
+                w.str("consumer", consumer);
+                w.num("attempt", *attempt);
+                w.time("at", *at);
+            }
+            TraceEvent::FailoverEngaged {
+                consumer,
+                from,
+                to,
+                bytes,
+                at,
+            } => {
+                w.str("consumer", consumer);
+                w.str("from", from);
+                w.str("to", to);
+                w.num("bytes", *bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::LeaseExpired {
+                producer,
+                lease,
+                stranded,
+                at,
+            }
+            | TraceEvent::LeaseForceRevoked {
+                producer,
+                lease,
+                stranded,
+                at,
+            } => {
+                w.str("producer", producer);
+                w.num("lease", *lease);
+                w.num("stranded", *stranded);
+                w.time("at", *at);
+            }
+            TraceEvent::DegradedMode {
+                consumer,
+                state,
+                at,
+            } => {
+                w.str("consumer", consumer);
+                w.str("state", state);
                 w.time("at", *at);
             }
         }

@@ -20,16 +20,16 @@ fn producer_and_consumer_threads_negotiate() {
     // Producer: donate, then demand the memory back.
     let producer_client = service.client();
     let producer = std::thread::spawn(move || {
-        producer_client.lease(producer_gpu, 8 << 30);
+        producer_client.lease(producer_gpu, 8 << 30).unwrap();
         // Poll until the consumer has taken something, then reclaim.
         loop {
-            if let AllocationSite::Dram = producer_client.allocate(producer_gpu, 1) {
+            if let AllocationSite::Dram = producer_client.allocate(producer_gpu, 1).unwrap() {
                 // (Producers never allocate; this is just a cheap probe that
                 // exercises a request while we wait.)
             }
             std::thread::yield_now();
-            producer_client.reclaim_request(producer_gpu);
-            match producer_client.reclaim_status(producer_gpu) {
+            producer_client.reclaim_request(producer_gpu).unwrap();
+            match producer_client.reclaim_status(producer_gpu).unwrap() {
                 ReclaimStatus::Released { bytes, .. } => return bytes,
                 _ => continue,
             }
@@ -40,20 +40,22 @@ fn producer_and_consumer_threads_negotiate() {
     let consumer_client = service.client();
     let consumer = std::thread::spawn(move || {
         let lease = loop {
-            match consumer_client.allocate(consumer_gpu, 2 << 30) {
+            match consumer_client.allocate(consumer_gpu, 2 << 30).unwrap() {
                 AllocationSite::Peer { lease, .. } => break lease,
                 AllocationSite::Dram => std::thread::yield_now(),
             }
         };
         // Iteration boundaries: check /respond until a reclaim appears.
         loop {
-            let must_move = consumer_client.respond(lease);
+            let must_move = consumer_client.respond(lease).unwrap();
             if must_move > 0 {
-                consumer_client.call(aqua::core::messages::CoordinatorRequest::Release {
-                    lease,
-                    bytes: must_move,
-                    at: SimTime::from_secs(1),
-                });
+                consumer_client
+                    .call(aqua::core::messages::CoordinatorRequest::Release {
+                        lease,
+                        bytes: must_move,
+                        at: SimTime::from_secs(1),
+                    })
+                    .unwrap();
                 return must_move;
             }
             std::thread::yield_now();
@@ -71,11 +73,14 @@ fn producer_and_consumer_threads_negotiate() {
 #[test]
 fn many_transient_clients() {
     let service = CoordinatorService::spawn(Arc::new(Coordinator::new()));
-    service.client().lease(GpuRef::single(GpuId(1)), 1 << 30);
+    service
+        .client()
+        .lease(GpuRef::single(GpuId(1)), 1 << 30)
+        .unwrap();
     for _ in 0..50 {
         let c = service.client();
         assert!(matches!(
-            c.allocate(GpuRef::single(GpuId(0)), 1 << 20),
+            c.allocate(GpuRef::single(GpuId(0)), 1 << 20).unwrap(),
             AllocationSite::Peer { .. }
         ));
         drop(c);

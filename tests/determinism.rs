@@ -84,3 +84,37 @@ fn telemetry_digest_differs_across_seeds() {
     let (db, _) = traced_cfs_digest(4);
     assert_ne!(da, db, "different seeds must produce different journals");
 }
+
+/// Journals the chaos run (producer crash + lease expiry + failover) and
+/// returns the digest/length pair.
+fn traced_chaos_digest(tl: &aqua_bench::chaos_degradation::ChaosTimeline) -> (u64, usize) {
+    use aqua_telemetry::JournalTracer;
+    use std::sync::Arc;
+
+    let journal = Arc::new(JournalTracer::new());
+    let _ = aqua_bench::chaos_degradation::run_traced(tl, 5, journal.clone());
+    (journal.digest(), journal.len())
+}
+
+#[test]
+fn chaos_run_is_digest_deterministic() {
+    // Fault injection must not break reproducibility: the same FaultPlan on
+    // the same seed journals the identical event stream — aborted transfers,
+    // retries, lease expiry, failover and degraded-mode transitions included.
+    let tl = aqua_bench::chaos_degradation::ChaosTimeline::short();
+    let (da, na) = traced_chaos_digest(&tl);
+    let (db, nb) = traced_chaos_digest(&tl);
+    assert!(na > 0, "chaos run must journal events");
+    assert_eq!(na, nb, "same FaultPlan, same event count");
+    assert_eq!(da, db, "same FaultPlan, same telemetry digest");
+}
+
+#[test]
+fn chaos_digest_differs_across_fault_plans() {
+    let a = aqua_bench::chaos_degradation::ChaosTimeline::short();
+    let mut b = a;
+    b.crash_start += 10;
+    let (da, _) = traced_chaos_digest(&a);
+    let (db, _) = traced_chaos_digest(&b);
+    assert_ne!(da, db, "a different crash window must change the journal");
+}
