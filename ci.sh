@@ -15,5 +15,13 @@ cargo test --workspace -q
 # Chaos acceptance: producer crash mid-lease → degrade to DRAM → recover,
 # and the faulted run stays digest-deterministic.
 cargo test -q --test chaos_recovery
+# Hot-path acceptance: the untraced transfer-schedule path must stay
+# allocation-free (asserted by the microbench main before timing starts).
+cargo bench -p aqua-bench --bench microbench -- --test
+# Repro-suite acceptance: run the full experiment suite sequentially AND
+# through the parallel sweep runner. `bench` exits non-zero if the parallel
+# output or the combined determinism digest diverges from sequential, and
+# records the wall-time trajectory in BENCH_pr3.json.
+cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr3.json
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings

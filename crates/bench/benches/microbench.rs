@@ -1,6 +1,12 @@
 //! Criterion microbenchmarks for the hot substrate paths: HBM accounting,
 //! the event queue, transfer scheduling, the paged KV cache, coordinator
 //! operations, LoRA transfer planning and the placer.
+//!
+//! The binary also *asserts* (before any benchmark runs, via a counting
+//! global allocator) that the untraced transfer-schedule path performs zero
+//! heap allocations per transfer — the hot-path guarantee behind Figure 11's
+//! sub-5% producer overhead budget. Before lane interning and the dense
+//! `PortStats` table it allocated up to four strings per transfer.
 
 use aqua_core::coordinator::{Coordinator, GpuRef};
 use aqua_engines::kvcache::PagedKvCache;
@@ -17,8 +23,69 @@ use aqua_sim::memory::{HbmAllocator, RegionKind};
 use aqua_sim::time::SimTime;
 use aqua_sim::topology::ServerTopology;
 use aqua_sim::transfer::{TransferEngine, TransferPlan};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pass-through allocator that counts every allocation, so the zero-alloc
+/// assertion below can observe the schedule hot path directly.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The untraced schedule path must be allocation-free: one dense-slot
+/// update per port, no lane strings, no counter-name formatting, no map
+/// rehashing. Warm-up covers the one legitimate allocation (first touch of
+/// a GPU's ports grows the dense table); after that, 10k transfers must
+/// leave the allocation counter untouched.
+fn assert_untraced_schedule_is_allocation_free() {
+    let server = ServerTopology::nvswitch(8, GpuSpec::a100_80g());
+    let path = server.gpu_to_gpu_path(GpuId(0), GpuId(1)).unwrap();
+    let mut eng = TransferEngine::new();
+    let mut now = SimTime::ZERO;
+    for _ in 0..64 {
+        now = eng
+            .schedule(&path, TransferPlan::coalesced(1 << 26), now)
+            .end;
+    }
+    const TRANSFERS: u64 = 10_000;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..TRANSFERS {
+        now = eng
+            .schedule(&path, TransferPlan::coalesced(1 << 26), now)
+            .end;
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocs, 0,
+        "untraced schedule path made {allocs} allocations over {TRANSFERS} transfers \
+         (it allocated up to 4 strings per transfer before lane interning)"
+    );
+    black_box(&eng);
+    eprintln!(
+        "microbench: untraced transfer-schedule path: 0 allocations over {TRANSFERS} transfers"
+    );
+}
 
 fn bench_allocator(c: &mut Criterion) {
     c.bench_function("hbm_alloc_free", |b| {
@@ -34,6 +101,17 @@ fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue_push_pop_1k", |b| {
         b.iter(|| {
             let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_nanos((i * 7919) % 1000), i);
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        });
+    });
+    c.bench_function("event_queue_push_pop_1k_prealloc", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1000);
             for i in 0..1000u64 {
                 q.push(SimTime::from_nanos((i * 7919) % 1000), i);
             }
@@ -136,4 +214,10 @@ criterion_group!(
     bench_lora_plans,
     bench_placer
 );
-criterion_main!(benches);
+
+fn main() {
+    // The hot-path guarantee is checked unconditionally, so a regression
+    // fails `cargo bench --bench microbench` even before timing starts.
+    assert_untraced_schedule_is_allocation_free();
+    benches();
+}

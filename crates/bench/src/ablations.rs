@@ -273,6 +273,38 @@ pub fn lora_skew_table(skews: &[f64], count: usize, seed: u64) -> Table {
     t
 }
 
+/// The `aqua-repro` decomposition: one sweep point per ablation study.
+pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
+    let a = *a;
+    let points = vec![
+        crate::runner::ReproPoint::new("ablations", "coalescing", move || {
+            format!("{}\n", coalescing_table())
+        }),
+        crate::runner::ReproPoint::new("ablations", "cfs-slice", move || {
+            format!(
+                "{}\n",
+                cfs_slice_table(&[2, 4, 8, 16], a.count.min(120), a.seed)
+            )
+        }),
+        crate::runner::ReproPoint::new("ablations", "producer-sharing", move || {
+            format!("{}\n", producer_sharing_table(a.window))
+        }),
+        crate::runner::ReproPoint::new("ablations", "reclaim-threshold", move || {
+            format!(
+                "{}\n",
+                reclaim_threshold_table(&[2, 8, 32], &Timeline::default(), a.seed)
+            )
+        }),
+        crate::runner::ReproPoint::new("ablations", "preemption", move || {
+            format!("{}\n", preemption_table(a.count, a.seed))
+        }),
+        crate::runner::ReproPoint::new("ablations", "lora-skew", move || {
+            format!("{}\n", lora_skew_table(&[0.0, 1.0, 2.0], a.count, a.seed))
+        }),
+    ];
+    points.into_iter().map(|p| p.with_cost_hint(50)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,26 +3,41 @@
 //! ```text
 //! cargo run -p aqua-bench --release --bin aqua-repro -- list
 //! cargo run -p aqua-bench --release --bin aqua-repro -- fig07 --window 600
-//! cargo run -p aqua-bench --release --bin aqua-repro -- all
+//! cargo run -p aqua-bench --release --bin aqua-repro -- all --jobs 8
+//! cargo run -p aqua-bench --release --bin aqua-repro -- bench --jobs 8 --out BENCH_pr3.json
 //! ```
+//!
+//! Experiments decompose into independent sweep points (one per request
+//! rate, tensor size, cluster split, ablation study, …) that `--jobs N`
+//! fans across worker threads. Output is stitched back in input order, so
+//! `all --jobs 8` prints byte-for-byte what `all --jobs 1` prints, and the
+//! combined determinism digest (reported on stderr) proves the simulations
+//! behaved identically too. `bench` runs the whole suite sequentially and
+//! in parallel, verifies that identity, and writes the wall-time trajectory
+//! to a `BENCH_pr3.json`.
 //!
 //! The same experiments also run as `cargo bench` targets; this binary is
 //! the ad-hoc front door (pick one experiment, tweak the window/seed).
 
-use aqua_bench::*;
+use aqua_bench::runner::{run_suite, ReproArgs, SuiteOutcome, EXPERIMENTS};
+use aqua_bench::trace;
 use std::process::ExitCode;
 
-struct Args {
-    window: u64,
-    seed: u64,
-    count: usize,
+struct Flags {
+    args: ReproArgs,
+    jobs: usize,
+    out: Option<String>,
 }
 
-fn parse_flags(rest: &[String]) -> Result<Args, String> {
-    let mut args = Args {
-        window: 120,
-        seed: 42,
-        count: 200,
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        args: ReproArgs::default(),
+        jobs: 1,
+        out: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -30,216 +45,162 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
         match flag.as_str() {
-            "--window" => args.window = value.parse().map_err(|e| format!("--window: {e}"))?,
-            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--count" => args.count = value.parse().map_err(|e| format!("--count: {e}"))?,
+            "--window" => {
+                flags.args.window = value.parse().map_err(|e| format!("--window: {e}"))?
+            }
+            "--seed" => flags.args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--count" => flags.args.count = value.parse().map_err(|e| format!("--count: {e}"))?,
+            "--jobs" => flags.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--out" => flags.out = Some(value.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(args)
+    Ok(flags)
 }
 
-const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig01", "motivation: vLLM vs CFS vs AQUA TTFT/RCT"),
-    ("fig02", "throughput vs batch vs free memory per modality"),
-    ("fig03", "NVLink bandwidth curve + sharing impact"),
-    ("fig04", "placement matters (Eq. 5 + execution)"),
-    ("fig07", "long-prompt tokens: DeepSpeed/FlexGen/AQUA"),
-    ("fig08", "LoRA adapter RCTs"),
-    ("fig09", "CFS responsiveness at 2 and 5 req/s"),
-    ("fig10", "elastic donate/reclaim timeline"),
-    ("fig11", "producer RCT overhead of donating via AQUA"),
-    ("fig12", "benefit vs offloaded tensor size"),
-    ("fig13", "multi-turn chatbot saw-tooth"),
-    ("fig14", "placer convergence time"),
-    ("fig18", "NVSwitch stress: 4 consumers + 4 producers"),
-    (
-        "chaos",
-        "producer crash at t=300s: degrade to DRAM, recover",
-    ),
-    ("e2e", "section 6.1 cluster evaluation (both splits)"),
-    ("tables", "Tables 1-3 and the model inventory"),
-    ("ablations", "all ablation studies"),
-];
-
-fn run_experiment(name: &str, a: &Args) -> Result<(), String> {
-    match name {
-        "fig01" => {
-            let r = fig01_motivation::run(5.0, a.count, a.seed);
-            println!("{}", fig01_motivation::table(&r));
-        }
-        "fig02" => {
-            for t in fig02_contention::tables(&fig02_contention::run(&[
-                1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96,
-            ])) {
-                println!("{t}");
-            }
-        }
-        "fig03" => {
-            println!(
-                "{}",
-                fig03_links::bandwidth_table(&fig03_links::run_bandwidth(
-                    &fig03_links::default_sizes()
-                ))
-            );
-            println!(
-                "{}",
-                fig03_links::sharing_table(&fig03_links::run_sharing(5))
-            );
-        }
-        "fig04" => {
-            let r = fig04_colocation::run(a.window);
-            println!("{}", fig04_colocation::table(&r, a.window));
-        }
-        "fig07" => {
-            let r = fig07_long_prompt::run(a.window);
-            println!("{}", fig07_long_prompt::table(&r, a.window));
-        }
-        "fig08" => {
-            let r = fig08_lora::run(2.0, a.count, a.seed);
-            println!("{}", fig08_lora::table(&r));
-        }
-        "fig09" => {
-            for rate in [2.0, 5.0] {
-                let cfg = fig09_cfs::CfsExperiment::figure9(rate, a.count, a.seed);
-                let r = fig09_cfs::run(&cfg);
-                println!(
-                    "{}",
-                    fig09_cfs::table(&r, &format!("Figure 9 at {rate} req/s"))
-                );
-            }
-        }
-        "fig10" => {
-            let tl = fig10_elasticity::Timeline::default();
-            let r = fig10_elasticity::run(&tl, 10, a.seed);
-            println!("{}", fig10_elasticity::table(&r));
-            let baseline = fig10_elasticity::run_producer_baseline(&tl, a.seed);
-            println!(
-                "{}",
-                fig10_elasticity::producer_table(&r.producer_log, &baseline)
-            );
-        }
-        "fig11" => {
-            let tl = fig10_elasticity::Timeline::default();
-            let r = fig11_producer_overhead::run_overhead(&tl, 10, a.seed);
-            println!("{}", fig11_producer_overhead::table(&r));
-            println!("median overhead: {:.2}x", r.median_overhead());
-        }
-        "fig12" => {
-            let results: Vec<_> = fig12_tensor_size::paper_sizes()
-                .iter()
-                .map(|&b| fig12_tensor_size::run(b, a.count, 10.0, a.seed))
-                .collect();
-            println!("{}", fig12_tensor_size::table(&results));
-        }
-        "fig13" => {
-            let r = fig13_chatbot::run(25, 4, a.seed);
-            println!("{}", fig13_chatbot::table(&r));
-        }
-        "fig14" => {
-            let pts = fig14_placer::run(&[16, 32, 64, 96, 128]);
-            println!("{}", fig14_placer::table(&pts));
-        }
-        "fig18" => {
-            let r = fig18_nvswitch::run(a.window);
-            println!("{}", fig18_nvswitch::table(&r, a.window));
-        }
-        "chaos" => {
-            let tl = chaos_degradation::ChaosTimeline::default();
-            let r = chaos_degradation::run(&tl, 10);
-            println!("{}", chaos_degradation::table(&r));
-            println!("{}", chaos_degradation::summary_table(&r));
-        }
-        "e2e" => {
-            for split in [e2e_cluster::Split::Balanced, e2e_cluster::Split::LlmHeavy] {
-                let r = e2e_cluster::run(split, a.window, a.seed);
-                let (p, o) = e2e_cluster::tables(&r);
-                println!("{p}");
-                println!("{o}");
-            }
-        }
-        "tables" => {
-            println!("{}", tables_registry::table1());
-            println!("{}", tables_registry::table2());
-            println!("{}", tables_registry::table3());
-            println!("{}", tables_registry::model_inventory());
-        }
-        "ablations" => {
-            println!("{}", ablations::coalescing_table());
-            println!(
-                "{}",
-                ablations::cfs_slice_table(&[2, 4, 8, 16], a.count.min(120), a.seed)
-            );
-            println!("{}", ablations::producer_sharing_table(a.window));
-            println!(
-                "{}",
-                ablations::reclaim_threshold_table(
-                    &[2, 8, 32],
-                    &fig10_elasticity::Timeline::default(),
-                    a.seed
-                )
-            );
-            println!("{}", ablations::preemption_table(a.count, a.seed));
-            println!(
-                "{}",
-                ablations::lora_skew_table(&[0.0, 1.0, 2.0], a.count, a.seed)
-            );
-        }
-        other => return Err(format!("unknown experiment `{other}` (try `list`)")),
+/// Runs `names` and prints the stitched output; wall/digest accounting goes
+/// to stderr so stdout stays byte-identical across job counts.
+fn run_and_print(names: &[&str], flags: &Flags, headers: bool) -> Result<(), String> {
+    // A process-wide AQUA_TRACE capture needs one journal in deterministic
+    // event order, so it forces the sequential passthrough path.
+    let passthrough = trace::journal().is_some();
+    if passthrough && flags.jobs > 1 {
+        eprintln!("aqua-repro: AQUA_TRACE is set; forcing --jobs 1 (passthrough trace)");
     }
+    let outcome = run_suite(names, &flags.args, flags.jobs, headers, passthrough)?;
+    print!("{}", outcome.output);
+    eprintln!(
+        "aqua-repro: {} points over {} jobs in {:.2}s, {} events, digest {:016x}",
+        outcome.experiments.iter().map(|e| e.points).sum::<usize>(),
+        outcome.jobs,
+        outcome.wall.as_secs_f64(),
+        outcome.total_events,
+        outcome.combined_digest
+    );
+    trace::finish();
+    Ok(())
+}
+
+/// JSON for one suite run (hand-rolled: stable key order, no deps).
+fn suite_json(label: &str, o: &SuiteOutcome) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "    \"{label}\": {{\n      \"jobs\": {},\n      \"wall_s\": {:.4},\n      \"experiments\": {{\n",
+        o.jobs,
+        o.wall.as_secs_f64()
+    ));
+    for (i, e) in o.experiments.iter().enumerate() {
+        let comma = if i + 1 < o.experiments.len() { "," } else { "" };
+        s.push_str(&format!(
+            "        \"{}\": {{\"points\": {}, \"wall_s\": {:.4}}}{comma}\n",
+            e.name,
+            e.points,
+            e.wall.as_secs_f64()
+        ));
+    }
+    s.push_str("      }\n    }");
+    s
+}
+
+/// The `bench` subcommand: sequential vs parallel suite, identity check,
+/// BENCH json.
+fn bench(flags: &Flags) -> Result<(), String> {
+    if trace::journal().is_some() {
+        return Err("bench mode measures the untraced path; unset AQUA_TRACE".into());
+    }
+    let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+    let jobs = if flags.jobs > 1 {
+        flags.jobs
+    } else {
+        default_jobs()
+    };
+    eprintln!("aqua-repro bench: sequential pass…");
+    let seq = run_suite(&names, &flags.args, 1, true, false)?;
+    eprintln!(
+        "aqua-repro bench: sequential {:.2}s, digest {:016x}; parallel pass ({jobs} jobs)…",
+        seq.wall.as_secs_f64(),
+        seq.combined_digest
+    );
+    let par = run_suite(&names, &flags.args, jobs, true, false)?;
+    eprintln!(
+        "aqua-repro bench: parallel {:.2}s, digest {:016x}",
+        par.wall.as_secs_f64(),
+        par.combined_digest
+    );
+
+    if seq.output != par.output {
+        return Err(format!(
+            "parallel output differs from sequential ({} vs {} bytes)",
+            par.output.len(),
+            seq.output.len()
+        ));
+    }
+    if seq.combined_digest != par.combined_digest {
+        return Err(format!(
+            "determinism digest mismatch: sequential {:016x} vs parallel {:016x}",
+            seq.combined_digest, par.combined_digest
+        ));
+    }
+
+    let speedup = seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"aqua-repro suite\",\n  \"pr\": 3,\n  \"host_cores\": {},\n  \"points\": {},\n  \"total_events\": {},\n  \"combined_digest\": \"{:016x}\",\n  \"digests_match\": true,\n  \"output_identical\": true,\n  \"speedup\": {:.2},\n  \"runs\": {{\n{},\n{}\n  }}\n}}\n",
+        default_jobs(),
+        seq.experiments.iter().map(|e| e.points).sum::<usize>(),
+        seq.total_events,
+        seq.combined_digest,
+        speedup,
+        suite_json("sequential", &seq),
+        suite_json("parallel", &par)
+    );
+    let out = flags.out.as_deref().unwrap_or("BENCH_pr3.json");
+    std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "bench: {} points; sequential {:.2}s, parallel {:.2}s over {} jobs ({speedup:.2}x); digest {:016x}; wrote {out}",
+        seq.experiments.iter().map(|e| e.points).sum::<usize>(),
+        seq.wall.as_secs_f64(),
+        par.wall.as_secs_f64(),
+        par.jobs,
+        seq.combined_digest
+    );
     Ok(())
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        eprintln!("usage: aqua-repro <experiment|list|all> [--window S] [--seed N] [--count N]");
+        eprintln!(
+            "usage: aqua-repro <experiment|list|all|bench> [--window S] [--seed N] [--count N] [--jobs N] [--out FILE]"
+        );
         return ExitCode::FAILURE;
     };
-    match cmd.as_str() {
-        "list" => {
-            println!("available experiments:");
-            for (name, what) in EXPERIMENTS {
-                println!("  {name:<10} {what}");
-            }
-            ExitCode::SUCCESS
+    if cmd == "list" {
+        println!("available experiments:");
+        for (name, what) in EXPERIMENTS {
+            println!("  {name:<10} {what}");
         }
+        return ExitCode::SUCCESS;
+    }
+    let flags = match parse_flags(&argv[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
         "all" => {
-            let args = match parse_flags(&argv[1..]) {
-                Ok(a) => a,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            for (name, _) in EXPERIMENTS {
-                println!("\n################ {name} ################");
-                if let Err(e) = run_experiment(name, &args) {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            trace::finish();
-            ExitCode::SUCCESS
+            let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+            run_and_print(&names, &flags, true)
         }
-        name => {
-            let args = match parse_flags(&argv[1..]) {
-                Ok(a) => a,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match run_experiment(name, &args) {
-                Ok(()) => {
-                    trace::finish();
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+        "bench" => bench(&flags),
+        name => run_and_print(&[name], &flags, false),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
     }
 }

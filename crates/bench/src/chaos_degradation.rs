@@ -274,11 +274,12 @@ pub fn run_dram_baseline(tl: &ChaosTimeline, sample_secs: u64) -> f64 {
 /// Runs the chaos experiment end to end: traced run, DRAM baseline, and
 /// the robustness counters.
 pub fn run(tl: &ChaosTimeline, sample_secs: u64) -> ChaosReport {
-    // With `AQUA_TRACE` active, journal the faulted run into the process
-    // capture so the exported trace and digest witness the fault cascade;
-    // otherwise keep a private journal (the counters need one either way).
-    let journal = match crate::trace::journal() {
-        Some(j) => Arc::clone(j),
+    // With a sweep-point override or `AQUA_TRACE` active, journal the
+    // faulted run into that capture so the exported trace and digest
+    // witness the fault cascade; otherwise keep a private journal (the
+    // counters need one either way).
+    let journal = match crate::trace::active_journal() {
+        Some(j) => j,
         None => Arc::new(JournalTracer::new()),
     };
     let chaos = run_traced(tl, sample_secs, journal.clone());
@@ -350,6 +351,19 @@ pub fn summary_table(report: &ChaosReport) -> Table {
         "-".into(),
     ]);
     t
+}
+
+/// The `aqua-repro` decomposition: one chaos-timeline point (faults and
+/// parallel fan-out compose — the point digest captures the cascade).
+pub fn repro_points(_a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
+    vec![
+        crate::runner::ReproPoint::new("chaos", "default-timeline", move || {
+            let tl = ChaosTimeline::default();
+            let r = run(&tl, 10);
+            format!("{}\n{}\n", table(&r), summary_table(&r))
+        })
+        .with_cost_hint(50),
+    ]
 }
 
 #[cfg(test)]

@@ -442,6 +442,22 @@ pub fn tables(result: &E2eResult) -> (Table, Table) {
     (placement, outcomes)
 }
 
+/// The `aqua-repro` decomposition: one sweep point per cluster split.
+pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
+    let (window, seed) = (a.window, a.seed);
+    [Split::Balanced, Split::LlmHeavy]
+        .iter()
+        .map(|&split| {
+            crate::runner::ReproPoint::new("e2e", format!("{split:?}"), move || {
+                let r = run(split, window, seed);
+                let (p, o) = tables(&r);
+                format!("{p}\n{o}\n")
+            })
+            .with_cost_hint(100)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,66 +36,113 @@ pub struct Sweep {
 /// Average live context per LLM sequence in the Figure 2c sweep.
 pub const LLM_AVG_CONTEXT: u64 = 1024;
 
+/// The batch sizes `aqua-repro` sweeps for Figure 2.
+pub const PAPER_BATCHES: &[u64] = &[1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96];
+
+/// The three modalities Figure 2 sweeps — each one independent sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Figure 2a: AudioGen.
+    Audio,
+    /// Figure 2b: StableDiffusion.
+    Diffusion,
+    /// Figure 2c: Llama-2-13B.
+    Llm,
+}
+
+impl ModelKind {
+    /// All three, in the paper's 2a/2b/2c order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Audio, ModelKind::Diffusion, ModelKind::Llm];
+}
+
+/// Runs one modality's sweep (one Figure 2 sub-plot).
+pub fn run_model(kind: ModelKind, batches: &[u64]) -> Sweep {
+    let gpu = GpuSpec::a100_80g();
+    match kind {
+        ModelKind::Audio => {
+            let audio = zoo::audiogen();
+            let ag = audio.audio_geometry().unwrap();
+            Sweep {
+                model: audio.name.clone(),
+                unit: "clips/s",
+                points: batches
+                    .iter()
+                    .filter_map(|&b| {
+                        let used = cost::audio_used_bytes(ag, b);
+                        (used <= gpu.hbm_bytes).then(|| Point {
+                            batch: b,
+                            throughput: cost::audio_throughput(ag, &gpu, b),
+                            free_bytes: gpu.hbm_bytes - used,
+                        })
+                    })
+                    .collect(),
+            }
+        }
+        ModelKind::Diffusion => {
+            let sd = zoo::stable_diffusion();
+            let dg = sd.diffusion_geometry().unwrap();
+            Sweep {
+                model: sd.name.clone(),
+                unit: "images/s",
+                points: batches
+                    .iter()
+                    .filter_map(|&b| {
+                        let used = cost::diffusion_used_bytes(dg, b);
+                        (used <= gpu.hbm_bytes).then(|| Point {
+                            batch: b,
+                            throughput: cost::diffusion_throughput(dg, &gpu, b),
+                            free_bytes: gpu.hbm_bytes - used,
+                        })
+                    })
+                    .collect(),
+            }
+        }
+        ModelKind::Llm => {
+            let llama = zoo::llama2_13b();
+            let lg = llama.llm_geometry().unwrap();
+            Sweep {
+                model: llama.name.clone(),
+                unit: "tokens/s",
+                points: batches
+                    .iter()
+                    .filter_map(|&b| {
+                        let used = cost::llm_static_bytes(lg, b) + lg.kv_bytes(b * LLM_AVG_CONTEXT);
+                        (used <= gpu.hbm_bytes).then(|| Point {
+                            batch: b,
+                            throughput: cost::llm_decode_throughput(
+                                lg,
+                                &gpu,
+                                b,
+                                b * LLM_AVG_CONTEXT,
+                            ),
+                            free_bytes: gpu.hbm_bytes - used,
+                        })
+                    })
+                    .collect(),
+            }
+        }
+    }
+}
+
 /// Runs the three sweeps of Figure 2.
 pub fn run(batches: &[u64]) -> Vec<Sweep> {
-    let gpu = GpuSpec::a100_80g();
-    let mut out = Vec::new();
+    ModelKind::ALL
+        .iter()
+        .map(|&k| run_model(k, batches))
+        .collect()
+}
 
-    let audio = zoo::audiogen();
-    let ag = audio.audio_geometry().unwrap();
-    out.push(Sweep {
-        model: audio.name.clone(),
-        unit: "clips/s",
-        points: batches
-            .iter()
-            .filter_map(|&b| {
-                let used = cost::audio_used_bytes(ag, b);
-                (used <= gpu.hbm_bytes).then(|| Point {
-                    batch: b,
-                    throughput: cost::audio_throughput(ag, &gpu, b),
-                    free_bytes: gpu.hbm_bytes - used,
-                })
+/// The `aqua-repro` decomposition: one sweep point per modality.
+pub fn repro_points(_a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
+    ModelKind::ALL
+        .iter()
+        .map(|&kind| {
+            crate::runner::ReproPoint::new("fig02", format!("{kind:?}"), move || {
+                let sweep = run_model(kind, PAPER_BATCHES);
+                format!("{}\n", tables(std::slice::from_ref(&sweep))[0])
             })
-            .collect(),
-    });
-
-    let sd = zoo::stable_diffusion();
-    let dg = sd.diffusion_geometry().unwrap();
-    out.push(Sweep {
-        model: sd.name.clone(),
-        unit: "images/s",
-        points: batches
-            .iter()
-            .filter_map(|&b| {
-                let used = cost::diffusion_used_bytes(dg, b);
-                (used <= gpu.hbm_bytes).then(|| Point {
-                    batch: b,
-                    throughput: cost::diffusion_throughput(dg, &gpu, b),
-                    free_bytes: gpu.hbm_bytes - used,
-                })
-            })
-            .collect(),
-    });
-
-    let llama = zoo::llama2_13b();
-    let lg = llama.llm_geometry().unwrap();
-    out.push(Sweep {
-        model: llama.name.clone(),
-        unit: "tokens/s",
-        points: batches
-            .iter()
-            .filter_map(|&b| {
-                let used = cost::llm_static_bytes(lg, b) + lg.kv_bytes(b * LLM_AVG_CONTEXT);
-                (used <= gpu.hbm_bytes).then(|| Point {
-                    batch: b,
-                    throughput: cost::llm_decode_throughput(lg, &gpu, b, b * LLM_AVG_CONTEXT),
-                    free_bytes: gpu.hbm_bytes - used,
-                })
-            })
-            .collect(),
-    });
-
-    out
+        })
+        .collect()
 }
 
 /// Renders the sweeps as one table per model.

@@ -113,6 +113,19 @@ pub fn context_exceeds_budget() -> bool {
     geom.kv_bytes(aqua_workloads::longprompt::LONG_PROMPT_TOKENS) > CONTEXT_BUDGET
 }
 
+/// The `aqua-repro` decomposition: one long-prompt window point.
+pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
+    let window = a.window;
+    vec![crate::runner::ReproPoint::new(
+        "fig07",
+        format!("window={window}"),
+        move || {
+            let r = run(window);
+            format!("{}\n", table(&r, window))
+        },
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

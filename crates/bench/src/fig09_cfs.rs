@@ -284,6 +284,24 @@ pub fn table(result: &CfsResult, title: &str) -> Table {
     t
 }
 
+/// The request rates Figure 9 reports (req/s).
+pub const PAPER_RATES: [f64; 2] = [2.0, 5.0];
+
+/// The `aqua-repro` decomposition: one sweep point per request rate.
+pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
+    let (count, seed) = (a.count, a.seed);
+    PAPER_RATES
+        .iter()
+        .map(|&rate| {
+            crate::runner::ReproPoint::new("fig09", format!("rate={rate}"), move || {
+                let cfg = CfsExperiment::figure9(rate, count, seed);
+                let r = run(&cfg);
+                format!("{}\n", table(&r, &format!("Figure 9 at {rate} req/s")))
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,20 @@ pub fn paper_sizes() -> [u64; 2] {
     [mib(160), mib(320)]
 }
 
+/// The `aqua-repro` decomposition: one sweep point per adapter size.
+pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
+    let (count, seed) = (a.count, a.seed);
+    paper_sizes()
+        .iter()
+        .map(|&bytes| {
+            crate::runner::ReproPoint::new("fig12", format!("bytes={bytes}"), move || {
+                let r = run(bytes, count, 10.0, seed);
+                format!("{}\n", table(std::slice::from_ref(&r)))
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,9 @@ pub mod fig12_tensor_size;
 pub mod fig13_chatbot;
 pub mod fig14_placer;
 pub mod fig18_nvswitch;
+pub mod runner;
 pub mod setup;
+pub mod sweep;
 pub mod tables_registry;
 pub mod trace;
 

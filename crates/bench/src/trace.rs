@@ -20,9 +20,45 @@
 //! [`ServerCtx`]: crate::setup::ServerCtx
 
 use aqua_telemetry::{null_tracer, JournalTracer, SharedTracer};
+use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
 
 static JOURNAL: OnceLock<Option<Arc<JournalTracer>>> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread journal override, installed by [`with_tracer`]. Sweep
+    /// workers use this to give every experiment point its own journal
+    /// without threading a tracer through every `run(...)` signature.
+    static OVERRIDE: RefCell<Option<Arc<JournalTracer>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `journal` installed as this thread's tracer: every
+/// [`tracer()`] call made by `f` (including deep inside `ServerCtx`
+/// construction) returns `journal` instead of the process-wide `AQUA_TRACE`
+/// journal. The previous override (if any) is restored afterwards, even on
+/// panic, so nested scopes compose.
+pub fn with_tracer<R>(journal: Arc<JournalTracer>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<JournalTracer>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            OVERRIDE.with(|o| *o.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.borrow_mut().replace(journal)));
+    f()
+}
+
+/// The journal events currently land in, if any: this thread's
+/// [`with_tracer`] override first, else the process `AQUA_TRACE` capture.
+/// Experiments that read counters back (the chaos report) use this so their
+/// bookkeeping follows the same journal their events went to.
+pub fn active_journal() -> Option<Arc<JournalTracer>> {
+    if let Some(j) = OVERRIDE.with(|o| o.borrow().clone()) {
+        return Some(j);
+    }
+    journal().cloned()
+}
 
 /// The journal backing `AQUA_TRACE`, if the variable is set.
 pub fn journal() -> Option<&'static Arc<JournalTracer>> {
@@ -31,11 +67,12 @@ pub fn journal() -> Option<&'static Arc<JournalTracer>> {
         .as_ref()
 }
 
-/// The process tracer: the `AQUA_TRACE` journal when enabled, otherwise the
-/// zero-overhead null tracer.
+/// The tracer instrumented code should use: the thread's [`with_tracer`]
+/// override when one is active, else the `AQUA_TRACE` journal when enabled,
+/// else the zero-overhead null tracer.
 pub fn tracer() -> SharedTracer {
-    match journal() {
-        Some(j) => j.clone() as SharedTracer,
+    match active_journal() {
+        Some(j) => j as SharedTracer,
         None => null_tracer(),
     }
 }
@@ -81,6 +118,37 @@ mod tests {
         if std::env::var_os("AQUA_TRACE").is_none() {
             assert!(!tracer().enabled());
             finish();
+        }
+    }
+
+    #[test]
+    fn with_tracer_overrides_then_restores() {
+        let inner = Arc::new(JournalTracer::digest_only());
+        let outer = Arc::new(JournalTracer::digest_only());
+        with_tracer(outer.clone(), || {
+            assert!(tracer().enabled(), "override is active");
+            tracer().incr("outer", 1);
+            with_tracer(inner.clone(), || {
+                tracer().incr("inner", 1);
+            });
+            // The outer override survives the nested scope.
+            tracer().incr("outer", 1);
+        });
+        assert_eq!(outer.registry().counter("outer"), 2);
+        assert_eq!(outer.registry().counter("inner"), 0);
+        assert_eq!(inner.registry().counter("inner"), 1);
+        if std::env::var_os("AQUA_TRACE").is_none() {
+            assert!(!tracer().enabled(), "override removed after the scope");
+        }
+    }
+
+    #[test]
+    fn with_tracer_restores_on_panic() {
+        let j = Arc::new(JournalTracer::digest_only());
+        let caught = std::panic::catch_unwind(|| with_tracer(j.clone(), || panic!("boom")));
+        assert!(caught.is_err());
+        if std::env::var_os("AQUA_TRACE").is_none() {
+            assert!(!tracer().enabled());
         }
     }
 }

@@ -73,10 +73,21 @@ pub struct Driver {
 }
 
 impl Driver {
+    /// Default pre-sized event-queue capacity: enough for a typical figure
+    /// harness trace (thousands of arrivals) without mid-run re-growth.
+    const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
     /// Creates a driver with the default 100 ms idle-tick interval.
     pub fn new() -> Self {
+        Self::with_event_capacity(Self::DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates a driver whose event queue is pre-sized for `capacity`
+    /// pending events (arrivals + in-flight steps), so long-horizon runs do
+    /// not re-grow the heap mid-simulation.
+    pub fn with_event_capacity(capacity: usize) -> Self {
         Driver {
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(capacity),
             tick_interval: SimDuration::from_millis(100),
             next_tick: SimTime::ZERO,
             busy: Vec::new(),
@@ -118,6 +129,8 @@ impl Driver {
     where
         I: IntoIterator<Item = (SimTime, InferenceRequest)>,
     {
+        let trace = trace.into_iter();
+        self.events.reserve(trace.size_hint().0);
         for (at, req) in trace {
             self.schedule_arrival(engine, at, req);
         }

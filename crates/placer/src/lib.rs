@@ -58,7 +58,7 @@ pub mod prelude {
     pub use crate::greedy::solve_greedy;
     pub use crate::instance::{ModelSpec, Placement, PlacementInstance, Role};
     pub use crate::matching::stable_match;
-    pub use crate::solver::{solve, solve_optimal};
+    pub use crate::solver::{solve, solve_optimal, solve_optimal_stats, SolveStats};
 }
 
 pub use prelude::*;

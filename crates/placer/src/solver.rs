@@ -16,6 +16,34 @@
 
 use crate::instance::{Placement, PlacementInstance};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+/// Multiply-shift hasher for the DP memo's already-packed `u64` keys. The
+/// memo sees ~100M lookups at 128 GPUs, where SipHash's per-call cost is
+/// measurable; the keys are dense bit-packed counts, so a single odd
+/// multiply mixes them more than well enough.
+#[derive(Default)]
+struct PackedKeyHasher(u64);
+
+impl Hasher for PackedKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let h = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type MemoMap<V> = HashMap<u64, V, BuildHasherDefault<PackedKeyHasher>>;
 
 /// Maximum number of distinct model types the exact solver accepts.
 pub const MAX_TYPES: usize = 7;
@@ -44,7 +72,22 @@ struct TypeInfo {
 struct Dp<'a> {
     types: &'a [TypeInfo],
     gpus_per_server: usize,
-    memo: HashMap<u64, Vec<Pair>>,
+    // Frontiers are shared by `Rc`: the hot leaf of `enumerate_fills` reads
+    // a memoised child frontier once per fill (~100M times at 128 GPUs),
+    // and a deep `Vec` clone per read dominated the whole solve.
+    memo: MemoMap<Rc<Vec<Pair>>>,
+    expansions: u64,
+}
+
+/// Deterministic work accounting for one exact solve: a machine-independent
+/// proxy for convergence cost (wall time scales with it, but unlike wall
+/// time it is bit-identical across runs and hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Distinct DP states memoised: `(remaining type counts, servers left)`.
+    pub dp_states: usize,
+    /// Server-fill enumerations explored across the whole search.
+    pub expansions: u64,
 }
 
 fn encode(counts: &[usize], servers_left: usize) -> u64 {
@@ -58,22 +101,22 @@ fn encode(counts: &[usize], servers_left: usize) -> u64 {
 impl Dp<'_> {
     /// Pareto-optimal `(max mem, max eq)` pairs over all ways of packing the
     /// remaining `counts` into `servers_left` servers.
-    fn solve(&mut self, counts: &mut Vec<usize>, servers_left: usize) -> Vec<Pair> {
+    fn solve(&mut self, counts: &mut Vec<usize>, servers_left: usize) -> Rc<Vec<Pair>> {
         let key = encode(counts, servers_left);
         if let Some(f) = self.memo.get(&key) {
-            return f.clone();
+            return Rc::clone(f);
         }
         let total: usize = counts.iter().sum();
         if servers_left == 0 {
-            let frontier = if total == 0 {
+            let frontier = Rc::new(if total == 0 {
                 vec![Pair {
                     mem: i64::MIN,
                     eq: i64::MIN,
                 }]
             } else {
                 Vec::new() // infeasible: models left but no servers
-            };
-            self.memo.insert(key, frontier.clone());
+            });
+            self.memo.insert(key, Rc::clone(&frontier));
             return frontier;
         }
         let mut frontier: Vec<Pair> = Vec::new();
@@ -86,7 +129,8 @@ impl Dp<'_> {
             servers_left,
             &mut frontier,
         );
-        self.memo.insert(key, frontier.clone());
+        let frontier = Rc::new(frontier);
+        self.memo.insert(key, Rc::clone(&frontier));
         frontier
     }
 
@@ -100,9 +144,10 @@ impl Dp<'_> {
         frontier: &mut Vec<Pair>,
     ) {
         if ty == counts.len() {
+            self.expansions += 1;
             let (mem, eq) = self.fill_totals(fill);
             let rest = self.solve(counts, servers_left - 1);
-            for r in rest {
+            for r in rest.iter() {
                 insert_pareto(
                     frontier,
                     Pair {
@@ -144,6 +189,13 @@ impl Dp<'_> {
 /// exists (cannot happen for instances accepted by
 /// [`PlacementInstance::new`]).
 pub fn solve_optimal(inst: &PlacementInstance) -> Placement {
+    solve_optimal_stats(inst).0
+}
+
+/// Like [`solve_optimal`], additionally returning the deterministic
+/// [`SolveStats`] work counters (Figure 14 reports these instead of
+/// machine-dependent wall seconds).
+pub fn solve_optimal_stats(inst: &PlacementInstance) -> (Placement, SolveStats) {
     // Group models into types by signed memory.
     let mut type_index: HashMap<i64, usize> = HashMap::new();
     let mut types: Vec<TypeInfo> = Vec::new();
@@ -168,7 +220,8 @@ pub fn solve_optimal(inst: &PlacementInstance) -> Placement {
     let mut dp = Dp {
         types: &types,
         gpus_per_server: inst.gpus_per_server,
-        memo: HashMap::new(),
+        memo: MemoMap::default(),
+        expansions: 0,
     };
     let frontier = dp.solve(&mut counts, inst.servers);
     let best = frontier
@@ -198,7 +251,11 @@ pub fn solve_optimal(inst: &PlacementInstance) -> Placement {
         servers_left -= 1;
     }
     debug_assert!(assignment.iter().all(|&s| s < inst.servers));
-    Placement { assignment }
+    let stats = SolveStats {
+        dp_states: dp.memo.len(),
+        expansions: dp.expansions,
+    };
+    (Placement { assignment }, stats)
 }
 
 fn scalar(inst: &PlacementInstance, p: Pair) -> i128 {
@@ -247,7 +304,7 @@ fn find_fill_rec(
     if ty == counts.len() {
         let (mem, eq) = dp.fill_totals(fill);
         let rest = dp.solve(counts, servers_left - 1);
-        for r in rest {
+        for r in rest.iter() {
             let combined = Pair {
                 mem: mem.max(r.mem),
                 eq: eq.max(r.eq),

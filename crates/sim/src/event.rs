@@ -72,6 +72,28 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events, so a
+    /// long-horizon run (engine drivers queue one event per in-flight step
+    /// plus every future arrival of a trace) does not re-grow the heap
+    /// mid-simulation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more events beyond the
+    /// current pending count.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `payload` to fire at `time`.
     pub fn push(&mut self, time: SimTime, payload: T) {
         let seq = self.next_seq;
@@ -136,6 +158,19 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn with_capacity_and_reserve_preallocate() {
+        let mut q: EventQueue<u8> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+        q.reserve(128);
+        assert!(q.capacity() >= 128);
+        // Preallocation must not change ordering semantics.
+        q.push(SimTime::from_nanos(2), 1);
+        q.push(SimTime::from_nanos(1), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 2)));
     }
 
     #[test]

@@ -14,6 +14,81 @@
 use crate::json::escape_into;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// An interned lane label (e.g. `nvlink-egress:gpu0`).
+///
+/// Transfer events fire once per port per transfer — millions of times in a
+/// long run — so their lane field is a reference-counted string: producers
+/// render the label once per port and clone the `Arc` per event, instead of
+/// calling `to_string()` on the hot path. The canonical JSON encoding is the
+/// plain string, so interning never changes a journal or its digest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(into = "String", from = "String")]
+pub struct Lane(Arc<str>);
+
+impl Lane {
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Lane {
+    fn from(s: &str) -> Self {
+        Lane(Arc::from(s))
+    }
+}
+
+impl From<String> for Lane {
+    fn from(s: String) -> Self {
+        Lane(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for Lane {
+    fn from(s: Arc<str>) -> Self {
+        Lane(s)
+    }
+}
+
+impl From<Lane> for String {
+    fn from(l: Lane) -> Self {
+        l.0.as_ref().to_owned()
+    }
+}
+
+impl std::ops::Deref for Lane {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Lane {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl PartialEq<str> for Lane {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Lane {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
 
 /// One structured event in a run's journal.
 ///
@@ -29,7 +104,7 @@ pub enum TraceEvent {
         /// Server the lane belongs to.
         server: u32,
         /// Lane label, e.g. `nvlink-egress:gpu0`.
-        lane: String,
+        lane: Lane,
         /// Total payload bytes.
         bytes: u64,
         /// Chunk count (1 for a coalesced plan).
@@ -42,7 +117,7 @@ pub enum TraceEvent {
         /// Server the lane belongs to.
         server: u32,
         /// Lane label.
-        lane: String,
+        lane: Lane,
         /// Total payload bytes.
         bytes: u64,
         /// Wire start time.
@@ -53,7 +128,7 @@ pub enum TraceEvent {
         /// Server the lane belongs to.
         server: u32,
         /// Lane label.
-        lane: String,
+        lane: Lane,
         /// Total payload bytes.
         bytes: u64,
         /// Chunk count (1 for a coalesced plan).
@@ -272,7 +347,7 @@ pub enum TraceEvent {
         /// Server the lane belongs to.
         server: u32,
         /// Lane label.
-        lane: String,
+        lane: Lane,
         /// Bytes the transfer intended to move.
         bytes: u64,
         /// Bytes that made it across before the cut.

@@ -51,6 +51,6 @@ pub mod registry;
 pub mod time;
 pub mod tracer;
 
-pub use event::TraceEvent;
+pub use event::{Lane, TraceEvent};
 pub use registry::Registry;
 pub use tracer::{fnv1a, null_tracer, JournalTracer, NullTracer, SharedTracer, Tracer};

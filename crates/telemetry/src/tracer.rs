@@ -73,14 +73,18 @@ macro_rules! trace {
 pub struct NullTracer;
 
 impl Tracer for NullTracer {
+    #[inline]
     fn enabled(&self) -> bool {
         false
     }
 
+    #[inline]
     fn emit(&self, _event: TraceEvent) {}
 
+    #[inline]
     fn incr(&self, _counter: &str, _delta: u64) {}
 
+    #[inline]
     fn gauge(&self, _gauge: &str, _value: f64) {}
 }
 
@@ -108,6 +112,7 @@ pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
 struct Journal {
     events: Vec<TraceEvent>,
     digest: u64,
+    emitted: usize,
 }
 
 /// A tracer that buffers every event and maintains a determinism digest.
@@ -130,6 +135,7 @@ struct Journal {
 pub struct JournalTracer {
     inner: Mutex<Journal>,
     registry: Registry,
+    keep_events: bool,
 }
 
 impl Default for JournalTracer {
@@ -141,18 +147,42 @@ impl Default for JournalTracer {
 impl JournalTracer {
     /// Creates an empty journal.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty journal with `capacity` event slots pre-allocated,
+    /// so long instrumented runs do not re-grow the buffer mid-simulation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        JournalTracer {
+            inner: Mutex::new(Journal {
+                events: Vec::with_capacity(capacity),
+                digest: FNV_OFFSET,
+                emitted: 0,
+            }),
+            registry: Registry::new(),
+            keep_events: true,
+        }
+    }
+
+    /// Creates a journal that folds every event into the determinism digest
+    /// but does not buffer the events themselves. Sweep workers use this to
+    /// prove schedule-independence without holding millions of events per
+    /// point; [`JournalTracer::events`] returns an empty vector.
+    pub fn digest_only() -> Self {
         JournalTracer {
             inner: Mutex::new(Journal {
                 events: Vec::new(),
                 digest: FNV_OFFSET,
+                emitted: 0,
             }),
             registry: Registry::new(),
+            keep_events: false,
         }
     }
 
-    /// Number of buffered events.
+    /// Number of events emitted so far (buffered or digest-only).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().events.len()
+        self.inner.lock().unwrap().emitted
     }
 
     /// Whether the journal is empty.
@@ -216,7 +246,10 @@ impl Tracer for JournalTracer {
         let mut inner = self.inner.lock().unwrap();
         inner.digest = fnv1a(inner.digest, line.as_bytes());
         inner.digest = fnv1a(inner.digest, b"\n");
-        inner.events.push(event);
+        inner.emitted += 1;
+        if self.keep_events {
+            inner.events.push(event);
+        }
     }
 
     fn incr(&self, counter: &str, delta: u64) {
@@ -258,6 +291,31 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         b.emit(sample(2));
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_only_matches_buffering_journal() {
+        let full = JournalTracer::new();
+        let lean = JournalTracer::digest_only();
+        for at in 1..=5 {
+            full.emit(sample(at));
+            lean.emit(sample(at));
+        }
+        assert_eq!(full.digest(), lean.digest());
+        assert_eq!(full.len(), lean.len());
+        assert_eq!(full.events().len(), 5);
+        assert!(lean.events().is_empty(), "digest-only buffers nothing");
+        assert!(!lean.is_empty(), "but it still counts emissions");
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let a = JournalTracer::new();
+        let b = JournalTracer::with_capacity(1024);
+        a.emit(sample(7));
+        b.emit(sample(7));
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(b.events().len(), 1);
     }
 
     #[test]

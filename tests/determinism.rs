@@ -109,6 +109,81 @@ fn chaos_run_is_digest_deterministic() {
     assert_eq!(da, db, "same FaultPlan, same telemetry digest");
 }
 
+/// The sweep points the parallel-determinism tests fan out: both Figure 9
+/// request rates (scaled down) plus the chaos failover run — the heaviest,
+/// most event-dense experiments in the suite.
+fn sweep_points() -> Vec<aqua_bench::runner::ReproPoint> {
+    use aqua_bench::runner::ReproPoint;
+    let mut points: Vec<ReproPoint> = fig09_cfs::PAPER_RATES
+        .iter()
+        .map(|&rate| {
+            ReproPoint::new("fig09", format!("rate={rate}"), move || {
+                let cfg = fig09_cfs::CfsExperiment::figure9(rate, 30, 3);
+                let r = fig09_cfs::run(&cfg);
+                fig09_cfs::table(&r, &format!("Figure 9 at {rate} req/s")).to_string()
+            })
+        })
+        .collect();
+    points.push(ReproPoint::new("chaos", "short", || {
+        let tl = aqua_bench::chaos_degradation::ChaosTimeline::short();
+        let r = aqua_bench::chaos_degradation::run(&tl, 5);
+        aqua_bench::chaos_degradation::table(&r).to_string()
+    }));
+    points
+}
+
+#[test]
+fn sweep_is_schedule_independent_across_job_counts() {
+    // The tentpole guarantee: fanning the suite across worker threads must
+    // not perturb a single simulation. Every job count renders the same
+    // bytes AND folds the same per-point telemetry digests — the combined
+    // digest is a witness that each simulation's full event stream was
+    // identical, not merely its printed summary.
+    use aqua_bench::sweep::Sweep;
+    let points = sweep_points();
+    let runs: Vec<_> = [1usize, 4, 8]
+        .iter()
+        .map(|&jobs| Sweep::new().jobs(jobs).run(&points, |p| p.render()))
+        .collect();
+    let baseline = &runs[0];
+    assert!(baseline.total_events() > 0, "points must journal events");
+    for run in &runs[1..] {
+        assert_eq!(run.points.len(), baseline.points.len());
+        for (a, b) in baseline.points.iter().zip(run.points.iter()) {
+            assert_eq!(a.result, b.result, "rendered tables must be identical");
+            assert_eq!(a.digest, b.digest, "per-point digests must be identical");
+            assert_eq!(a.events, b.events, "per-point event counts must match");
+        }
+        assert_eq!(
+            run.combined_digest(),
+            baseline.combined_digest(),
+            "combined digest must be independent of the thread schedule"
+        );
+    }
+}
+
+#[test]
+fn suite_runner_is_byte_identical_across_job_counts() {
+    // Same property one layer up: the stitched `aqua-repro` output for the
+    // simulation-heavy experiments, through the real experiment → point
+    // decomposition, at 1/4/8 jobs.
+    use aqua_bench::runner::{run_suite, ReproArgs};
+    let a = ReproArgs {
+        window: 30,
+        seed: 3,
+        count: 30,
+    };
+    let names = ["fig09", "fig12"];
+    let seq = run_suite(&names, &a, 1, true, false).unwrap();
+    for jobs in [4usize, 8] {
+        let par = run_suite(&names, &a, jobs, true, false).unwrap();
+        assert_eq!(seq.output, par.output, "stdout must match at {jobs} jobs");
+        assert_eq!(seq.combined_digest, par.combined_digest);
+        assert_eq!(seq.total_events, par.total_events);
+    }
+    assert!(seq.output.contains("Figure 9 at 2 req/s"));
+}
+
 #[test]
 fn chaos_digest_differs_across_fault_plans() {
     let a = aqua_bench::chaos_degradation::ChaosTimeline::short();
