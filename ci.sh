@@ -16,12 +16,13 @@ cargo test --workspace -q
 # and the faulted run stays digest-deterministic.
 cargo test -q --test chaos_recovery
 # Hot-path acceptance: the untraced transfer-schedule path must stay
-# allocation-free (asserted by the microbench main before timing starts).
+# allocation-free and the placer catalog DP allocation-bounded per state
+# (both asserted by the microbench main before timing starts).
 cargo bench -p aqua-bench --bench microbench -- --test
 # Repro-suite acceptance: run the full experiment suite sequentially AND
 # through the parallel sweep runner. `bench` exits non-zero if the parallel
 # output or the combined determinism digest diverges from sequential, and
-# records the wall-time trajectory in BENCH_pr3.json.
-cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr3.json
+# records the wall-time trajectory in BENCH_pr4.json.
+cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr4.json
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings

@@ -3,11 +3,14 @@
 //! operations, LoRA transfer planning and the placer.
 //!
 //! The binary also *asserts* (before any benchmark runs, via a counting
-//! global allocator) that the untraced transfer-schedule path performs zero
-//! heap allocations per transfer — the hot-path guarantee behind Figure 11's
-//! sub-5% producer overhead budget. Before lane interning and the dense
-//! `PortStats` table it allocated up to four strings per transfer.
+//! global allocator) two hot-path guarantees: the untraced transfer-schedule
+//! path performs zero heap allocations per transfer — the budget behind
+//! Figure 11's sub-5% producer overhead (it allocated up to four strings
+//! per transfer before lane interning and the dense `PortStats` table) —
+//! and the placer's catalog DP stays within a small allocation budget per
+//! memoised state on a 64-GPU mixed solve.
 
+use aqua_bench::fig14_placer::mixed_instance;
 use aqua_core::coordinator::{Coordinator, GpuRef};
 use aqua_engines::kvcache::PagedKvCache;
 use aqua_engines::request::RequestId;
@@ -15,7 +18,7 @@ use aqua_models::lora::LoraAdapter;
 use aqua_models::zoo;
 use aqua_placer::instance::{ModelSpec, PlacementInstance};
 use aqua_placer::matching::stable_match;
-use aqua_placer::solver::solve_optimal;
+use aqua_placer::solver::{solve_optimal, solve_optimal_stats};
 use aqua_sim::event::EventQueue;
 use aqua_sim::gpu::{GpuId, GpuSpec};
 use aqua_sim::link::BandwidthModel;
@@ -84,6 +87,32 @@ fn assert_untraced_schedule_is_allocation_free() {
     black_box(&eng);
     eprintln!(
         "microbench: untraced transfer-schedule path: 0 allocations over {TRANSFERS} transfers"
+    );
+}
+
+/// The catalog-DP solver must stay allocation-lean: memoised frontiers are
+/// the only per-state heap traffic (one `Rc<[Pair]>` plus occasional map
+/// rehash/scratch growth), so a 64-GPU mixed solve is capped at a small
+/// constant per DP state plus fixed slack for the catalog, greedy incumbent
+/// and model grouping. The pre-catalog solver allocated a fresh candidate
+/// `Vec` per *expansion* — orders of magnitude above this bound.
+fn assert_placer_solve_allocation_bounded() {
+    let inst = mixed_instance(64);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let (placement, stats) = solve_optimal_stats(&inst);
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    placement.validate(&inst).unwrap();
+    let cap = 8 * stats.dp_states as u64 + 1024;
+    assert!(
+        allocs <= cap,
+        "placer 64-GPU mixed solve made {allocs} allocations for {} DP states \
+         (cap {cap}: 8/state + 1024 slack)",
+        stats.dp_states
+    );
+    black_box(&placement);
+    eprintln!(
+        "microbench: placer 64-GPU mixed solve: {allocs} allocations over {} DP states (cap {cap})",
+        stats.dp_states
     );
 }
 
@@ -194,6 +223,10 @@ fn bench_placer(c: &mut Criterion) {
         );
         b.iter(|| black_box(solve_optimal(&inst)));
     });
+    c.bench_function("placer_solve_64gpu_mixed", |b| {
+        let inst = mixed_instance(64);
+        b.iter(|| black_box(solve_optimal(&inst)));
+    });
     c.bench_function("stable_match_16", |b| {
         const GB: u64 = 1 << 30;
         let models: Vec<ModelSpec> = (0..8)
@@ -216,8 +249,9 @@ criterion_group!(
 );
 
 fn main() {
-    // The hot-path guarantee is checked unconditionally, so a regression
+    // The hot-path guarantees are checked unconditionally, so a regression
     // fails `cargo bench --bench microbench` even before timing starts.
     assert_untraced_schedule_is_allocation_free();
+    assert_placer_solve_allocation_bounded();
     benches();
 }

@@ -4,7 +4,7 @@
 //! cargo run -p aqua-bench --release --bin aqua-repro -- list
 //! cargo run -p aqua-bench --release --bin aqua-repro -- fig07 --window 600
 //! cargo run -p aqua-bench --release --bin aqua-repro -- all --jobs 8
-//! cargo run -p aqua-bench --release --bin aqua-repro -- bench --jobs 8 --out BENCH_pr3.json
+//! cargo run -p aqua-bench --release --bin aqua-repro -- bench --jobs 8 --out BENCH_pr4.json
 //! ```
 //!
 //! Experiments decompose into independent sweep points (one per request
@@ -14,7 +14,7 @@
 //! combined determinism digest (reported on stderr) proves the simulations
 //! behaved identically too. `bench` runs the whole suite sequentially and
 //! in parallel, verifies that identity, and writes the wall-time trajectory
-//! to a `BENCH_pr3.json`.
+//! to a `BENCH_pr4.json`.
 //!
 //! The same experiments also run as `cargo bench` targets; this binary is
 //! the ad-hoc front door (pick one experiment, tweak the window/seed).
@@ -144,7 +144,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
 
     let speedup = seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"aqua-repro suite\",\n  \"pr\": 3,\n  \"host_cores\": {},\n  \"points\": {},\n  \"total_events\": {},\n  \"combined_digest\": \"{:016x}\",\n  \"digests_match\": true,\n  \"output_identical\": true,\n  \"speedup\": {:.2},\n  \"runs\": {{\n{},\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"aqua-repro suite\",\n  \"pr\": 4,\n  \"host_cores\": {},\n  \"points\": {},\n  \"total_events\": {},\n  \"combined_digest\": \"{:016x}\",\n  \"digests_match\": true,\n  \"output_identical\": true,\n  \"speedup\": {:.2},\n  \"runs\": {{\n{},\n{}\n  }}\n}}\n",
         default_jobs(),
         seq.experiments.iter().map(|e| e.points).sum::<usize>(),
         seq.total_events,
@@ -153,7 +153,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
         suite_json("sequential", &seq),
         suite_json("parallel", &par)
     );
-    let out = flags.out.as_deref().unwrap_or("BENCH_pr3.json");
+    let out = flags.out.as_deref().unwrap_or("BENCH_pr4.json");
     std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "bench: {} points; sequential {:.2}s, parallel {:.2}s over {} jobs ({speedup:.2}x); digest {:016x}; wrote {out}",

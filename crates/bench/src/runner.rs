@@ -314,7 +314,7 @@ mod tests {
         assert_eq!(experiment_points("fig02", &a).unwrap().len(), 3);
         assert_eq!(experiment_points("fig09", &a).unwrap().len(), 2);
         assert_eq!(experiment_points("fig12", &a).unwrap().len(), 2);
-        assert_eq!(experiment_points("fig14", &a).unwrap().len(), 5);
+        assert_eq!(experiment_points("fig14", &a).unwrap().len(), 6);
         assert_eq!(experiment_points("e2e", &a).unwrap().len(), 2);
         assert_eq!(experiment_points("ablations", &a).unwrap().len(), 6);
     }

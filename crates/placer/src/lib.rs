@@ -16,10 +16,11 @@
 //!   Equation 5: `max_s(mem_s) + G_mem · max_s(eq_s)`.
 //! * [`solver`] — an exact dynamic program over model *types* (models with
 //!   equal `R_m` are interchangeable) with Pareto-frontier merging of the
-//!   two max terms. It provably finds an Equation-5 optimum; its runtime
-//!   grows with the number of distinct model types, which reproduces
-//!   Figure 14's shape (mixed-modality inputs converge much slower than
-//!   50/50 LLM producer/consumer inputs).
+//!   two max terms, accelerated by a precomputed fill catalog, a greedy
+//!   incumbent bound, and sorted-frontier merges. It provably finds an
+//!   Equation-5 optimum; its runtime grows with the number of distinct
+//!   model types, which reproduces Figure 14's shape (mixed-modality
+//!   inputs converge much slower than 50/50 LLM producer/consumer inputs).
 //! * [`greedy`] — a first-fit-decreasing baseline for comparison and for
 //!   instances with many distinct types.
 //! * [`matching`] — Gale–Shapley producer↔consumer stable matching within a
@@ -58,7 +59,9 @@ pub mod prelude {
     pub use crate::greedy::solve_greedy;
     pub use crate::instance::{ModelSpec, Placement, PlacementInstance, Role};
     pub use crate::matching::stable_match;
-    pub use crate::solver::{solve, solve_optimal, solve_optimal_stats, SolveStats};
+    pub use crate::solver::{
+        solve, solve_optimal, solve_optimal_reference, solve_optimal_stats, SolveStats,
+    };
 }
 
 pub use prelude::*;

@@ -11,17 +11,48 @@
 //! The state space — and therefore solve time — grows combinatorially with
 //! the number of *distinct* types, not the number of models. That is
 //! exactly the behaviour the paper reports in Figure 14: inputs mixing
-//! image/audio/LLM models take tens of seconds at 128 GPUs, while 50/50 LLM
-//! producer/consumer inputs solve in under a second.
+//! image/audio/LLM models take far longer at 128 GPUs than 50/50 LLM
+//! producer/consumer inputs.
+//!
+//! Three compounding optimisations keep the exact search fast without
+//! giving up optimality (the solver still returns a brute-force-identical
+//! objective, checked by proptest):
+//!
+//! 1. **Fill catalog.** The feasible per-server fills — bounded multiset
+//!    compositions of at most `gpus_per_server` GPUs over the model types —
+//!    are enumerated *once* per instance, with each fill's `(mem, eq)`
+//!    totals and packed memo-key delta precomputed. DP transitions iterate
+//!    the catalog filtered against the remaining counts instead of
+//!    re-running a recursive cartesian walk at every state. Crucially the
+//!    filter also rejects fills whose child state cannot hold the leftover
+//!    models (`remaining > (servers_left − 1) · G`): the old walk recursed
+//!    into millions of such dead states and memoised their empty frontiers.
+//! 2. **Incumbent bound.** The greedy placement's objective is an upper
+//!    bound on the optimum. A transition is skipped when an optimistic
+//!    completion bound (fill totals joined with per-server averages of the
+//!    remaining totals) already exceeds the incumbent, and candidate pairs
+//!    whose own scalar exceeds it are never inserted — both prunes keep
+//!    every completion that could still *match* the incumbent, so ties and
+//!    the true optimum survive.
+//! 3. **Sorted frontiers.** Frontier merges collect all candidate pairs,
+//!    sort by `(mem, eq)` and sweep once keeping strictly-decreasing `eq` —
+//!    O(n log n) instead of the old O(n²) scan-and-retain per insertion.
+//!
+//! Note on catalog dedup: two *different* fills can share identical
+//! `(mem, eq)` totals (e.g. types with memories {1, 5} vs {2, 4}), but they
+//! consume different models and leave different remainders, so collapsing
+//! them would lose completions and break exactness — the catalog therefore
+//! keys entries by their full count vector and only caches the totals.
 
+use crate::greedy::solve_greedy;
 use crate::instance::{Placement, PlacementInstance};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
 
 /// Multiply-shift hasher for the DP memo's already-packed `u64` keys. The
-/// memo sees ~100M lookups at 128 GPUs, where SipHash's per-call cost is
-/// measurable; the keys are dense bit-packed counts, so a single odd
+/// memo sees millions of lookups at 256 GPUs, where SipHash's per-call cost
+/// is measurable; the keys are dense bit-packed counts, so a single odd
 /// multiply mixes them more than well enough.
 #[derive(Default)]
 struct PackedKeyHasher(u64);
@@ -46,21 +77,12 @@ impl Hasher for PackedKeyHasher {
 type MemoMap<V> = HashMap<u64, V, BuildHasherDefault<PackedKeyHasher>>;
 
 /// Maximum number of distinct model types the exact solver accepts.
-pub const MAX_TYPES: usize = 7;
+pub const MAX_TYPES: usize = 9;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Pair {
     mem: i64,
     eq: i64,
-}
-
-/// Merges a point into a Pareto frontier (minimising both coordinates).
-fn insert_pareto(frontier: &mut Vec<Pair>, p: Pair) {
-    if frontier.iter().any(|q| q.mem <= p.mem && q.eq <= p.eq) {
-        return;
-    }
-    frontier.retain(|q| !(p.mem <= q.mem && p.eq <= q.eq));
-    frontier.push(p);
 }
 
 struct TypeInfo {
@@ -69,14 +91,84 @@ struct TypeInfo {
     members: Vec<usize>,
 }
 
-struct Dp<'a> {
-    types: &'a [TypeInfo],
-    gpus_per_server: usize,
-    // Frontiers are shared by `Rc`: the hot leaf of `enumerate_fills` reads
-    // a memoised child frontier once per fill (~100M times at 128 GPUs),
-    // and a deep `Vec` clone per read dominated the whole solve.
-    memo: MemoMap<Rc<Vec<Pair>>>,
-    expansions: u64,
+/// Per-instance memo-key layout: each type's remaining count gets exactly
+/// as many bits as its *initial* multiplicity needs, and `servers_left`
+/// sits above them. Widths are derived from the instance, so a key either
+/// fits losslessly in 64 bits or the instance is rejected up front —
+/// silent field overflow (and the memo collisions it caused) is impossible
+/// by construction.
+struct KeyLayout {
+    /// Bit offset of each type's count field.
+    shift: Vec<u32>,
+    /// Bit width of each type's count field.
+    width: Vec<u32>,
+    /// Bit offset of the `servers_left` field (above all counts).
+    server_shift: u32,
+}
+
+impl KeyLayout {
+    /// Plans the packing for `counts`/`servers`, or explains why the key
+    /// cannot fit in 64 bits.
+    fn plan(counts: &[usize], servers: usize) -> Result<KeyLayout, String> {
+        fn bits_for(v: usize) -> u32 {
+            (usize::BITS - v.leading_zeros()).max(1)
+        }
+        let width: Vec<u32> = counts.iter().map(|&c| bits_for(c)).collect();
+        let mut shift = vec![0u32; counts.len()];
+        let mut offset = 0u32;
+        for (i, &w) in width.iter().enumerate().rev() {
+            shift[i] = offset;
+            offset += w;
+        }
+        let server_shift = offset;
+        let total = offset + bits_for(servers);
+        if total > u64::BITS {
+            return Err(format!(
+                "exact solver memo key needs {total} bits (> 64): \
+                 {} type counts {counts:?} plus {servers} servers; \
+                 use the greedy solver for this instance",
+                counts.len()
+            ));
+        }
+        Ok(KeyLayout {
+            shift,
+            width,
+            server_shift,
+        })
+    }
+
+    /// Packs a state into its unique `u64` memo key.
+    fn encode(&self, counts: &[usize], servers_left: usize) -> u64 {
+        let mut key = (servers_left as u64) << self.server_shift;
+        for (i, &c) in counts.iter().enumerate() {
+            debug_assert!(
+                (c as u64) < (1u64 << self.width[i]),
+                "count {c} overflows its {}-bit key field",
+                self.width[i]
+            );
+            key |= (c as u64) << self.shift[i];
+        }
+        key
+    }
+}
+
+/// One precomputed per-server fill: how many models of each type go on the
+/// server, with totals and the packed key decrement cached so a DP
+/// transition touches no per-type arithmetic beyond the feasibility check.
+#[derive(Debug, Clone, Copy)]
+struct Fill {
+    /// Models taken per type (fixed-size so `Fill` is `Copy` and the
+    /// catalog can be read while the DP recurses).
+    take: [u16; MAX_TYPES],
+    /// Total GPUs the fill occupies.
+    used: usize,
+    /// Σ type mem · take.
+    mem: i64,
+    /// Σ type t · take.
+    eq: i64,
+    /// Packed-key decrement for applying this fill *and* consuming one
+    /// server: `child_key = key − key_delta`.
+    key_delta: u64,
 }
 
 /// Deterministic work accounting for one exact solve: a machine-independent
@@ -86,117 +178,282 @@ struct Dp<'a> {
 pub struct SolveStats {
     /// Distinct DP states memoised: `(remaining type counts, servers left)`.
     pub dp_states: usize,
-    /// Server-fill enumerations explored across the whole search.
+    /// Catalog fills applied during the forward search — transitions that
+    /// passed the feasibility filter and the incumbent bound. Pruned
+    /// branches and reconstruction (which replays memoised frontiers) are
+    /// not counted.
     pub expansions: u64,
 }
 
-fn encode(counts: &[usize], servers_left: usize) -> u64 {
-    let mut key = servers_left as u64;
-    for &c in counts {
-        key = key << 8 | c as u64;
-    }
-    key
+/// Ceiling division that stays exact for negative numerators (divisor > 0):
+/// the average is a valid lower bound on a max over `den` servers.
+fn div_ceil(num: i64, den: i64) -> i64 {
+    num.div_euclid(den) + (num.rem_euclid(den) != 0) as i64
+}
+
+struct Dp<'a> {
+    types: &'a [TypeInfo],
+    gpus_per_server: usize,
+    catalog: Vec<Fill>,
+    layout: KeyLayout,
+    /// Upper bound on the optimal scalar (greedy objective); `i128::MAX`
+    /// disables pruning for the reference solve.
+    incumbent: i128,
+    gpu_mem: i128,
+    // Frontiers are shared by `Rc`: the DP reads a memoised child frontier
+    // once per applied fill, and a deep clone per read dominated the solve.
+    memo: MemoMap<Rc<[Pair]>>,
+    /// Recycled candidate buffers, one per live recursion level, so a
+    /// steady-state DP expansion allocates only its memoised frontier.
+    scratch: Vec<Vec<Pair>>,
+    expansions: u64,
+}
+
+/// Equation-5 scalar of a suffix maxima pair, exactly matching
+/// [`PlacementInstance::objective`]: every server applies some catalog fill
+/// (an *empty* fill contributes `(0, 0)`, just like an empty server in the
+/// objective), so root pairs are true cluster-wide maxima and need no
+/// clamping. (The previous solver clamped negatives to zero here, which
+/// silently mis-ranked ties on all-consumer instances whose true optimum
+/// is negative.) Because the final maxima dominate any suffix pair
+/// component-wise and this scalar is monotone in both coordinates
+/// (`gpu_mem ≥ 0`), the scalar of *any* suffix pair lower-bounds the full
+/// objective — the property both incumbent prunes rely on.
+fn scalar(p: Pair, gpu_mem: i128) -> i128 {
+    p.mem as i128 + gpu_mem * p.eq as i128
 }
 
 impl Dp<'_> {
+    /// Builds the fill catalog: every composition of at most
+    /// `gpus_per_server` GPUs over the types, bounded by the instance's
+    /// initial multiplicities, in lexicographic take order (which fixes the
+    /// reconstruction tie-break).
+    fn build_catalog(&mut self, init_counts: &[usize]) {
+        let mut take = [0u16; MAX_TYPES];
+        self.push_fills(0, self.gpus_per_server, init_counts, &mut take);
+    }
+
+    fn push_fills(
+        &mut self,
+        ty: usize,
+        room: usize,
+        init_counts: &[usize],
+        take: &mut [u16; MAX_TYPES],
+    ) {
+        if ty == init_counts.len() {
+            let mut mem = 0i64;
+            let mut eq = 0i64;
+            let mut used = 0usize;
+            let mut key_delta = 1u64 << self.layout.server_shift;
+            for (i, &n) in take.iter().enumerate().take(init_counts.len()) {
+                mem += self.types[i].mem * n as i64;
+                eq += self.types[i].t * n as i64;
+                used += n as usize;
+                key_delta += (n as u64) << self.layout.shift[i];
+            }
+            self.catalog.push(Fill {
+                take: *take,
+                used,
+                mem,
+                eq,
+                key_delta,
+            });
+            return;
+        }
+        let available = init_counts[ty].min(room);
+        for n in 0..=available {
+            take[ty] = n as u16;
+            self.push_fills(ty + 1, room - n, init_counts, take);
+        }
+        take[ty] = 0;
+    }
+
     /// Pareto-optimal `(max mem, max eq)` pairs over all ways of packing the
-    /// remaining `counts` into `servers_left` servers.
-    fn solve(&mut self, counts: &mut Vec<usize>, servers_left: usize) -> Rc<Vec<Pair>> {
-        let key = encode(counts, servers_left);
+    /// remaining `counts` into `servers_left` servers, pruned against the
+    /// incumbent (points that cannot match it are dropped; points that tie
+    /// it are kept, so the reported optimum is exact).
+    fn solve(&mut self, counts: &mut [usize], servers_left: usize, key: u64) -> Rc<[Pair]> {
         if let Some(f) = self.memo.get(&key) {
             return Rc::clone(f);
         }
         let total: usize = counts.iter().sum();
         if servers_left == 0 {
-            let frontier = Rc::new(if total == 0 {
-                vec![Pair {
+            let frontier: Rc<[Pair]> = if total == 0 {
+                Rc::from(vec![Pair {
                     mem: i64::MIN,
                     eq: i64::MIN,
-                }]
+                }])
             } else {
-                Vec::new() // infeasible: models left but no servers
-            });
+                Rc::from(Vec::new()) // infeasible: models left but no servers
+            };
             self.memo.insert(key, Rc::clone(&frontier));
             return frontier;
         }
-        let mut frontier: Vec<Pair> = Vec::new();
-        let mut fill = vec![0usize; counts.len()];
-        self.enumerate_fills(
-            0,
-            self.gpus_per_server,
-            counts,
-            &mut fill,
-            servers_left,
-            &mut frontier,
+        debug_assert!(
+            total <= servers_left * self.gpus_per_server,
+            "transitions never enter over-full states"
         );
-        let frontier = Rc::new(frontier);
+        let mut mem_left = 0i64;
+        let mut eq_left = 0i64;
+        for (i, &c) in counts.iter().enumerate() {
+            mem_left += self.types[i].mem * c as i64;
+            eq_left += self.types[i].t * c as i64;
+        }
+        let mut cands = self.scratch.pop().unwrap_or_default();
+        let room_after = (servers_left - 1) * self.gpus_per_server;
+        for idx in 0..self.catalog.len() {
+            let fill = self.catalog[idx];
+            if total - fill.used.min(total) > room_after {
+                continue; // leftover models cannot fit in the remaining servers
+            }
+            if fill
+                .take
+                .iter()
+                .zip(counts.iter())
+                .any(|(&t, &c)| t as usize > c)
+            {
+                continue;
+            }
+            if self.incumbent < i128::MAX {
+                // Optimistic completion: the subtree's maxima are at least
+                // the fill's totals and at least the per-server average of
+                // what remains. If even that cannot match the incumbent,
+                // no completion through this fill can.
+                let k1 = (servers_left - 1) as i64;
+                let bound = if k1 == 0 {
+                    Pair {
+                        mem: fill.mem,
+                        eq: fill.eq,
+                    }
+                } else {
+                    Pair {
+                        mem: fill.mem.max(div_ceil(mem_left - fill.mem, k1)),
+                        eq: fill.eq.max(div_ceil(eq_left - fill.eq, k1)),
+                    }
+                };
+                if scalar(bound, self.gpu_mem) > self.incumbent {
+                    continue;
+                }
+            }
+            self.expansions += 1;
+            for (i, &t) in fill.take.iter().enumerate().take(counts.len()) {
+                counts[i] -= t as usize;
+            }
+            let child = self.solve(counts, servers_left - 1, key - fill.key_delta);
+            for (i, &t) in fill.take.iter().enumerate().take(counts.len()) {
+                counts[i] += t as usize;
+            }
+            for r in child.iter() {
+                let p = Pair {
+                    mem: fill.mem.max(r.mem),
+                    eq: fill.eq.max(r.eq),
+                };
+                if scalar(p, self.gpu_mem) > self.incumbent {
+                    continue;
+                }
+                cands.push(p);
+            }
+        }
+        let frontier = pareto_sweep(&mut cands);
+        cands.clear();
+        self.scratch.push(cands);
         self.memo.insert(key, Rc::clone(&frontier));
         frontier
     }
 
-    fn enumerate_fills(
+    /// Finds the lexicographically-first catalog fill for the next server
+    /// such that combining it with a point of the (already memoised) child
+    /// frontier achieves `target`. Replays the forward search's exact
+    /// feasibility filter and incumbent bound, so every child lookup is a
+    /// memo hit and reconstruction does no new enumeration work (and does
+    /// not advance [`SolveStats::expansions`]).
+    fn reconstruct_fill(
         &mut self,
-        ty: usize,
-        room: usize,
-        counts: &mut Vec<usize>,
-        fill: &mut Vec<usize>,
+        counts: &mut [usize],
         servers_left: usize,
-        frontier: &mut Vec<Pair>,
-    ) {
-        if ty == counts.len() {
-            self.expansions += 1;
-            let (mem, eq) = self.fill_totals(fill);
-            let rest = self.solve(counts, servers_left - 1);
-            for r in rest.iter() {
-                insert_pareto(
-                    frontier,
-                    Pair {
-                        mem: mem.max(r.mem),
-                        eq: eq.max(r.eq),
-                    },
-                );
+        key: u64,
+        target: i128,
+    ) -> Option<Fill> {
+        let total: usize = counts.iter().sum();
+        let mut mem_left = 0i64;
+        let mut eq_left = 0i64;
+        for (i, &c) in counts.iter().enumerate() {
+            mem_left += self.types[i].mem * c as i64;
+            eq_left += self.types[i].t * c as i64;
+        }
+        let room_after = (servers_left - 1) * self.gpus_per_server;
+        for idx in 0..self.catalog.len() {
+            let fill = self.catalog[idx];
+            if total - fill.used.min(total) > room_after {
+                continue;
             }
-            return;
+            if fill
+                .take
+                .iter()
+                .zip(counts.iter())
+                .any(|(&t, &c)| t as usize > c)
+            {
+                continue;
+            }
+            if self.incumbent < i128::MAX {
+                let k1 = (servers_left - 1) as i64;
+                let bound = if k1 == 0 {
+                    Pair {
+                        mem: fill.mem,
+                        eq: fill.eq,
+                    }
+                } else {
+                    Pair {
+                        mem: fill.mem.max(div_ceil(mem_left - fill.mem, k1)),
+                        eq: fill.eq.max(div_ceil(eq_left - fill.eq, k1)),
+                    }
+                };
+                if scalar(bound, self.gpu_mem) > self.incumbent {
+                    continue;
+                }
+            }
+            for (i, &t) in fill.take.iter().enumerate().take(counts.len()) {
+                counts[i] -= t as usize;
+            }
+            let child = self.solve(counts, servers_left - 1, key - fill.key_delta);
+            for (i, &t) in fill.take.iter().enumerate().take(counts.len()) {
+                counts[i] += t as usize;
+            }
+            let hit = child.iter().any(|r| {
+                let p = Pair {
+                    mem: fill.mem.max(r.mem),
+                    eq: fill.eq.max(r.eq),
+                };
+                scalar(p, self.gpu_mem) <= target
+            });
+            if hit {
+                return Some(fill);
+            }
         }
-        let available = counts[ty].min(room);
-        for take in 0..=available {
-            counts[ty] -= take;
-            fill[ty] = take;
-            self.enumerate_fills(ty + 1, room - take, counts, fill, servers_left, frontier);
-            fill[ty] = 0;
-            counts[ty] += take;
-        }
-    }
-
-    fn fill_totals(&self, fill: &[usize]) -> (i64, i64) {
-        let mut mem = 0i64;
-        let mut eq = 0i64;
-        for (i, &n) in fill.iter().enumerate() {
-            mem += self.types[i].mem * n as i64;
-            eq += self.types[i].t * n as i64;
-        }
-        (mem, eq)
+        None
     }
 }
 
-/// Solves Algorithm 1 exactly, returning an Equation-5-optimal placement.
-///
-/// # Panics
-///
-/// Panics if the instance has more than [`MAX_TYPES`] distinct `R_m` values
-/// (the exact DP's state space is exponential in the type count; use
-/// [`crate::greedy::solve_greedy`] beyond that) or if no feasible placement
-/// exists (cannot happen for instances accepted by
-/// [`PlacementInstance::new`]).
-pub fn solve_optimal(inst: &PlacementInstance) -> Placement {
-    solve_optimal_stats(inst).0
+/// Sorts candidates by `(mem, eq)` and sweeps once, keeping points with
+/// strictly decreasing `eq` — exactly the non-dominated set under
+/// minimise-both dominance, in O(n log n).
+fn pareto_sweep(cands: &mut [Pair]) -> Rc<[Pair]> {
+    cands.sort_unstable_by_key(|a| (a.mem, a.eq));
+    let mut out: Vec<Pair> = Vec::new();
+    let mut best_eq = i64::MAX;
+    for &p in cands.iter() {
+        if p.eq < best_eq {
+            out.push(p);
+            best_eq = p.eq;
+        }
+    }
+    Rc::from(out)
 }
 
-/// Like [`solve_optimal`], additionally returning the deterministic
-/// [`SolveStats`] work counters (Figure 14 reports these instead of
-/// machine-dependent wall seconds).
-pub fn solve_optimal_stats(inst: &PlacementInstance) -> (Placement, SolveStats) {
-    // Group models into types by signed memory.
+/// Groups an instance's models into types (equal `R_m` ⇒ interchangeable)
+/// and plans the memo-key layout; `Err` explains why the exact solver
+/// cannot handle the instance.
+fn plan_types(inst: &PlacementInstance) -> Result<(Vec<TypeInfo>, Vec<usize>, KeyLayout), String> {
     let mut type_index: HashMap<i64, usize> = HashMap::new();
     let mut types: Vec<TypeInfo> = Vec::new();
     for (m, model) in inst.models.iter().enumerate() {
@@ -210,39 +467,93 @@ pub fn solve_optimal_stats(inst: &PlacementInstance) -> (Placement, SolveStats) 
         });
         types[idx].members.push(m);
     }
-    assert!(
-        types.len() <= MAX_TYPES,
-        "exact solver supports at most {MAX_TYPES} distinct model types, got {}",
-        types.len()
-    );
+    if types.len() > MAX_TYPES {
+        return Err(format!(
+            "exact solver supports at most {MAX_TYPES} distinct model types, got {}",
+            types.len()
+        ));
+    }
+    let counts: Vec<usize> = types.iter().map(|t| t.members.len()).collect();
+    let layout = KeyLayout::plan(&counts, inst.servers)?;
+    Ok((types, counts, layout))
+}
 
-    let mut counts: Vec<usize> = types.iter().map(|t| t.members.len()).collect();
+/// Solves Algorithm 1 exactly, returning an Equation-5-optimal placement.
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_TYPES`] distinct `R_m` values
+/// or its memo key cannot fit in 64 bits (the exact DP's state space is
+/// exponential in the type count; use [`crate::greedy::solve_greedy`]
+/// beyond that) or if no feasible placement exists (cannot happen for
+/// instances accepted by [`PlacementInstance::new`]).
+pub fn solve_optimal(inst: &PlacementInstance) -> Placement {
+    solve_optimal_stats(inst).0
+}
+
+/// Like [`solve_optimal`], additionally returning the deterministic
+/// [`SolveStats`] work counters (Figure 14 reports these instead of
+/// machine-dependent wall seconds).
+pub fn solve_optimal_stats(inst: &PlacementInstance) -> (Placement, SolveStats) {
+    let incumbent = clamped_incumbent(inst);
+    solve_with_incumbent(inst, incumbent)
+}
+
+/// Reference solve with incumbent pruning disabled — the exact DP explores
+/// every feasible transition. A differential-testing oracle: it must return
+/// the *identical* [`Placement`] (not merely the same objective) as
+/// [`solve_optimal_stats`], because both reconstruct along the same
+/// lexicographic catalog order toward the same optimal scalar.
+pub fn solve_optimal_reference(inst: &PlacementInstance) -> (Placement, SolveStats) {
+    solve_with_incumbent(inst, i128::MAX)
+}
+
+/// The greedy placement's Equation-5 objective: an upper bound on the
+/// optimum used to seed the branch-and-bound pruning.
+fn clamped_incumbent(inst: &PlacementInstance) -> i128 {
+    let greedy = solve_greedy(inst);
+    greedy.objective(inst)
+}
+
+fn solve_with_incumbent(inst: &PlacementInstance, incumbent: i128) -> (Placement, SolveStats) {
+    let (types, mut counts, layout) = match plan_types(inst) {
+        Ok(plan) => plan,
+        Err(e) => panic!("{e}"),
+    };
     let mut dp = Dp {
         types: &types,
         gpus_per_server: inst.gpus_per_server,
+        catalog: Vec::new(),
+        layout,
+        incumbent,
+        gpu_mem: inst.gpu_mem_bytes as i128,
         memo: MemoMap::default(),
+        scratch: Vec::new(),
         expansions: 0,
     };
-    let frontier = dp.solve(&mut counts, inst.servers);
-    let best = frontier
+    dp.build_catalog(&counts);
+    let root_key = dp.layout.encode(&counts, inst.servers);
+    let frontier = dp.solve(&mut counts, inst.servers, root_key);
+    let target = frontier
         .iter()
-        .min_by_key(|p| scalar(inst, **p))
-        .copied()
+        .map(|&p| scalar(p, dp.gpu_mem))
+        .min()
         .expect("instance admits a feasible placement");
 
-    // Reconstruct: walk servers, picking a fill whose combination with the
-    // child frontier reproduces the optimal scalar.
+    // Reconstruct: walk servers, picking the first catalog fill whose
+    // combination with the memoised child frontier achieves the optimum.
     let mut assignment = vec![usize::MAX; inst.models.len()];
     let mut next_member: Vec<usize> = vec![0; types.len()];
-    let target = scalar(inst, best);
     let mut servers_left = inst.servers;
     while servers_left > 0 {
-        let fill = find_fill(&mut dp, &mut counts, servers_left, target, inst)
+        let key = dp.layout.encode(&counts, servers_left);
+        let fill = dp
+            .reconstruct_fill(&mut counts, servers_left, key, target)
             .expect("optimal fill exists for every prefix");
         let server = inst.servers - servers_left;
-        for (ty, &n) in fill.iter().enumerate() {
+        for (ty, &n) in fill.take.iter().enumerate().take(types.len()) {
             for _ in 0..n {
-                let member = dp.types[ty].members[next_member[ty]];
+                let member = types[ty].members[next_member[ty]];
                 next_member[ty] += 1;
                 assignment[member] = server;
                 counts[ty] -= 1;
@@ -258,94 +569,12 @@ pub fn solve_optimal_stats(inst: &PlacementInstance) -> (Placement, SolveStats) 
     (Placement { assignment }, stats)
 }
 
-fn scalar(inst: &PlacementInstance, p: Pair) -> i128 {
-    // Empty-server maxima: a MIN sentinel means "no server yet", which the
-    // final objective treats as 0 only if no real server ever contributes —
-    // impossible here since every server contributes at least (0, 0).
-    let mem = p.mem.max(0);
-    let eq = p.eq.max(0);
-    mem as i128 + inst.gpu_mem_bytes as i128 * eq as i128
-}
-
-/// Finds a fill for the next server such that combining it with some point
-/// of the child frontier achieves `target`.
-fn find_fill(
-    dp: &mut Dp<'_>,
-    counts: &mut Vec<usize>,
-    servers_left: usize,
-    target: i128,
-    inst: &PlacementInstance,
-) -> Option<Vec<usize>> {
-    let room = dp.gpus_per_server;
-    let mut stack_fill = vec![0usize; counts.len()];
-    find_fill_rec(
-        dp,
-        0,
-        room,
-        counts,
-        &mut stack_fill,
-        servers_left,
-        target,
-        inst,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn find_fill_rec(
-    dp: &mut Dp<'_>,
-    ty: usize,
-    room: usize,
-    counts: &mut Vec<usize>,
-    fill: &mut Vec<usize>,
-    servers_left: usize,
-    target: i128,
-    inst: &PlacementInstance,
-) -> Option<Vec<usize>> {
-    if ty == counts.len() {
-        let (mem, eq) = dp.fill_totals(fill);
-        let rest = dp.solve(counts, servers_left - 1);
-        for r in rest.iter() {
-            let combined = Pair {
-                mem: mem.max(r.mem),
-                eq: eq.max(r.eq),
-            };
-            if scalar(inst, combined) <= target {
-                return Some(fill.clone());
-            }
-        }
-        return None;
-    }
-    let available = counts[ty].min(room);
-    for take in 0..=available {
-        counts[ty] -= take;
-        fill[ty] = take;
-        let found = find_fill_rec(
-            dp,
-            ty + 1,
-            room - take,
-            counts,
-            fill,
-            servers_left,
-            target,
-            inst,
-        );
-        fill[ty] = 0;
-        counts[ty] += take;
-        if found.is_some() {
-            return found;
-        }
-    }
-    None
-}
-
-/// Solves exactly when the instance has at most [`MAX_TYPES`] distinct
-/// model types, otherwise falls back to the greedy heuristic - the API a
-/// cluster scheduler would call on arbitrary inputs.
+/// Solves exactly when the instance fits the exact solver's limits (at most
+/// [`MAX_TYPES`] distinct model types and a 64-bit memo key), otherwise
+/// falls back to the greedy heuristic — the API a cluster scheduler would
+/// call on arbitrary inputs.
 pub fn solve(inst: &PlacementInstance) -> Placement {
-    let mut distinct: Vec<i64> = inst.models.iter().map(|m| m.mem_bytes).collect();
-    distinct.sort_unstable();
-    distinct.dedup();
-    if distinct.len() <= MAX_TYPES {
+    if plan_types(inst).is_ok() {
         solve_optimal(inst)
     } else {
         crate::greedy::solve_greedy(inst)
@@ -355,8 +584,8 @@ pub fn solve(inst: &PlacementInstance) -> Placement {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::solve_greedy;
     use crate::instance::ModelSpec;
+    use proptest::prelude::*;
 
     const GB: i64 = 1 << 30;
 
@@ -488,17 +717,110 @@ mod tests {
     }
 
     #[test]
+    fn nine_types_accepted() {
+        // MAX_TYPES rose from 7 to 9: a 9-type instance must solve exactly.
+        let inst = PlacementInstance::new(
+            3,
+            4,
+            80 * GB as u64,
+            (0..9u64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        ModelSpec::producer(format!("p{i}"), (i + 1) << 30)
+                    } else {
+                        ModelSpec::consumer(format!("c{i}"), (i + 1) << 30)
+                    }
+                })
+                .collect(),
+        );
+        let p = solve_optimal(&inst);
+        p.validate(&inst).unwrap();
+        let (pr, _) = solve_optimal_reference(&inst);
+        assert_eq!(p, pr, "pruned and reference solves must agree");
+    }
+
+    #[test]
     #[should_panic(expected = "distinct model types")]
     fn too_many_types_rejected() {
         let inst = PlacementInstance::new(
-            2,
-            8,
+            3,
+            4,
             80 * GB as u64,
             (0..10)
                 .map(|i| ModelSpec::producer(format!("m{i}"), (i as u64 + 1) << 30))
                 .collect(),
         );
         solve_optimal(&inst);
+    }
+
+    #[test]
+    fn wide_counts_solve_exactly() {
+        // 300 identical producers (> 255, the old 8-bit field limit that
+        // silently collided memo keys): the dynamic key layout gives the
+        // count 9 bits and the solve stays exact — perfect balance puts 8
+        // models on 37 servers and 4 on the last, so the maxima are
+        // (8 · mem, +8).
+        let mem = 2 * GB as u64;
+        let inst = PlacementInstance::new(
+            38,
+            8,
+            80 * GB as u64,
+            (0..300)
+                .map(|i| ModelSpec::producer(format!("p{i}"), mem))
+                .collect(),
+        );
+        let (p, _) = solve_optimal_stats(&inst);
+        p.validate(&inst).unwrap();
+        assert_eq!(
+            p.objective(&inst),
+            8 * mem as i128 + 8 * (80 * GB as u128 as i128)
+        );
+    }
+
+    #[test]
+    fn many_servers_solve_exactly() {
+        // > 255 servers: the servers_left field also gets a dynamic width.
+        let inst = PlacementInstance::new(
+            300,
+            1,
+            80 * GB as u64,
+            vec![
+                ModelSpec::producer("p", 40 * GB as u64),
+                ModelSpec::consumer("c", 30 * GB as u64),
+            ],
+        );
+        let p = solve_optimal(&inst);
+        p.validate(&inst).unwrap();
+        // One producer alone on some server: maxima (40 GB, +1).
+        assert_eq!(p.objective(&inst), 40 * GB as i128 + 80 * GB as i128);
+    }
+
+    /// 9 types × 127 models each needs 9 × 7 = 63 count bits plus 11 server
+    /// bits — over 64, so the exact solver must refuse rather than let key
+    /// fields collide.
+    fn overflowing_instance() -> PlacementInstance {
+        PlacementInstance::new(
+            1143,
+            1,
+            80 * GB as u64,
+            (0..9u64)
+                .flat_map(|ty| {
+                    (0..127).map(move |i| ModelSpec::producer(format!("t{ty}m{i}"), (ty + 1) << 30))
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "memo key needs")]
+    fn oversized_memo_key_rejected() {
+        solve_optimal(&overflowing_instance());
+    }
+
+    #[test]
+    fn solve_falls_back_to_greedy_on_oversized_keys() {
+        let inst = overflowing_instance();
+        solve(&inst).validate(&inst).unwrap();
     }
 
     #[test]
@@ -538,5 +860,60 @@ mod tests {
         let p = solve_optimal(&inst);
         p.validate(&inst).unwrap();
         assert_eq!(p.assignment.len(), 1);
+    }
+
+    #[test]
+    fn reconstruction_replays_memoised_frontiers() {
+        // The reconstruction walk must be near-free: it replays the forward
+        // search's memo instead of enumerating fills again, so the
+        // expansions counter (forward work only) does not move between the
+        // stats solve and an identical re-solve.
+        let inst = PlacementInstance::new(
+            2,
+            8,
+            80 * GB as u64,
+            (0..5)
+                .map(|i| ModelSpec::producer(format!("img{i}"), 50 * GB as u64))
+                .chain((0..5).map(|i| ModelSpec::producer(format!("aud{i}"), 60 * GB as u64)))
+                .chain((0..6).map(|i| ModelSpec::consumer(format!("llm{i}"), 30 * GB as u64)))
+                .collect(),
+        );
+        let (a, sa) = solve_optimal_stats(&inst);
+        let (b, sb) = solve_optimal_stats(&inst);
+        assert_eq!(a, b, "solves are deterministic");
+        assert_eq!(sa, sb, "work counters are deterministic");
+        assert!(sa.expansions > 0);
+    }
+
+    proptest! {
+        /// The catalog DP with incumbent pruning stays exact: on random
+        /// small instances its objective equals brute force, and disabling
+        /// the pruning (reference solve) reproduces the identical placement.
+        #[test]
+        fn random_instances_match_brute_force(
+            servers in 1usize..4,
+            gpus in 1usize..4,
+            specs in proptest::collection::vec((1u64..6, 0u8..2), 1..7),
+        ) {
+            let capacity = servers * gpus;
+            let models: Vec<ModelSpec> = specs
+                .iter()
+                .take(capacity.min(6))
+                .enumerate()
+                .map(|(i, &(mem, kind))| {
+                    if kind == 0 {
+                        ModelSpec::producer(format!("p{i}"), mem * GB as u64)
+                    } else {
+                        ModelSpec::consumer(format!("c{i}"), mem * GB as u64)
+                    }
+                })
+                .collect();
+            let inst = PlacementInstance::new(servers, gpus, 80 * GB as u64, models);
+            let (p, _) = solve_optimal_stats(&inst);
+            p.validate(&inst).unwrap();
+            prop_assert_eq!(p.objective(&inst), brute_force(&inst));
+            let (reference, _) = solve_optimal_reference(&inst);
+            prop_assert_eq!(p, reference);
+        }
     }
 }

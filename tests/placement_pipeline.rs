@@ -90,6 +90,39 @@ fn colocation_benefit_is_measurable_at_runtime() {
     );
 }
 
+/// The incumbent-pruned solver is not merely objective-equivalent to the
+/// unpruned reference DP — it reconstructs the *identical* `Placement` on
+/// the Figure 14 16-GPU inputs, because both replay the same lexicographic
+/// fill catalog and pruning never removes the optimal witness.
+#[test]
+fn pruned_solver_matches_reference_placement_exactly() {
+    use aqua_bench::fig14_placer::{llm_only_instance, mixed_instance, mixed_lora_instance};
+    for (name, inst) in [
+        ("mixed-16", mixed_instance(16)),
+        ("mixed+lora-16", mixed_lora_instance(16)),
+        ("llm-16", llm_only_instance(16)),
+    ] {
+        let (pruned, pruned_stats) = solve_optimal_stats(&inst);
+        let (reference, reference_stats) = solve_optimal_reference(&inst);
+        pruned.validate(&inst).unwrap();
+        reference.validate(&inst).unwrap();
+        assert_eq!(
+            pruned, reference,
+            "{name}: pruned and reference solves must reconstruct the same placement"
+        );
+        assert!(
+            pruned_stats.dp_states <= reference_stats.dp_states,
+            "{name}: pruning visited {} states, reference only {}",
+            pruned_stats.dp_states,
+            reference_stats.dp_states
+        );
+        assert!(
+            pruned_stats.expansions <= reference_stats.expansions,
+            "{name}"
+        );
+    }
+}
+
 /// The greedy baseline also produces feasible placements, never better than
 /// the exact optimum, across a sweep of random-ish instances.
 #[test]
