@@ -24,5 +24,25 @@ cargo bench -p aqua-bench --bench microbench -- --test
 # output or the combined determinism digest diverges from sequential, and
 # records the wall-time trajectory in BENCH_pr4.json.
 cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr4.json
+# Audit acceptance, part 1: 32 seeded FaultPlan x workload x topology points
+# under full invariant auditing must report zero violations.
+cargo run --release -p aqua-bench --bin aqua-repro -- fuzz --smoke
+# Audit acceptance, part 2: a planted coordinator double-free must be
+# *caught* (non-zero exit) and shrunk to a re-runnable reproducer spec.
+if plant_out=$(cargo run --release -p aqua-bench --bin aqua-repro -- fuzz --points 4 --plant 2>&1); then
+  echo "FAIL: planted double-free was not caught by the audit" >&2
+  exit 1
+fi
+echo "$plant_out" | grep -q "reproduce with: aqua-repro fuzz" || {
+  echo "FAIL: planted violation did not print a shrunk reproducer" >&2
+  echo "$plant_out" >&2
+  exit 1
+}
+echo "$plant_out" | grep -q "double_free" || {
+  echo "FAIL: planted violation was not diagnosed as a double free" >&2
+  echo "$plant_out" >&2
+  exit 1
+}
+echo "planted double-free caught and shrunk to a reproducer"
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings

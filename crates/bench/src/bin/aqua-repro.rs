@@ -19,6 +19,7 @@
 //! The same experiments also run as `cargo bench` targets; this binary is
 //! the ad-hoc front door (pick one experiment, tweak the window/seed).
 
+use aqua_bench::fuzz::{self, FuzzConfig, FuzzPoint};
 use aqua_bench::runner::{run_suite, ReproArgs, SuiteOutcome, EXPERIMENTS};
 use aqua_bench::trace;
 use std::process::ExitCode;
@@ -166,14 +167,158 @@ fn bench(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags of the `fuzz` subcommand. `--smoke`/`--plant` are boolean; a
+/// point-shape flag (`--gpus/--work/--faults/--horizon`) switches from a
+/// seeded campaign to re-running that one explicit point (the reproducer
+/// path the shrinker prints).
+struct FuzzFlags {
+    seed: u64,
+    points: Option<usize>,
+    jobs: usize,
+    smoke: bool,
+    plant: bool,
+    gpus: Option<usize>,
+    work: Option<usize>,
+    faults: Option<usize>,
+    horizon: Option<u64>,
+}
+
+fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzFlags, String> {
+    let mut f = FuzzFlags {
+        seed: 42,
+        points: None,
+        jobs: default_jobs(),
+        smoke: false,
+        plant: false,
+        gpus: None,
+        work: None,
+        faults: None,
+        horizon: None,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => f.smoke = true,
+            "--plant" => f.plant = true,
+            valued => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag {valued} needs a value"))?;
+                let parse = |what: &str| -> Result<u64, String> {
+                    value.parse().map_err(|e| format!("{what}: {e}"))
+                };
+                match valued {
+                    "--seed" => f.seed = parse("--seed")?,
+                    "--points" => f.points = Some(parse("--points")? as usize),
+                    "--jobs" => f.jobs = (parse("--jobs")? as usize).max(1),
+                    "--gpus" => f.gpus = Some(parse("--gpus")? as usize),
+                    "--work" => f.work = Some(parse("--work")? as usize),
+                    "--faults" => f.faults = Some(parse("--faults")? as usize),
+                    "--horizon" => f.horizon = Some(parse("--horizon")?),
+                    other => return Err(format!("unknown fuzz flag {other}")),
+                }
+            }
+        }
+    }
+    Ok(f)
+}
+
+/// The `fuzz` subcommand: audited chaos campaign, or one explicit point.
+/// Exits non-zero — with a re-runnable reproducer line — on any violation.
+fn fuzz_cmd(flags: &FuzzFlags) -> Result<(), String> {
+    let explicit = flags.gpus.is_some()
+        || flags.work.is_some()
+        || flags.faults.is_some()
+        || flags.horizon.is_some();
+    if explicit {
+        let point = FuzzPoint {
+            seed: flags.seed,
+            gpus: flags.gpus.unwrap_or(2),
+            work: flags.work.unwrap_or(1),
+            faults: flags.faults.unwrap_or(0),
+            horizon_secs: flags.horizon.unwrap_or(fuzz::MIN_HORIZON_SECS),
+            plant: flags.plant,
+        };
+        let out = fuzz::run_point_quiet(&point);
+        if out.violations.is_empty() {
+            println!(
+                "fuzz: point `{}` is clean ({} consumer tokens)",
+                point.repro_spec(),
+                out.tokens
+            );
+            return Ok(());
+        }
+        for v in &out.violations {
+            println!("fuzz: {v}");
+        }
+        return Err(format!(
+            "{} audit violation(s) — reproduce with: aqua-repro fuzz {}",
+            out.violations.len(),
+            point.repro_spec()
+        ));
+    }
+
+    let points = flags.points.unwrap_or(if flags.smoke { 32 } else { 64 });
+    let cfg = FuzzConfig {
+        base_seed: flags.seed,
+        points,
+        jobs: flags.jobs,
+        plant: flags.plant,
+    };
+    let report = fuzz::run_fuzz(&cfg);
+    let dirty = report.dirty();
+    eprintln!(
+        "fuzz: {} audited points over {} jobs, digest {:016x}, {} violation(s) in {} point(s)",
+        report.outcomes.len(),
+        report.jobs,
+        report.combined_digest,
+        report.violation_count(),
+        dirty.len()
+    );
+    let Some(&first_idx) = dirty.first() else {
+        println!(
+            "fuzz: {} audited points, zero violations (digest {:016x})",
+            report.outcomes.len(),
+            report.combined_digest
+        );
+        return Ok(());
+    };
+    let first = &report.outcomes[first_idx];
+    println!(
+        "fuzz: point #{first_idx} (`{}`) tripped {} violation(s); first: {}",
+        first.point.repro_spec(),
+        first.violations.len(),
+        first.violations[0]
+    );
+    let shrunk = fuzz::shrink(first.point)
+        .expect("a violating point is a pure function of its fields and must violate again");
+    println!(
+        "fuzz: shrunk over {} candidate runs to: {}",
+        shrunk.candidates_run, shrunk.violation
+    );
+    Err(format!(
+        "audit violation — reproduce with: aqua-repro fuzz {}",
+        shrunk.minimal.repro_spec()
+    ))
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: aqua-repro <experiment|list|all|bench> [--window S] [--seed N] [--count N] [--jobs N] [--out FILE]"
+            "usage: aqua-repro <experiment|list|all|bench|fuzz> [--window S] [--seed N] [--count N] [--jobs N] [--out FILE]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]"
         );
         return ExitCode::FAILURE;
     };
+    if cmd == "fuzz" {
+        return match parse_fuzz_flags(&argv[1..]).and_then(|f| fuzz_cmd(&f)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if cmd == "list" {
         println!("available experiments:");
         for (name, what) in EXPERIMENTS {

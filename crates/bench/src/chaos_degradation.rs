@@ -30,6 +30,7 @@ use aqua_engines::driver::{Driver, Engine};
 use aqua_metrics::table::Table;
 use aqua_metrics::timeseries::TimeSeries;
 use aqua_models::zoo;
+use aqua_sim::audit::SharedAuditor;
 use aqua_sim::fault::FaultPlan;
 use aqua_sim::gpu::GpuId;
 use aqua_sim::time::SimTime;
@@ -143,8 +144,12 @@ fn run_consumer(
     sample_secs: u64,
     tracer: SharedTracer,
     faulted: bool,
+    auditor: Option<SharedAuditor>,
 ) -> (TimeSeries, u64) {
     let mut ctx = ServerCtx::two_gpu_traced(tracer.clone());
+    if let Some(aud) = &auditor {
+        ctx = ctx.with_auditor(aud.clone());
+    }
     if faulted {
         let plan = Arc::new(FaultPlan::new().gpu_crash(
             GpuId(1),
@@ -165,6 +170,9 @@ fn run_consumer(
     );
 
     let mut driver = Driver::new();
+    if let Some(aud) = &auditor {
+        driver.set_auditor(aud.clone());
+    }
     if faulted {
         // Engine 1 (the producer) goes dark for the crash window: no ticks,
         // no informer heartbeats, arrivals held until it returns.
@@ -205,7 +213,21 @@ fn run_consumer(
 /// `sample_secs`. Determinism tests call this twice with two journals and
 /// compare digests.
 pub fn run_traced(tl: &ChaosTimeline, sample_secs: u64, tracer: SharedTracer) -> ChaosResult {
-    let (consumer_throughput, consumer_tokens) = run_consumer(tl, sample_secs, tracer, true);
+    run_traced_audited(tl, sample_secs, tracer, None)
+}
+
+/// [`run_traced`] with a full aqua-audit attachment: the transfer engine,
+/// coordinator, driver and offloader all report into `auditor`. A clean
+/// audited run journals the exact same event stream — and digest — as an
+/// unaudited one (`tests/determinism.rs` pins this).
+pub fn run_traced_audited(
+    tl: &ChaosTimeline,
+    sample_secs: u64,
+    tracer: SharedTracer,
+    auditor: Option<SharedAuditor>,
+) -> ChaosResult {
+    let (consumer_throughput, consumer_tokens) =
+        run_consumer(tl, sample_secs, tracer, true, auditor);
     let mean = |(a, b)| consumer_throughput.mean_in(a, b).unwrap_or(0.0);
     let pre_fault_tput = mean(tl.pre_span());
     let fault_tput = mean(tl.fault_span());
@@ -224,7 +246,7 @@ pub fn run_traced(tl: &ChaosTimeline, sample_secs: u64, tracer: SharedTracer) ->
 /// per-token cost grows with its context, so the pre-fault rate overstates
 /// what even a healthy run does this late in the window.)
 pub fn run_nofault_recovery(tl: &ChaosTimeline, sample_secs: u64) -> f64 {
-    let (ts, _) = run_consumer(tl, sample_secs, aqua_telemetry::null_tracer(), false);
+    let (ts, _) = run_consumer(tl, sample_secs, aqua_telemetry::null_tracer(), false, None);
     let (a, b) = tl.recovery_span();
     ts.mean_in(a, b).unwrap_or(0.0)
 }

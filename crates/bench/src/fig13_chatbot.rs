@@ -180,13 +180,28 @@ mod tests {
         assert_eq!(aqua.log.len(), 50);
         assert_eq!(vllm.per_turn_rct.len(), 2);
 
-        // CFS-over-DRAM pays more than AQUA relative to vLLM.
-        let cfs_overhead = cfs.log.rct_summary().p50 / vllm.log.rct_summary().p50;
-        let aqua_overhead = aqua.log.rct_summary().p50 / vllm.log.rct_summary().p50;
+        // CFS-over-DRAM pays more than AQUA relative to vLLM. Compare mean
+        // RCTs rather than the pooled p50: a 2-turn run pools two RCT
+        // populations of 25 (cheap first turn, pool-overflowing second
+        // turn), so the pooled median sits on the boundary between the two
+        // modes and which side it lands on is sampling noise, not a
+        // performance signal. The mean — and every per-turn mean — ranks
+        // the systems the way Figure 13 does at all scales.
+        let mean =
+            |o: &ChatOutcome| o.per_turn_rct.iter().sum::<f64>() / o.per_turn_rct.len() as f64;
+        let cfs_overhead = mean(cfs) / mean(vllm);
+        let aqua_overhead = mean(aqua) / mean(vllm);
         assert!(
             aqua_overhead < cfs_overhead,
             "aqua {aqua_overhead:.2} vs cfs {cfs_overhead:.2}"
         );
+        for (turn, (a, c)) in aqua.per_turn_rct.iter().zip(&cfs.per_turn_rct).enumerate() {
+            assert!(
+                a < c,
+                "turn {}: aqua mean {a:.2}s vs cfs mean {c:.2}s",
+                turn + 1
+            );
+        }
         assert!(!table(&r).is_empty());
     }
 }

@@ -1,0 +1,402 @@
+//! `aqua-repro fuzz` — seeded chaos fuzzing under full invariant auditing.
+//!
+//! Each fuzz point derives a `FaultPlan × workload × topology` combination
+//! from `(base seed, point index)` and replays the chaos scenario — an LLM
+//! producer donating HBM to a long-prompt FlexGen consumer — with every
+//! aqua-audit hook attached: transfer-engine port legality, coordinator
+//! lease books, driver time monotonicity and offloader byte conservation.
+//! The point is *fully described by its field values*, so any point a sweep
+//! discovers can be re-run from a `--seed/--gpus/--work/--faults/--horizon`
+//! command line.
+//!
+//! Points fan across the [`Sweep`] runner exactly like the experiment
+//! suite: one digest-only journal per point, results and the combined
+//! determinism digest in input order, so `--jobs 8` explores the identical
+//! universe `--jobs 1` does (`tests/determinism.rs` pins this).
+//!
+//! When a point trips the audit, [`shrink`] minimises it deterministically:
+//! [`FaultPlan::randomized`] draws its windows sequentially from one
+//! splitmix64 stream, so halving `faults` keeps a *prefix* of the original
+//! schedule; the horizon and workload halve toward their floors and the
+//! topology collapses to 2 GPUs. Every candidate re-runs under a throwaway
+//! digest journal and is kept only if it still violates, so the minimal
+//! reproducer printed at the end fails for the same reason the original
+//! did.
+
+use crate::setup::{opt_flexgen, OffloadKind, ServerCtx};
+use crate::sweep::Sweep;
+use aqua_core::coordinator::{FailureConfig, GpuRef};
+use aqua_core::informer::LlmInformerConfig;
+use aqua_engines::driver::{Driver, Engine};
+use aqua_models::zoo;
+use aqua_sim::audit::{AuditViolation, Auditor};
+use aqua_sim::fault::{FaultKind, FaultPlan, FaultRng, RandomFaultProfile};
+use aqua_sim::gpu::GpuId;
+use aqua_sim::time::{SimDuration, SimTime};
+use aqua_sim::topology::PortId;
+use aqua_telemetry::JournalTracer;
+use aqua_workloads::longprompt::long_prompt_trace;
+use std::sync::Arc;
+
+/// The smallest horizon the shrinker will propose: long enough for a lease
+/// grant, one fault window and the offloader's recovery sweep to fit.
+pub const MIN_HORIZON_SECS: u64 = 30;
+
+/// One self-describing fuzz input. Every field appears in
+/// [`FuzzPoint::repro_spec`], so a point prints as the exact command line
+/// that re-runs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzPoint {
+    /// Seed for [`FaultPlan::randomized`] and the workload trace.
+    pub seed: u64,
+    /// Server size: 2 (NVLink pair) or 8 (NVSwitch).
+    pub gpus: usize,
+    /// Long-prompt requests scheduled on the consumer.
+    pub work: usize,
+    /// Fault windows drawn into the plan.
+    pub faults: usize,
+    /// Simulated run length in seconds.
+    pub horizon_secs: u64,
+    /// Plant a coordinator double-free (the audit self-test).
+    pub plant: bool,
+}
+
+impl FuzzPoint {
+    /// Derives point `index` of a fuzz campaign from its base seed. Pure
+    /// function of `(base_seed, index)` — the sweep explores the same
+    /// points in any job count and on any machine.
+    pub fn derive(base_seed: u64, index: u64) -> FuzzPoint {
+        let mut rng = FaultRng::new(base_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        FuzzPoint {
+            seed: rng.next_u64(),
+            // The NVSwitch box costs ~4x a pair; sample it at 1-in-4.
+            gpus: if rng.next_range(4) == 0 { 8 } else { 2 },
+            work: 1 + rng.next_range(2) as usize,
+            faults: 1 + rng.next_range(6) as usize,
+            horizon_secs: 60 + rng.next_range(4) * 30,
+            plant: false,
+        }
+    }
+
+    /// The flag string that re-runs exactly this point:
+    /// `--seed S --gpus G --work W --faults F --horizon H [--plant]`.
+    pub fn repro_spec(&self) -> String {
+        let mut s = format!(
+            "--seed {} --gpus {} --work {} --faults {} --horizon {}",
+            self.seed, self.gpus, self.work, self.faults, self.horizon_secs
+        );
+        if self.plant {
+            s.push_str(" --plant");
+        }
+        s
+    }
+}
+
+/// What one audited point produced.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// The input that ran.
+    pub point: FuzzPoint,
+    /// Consumer tokens generated (a liveness witness — the run made
+    /// progress, it didn't just idle past the faults).
+    pub tokens: u64,
+    /// Every invariant violation the auditor recorded, in order.
+    pub violations: Vec<AuditViolation>,
+}
+
+/// A buggy client planted for the audit self-test: allocates on its lease,
+/// then hands the same bytes back twice. The second free is the
+/// `double_free` the auditor must catch (the coordinator rejects it with
+/// [`OverFree`](aqua_core::coordinator::AquaError::OverFree) either way —
+/// the books stay correct; the *caller's* are what broke).
+fn plant_double_free(ctx: &ServerCtx) {
+    let bytes = 64 << 20;
+    let lease = ctx.coordinator.lease(GpuRef::single(GpuId(1)), 256 << 20);
+    let granted = ctx.coordinator.try_allocate_on(lease, bytes);
+    debug_assert!(granted, "planted allocation must fit the fresh lease");
+    let _ = ctx.coordinator.free(lease, bytes);
+    let _ = ctx.coordinator.free(lease, bytes);
+}
+
+/// Runs one point under full auditing, journalling into the ambient tracer
+/// (inside a [`Sweep`] that is the point's own digest journal).
+pub fn run_point(p: &FuzzPoint) -> FuzzOutcome {
+    let tracer = crate::trace::tracer();
+    let auditor = Auditor::with_tracer(tracer.clone());
+    let mut ctx = if p.gpus >= 8 {
+        ServerCtx::eight_gpu_traced(tracer.clone())
+    } else {
+        ServerCtx::two_gpu_traced(tracer.clone())
+    };
+    ctx = ctx.with_auditor(auditor.clone());
+
+    let producer_gpu = GpuId(1);
+    let horizon = SimTime::from_secs(p.horizon_secs);
+    let mut link_ports = Vec::new();
+    for g in 0..ctx.server.gpu_count().min(4) {
+        link_ports.push(PortId::NvlinkEgress(GpuId(g)));
+        link_ports.push(PortId::NvlinkIngress(GpuId(g)));
+    }
+    let profile = RandomFaultProfile {
+        link_ports,
+        crash_gpus: vec![producer_gpu],
+        events: p.faults,
+        min_duration: SimDuration::from_secs(5),
+        max_duration: SimDuration::from_secs(30),
+    };
+    let plan = Arc::new(FaultPlan::randomized(p.seed, horizon, &profile));
+    // Journal the generated plan: the point digest then witnesses fault
+    // *generation* determinism, not just execution determinism.
+    plan.emit(&tracer);
+    ctx = ctx.with_fault_plan(Arc::clone(&plan));
+    ctx.coordinator.set_failure_config(FailureConfig::chaos());
+
+    let mut producer = ctx.llm_producer_with_informer(
+        &zoo::llama2_13b(),
+        producer_gpu,
+        LlmInformerConfig::default(),
+    );
+    let mut consumer = opt_flexgen(
+        &ctx,
+        OffloadKind::Aqua,
+        crate::fig07_long_prompt::CONTEXT_BUDGET,
+    );
+
+    let mut driver = Driver::new();
+    driver.set_auditor(auditor.clone());
+    for w in plan.windows() {
+        if let FaultKind::GpuCrash { gpu } = w.kind {
+            if gpu == producer_gpu {
+                // Engine 1 (the producer) goes dark: no ticks, no informer
+                // heartbeats, so the chaos TTL expires its lease.
+                driver.crash_window(1, w.start, w.end);
+            }
+        }
+    }
+    driver.schedule_trace(
+        0,
+        long_prompt_trace(p.work, 200_000, p.seed)
+            .into_iter()
+            .map(|(_, r)| (SimTime::from_secs(5), r)),
+    );
+
+    if p.plant {
+        plant_double_free(&ctx);
+    }
+
+    let mut engines: Vec<&mut dyn Engine> = vec![&mut consumer, &mut producer];
+    driver.run(&mut engines, horizon);
+
+    FuzzOutcome {
+        point: *p,
+        tokens: consumer.tokens_generated(),
+        violations: auditor.violations(),
+    }
+}
+
+/// [`run_point`] under a throwaway digest journal — shrink probes and
+/// explicit single-point re-runs use this so they never pollute an ambient
+/// `AQUA_TRACE` capture.
+pub fn run_point_quiet(p: &FuzzPoint) -> FuzzOutcome {
+    crate::trace::with_tracer(Arc::new(JournalTracer::digest_only()), || run_point(p))
+}
+
+/// A fuzz campaign: how many derived points, how wide a fan-out.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Base seed every point derives from.
+    pub base_seed: u64,
+    /// Number of points.
+    pub points: usize,
+    /// Sweep worker threads.
+    pub jobs: usize,
+    /// Plant the double-free self-test into every point.
+    pub plant: bool,
+}
+
+/// A completed campaign, in point order.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Outcome per point, index-aligned with the derivation order.
+    pub outcomes: Vec<FuzzOutcome>,
+    /// Combined determinism digest across all point journals.
+    pub combined_digest: u64,
+    /// Worker threads actually used.
+    pub jobs: usize,
+}
+
+impl FuzzReport {
+    /// Indices of points that tripped the audit.
+    pub fn dirty(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.violations.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total violations across the campaign.
+    pub fn violation_count(&self) -> usize {
+        self.outcomes.iter().map(|o| o.violations.len()).sum()
+    }
+}
+
+/// Runs a campaign through the [`Sweep`] fan-out.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let points: Vec<FuzzPoint> = (0..cfg.points)
+        .map(|i| {
+            let mut p = FuzzPoint::derive(cfg.base_seed, i as u64);
+            p.plant = cfg.plant;
+            p
+        })
+        .collect();
+    let result = Sweep::new().jobs(cfg.jobs).run(&points, run_point);
+    FuzzReport {
+        combined_digest: result.combined_digest(),
+        jobs: result.jobs,
+        outcomes: result.results(),
+    }
+}
+
+/// A finished shrink: the minimal still-violating point and its witness.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest point found that still trips the audit.
+    pub minimal: FuzzPoint,
+    /// Points executed during the search (including the confirming re-run).
+    pub candidates_run: usize,
+    /// The first violation the minimal point raises.
+    pub violation: AuditViolation,
+}
+
+/// The shrink moves, in preference order: fewer faults first (halving keeps
+/// a prefix of the seeded plan), then a shorter horizon, less work, and a
+/// smaller server.
+fn shrink_candidates(p: &FuzzPoint) -> Vec<FuzzPoint> {
+    let mut out = Vec::new();
+    if p.faults > 0 {
+        let mut c = *p;
+        c.faults /= 2;
+        out.push(c);
+    }
+    if p.horizon_secs > MIN_HORIZON_SECS {
+        let mut c = *p;
+        c.horizon_secs = (c.horizon_secs / 2).max(MIN_HORIZON_SECS);
+        out.push(c);
+    }
+    if p.work > 1 {
+        let mut c = *p;
+        c.work /= 2;
+        out.push(c);
+    }
+    if p.gpus > 2 {
+        let mut c = *p;
+        c.gpus = 2;
+        out.push(c);
+    }
+    out
+}
+
+/// Greedily minimises a violating point. Returns `None` if the starting
+/// point does not actually violate when re-run (it never should — points
+/// are pure functions of their fields). Terminates because every accepted
+/// candidate strictly shrinks a bounded component.
+pub fn shrink(start: FuzzPoint) -> Option<ShrinkOutcome> {
+    let mut best = run_point_quiet(&start);
+    let mut candidates_run = 1;
+    if best.violations.is_empty() {
+        return None;
+    }
+    loop {
+        let mut improved = false;
+        for cand in shrink_candidates(&best.point) {
+            candidates_run += 1;
+            let out = run_point_quiet(&cand);
+            if !out.violations.is_empty() {
+                best = out;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Some(ShrinkOutcome {
+        violation: best.violations[0].clone(),
+        minimal: best.point,
+        candidates_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_points_are_pure_functions_of_seed_and_index() {
+        for i in 0..8 {
+            assert_eq!(FuzzPoint::derive(7, i), FuzzPoint::derive(7, i));
+        }
+        assert_ne!(FuzzPoint::derive(7, 0).seed, FuzzPoint::derive(7, 1).seed);
+        assert_ne!(FuzzPoint::derive(7, 0).seed, FuzzPoint::derive(8, 0).seed);
+        let p = FuzzPoint::derive(7, 3);
+        assert!(p.gpus == 2 || p.gpus == 8);
+        assert!(p.work >= 1 && p.faults >= 1 && p.horizon_secs >= 60);
+    }
+
+    #[test]
+    fn repro_spec_round_trips_every_field() {
+        let p = FuzzPoint {
+            seed: 123,
+            gpus: 8,
+            work: 2,
+            faults: 3,
+            horizon_secs: 90,
+            plant: true,
+        };
+        let s = p.repro_spec();
+        assert_eq!(
+            s,
+            "--seed 123 --gpus 8 --work 2 --faults 3 --horizon 90 --plant"
+        );
+        assert!(!FuzzPoint::derive(1, 0).repro_spec().contains("--plant"));
+    }
+
+    #[test]
+    fn seeded_point_runs_clean_and_makes_progress() {
+        let out = run_point_quiet(&FuzzPoint::derive(42, 0));
+        assert!(
+            out.violations.is_empty(),
+            "clean chaos point tripped the audit: {:?}",
+            out.violations
+        );
+        assert!(out.tokens > 0, "consumer made no progress");
+    }
+
+    #[test]
+    fn planted_double_free_is_caught_and_shrinks_to_the_floor() {
+        let start = FuzzPoint {
+            seed: 9,
+            gpus: 8,
+            work: 2,
+            faults: 4,
+            horizon_secs: 120,
+            plant: true,
+        };
+        let shrunk = shrink(start).expect("planted point must violate");
+        assert_eq!(shrunk.violation.kind(), "double_free");
+        // The plant is independent of faults, horizon, work and topology,
+        // so the shrinker must strip all of them to their floors.
+        assert_eq!(shrunk.minimal.faults, 0);
+        assert_eq!(shrunk.minimal.horizon_secs, MIN_HORIZON_SECS);
+        assert_eq!(shrunk.minimal.work, 1);
+        assert_eq!(shrunk.minimal.gpus, 2);
+        assert!(shrunk.minimal.plant);
+        assert!(shrunk.candidates_run > 1);
+        // And the minimal spec re-runs to the same violation.
+        let again = run_point_quiet(&shrunk.minimal);
+        assert_eq!(again.violations[0].kind(), "double_free");
+    }
+}

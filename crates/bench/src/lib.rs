@@ -28,6 +28,7 @@ pub mod fig12_tensor_size;
 pub mod fig13_chatbot;
 pub mod fig14_placer;
 pub mod fig18_nvswitch;
+pub mod fuzz;
 pub mod runner;
 pub mod setup;
 pub mod sweep;

@@ -11,6 +11,7 @@ use aqua_engines::producer::{ProducerEngine, ProducerModel};
 use aqua_engines::vllm::{VllmConfig, VllmEngine};
 use aqua_models::lora::LoraAdapter;
 use aqua_models::zoo::{self, ModelProfile};
+use aqua_sim::audit::SharedAuditor;
 use aqua_sim::fault::FaultPlan;
 use aqua_sim::gpu::{GpuId, GpuSpec};
 use aqua_sim::link::bytes::gib;
@@ -62,6 +63,8 @@ pub struct ServerCtx {
     pub tracer: SharedTracer,
     /// The injected fault schedule, when this is a chaos run.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// The invariant auditor, when this is an audited run.
+    pub auditor: Option<SharedAuditor>,
 }
 
 impl ServerCtx {
@@ -97,6 +100,7 @@ impl ServerCtx {
             coordinator,
             tracer,
             fault_plan: None,
+            auditor: None,
         }
     }
 
@@ -108,6 +112,17 @@ impl ServerCtx {
             .borrow_mut()
             .set_fault_plan(Arc::clone(&plan));
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches an invariant auditor (aqua-audit): the transfer engine, the
+    /// coordinator and every [`AquaOffloader`] built from this context
+    /// report suspicious state transitions into it. Clean audited runs
+    /// journal the exact same event stream as unaudited ones.
+    pub fn with_auditor(mut self, auditor: SharedAuditor) -> Self {
+        self.transfers.borrow_mut().set_auditor(auditor.clone());
+        self.coordinator.set_auditor(auditor.clone());
+        self.auditor = Some(auditor);
         self
     }
 
@@ -143,8 +158,12 @@ impl ServerCtx {
             self.transfers.clone(),
         )
         .with_tracer(self.tracer.clone());
-        match &self.fault_plan {
+        let off = match &self.fault_plan {
             Some(plan) => off.with_fault_plan(Arc::clone(plan)),
+            None => off,
+        };
+        match &self.auditor {
+            Some(aud) => off.with_auditor(aud.clone()),
             None => off,
         }
     }

@@ -20,6 +20,7 @@
 //!    [`ReclaimStatus::Released`].
 
 use crate::error::AquaError;
+use aqua_sim::audit::{AuditViolation, SharedAuditor};
 use aqua_sim::gpu::GpuId;
 use aqua_sim::time::{SimDuration, SimTime};
 use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
@@ -154,6 +155,8 @@ struct State {
     /// explicitly done by the AQUA-PLACER before the model starts").
     pairings: HashMap<GpuRef, GpuRef>,
     failure_config: FailureConfig,
+    /// Timestamp of the last watchdog sweep (audited for monotonicity).
+    last_advance: Option<SimTime>,
 }
 
 /// The thread-safe central store.
@@ -180,6 +183,7 @@ struct State {
 pub struct Coordinator {
     state: Mutex<State>,
     tracer: Mutex<SharedTracer>,
+    auditor: Mutex<Option<SharedAuditor>>,
 }
 
 impl Default for Coordinator {
@@ -194,6 +198,7 @@ impl Coordinator {
         Coordinator {
             state: Mutex::new(State::default()),
             tracer: Mutex::new(null_tracer()),
+            auditor: Mutex::new(None),
         }
     }
 
@@ -207,6 +212,22 @@ impl Coordinator {
 
     fn tracer(&self) -> SharedTracer {
         self.tracer.lock().clone()
+    }
+
+    /// Attaches an invariant auditor: lease state-machine legality (no
+    /// double-grant, no double-free, no stale free of bytes a revoked lease
+    /// never held) and heartbeat/watchdog monotonicity are then checked on
+    /// every verb. A verb the coordinator properly *rejects* because the
+    /// caller's view was stale (a free racing a revocation) is
+    /// protocol-legal and records nothing.
+    pub fn set_auditor(&self, auditor: SharedAuditor) {
+        *self.auditor.lock() = Some(auditor);
+    }
+
+    fn audit(&self, build: impl FnOnce() -> AuditViolation) {
+        if let Some(aud) = self.auditor.lock().clone() {
+            aud.record(build());
+        }
     }
 
     /// `/lease`: a producer offers `bytes` of its HBM. Returns the lease id.
@@ -238,6 +259,21 @@ impl Coordinator {
                 pending_report: false,
             },
         );
+        // aqua-audit: the merge above must keep every producer at one live
+        // non-reclaiming lease; ending up with two is a double grant.
+        let double_granted = st
+            .leases
+            .values()
+            .filter(|l| l.producer == producer && !l.revoked && !l.reclaiming)
+            .count()
+            > 1;
+        drop(st);
+        if double_granted {
+            self.audit(|| AuditViolation::DoubleGrant {
+                producer: producer.to_string(),
+                lease: id.0,
+            });
+        }
         id
     }
 
@@ -253,11 +289,24 @@ impl Coordinator {
     /// so informers can call it every control tick.
     pub fn heartbeat(&self, producer: GpuRef, now: SimTime) {
         self.tracer().incr("coordinator.heartbeat", 1);
-        let mut st = self.state.lock();
-        for l in st.leases.values_mut() {
-            if l.producer == producer && !l.revoked {
-                l.last_heartbeat = Some(now);
+        let mut regressed: Option<SimTime> = None;
+        {
+            let mut st = self.state.lock();
+            for l in st.leases.values_mut() {
+                if l.producer == producer && !l.revoked {
+                    if l.last_heartbeat.is_some_and(|prev| now < prev) {
+                        regressed = l.last_heartbeat;
+                    }
+                    l.last_heartbeat = Some(now);
+                }
             }
+        }
+        if let Some(prev) = regressed {
+            self.audit(|| AuditViolation::TimeRegression {
+                scope: "coordinator.heartbeat".to_owned(),
+                prev,
+                next: now,
+            });
         }
     }
 
@@ -298,8 +347,13 @@ impl Coordinator {
         // Collect events first, emit after unlocking — and sort by lease id
         // so the journal does not depend on HashMap iteration order.
         let mut events: Vec<(LeaseId, TraceEvent)> = Vec::new();
+        let mut regressed: Option<SimTime> = None;
         {
             let mut st = self.state.lock();
+            if st.last_advance.is_some_and(|prev| now < prev) {
+                regressed = st.last_advance;
+            }
+            st.last_advance = Some(st.last_advance.map_or(now, |prev| prev.max(now)));
             for (id, l) in st.leases.iter_mut() {
                 if l.revoked {
                     continue;
@@ -352,6 +406,13 @@ impl Coordinator {
                     }
                 }
             }
+        }
+        if let Some(prev) = regressed {
+            self.audit(|| AuditViolation::TimeRegression {
+                scope: "coordinator.advance".to_owned(),
+                prev,
+                next: now,
+            });
         }
         events.sort_by_key(|(id, _)| *id);
         let revoked = events.len() as u64;
@@ -439,23 +500,60 @@ impl Coordinator {
     /// already gone in the first two cases and the third is a double-free.
     pub fn free(&self, lease: LeaseId, bytes: u64) -> Result<(), AquaError> {
         self.tracer().incr("coordinator.free", 1);
-        let mut st = self.state.lock();
-        let l = st
-            .leases
-            .get_mut(&lease)
-            .ok_or(AquaError::UnknownLease(lease))?;
-        if l.revoked {
-            return Err(AquaError::LeaseRevoked(lease));
+        self.free_inner("free", lease, bytes, SimTime::ZERO)
+    }
+
+    /// Shared body of [`Coordinator::free`] and [`Coordinator::release`]
+    /// with the aqua-audit hooks: an over-free of a live lease is a double
+    /// free, and a stale free of more bytes than a revoked lease ever held
+    /// means the caller's books were corrupt before the revocation raced it.
+    fn free_inner(
+        &self,
+        verb: &str,
+        lease: LeaseId,
+        bytes: u64,
+        at: SimTime,
+    ) -> Result<(), AquaError> {
+        let mut violation: Option<AuditViolation> = None;
+        let result = {
+            let mut st = self.state.lock();
+            match st.leases.get_mut(&lease) {
+                None => Err(AquaError::UnknownLease(lease)),
+                Some(l) if l.revoked => {
+                    if bytes > l.used {
+                        violation = Some(AuditViolation::FreeAfterRevoke {
+                            scope: verb.to_owned(),
+                            lease: lease.0,
+                            at,
+                        });
+                    }
+                    Err(AquaError::LeaseRevoked(lease))
+                }
+                Some(l) if l.used < bytes => {
+                    violation = Some(AuditViolation::DoubleFree {
+                        scope: verb.to_owned(),
+                        lease: lease.0,
+                        used: l.used,
+                        requested: bytes,
+                        at,
+                    });
+                    Err(AquaError::OverFree {
+                        lease,
+                        used: l.used,
+                        requested: bytes,
+                    })
+                }
+                Some(l) => {
+                    l.used -= bytes;
+                    l.released_at = l.released_at.max(at);
+                    Ok(())
+                }
+            }
+        };
+        if let Some(v) = violation {
+            self.audit(|| v);
         }
-        if l.used < bytes {
-            return Err(AquaError::OverFree {
-                lease,
-                used: l.used,
-                requested: bytes,
-            });
-        }
-        l.used -= bytes;
-        Ok(())
+        result
     }
 
     /// `/reclaim_request`: the producer wants its memory back. Marks every
@@ -518,24 +616,7 @@ impl Coordinator {
                 at,
             }
         );
-        let mut st = self.state.lock();
-        let l = st
-            .leases
-            .get_mut(&lease)
-            .ok_or(AquaError::UnknownLease(lease))?;
-        if l.revoked {
-            return Err(AquaError::LeaseRevoked(lease));
-        }
-        if l.used < bytes {
-            return Err(AquaError::OverFree {
-                lease,
-                used: l.used,
-                requested: bytes,
-            });
-        }
-        l.used -= bytes;
-        l.released_at = l.released_at.max(at);
-        Ok(())
+        self.free_inner("release", lease, bytes, at)
     }
 
     /// `/reclaim_status`: the producer polls for completion. When released,
@@ -603,6 +684,49 @@ impl Coordinator {
             .filter(|l| !l.revoked)
             .map(|l| l.used)
             .sum()
+    }
+
+    /// aqua-audit sweep over the lease books at `at`: every live lease must
+    /// keep `used ≤ total` (allocations are bounded by the donation), and no
+    /// producer may hold two live non-reclaiming leases. Cheap enough to run
+    /// at every sample boundary of an audited run.
+    pub fn audit_books(&self, at: SimTime) {
+        let Some(aud) = self.auditor.lock().clone() else {
+            return;
+        };
+        let mut found: Vec<AuditViolation> = Vec::new();
+        {
+            let st = self.state.lock();
+            let mut ids: Vec<&LeaseId> = st.leases.keys().collect();
+            ids.sort();
+            let mut live_producers: Vec<GpuRef> = Vec::new();
+            for id in ids {
+                let l = &st.leases[id];
+                if l.revoked {
+                    continue;
+                }
+                if l.used > l.total {
+                    found.push(AuditViolation::ByteConservation {
+                        scope: format!("lease:{}", id.0),
+                        expected: l.total,
+                        actual: l.used,
+                        at,
+                    });
+                }
+                if !l.reclaiming {
+                    if live_producers.contains(&l.producer) {
+                        found.push(AuditViolation::DoubleGrant {
+                            producer: l.producer.to_string(),
+                            lease: id.0,
+                        });
+                    }
+                    live_producers.push(l.producer);
+                }
+            }
+        }
+        for v in found {
+            aud.record(v);
+        }
     }
 
     /// Bytes available for new allocations on server `server`.

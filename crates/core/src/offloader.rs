@@ -20,6 +20,7 @@
 
 use crate::coordinator::{AllocationSite, Coordinator, GpuRef, LeaseId, LeaseState};
 use aqua_engines::offload::{OffloadLocation, Offloader};
+use aqua_sim::audit::{AuditViolation, SharedAuditor};
 use aqua_sim::fault::FaultPlan;
 use aqua_sim::time::{SimDuration, SimTime};
 use aqua_sim::topology::ServerTopology;
@@ -58,6 +59,20 @@ impl Default for FailoverPolicy {
     }
 }
 
+impl FailoverPolicy {
+    /// Backoff before retry `attempt` (1-based): the base doubled per prior
+    /// attempt. A naive `backoff << (attempt - 1)` overflows `u64`
+    /// nanoseconds past attempt ~64 (and much earlier for large bases), so
+    /// the doubling saturates: pathological retry budgets wait out the rest
+    /// of simulated time instead of wrapping back to a tiny backoff and
+    /// hammering a dead link.
+    pub fn backoff_for(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1);
+        let multiplier = 1u64.checked_shl(shift).unwrap_or(u64::MAX);
+        SimDuration::from_nanos(self.backoff.as_nanos().saturating_mul(multiplier))
+    }
+}
+
 /// AQUA's fabric-accelerated offloader for one consumer GPU.
 ///
 /// See the crate-level example for typical usage; constructed per consumer
@@ -92,6 +107,8 @@ pub struct AquaOffloader {
     lost_bytes: u64,
     label: String,
     tracer: SharedTracer,
+    /// aqua-audit: local byte books are checked on every mutation.
+    auditor: Option<SharedAuditor>,
 }
 
 impl std::fmt::Debug for AquaOffloader {
@@ -132,6 +149,7 @@ impl AquaOffloader {
             lost_bytes: 0,
             label: "aqua".to_owned(),
             tracer: null_tracer(),
+            auditor: None,
         }
     }
 
@@ -146,6 +164,30 @@ impl AquaOffloader {
     pub fn with_policy(mut self, policy: FailoverPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Attaches an invariant auditor: the offloader's local byte books
+    /// (per-lease holdings, the DRAM tally) are checked against every
+    /// mutation, and each iteration boundary sweeps the coordinator's lease
+    /// books too.
+    pub fn with_auditor(mut self, auditor: SharedAuditor) -> Self {
+        self.auditor = Some(auditor);
+        self
+    }
+
+    /// Checks that `take` bytes can legally leave a tracked holding of
+    /// `held` bytes; records a conservation violation otherwise.
+    fn audit_outflow(&self, scope: &str, held: u64, take: u64, at: SimTime) {
+        if take > held {
+            if let Some(aud) = &self.auditor {
+                aud.record(AuditViolation::ByteConservation {
+                    scope: format!("offloader:{}:{scope}", self.consumer),
+                    expected: held,
+                    actual: take,
+                    at,
+                });
+            }
+        }
     }
 
     /// Attaches the injected fault schedule so iteration boundaries model
@@ -260,8 +302,7 @@ impl AquaOffloader {
                     attempt += 1;
                     self.retries += 1;
                     self.tracer.incr("offloader.retries", 1);
-                    at = e.at().max(at)
-                        + SimDuration::from_nanos(self.policy.backoff.as_nanos() << (attempt - 1));
+                    at = e.at().max(at) + self.policy.backoff_for(attempt);
                     trace!(
                         self.tracer,
                         TraceEvent::TransferRetried {
@@ -471,8 +512,10 @@ impl Offloader for AquaOffloader {
                     at: now,
                 }
             );
+            let held = self.peer_bytes.get(&lease).map_or(0, |(_, b)| *b);
+            self.audit_outflow("peer", held, take, now);
             let entry = self.peer_bytes.get_mut(&lease).expect("tracked lease");
-            entry.1 -= take;
+            entry.1 = entry.1.saturating_sub(take);
             if entry.1 == 0 {
                 self.peer_bytes.remove(&lease);
             }
@@ -480,7 +523,8 @@ impl Offloader for AquaOffloader {
         if from_dram > 0 {
             let done = self.pcie_from_host(self.consumer, from_dram, now);
             end = end.max(done);
-            self.dram_bytes -= from_dram;
+            self.audit_outflow("dram", self.dram_bytes, from_dram, now);
+            self.dram_bytes = self.dram_bytes.saturating_sub(from_dram);
         }
         // Scatter the staged buffer back into its per-layer tensors.
         end + self.gather_cost(bytes, chunks)
@@ -506,8 +550,10 @@ impl Offloader for AquaOffloader {
                     if self.coordinator.free(lease, take).is_err() {
                         self.tracer.incr("offloader.free_after_revoke", 1);
                     }
+                    let held = self.peer_bytes.get(&lease).map_or(0, |(_, b)| *b);
+                    self.audit_outflow("peer", held, take, now);
                     let entry = self.peer_bytes.get_mut(&lease).expect("tracked lease");
-                    entry.1 -= take;
+                    entry.1 = entry.1.saturating_sub(take);
                     if entry.1 == 0 {
                         self.peer_bytes.remove(&lease);
                     }
@@ -536,6 +582,9 @@ impl Offloader for AquaOffloader {
         // Drive the coordinator's failure watchdogs from the consumer's
         // clock (in a real deployment the coordinator has its own timer).
         self.coordinator.advance(resume);
+        // Audited runs sweep the lease books at every boundary (no-op
+        // unless the coordinator carries an auditor).
+        self.coordinator.audit_books(resume);
         // 1. Stranded sweep: leases revoked underneath us (producer crash
         // or blown reclaim deadline). The peer copy is gone; re-materialise
         // the context in host DRAM, blocking, so no request is lost.
@@ -869,6 +918,75 @@ mod tests {
             resume > SimTime::from_secs(30),
             "re-materialisation blocks the boundary"
         );
+    }
+
+    #[test]
+    fn backoff_doubles_then_saturates_instead_of_overflowing() {
+        let policy = FailoverPolicy::default();
+        // Small attempts keep the exact doubling ladder the retry tests pin.
+        assert_eq!(policy.backoff_for(1), SimDuration::from_millis(2));
+        assert_eq!(policy.backoff_for(2), SimDuration::from_millis(4));
+        assert_eq!(policy.backoff_for(3), SimDuration::from_millis(8));
+        // 2 ms << 44 overflows u64 nanoseconds; the boundary and everything
+        // past it saturate instead of wrapping around to a tiny wait.
+        let last_exact = policy.backoff_for(44);
+        assert_eq!(
+            last_exact,
+            SimDuration::from_nanos(2_000_000u64 << 43),
+            "attempt 44 is the last exactly-representable doubling"
+        );
+        for attempt in [45, 52, 53, 64, 65, 1000, u32::MAX] {
+            let b = policy.backoff_for(attempt);
+            assert_eq!(b, SimDuration::from_nanos(u64::MAX), "attempt {attempt}");
+        }
+        // A pathological base saturates on the multiply, not just the shift.
+        let big = FailoverPolicy {
+            backoff: SimDuration::from_nanos(u64::MAX / 2),
+            ..FailoverPolicy::default()
+        };
+        assert_eq!(big.backoff_for(3), SimDuration::from_nanos(u64::MAX));
+        // Monotonicity across the boundary: later attempts never wait less.
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..80 {
+            let b = policy.backoff_for(attempt);
+            assert!(b >= prev, "backoff regressed at attempt {attempt}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn audited_offloader_run_stays_clean() {
+        use aqua_sim::audit::Auditor;
+
+        let aud = Auditor::collecting();
+        let (mut off, coord) = setup(10);
+        coord.set_auditor(aud.clone());
+        off = off.with_auditor(aud.clone());
+        off.swap_out(gib(2), 64, SimTime::ZERO);
+        off.swap_in(gib(1), 64, SimTime::from_secs(1));
+        off.on_iteration_boundary(SimTime::from_secs(2));
+        off.swap_in(gib(1), 64, SimTime::from_secs(3));
+        assert!(
+            aud.is_clean(),
+            "legit offload traffic must not trip the audit: {:?}",
+            aud.violations()
+        );
+    }
+
+    #[test]
+    fn audit_catches_coordinator_double_free() {
+        use aqua_sim::audit::Auditor;
+
+        let aud = Auditor::collecting();
+        let (_, coord) = setup(10);
+        coord.set_auditor(aud.clone());
+        let lease = coord.lease(GpuRef::single(GpuId(1)), gib(1));
+        assert!(coord.try_allocate_on(lease, mib(64)));
+        assert!(coord.free(lease, mib(64)).is_ok());
+        // Second free of the same bytes: the books would go negative.
+        assert!(coord.free(lease, mib(64)).is_err());
+        let v = aud.first().expect("double free recorded");
+        assert_eq!(v.kind(), "double_free");
     }
 
     #[test]

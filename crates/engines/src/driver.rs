@@ -10,6 +10,7 @@
 
 use crate::request::InferenceRequest;
 use aqua_metrics::requests::RequestRecord;
+use aqua_sim::audit::SharedAuditor;
 use aqua_sim::event::EventQueue;
 use aqua_sim::time::{SimDuration, SimTime};
 
@@ -70,6 +71,11 @@ pub struct Driver {
     /// takes no arrivals, steps and ticks. Arrivals landing inside a span
     /// are re-queued at its end, so requests are delayed, never lost.
     crash_windows: Vec<(usize, SimTime, SimTime)>,
+    /// aqua-audit: checks that the global timeline never runs backwards.
+    auditor: Option<SharedAuditor>,
+    /// Timestamp of the last processed event/tick (for the monotonicity
+    /// audit).
+    last_time: SimTime,
 }
 
 impl Driver {
@@ -92,7 +98,17 @@ impl Driver {
             next_tick: SimTime::ZERO,
             busy: Vec::new(),
             crash_windows: Vec::new(),
+            auditor: None,
+            last_time: SimTime::ZERO,
         }
+    }
+
+    /// Attaches an invariant auditor: every popped event and idle tick is
+    /// checked against the last processed timestamp, so a mis-ordered event
+    /// queue raises a `time_regression` violation instead of silently
+    /// reordering the simulation.
+    pub fn set_auditor(&mut self, auditor: SharedAuditor) {
+        self.auditor = Some(auditor);
     }
 
     /// Marks engine `engine` as crashed over `[start, end)`: no steps, no
@@ -154,6 +170,10 @@ impl Driver {
             }
             if next_event.is_some_and(|t| t <= self.next_tick) {
                 let (now, ev) = self.events.pop().expect("peeked");
+                if let Some(aud) = &self.auditor {
+                    aud.check_monotonic("driver.events", self.last_time, now);
+                }
+                self.last_time = self.last_time.max(now);
                 match ev {
                     Ev::Arrival(i, req) => {
                         if let Some(until) = self.crashed_until(i, now) {
@@ -176,6 +196,10 @@ impl Driver {
                 }
             } else {
                 let now = self.next_tick;
+                if let Some(aud) = &self.auditor {
+                    aud.check_monotonic("driver.ticks", self.last_time, now);
+                }
+                self.last_time = self.last_time.max(now);
                 for i in 0..engines.len() {
                     if !self.busy[i] && self.crashed_until(i, now).is_none() {
                         engines[i].tick(now);

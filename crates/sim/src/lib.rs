@@ -37,6 +37,7 @@
 //! assert!(t.as_secs_f64() < 0.01); // a few milliseconds over NVLink
 //! ```
 
+pub mod audit;
 pub mod cluster;
 pub mod event;
 pub mod fault;
@@ -53,6 +54,7 @@ pub use aqua_telemetry::time;
 
 pub mod prelude {
     //! Convenience re-exports of the most common simulator types.
+    pub use crate::audit::{AuditViolation, Auditor, SharedAuditor};
     pub use crate::cluster::{Cluster, ClusterGpu};
     pub use crate::event::EventQueue;
     pub use crate::fault::{FaultKind, FaultPlan, FaultWindow, RandomFaultProfile};

@@ -13,6 +13,7 @@
 //!    [`TransferEngine`] tracks per-port busy horizons to schedule transfers
 //!    deterministically.
 
+use crate::audit::{AuditViolation, SharedAuditor};
 use crate::fault::FaultPlan;
 use crate::link::BandwidthModel;
 use crate::time::{SimDuration, SimTime};
@@ -172,6 +173,7 @@ pub struct TransferEngine {
     tracer: SharedTracer,
     server: u32,
     faults: Option<Arc<FaultPlan>>,
+    auditor: Option<SharedAuditor>,
 }
 
 /// Tolerance used by the oversubscription `debug_assert` in
@@ -228,6 +230,7 @@ impl TransferEngine {
             tracer: null_tracer(),
             server: 0,
             faults: None,
+            auditor: None,
         }
     }
 
@@ -263,6 +266,14 @@ impl TransferEngine {
     /// Detaches the fault plan (back to fault-free behaviour).
     pub fn clear_fault_plan(&mut self) {
         self.faults = None;
+    }
+
+    /// Attaches an invariant auditor. Every booking is then checked for
+    /// FIFO-horizon legality, lane over-capacity and (with a fault plan)
+    /// bookings onto ports inside an active outage. The untraced hot path
+    /// pays one `Option` test when no auditor is attached.
+    pub fn set_auditor(&mut self, auditor: SharedAuditor) {
+        self.auditor = Some(auditor);
     }
 
     /// Earliest time a transfer issued at `now` could start on `path`.
@@ -436,6 +447,33 @@ impl TransferEngine {
             TransferPlan::Coalesced { .. } => 1,
             TransferPlan::Scattered { chunks, .. } => chunks,
         };
+        if let Some(aud) = &self.auditor {
+            for &p in &path.ports {
+                let prior = self
+                    .ports
+                    .get(port_slot(p))
+                    .map_or(SimTime::ZERO, |s| s.busy_until);
+                if start < prior {
+                    aud.record(AuditViolation::PortOverlap {
+                        port: p.to_string(),
+                        busy_until: prior,
+                        start,
+                    });
+                }
+                // Orphan check is fabric-only: PCIe rescue paths (detours,
+                // stranded-byte rematerialisation) are host-mediated and
+                // modeled as always available, so a crash window downing a
+                // GPU's PCIe ports must not flag them. A *fabric* booking
+                // inside an outage means someone bypassed `try_schedule`.
+                let fabric = matches!(p, PortId::NvlinkEgress(_) | PortId::NvlinkIngress(_));
+                if fabric && self.faults.as_ref().is_some_and(|f| f.port_down(p, start)) {
+                    aud.record(AuditViolation::OrphanedTransfer {
+                        port: p.to_string(),
+                        at: start,
+                    });
+                }
+            }
+        }
         if self.tracer.enabled() {
             self.tracer.incr("transfer.count", 1);
             self.tracer.incr("transfer.bytes", bytes);
@@ -475,6 +513,18 @@ impl TransferEngine {
                 stats.busy_until = end;
                 stats.bytes += bytes;
                 stats.busy_time += wire_time;
+            }
+        }
+        if let Some(aud) = &self.auditor {
+            for &p in &path.ports {
+                let s = &self.ports[port_slot(p)];
+                if s.busy_time.as_nanos() > s.busy_until.as_nanos() {
+                    aud.record(AuditViolation::LaneOverCapacity {
+                        port: p.to_string(),
+                        busy: s.busy_time,
+                        horizon: s.busy_until,
+                    });
+                }
             }
         }
         ScheduledTransfer {

@@ -535,6 +535,27 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     vec![("state", format!("\"{}\"", esc(state)))],
                 ));
             }
+            TraceEvent::AuditViolation {
+                kind,
+                scope,
+                detail,
+                at,
+            } => {
+                let mut en = instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "audit",
+                    "audit-violation",
+                    us(*at),
+                    vec![
+                        ("kind", format!("\"{}\"", esc(kind))),
+                        ("scope", format!("\"{}\"", esc(scope))),
+                        ("detail", format!("\"{}\"", esc(detail))),
+                    ],
+                );
+                en.cat = "audit";
+                entries.push(en);
+            }
         }
     }
 

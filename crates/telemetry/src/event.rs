@@ -409,6 +409,19 @@ pub enum TraceEvent {
         /// Transition time.
         at: SimTime,
     },
+    /// A runtime invariant audit failed (aqua-audit). Only emitted when a
+    /// check actually trips, so clean audited runs journal the exact same
+    /// event stream — and digest — as unaudited ones.
+    AuditViolation {
+        /// Violation kind (e.g. `double_free`, `port_overlap`).
+        kind: String,
+        /// Component that tripped the check (`coordinator`, `transfer`, …).
+        scope: String,
+        /// Human-readable description of the broken invariant.
+        detail: String,
+        /// When the illegal transition was observed.
+        at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -444,6 +457,7 @@ impl TraceEvent {
             TraceEvent::LeaseExpired { .. } => "lease_expired",
             TraceEvent::LeaseForceRevoked { .. } => "lease_force_revoked",
             TraceEvent::DegradedMode { .. } => "degraded_mode",
+            TraceEvent::AuditViolation { .. } => "audit_violation",
         }
     }
 
@@ -476,7 +490,8 @@ impl TraceEvent {
             | TraceEvent::FailoverEngaged { at, .. }
             | TraceEvent::LeaseExpired { at, .. }
             | TraceEvent::LeaseForceRevoked { at, .. }
-            | TraceEvent::DegradedMode { at, .. } => *at,
+            | TraceEvent::DegradedMode { at, .. }
+            | TraceEvent::AuditViolation { at, .. } => *at,
             TraceEvent::TransferCompleted { start, .. }
             | TraceEvent::SliceFinished { start, .. }
             | TraceEvent::WindowFetched { start, .. } => *start,
@@ -736,6 +751,17 @@ impl TraceEvent {
             } => {
                 w.str("consumer", consumer);
                 w.str("state", state);
+                w.time("at", *at);
+            }
+            TraceEvent::AuditViolation {
+                kind,
+                scope,
+                detail,
+                at,
+            } => {
+                w.str("kind", kind);
+                w.str("scope", scope);
+                w.str("detail", detail);
                 w.time("at", *at);
             }
         }

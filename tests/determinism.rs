@@ -193,3 +193,80 @@ fn chaos_digest_differs_across_fault_plans() {
     let (db, _) = traced_chaos_digest(&b);
     assert_ne!(da, db, "a different crash window must change the journal");
 }
+
+#[test]
+fn audited_chaos_run_is_digest_identical_to_unaudited() {
+    // aqua-audit's "silent when clean" property: attaching the full auditor
+    // stack (transfer engine, coordinator, driver, offloader) to a chaos
+    // run that trips no invariant must journal the exact same event stream
+    // — and digest — as the unaudited run. Audited runs therefore remain
+    // comparable against any digest on file.
+    use aqua_bench::chaos_degradation::{run_traced, run_traced_audited, ChaosTimeline};
+    use aqua_sim::audit::Auditor;
+    use aqua_telemetry::JournalTracer;
+    use std::sync::Arc;
+
+    let tl = ChaosTimeline::short();
+    let plain = Arc::new(JournalTracer::new());
+    let audited = Arc::new(JournalTracer::new());
+    let auditor = Auditor::with_tracer(audited.clone());
+    let ra = run_traced(&tl, 5, plain.clone());
+    let rb = run_traced_audited(&tl, 5, audited.clone(), Some(auditor.clone()));
+    assert!(
+        auditor.is_clean(),
+        "chaos run tripped the audit: {:?}",
+        auditor.violations()
+    );
+    assert_eq!(ra.consumer_tokens, rb.consumer_tokens);
+    assert_eq!(
+        plain.len(),
+        audited.len(),
+        "audit hooks added/dropped events"
+    );
+    assert_eq!(
+        plain.digest(),
+        audited.digest(),
+        "audit hooks perturbed the journal"
+    );
+    assert!(!plain.is_empty(), "chaos run journaled nothing");
+}
+
+proptest::proptest! {
+    /// Seeded fault-plan *generation* is deterministic and schedule-independent:
+    /// for any base seed, deriving the fuzzer's points and journalling their
+    /// randomized plans produces identical per-point digests at --jobs 1/4/8.
+    #[test]
+    fn fault_plan_generation_is_job_count_independent(base_seed in 0u64..u64::MAX) {
+        use aqua_bench::fuzz::FuzzPoint;
+        use aqua_bench::sweep::Sweep;
+        use aqua_sim::fault::{FaultPlan, RandomFaultProfile};
+        use aqua_sim::gpu::GpuId;
+        use aqua_sim::time::{SimDuration, SimTime};
+        use aqua_sim::topology::PortId;
+
+        let points: Vec<FuzzPoint> = (0..12).map(|i| FuzzPoint::derive(base_seed, i)).collect();
+        let generate = |p: &FuzzPoint| {
+            let tracer = aqua_bench::trace::tracer();
+            let profile = RandomFaultProfile {
+                link_ports: vec![PortId::NvlinkEgress(GpuId(1)), PortId::NvlinkIngress(GpuId(1))],
+                crash_gpus: vec![GpuId(1)],
+                events: p.faults,
+                min_duration: SimDuration::from_secs(5),
+                max_duration: SimDuration::from_secs(30),
+            };
+            let plan = FaultPlan::randomized(p.seed, SimTime::from_secs(p.horizon_secs), &profile);
+            plan.emit(&tracer);
+            plan.windows().len()
+        };
+        let seq = Sweep::new().run(&points, generate);
+        let par4 = Sweep::new().jobs(4).run(&points, generate);
+        let par8 = Sweep::new().jobs(8).run(&points, generate);
+        proptest::prop_assert!(seq.total_events() > 0, "plans must journal fault windows");
+        proptest::prop_assert_eq!(seq.combined_digest(), par4.combined_digest());
+        proptest::prop_assert_eq!(seq.combined_digest(), par8.combined_digest());
+        for (a, b) in seq.points.iter().zip(par8.points.iter()) {
+            proptest::prop_assert_eq!(a.result, b.result);
+            proptest::prop_assert_eq!(a.digest, b.digest);
+        }
+    }
+}
