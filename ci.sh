@@ -24,6 +24,12 @@ cargo bench -p aqua-bench --bench microbench -- --test
 # output or the combined determinism digest diverges from sequential, and
 # records the wall-time trajectory in BENCH_pr4.json.
 cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr4.json
+# Gateway acceptance: the scheduler-zoo serving study must render
+# byte-identical output and fold identical telemetry digests sequentially
+# vs in parallel. The digests are compared run-against-run inside the
+# process — never against a pinned literal — so the gate survives workload
+# generator changes.
+cargo run --release -p aqua-bench --bin aqua-repro -- serve --smoke --count 64
 # Audit acceptance, part 1: 32 seeded FaultPlan x workload x topology points
 # under full invariant auditing must report zero violations.
 cargo run --release -p aqua-bench --bin aqua-repro -- fuzz --smoke

@@ -302,14 +302,69 @@ fn fuzz_cmd(flags: &FuzzFlags) -> Result<(), String> {
     ))
 }
 
+/// The `serve --smoke` subcommand: runs the gateway scheduler study
+/// sequentially and in parallel in the same process, and verifies the
+/// stitched output and the combined telemetry digest are identical. The
+/// digests are compared run-against-run, never against a pinned literal,
+/// so the check is robust to workload-generator changes.
+fn serve_smoke(flags: &Flags) -> Result<(), String> {
+    if trace::journal().is_some() {
+        return Err("serve --smoke compares parallel runs; unset AQUA_TRACE".into());
+    }
+    // At least 4 worker threads even on a small host: the point is to
+    // exercise a schedule different from the sequential pass.
+    let jobs = if flags.jobs > 1 {
+        flags.jobs
+    } else {
+        default_jobs().max(4)
+    };
+    let seq = run_suite(&["serve"], &flags.args, 1, false, false)?;
+    let par = run_suite(&["serve"], &flags.args, jobs, false, false)?;
+    if seq.output != par.output {
+        return Err(format!(
+            "serve smoke: parallel output differs from sequential ({} vs {} bytes)",
+            par.output.len(),
+            seq.output.len()
+        ));
+    }
+    if seq.combined_digest != par.combined_digest {
+        return Err(format!(
+            "serve smoke: digest mismatch: sequential {:016x} vs parallel {:016x}",
+            seq.combined_digest, par.combined_digest
+        ));
+    }
+    print!("{}", seq.output);
+    println!(
+        "serve smoke: {} points byte-identical and digest-identical at 1 vs {jobs} jobs (digest {:016x}, {} events)",
+        seq.experiments.iter().map(|e| e.points).sum::<usize>(),
+        seq.combined_digest,
+        seq.total_events
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: aqua-repro <experiment|list|all|bench|fuzz> [--window S] [--seed N] [--count N] [--jobs N] [--out FILE]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]"
+            "usage: aqua-repro <experiment|list|all|bench|fuzz> [--window S] [--seed N] [--count N] [--jobs N] [--out FILE]\n       aqua-repro serve --smoke [--seed N] [--count N] [--jobs N]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]"
         );
         return ExitCode::FAILURE;
     };
+    if cmd == "serve" && argv[1..].iter().any(|a| a == "--smoke") {
+        let rest: Vec<String> = argv[1..]
+            .iter()
+            .filter(|a| *a != "--smoke")
+            .cloned()
+            .collect();
+        return match parse_flags(&rest).and_then(|f| serve_smoke(&f)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if cmd == "fuzz" {
         return match parse_fuzz_flags(&argv[1..]).and_then(|f| fuzz_cmd(&f)) {
             Ok(()) => ExitCode::SUCCESS,

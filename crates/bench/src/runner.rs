@@ -117,6 +117,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "producer crash at t=300s: degrade to DRAM, recover",
     ),
     ("e2e", "section 6.1 cluster evaluation (both splits)"),
+    (
+        "serve",
+        "gateway scheduler zoo: TTFT/ITL SLOs, offload on/off",
+    ),
     ("tables", "Tables 1-3 and the model inventory"),
     ("ablations", "all ablation studies"),
 ];
@@ -186,6 +190,7 @@ pub fn experiment_points(name: &str, a: &ReproArgs) -> Result<Vec<ReproPoint>, S
         "fig18" => crate::fig18_nvswitch::repro_points(&a),
         "chaos" => crate::chaos_degradation::repro_points(&a),
         "e2e" => crate::e2e_cluster::repro_points(&a),
+        "serve" => crate::serve_schedulers::repro_points(&a),
         "tables" => vec![ReproPoint::new("tables", "registry", move || {
             format!(
                 "{}\n{}\n{}\n{}\n",
@@ -316,6 +321,7 @@ mod tests {
         assert_eq!(experiment_points("fig12", &a).unwrap().len(), 2);
         assert_eq!(experiment_points("fig14", &a).unwrap().len(), 6);
         assert_eq!(experiment_points("e2e", &a).unwrap().len(), 2);
+        assert_eq!(experiment_points("serve", &a).unwrap().len(), 10);
         assert_eq!(experiment_points("ablations", &a).unwrap().len(), 6);
     }
 

@@ -15,7 +15,7 @@ use crate::driver::Engine;
 use crate::kvcache::{PagedKvCache, DEFAULT_BLOCK_TOKENS};
 use crate::northbound::{EngineStats, MemoryElastic};
 use crate::offload::Offloader;
-use crate::request::InferenceRequest;
+use crate::request::{InferenceRequest, SeqLifecycle};
 use aqua_metrics::requests::RequestRecord;
 use aqua_models::cost;
 use aqua_models::geometry::LlmGeometry;
@@ -60,17 +60,8 @@ enum Place {
 
 #[derive(Debug, Clone)]
 struct CfsSeq {
-    req: InferenceRequest,
-    arrival: SimTime,
-    generated: u64,
-    first_token: Option<SimTime>,
+    life: SeqLifecycle,
     place: Place,
-}
-
-impl CfsSeq {
-    fn context_tokens(&self) -> u64 {
-        self.req.prompt_tokens + self.generated
-    }
 }
 
 /// Token-slice fair scheduler over a paged KV pool.
@@ -189,7 +180,7 @@ impl CfsEngine {
         let mut order: Vec<usize> = (0..self.seqs.len()).collect();
         order.sort_by_key(|&i| {
             let s = &self.seqs[i];
-            (s.generated, s.arrival, s.req.id)
+            (s.life.generated, s.life.arrival, s.life.req.id)
         });
         let mut chosen = Vec::new();
         let mut blocks = 0u64;
@@ -198,7 +189,7 @@ impl CfsEngine {
                 break;
             }
             let s = &self.seqs[i];
-            let tokens = s.context_tokens() + self.config.slice_tokens;
+            let tokens = s.life.context_tokens() + self.config.slice_tokens;
             let need = tokens.div_ceil(self.config.block_tokens);
             if blocks + need > self.kv.total_blocks() {
                 if chosen.is_empty() {
@@ -218,15 +209,9 @@ impl CfsEngine {
 }
 
 impl Engine for CfsEngine {
-    fn submit(&mut self, mut req: InferenceRequest, now: SimTime) {
-        // Every request emits at least one token (a zero-token request would
-        // complete without a first-token timestamp).
-        req.output_tokens = req.output_tokens.max(1);
+    fn submit(&mut self, req: InferenceRequest, now: SimTime) {
         self.seqs.push(CfsSeq {
-            req,
-            arrival: now,
-            generated: 0,
-            first_token: None,
+            life: SeqLifecycle::new(req, now),
             place: Place::New,
         });
     }
@@ -248,7 +233,7 @@ impl Engine for CfsEngine {
         let mut chunks_out = 0u64;
         for (i, s) in self.seqs.iter_mut().enumerate() {
             if s.place == Place::Resident && !is_active(i) {
-                bytes_out += self.kv.free_seq(s.req.id);
+                bytes_out += self.kv.free_seq(s.life.req.id);
                 chunks_out += 2 * self.geom.layers;
                 s.place = Place::Swapped;
                 self.context_switches += 1;
@@ -264,9 +249,9 @@ impl Engine for CfsEngine {
             let s = &mut self.seqs[i];
             match s.place {
                 Place::Swapped => {
-                    let tokens = s.context_tokens();
+                    let tokens = s.life.context_tokens();
                     self.kv
-                        .grow_seq(s.req.id, tokens)
+                        .grow_seq(s.life.req.id, tokens)
                         .expect("select_active sized the set to fit");
                     bytes_in += self.geom.kv_bytes(tokens);
                     chunks_in += 2 * self.geom.layers;
@@ -274,9 +259,9 @@ impl Engine for CfsEngine {
                 }
                 Place::New => {
                     self.kv
-                        .grow_seq(s.req.id, s.req.prompt_tokens)
+                        .grow_seq(s.life.req.id, s.life.req.prompt_tokens)
                         .expect("select_active sized the set to fit");
-                    prefill_tokens += s.req.prompt_tokens;
+                    prefill_tokens += s.life.req.prompt_tokens;
                     s.place = Place::Resident;
                 }
                 Place::Resident => {}
@@ -303,7 +288,7 @@ impl Engine for CfsEngine {
         let mut live: Vec<usize> = active;
         let mut slice_tokens_generated = 0u64;
         for _ in 0..self.config.slice_tokens {
-            live.retain(|&i| self.seqs[i].generated < self.seqs[i].req.output_tokens);
+            live.retain(|&i| !self.seqs[i].life.is_complete());
             if live.is_empty() {
                 break;
             }
@@ -311,34 +296,25 @@ impl Engine for CfsEngine {
             slice_tokens_generated += batch;
             let total_ctx: u64 = live
                 .iter()
-                .map(|&i| self.seqs[i].context_tokens() + 1)
+                .map(|&i| self.seqs[i].life.context_tokens() + 1)
                 .sum();
             cursor += cost::llm_decode_step_time(&self.geom, &self.gpu, batch, total_ctx);
             for &i in &live {
                 let s = &mut self.seqs[i];
                 self.kv
-                    .grow_seq(s.req.id, 1)
+                    .grow_seq(s.life.req.id, 1)
                     .expect("slice growth reserved at selection");
-                s.generated += 1;
-                if s.first_token.is_none() {
-                    s.first_token = Some(cursor);
-                }
+                s.life.note_token(cursor);
             }
         }
 
         // Retire completed sequences.
         let mut i = 0;
         while i < self.seqs.len() {
-            if self.seqs[i].generated >= self.seqs[i].req.output_tokens {
+            if self.seqs[i].life.is_complete() {
                 let s = self.seqs.swap_remove(i);
-                self.kv.free_seq(s.req.id);
-                self.completions.push(RequestRecord {
-                    id: s.req.id.0,
-                    arrival: s.arrival,
-                    first_token: s.first_token.expect("completed sequences emitted tokens"),
-                    completion: cursor,
-                    output_tokens: s.generated,
-                });
+                self.kv.free_seq(s.life.req.id);
+                self.completions.push(s.life.record(cursor));
             } else {
                 i += 1;
             }

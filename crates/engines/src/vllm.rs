@@ -19,7 +19,7 @@ use crate::driver::Engine;
 use crate::kvcache::{PagedKvCache, DEFAULT_BLOCK_TOKENS};
 use crate::northbound::{EngineStats, Informer, MemoryElastic};
 use crate::offload::Offloader;
-use crate::request::InferenceRequest;
+use crate::request::{InferenceRequest, SeqLifecycle};
 use aqua_metrics::requests::RequestRecord;
 use aqua_models::cost;
 use aqua_models::geometry::LlmGeometry;
@@ -80,10 +80,7 @@ impl Default for VllmConfig {
 
 #[derive(Debug, Clone)]
 struct Seq {
-    req: InferenceRequest,
-    arrival: SimTime,
-    generated: u64,
-    first_token: Option<SimTime>,
+    life: SeqLifecycle,
     prefilled: bool,
     /// KV cache lives in the offload store (swap preemption).
     swapped: bool,
@@ -93,7 +90,7 @@ impl Seq {
     /// Tokens that must be (re)computed into the KV cache before decoding:
     /// the prompt plus anything generated before a preemption.
     fn prefill_tokens(&self) -> u64 {
-        self.req.prompt_tokens + self.generated
+        self.life.context_tokens()
     }
 }
 
@@ -283,10 +280,7 @@ impl VllmEngine {
             let need: u64 = self
                 .running
                 .iter()
-                .filter(|s| {
-                    let t = s.req.prompt_tokens + s.generated;
-                    t % self.config.block_tokens == 0
-                })
+                .filter(|s| s.life.context_tokens() % self.config.block_tokens == 0)
                 .count() as u64;
             if need <= self.kv.free_blocks() || self.running.is_empty() {
                 return;
@@ -294,7 +288,7 @@ impl VllmEngine {
             // Preempt the most recently admitted sequence (vLLM preempts the
             // lowest-priority, i.e. youngest).
             let mut victim = self.running.pop().expect("non-empty");
-            self.kv.free_seq(victim.req.id);
+            self.kv.free_seq(victim.life.req.id);
             self.preemptions += 1;
             self.tracer.incr("vllm.preemptions", 1);
             let swapping =
@@ -303,7 +297,7 @@ impl VllmEngine {
                 self.tracer,
                 TraceEvent::RequestPreempted {
                     engine: self.scope.clone(),
-                    request: victim.req.id.0,
+                    request: victim.life.req.id.0,
                     policy: if swapping { "swap" } else { "recompute" }.to_owned(),
                     at: now,
                 }
@@ -324,7 +318,10 @@ impl VllmEngine {
     /// Adapters referenced by running sequences are pinned; only others may
     /// be evicted (vLLM's `max_loras` admission semantics).
     fn referenced_adapters(&self) -> Vec<usize> {
-        self.running.iter().filter_map(|s| s.req.adapter).collect()
+        self.running
+            .iter()
+            .filter_map(|s| s.life.req.adapter)
+            .collect()
     }
 
     fn adapter_admissible(&self, adapter: Option<usize>) -> bool {
@@ -348,7 +345,7 @@ impl VllmEngine {
             if !self.kv.can_fit_tokens(needed) {
                 break;
             }
-            if !self.adapter_admissible(front.req.adapter) {
+            if !self.adapter_admissible(front.life.req.adapter) {
                 break;
             }
             let mut seq = self.waiting.pop_front().expect("checked");
@@ -356,13 +353,13 @@ impl VllmEngine {
                 self.tracer,
                 TraceEvent::RequestAdmitted {
                     engine: self.scope.clone(),
-                    request: seq.req.id.0,
+                    request: seq.life.req.id.0,
                     waiting: self.waiting.len() as u64,
                     at: now,
                 }
             );
             self.kv
-                .grow_seq(seq.req.id, seq.prefill_tokens())
+                .grow_seq(seq.life.req.id, seq.prefill_tokens())
                 .expect("can_fit_tokens checked");
             if seq.swapped {
                 // The context streams back from the offload store intact.
@@ -420,15 +417,9 @@ impl VllmEngine {
 }
 
 impl Engine for VllmEngine {
-    fn submit(&mut self, mut req: InferenceRequest, now: SimTime) {
-        // Every request emits at least one token (a zero-token request would
-        // complete without a first-token timestamp).
-        req.output_tokens = req.output_tokens.max(1);
+    fn submit(&mut self, req: InferenceRequest, now: SimTime) {
         self.waiting.push_back(Seq {
-            req,
-            arrival: now,
-            generated: 0,
-            first_token: None,
+            life: SeqLifecycle::new(req, now),
             prefilled: true, // set properly at admission
             swapped: false,
         });
@@ -494,26 +485,17 @@ impl Engine for VllmEngine {
         for (i, seq) in self.running.iter_mut().enumerate() {
             seq.prefilled = true;
             self.kv
-                .grow_seq(seq.req.id, 1)
+                .grow_seq(seq.life.req.id, 1)
                 .expect("make_room_for_decode guarantees headroom");
-            seq.generated += 1;
-            if seq.first_token.is_none() {
-                seq.first_token = Some(end);
-            }
-            if seq.generated >= seq.req.output_tokens {
+            seq.life.note_token(end);
+            if seq.life.is_complete() {
                 finished.push(i);
             }
         }
         for &i in finished.iter().rev() {
             let seq = self.running.remove(i);
-            self.kv.free_seq(seq.req.id);
-            self.completions.push(RequestRecord {
-                id: seq.req.id.0,
-                arrival: seq.arrival,
-                first_token: seq.first_token.expect("finished sequences emitted tokens"),
-                completion: end,
-                output_tokens: seq.generated,
-            });
+            self.kv.free_seq(seq.life.req.id);
+            self.completions.push(seq.life.record(end));
         }
         end
     }

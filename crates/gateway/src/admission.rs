@@ -1,0 +1,90 @@
+//! Tenant-aware admission control.
+//!
+//! The gateway never drops requests; admission control only decides *when* a
+//! tenant's queued requests become eligible for scheduling. Capping each
+//! tenant's outstanding (admitted-but-unfinished) requests keeps a backlog
+//! tenant — e.g. batch long-prompt jobs submitted all at once — from
+//! claiming every KV block the moment the pool has room, which is what
+//! protects interactive tenants' TTFT.
+
+use std::collections::BTreeMap;
+
+/// Per-tenant outstanding-request caps.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    /// Maximum admitted-but-unfinished requests per tenant.
+    max_outstanding: usize,
+    outstanding: BTreeMap<u32, usize>,
+}
+
+impl AdmissionController {
+    /// A controller allowing each tenant `max_outstanding` requests in
+    /// flight at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_outstanding` is zero (that would deadlock every
+    /// tenant).
+    pub fn new(max_outstanding: usize) -> Self {
+        assert!(max_outstanding > 0, "a zero cap would starve every tenant");
+        AdmissionController {
+            max_outstanding,
+            outstanding: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `tenant` may have another request scheduled right now.
+    pub fn eligible(&self, tenant: u32) -> bool {
+        self.outstanding.get(&tenant).copied().unwrap_or(0) < self.max_outstanding
+    }
+
+    /// Records an admission for `tenant`.
+    pub fn on_admit(&mut self, tenant: u32) {
+        *self.outstanding.entry(tenant).or_insert(0) += 1;
+    }
+
+    /// Records a completion for `tenant`.
+    pub fn on_complete(&mut self, tenant: u32) {
+        let n = self
+            .outstanding
+            .get_mut(&tenant)
+            .expect("completion without admission");
+        *n = n.checked_sub(1).expect("completion without admission");
+    }
+
+    /// Outstanding requests for `tenant`.
+    pub fn outstanding(&self, tenant: u32) -> usize {
+        self.outstanding.get(&tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_gates_eligibility() {
+        let mut a = AdmissionController::new(2);
+        assert!(a.eligible(0));
+        a.on_admit(0);
+        a.on_admit(0);
+        assert!(!a.eligible(0), "tenant 0 is at its cap");
+        assert!(a.eligible(1), "caps are per tenant");
+        a.on_complete(0);
+        assert!(a.eligible(0));
+        assert_eq!(a.outstanding(0), 1);
+        assert_eq!(a.outstanding(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "starve")]
+    fn zero_cap_rejected() {
+        AdmissionController::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without admission")]
+    fn unmatched_completion_panics() {
+        AdmissionController::new(1).on_complete(3);
+    }
+}

@@ -1,0 +1,770 @@
+//! The gateway serving engine.
+//!
+//! [`GatewayEngine`] is a vLLM-style continuous-batching engine (paged KV
+//! admission control, youngest-first preemption with recompute or swap, the
+//! same roofline cost model) with two additions the figure engines lack:
+//!
+//! * Admission order is delegated to a pluggable [`Scheduler`] policy and
+//!   gated by per-tenant [`AdmissionController`] caps, instead of vLLM's
+//!   fixed FCFS queue.
+//! * Every output token's delivery time is recorded into a
+//!   [`TokenStream`], so TTFT *and* inter-token latency percentiles are
+//!   first-class outputs ([`GatewayEngine::drain_streams`]).
+//!
+//! It implements [`Engine`], so it runs on the existing
+//! [`aqua_engines::driver::Driver`] event loop alongside crash windows and
+//! any offload backend.
+
+use crate::admission::AdmissionController;
+use crate::scheduler::{PolicyKind, QueuedMeta, Scheduler};
+use aqua_engines::driver::Engine;
+use aqua_engines::kvcache::{PagedKvCache, DEFAULT_BLOCK_TOKENS};
+use aqua_engines::offload::Offloader;
+use aqua_engines::request::{InferenceRequest, SeqLifecycle};
+use aqua_engines::vllm::PreemptionPolicy;
+use aqua_metrics::requests::RequestRecord;
+use aqua_metrics::streaming::{StreamLog, TokenStream};
+use aqua_models::cost;
+use aqua_models::geometry::LlmGeometry;
+use aqua_sim::gpu::GpuSpec;
+use aqua_sim::link::bytes::gib;
+use aqua_sim::time::SimTime;
+use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Configuration of a [`GatewayEngine`].
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Maximum sequences batched per iteration.
+    pub max_batch: usize,
+    /// Bytes reserved for the paged KV pool.
+    pub kv_pool_bytes: u64,
+    /// Tokens per KV block.
+    pub block_tokens: u64,
+    /// What happens to sequences preempted under KV pressure.
+    pub preemption: PreemptionPolicy,
+    /// Per-tenant cap on admitted-but-unfinished requests.
+    pub max_outstanding_per_tenant: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            max_batch: 256,
+            kv_pool_bytes: gib(40),
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            preemption: PreemptionPolicy::Recompute,
+            max_outstanding_per_tenant: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GateSeq {
+    life: SeqLifecycle,
+    tenant: u32,
+    /// Delivery time of every token generated so far.
+    tokens: Vec<SimTime>,
+    prefilled: bool,
+    /// KV cache lives in the offload store (swap preemption).
+    swapped: bool,
+    /// The request has been admitted before (it counts against its
+    /// tenant's outstanding cap until completion, but is never re-gated).
+    admitted_once: bool,
+}
+
+/// A request-level serving front-end with a pluggable decode scheduler.
+///
+/// # Example
+///
+/// ```
+/// use aqua_gateway::engine::{GatewayConfig, GatewayEngine};
+/// use aqua_gateway::scheduler::PolicyKind;
+/// use aqua_engines::driver::Engine;
+/// use aqua_engines::request::InferenceRequest;
+/// use aqua_models::zoo;
+/// use aqua_sim::gpu::GpuSpec;
+/// use aqua_sim::time::SimTime;
+///
+/// let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+/// let mut gw = GatewayEngine::new(
+///     geom,
+///     GpuSpec::a100_80g(),
+///     PolicyKind::SjfBucket,
+///     GatewayConfig::default(),
+/// );
+/// gw.submit(InferenceRequest::text(0, 128, 16), SimTime::ZERO);
+/// let mut now = SimTime::ZERO;
+/// while gw.has_work() {
+///     now = gw.step(now);
+/// }
+/// let streams = gw.drain_streams();
+/// assert_eq!(streams.streams()[0].tokens.len(), 16);
+/// ```
+pub struct GatewayEngine {
+    geom: LlmGeometry,
+    gpu: GpuSpec,
+    config: GatewayConfig,
+    kv: PagedKvCache,
+    scheduler: Box<dyn Scheduler>,
+    policy: PolicyKind,
+    admission: AdmissionController,
+    /// Request id → tenant (requests not in the map belong to tenant 0).
+    tenants: BTreeMap<u64, u32>,
+    pending: Vec<GateSeq>,
+    running: Vec<GateSeq>,
+    completions: Vec<RequestRecord>,
+    streams: StreamLog,
+    offloader: Option<Box<dyn Offloader>>,
+    pending_swap_out: u64,
+    pending_swap_in: u64,
+    swapped_bytes_total: u64,
+    iterations: u64,
+    preemptions: u64,
+    tracer: SharedTracer,
+    scope: String,
+    last_gauges: BTreeMap<String, f64>,
+}
+
+impl std::fmt::Debug for GatewayEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayEngine")
+            .field("policy", &self.policy.name())
+            .field("pending", &self.pending.len())
+            .field("running", &self.running.len())
+            .field("iterations", &self.iterations)
+            .finish()
+    }
+}
+
+impl GatewayEngine {
+    /// Creates a gateway hosting `geom` on `gpu`, admitting in `policy`
+    /// order.
+    pub fn new(geom: LlmGeometry, gpu: GpuSpec, policy: PolicyKind, config: GatewayConfig) -> Self {
+        let kv = PagedKvCache::new(geom, config.kv_pool_bytes, config.block_tokens);
+        let admission = AdmissionController::new(config.max_outstanding_per_tenant);
+        GatewayEngine {
+            geom,
+            gpu,
+            kv,
+            scheduler: policy.build(),
+            policy,
+            admission,
+            tenants: BTreeMap::new(),
+            pending: Vec::new(),
+            running: Vec::new(),
+            completions: Vec::new(),
+            streams: StreamLog::new(),
+            offloader: None,
+            pending_swap_out: 0,
+            pending_swap_in: 0,
+            swapped_bytes_total: 0,
+            iterations: 0,
+            preemptions: 0,
+            tracer: null_tracer(),
+            scope: "gateway".to_owned(),
+            last_gauges: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// Attaches a tracer; `scope` labels this gateway's events.
+    pub fn with_tracer(mut self, tracer: SharedTracer, scope: impl Into<String>) -> Self {
+        self.tracer = tracer;
+        self.scope = scope.into();
+        self
+    }
+
+    /// Installs the request-id → tenant map (unmapped ids are tenant 0).
+    pub fn with_tenants(mut self, tenants: BTreeMap<u64, u32>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Installs the offload backend used by swap preemption.
+    pub fn with_offloader(mut self, offloader: Box<dyn Offloader>) -> Self {
+        self.offloader = Some(offloader);
+        self
+    }
+
+    /// The admission policy this gateway runs.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Number of decode/prefill iterations executed.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Number of mid-decode preemptions.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Total KV bytes moved by swap preemption (both directions).
+    pub fn swapped_bytes_total(&self) -> u64 {
+        self.swapped_bytes_total
+    }
+
+    /// Requests queued for admission.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sequences currently being decoded.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Read access to the KV pool.
+    pub fn kv(&self) -> &PagedKvCache {
+        &self.kv
+    }
+
+    /// Removes and returns the completed token streams so far.
+    pub fn drain_streams(&mut self) -> StreamLog {
+        std::mem::take(&mut self.streams)
+    }
+
+    fn tenant_of(&self, id: u64) -> u32 {
+        self.tenants.get(&id).copied().unwrap_or(0)
+    }
+
+    fn emit_gauge(&mut self, suffix: &str, value: f64, at: SimTime) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let name = format!("{}.{suffix}", self.scope);
+        if self.last_gauges.get(&name) == Some(&value) {
+            return;
+        }
+        self.last_gauges.insert(name.clone(), value);
+        self.tracer.gauge(&name, value);
+        self.tracer.emit(TraceEvent::Gauge { name, value, at });
+    }
+
+    /// Whether a pending sequence may be scheduled right now.
+    fn seq_eligible(&self, seq: &GateSeq) -> bool {
+        seq.admitted_once || self.admission.eligible(seq.tenant)
+    }
+
+    /// Admits pending requests in scheduler order.
+    ///
+    /// Admission stops at the first request whose KV does not fit
+    /// (head-of-line semantics, like vLLM) — except while the batch is
+    /// empty and nothing has been admitted yet, where non-fitting entries
+    /// are skipped instead so one oversized head cannot stall an idle
+    /// engine that still has admissible work.
+    fn admit(&mut self, now: SimTime) {
+        let mut metas: Vec<QueuedMeta> = self
+            .pending
+            .iter()
+            .filter(|s| self.seq_eligible(s))
+            .map(|s| QueuedMeta {
+                id: s.life.req.id.0,
+                tenant: s.tenant,
+                enqueued: s.life.arrival,
+                prompt_tokens: s.life.req.prompt_tokens,
+                output_tokens: s.life.req.output_tokens,
+                generated: s.life.generated,
+            })
+            .collect();
+        self.scheduler.prioritize(&mut metas, now);
+
+        let mut admitted_any = false;
+        for meta in metas {
+            if self.running.len() >= self.config.max_batch {
+                break;
+            }
+            let idx = self
+                .pending
+                .iter()
+                .position(|s| s.life.req.id.0 == meta.id)
+                .expect("scheduled ids come from the pending queue");
+            // Caps can fill mid-round: an earlier pick may have consumed
+            // this tenant's last slot.
+            if !self.seq_eligible(&self.pending[idx]) {
+                continue;
+            }
+            let needed = self.pending[idx].life.context_tokens() + 1;
+            if !self.kv.can_fit_tokens(needed) {
+                if self.running.is_empty() && !admitted_any {
+                    continue;
+                }
+                break;
+            }
+            let mut seq = self.pending.remove(idx);
+            admitted_any = true;
+            trace!(
+                self.tracer,
+                TraceEvent::RequestScheduled {
+                    gateway: self.scope.clone(),
+                    policy: self.scheduler.name().to_owned(),
+                    request: seq.life.req.id.0,
+                    queue_depth: self.pending.len() as u64,
+                    at: now,
+                }
+            );
+            trace!(
+                self.tracer,
+                TraceEvent::RequestAdmitted {
+                    engine: self.scope.clone(),
+                    request: seq.life.req.id.0,
+                    waiting: self.pending.len() as u64,
+                    at: now,
+                }
+            );
+            if !seq.admitted_once {
+                self.admission.on_admit(seq.tenant);
+                seq.admitted_once = true;
+            }
+            self.kv
+                .grow_seq(seq.life.req.id, seq.life.context_tokens())
+                .expect("can_fit_tokens checked");
+            if seq.swapped {
+                let bytes = self.geom.kv_bytes(seq.life.context_tokens());
+                self.pending_swap_in += bytes;
+                self.swapped_bytes_total += bytes;
+                seq.swapped = false;
+                seq.prefilled = true;
+            } else {
+                seq.prefilled = false;
+            }
+            self.running.push(seq);
+        }
+    }
+
+    /// Ensures every running sequence can grow by one token this iteration,
+    /// preempting the youngest (most recently admitted) under KV pressure.
+    fn make_room_for_decode(&mut self, now: SimTime) {
+        loop {
+            let need: u64 = self
+                .running
+                .iter()
+                .filter(|s| s.life.context_tokens() % self.config.block_tokens == 0)
+                .count() as u64;
+            if need <= self.kv.free_blocks() || self.running.is_empty() {
+                return;
+            }
+            let mut victim = self.running.pop().expect("non-empty");
+            self.kv.free_seq(victim.life.req.id);
+            self.preemptions += 1;
+            self.tracer.incr("gateway.preemptions", 1);
+            let swapping =
+                self.config.preemption == PreemptionPolicy::Swap && self.offloader.is_some();
+            trace!(
+                self.tracer,
+                TraceEvent::RequestPreempted {
+                    engine: self.scope.clone(),
+                    request: victim.life.req.id.0,
+                    policy: if swapping { "swap" } else { "recompute" }.to_owned(),
+                    at: now,
+                }
+            );
+            if swapping {
+                let bytes = self.geom.kv_bytes(victim.life.context_tokens());
+                self.pending_swap_out += bytes;
+                self.swapped_bytes_total += bytes;
+                victim.swapped = true;
+            } else {
+                victim.prefilled = false;
+            }
+            self.pending.push(victim);
+        }
+    }
+}
+
+impl Engine for GatewayEngine {
+    fn submit(&mut self, req: InferenceRequest, now: SimTime) {
+        let tenant = self.tenant_of(req.id.0);
+        trace!(
+            self.tracer,
+            TraceEvent::GatewayEnqueued {
+                gateway: self.scope.clone(),
+                tenant: u64::from(tenant),
+                request: req.id.0,
+                at: now,
+            }
+        );
+        self.pending.push(GateSeq {
+            life: SeqLifecycle::new(req, now),
+            tenant,
+            tokens: Vec::new(),
+            prefilled: false,
+            swapped: false,
+            admitted_once: false,
+        });
+    }
+
+    fn has_work(&self) -> bool {
+        if !self.running.is_empty() {
+            return true;
+        }
+        self.pending
+            .iter()
+            .any(|s| self.seq_eligible(s) && self.kv.can_fit_tokens(s.life.context_tokens() + 1))
+    }
+
+    fn step(&mut self, now: SimTime) -> SimTime {
+        self.iterations += 1;
+        let mut now = now;
+        if let Some(off) = self.offloader.as_mut() {
+            now = off.on_iteration_boundary(now).max(now);
+        }
+        self.admit(now);
+        self.make_room_for_decode(now);
+        self.emit_gauge("queue_depth", self.pending.len() as f64, now);
+        self.emit_gauge("running", self.running.len() as f64, now);
+        self.emit_gauge("kv_used_bytes", self.kv.used_bytes() as f64, now);
+        if self.running.is_empty() {
+            return now;
+        }
+
+        let mut io_done = now;
+        if let Some(off) = self.offloader.as_mut() {
+            let chunks_per_gib = 2 * self.geom.layers;
+            if self.pending_swap_out > 0 {
+                io_done = io_done.max(off.swap_out(self.pending_swap_out, chunks_per_gib, now));
+                self.pending_swap_out = 0;
+            }
+            if self.pending_swap_in > 0 {
+                io_done = io_done.max(off.swap_in(self.pending_swap_in, chunks_per_gib, now));
+                self.pending_swap_in = 0;
+            }
+        } else {
+            self.pending_swap_out = 0;
+            self.pending_swap_in = 0;
+        }
+
+        let prefill_tokens: u64 = self
+            .running
+            .iter()
+            .filter(|s| !s.prefilled)
+            .map(|s| s.life.context_tokens())
+            .sum();
+        let t_prefill = cost::llm_prefill_time(&self.geom, &self.gpu, prefill_tokens);
+        let batch = self.running.len() as u64;
+        let total_ctx = self.kv.total_context_tokens() + batch;
+        let t_decode = cost::llm_decode_step_time(&self.geom, &self.gpu, batch, total_ctx);
+        let end = io_done + t_prefill + t_decode;
+
+        let mut finished: Vec<usize> = Vec::new();
+        for (i, seq) in self.running.iter_mut().enumerate() {
+            seq.prefilled = true;
+            self.kv
+                .grow_seq(seq.life.req.id, 1)
+                .expect("make_room_for_decode guarantees headroom");
+            seq.life.note_token(end);
+            seq.tokens.push(end);
+            if seq.life.generated == 1 {
+                trace!(
+                    self.tracer,
+                    TraceEvent::FirstTokenEmitted {
+                        gateway: self.scope.clone(),
+                        request: seq.life.req.id.0,
+                        at: end,
+                    }
+                );
+            }
+            if seq.life.is_complete() {
+                finished.push(i);
+            }
+        }
+        for &i in finished.iter().rev() {
+            let seq = self.running.remove(i);
+            self.kv.free_seq(seq.life.req.id);
+            self.admission.on_complete(seq.tenant);
+            self.scheduler
+                .observe_completion(seq.life.req.prompt_tokens, seq.life.generated);
+            trace!(
+                self.tracer,
+                TraceEvent::GatewayCompleted {
+                    gateway: self.scope.clone(),
+                    request: seq.life.req.id.0,
+                    output_tokens: seq.life.generated,
+                    at: end,
+                }
+            );
+            self.completions.push(seq.life.record(end));
+            self.streams.record(TokenStream {
+                id: seq.life.req.id.0,
+                tenant: seq.tenant,
+                arrival: seq.life.arrival,
+                tokens: seq.tokens,
+            });
+        }
+        end
+    }
+
+    fn drain_completions(&mut self) -> Vec<RequestRecord> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_models::zoo;
+
+    fn engine(policy: PolicyKind, pool_blocks: u64) -> GatewayEngine {
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let pool = geom.kv_bytes_per_token() * DEFAULT_BLOCK_TOKENS * pool_blocks;
+        GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            policy,
+            GatewayConfig {
+                kv_pool_bytes: pool,
+                ..GatewayConfig::default()
+            },
+        )
+    }
+
+    fn run_to_completion(e: &mut GatewayEngine) -> SimTime {
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        while e.has_work() {
+            now = e.step(now);
+            guard += 1;
+            assert!(guard < 1_000_000, "gateway failed to make progress");
+        }
+        now
+    }
+
+    #[test]
+    fn single_request_streams_every_token() {
+        let mut e = engine(PolicyKind::Fcfs, 2000);
+        e.submit(InferenceRequest::text(0, 256, 32), SimTime::ZERO);
+        run_to_completion(&mut e);
+        let streams = e.drain_streams();
+        assert_eq!(streams.len(), 1);
+        let s = &streams.streams()[0];
+        assert_eq!(s.tokens.len(), 32);
+        assert!(s.ttft() > 0.0);
+        assert!(s.tokens.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(e.drain_completions().len(), 1);
+        assert_eq!(e.kv().used_blocks(), 0);
+    }
+
+    #[test]
+    fn sjf_admits_short_job_first_under_contention() {
+        // Pool fits one sequence at a time: the admission order is the
+        // completion order.
+        let run = |policy: PolicyKind| -> Vec<u64> {
+            let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+            let pool = geom.kv_bytes_per_token() * 16 * 80; // 1280 tokens
+            let mut e = GatewayEngine::new(
+                geom,
+                GpuSpec::a100_80g(),
+                policy,
+                GatewayConfig {
+                    kv_pool_bytes: pool,
+                    ..GatewayConfig::default()
+                },
+            );
+            e.submit(InferenceRequest::text(0, 900, 100), SimTime::ZERO);
+            e.submit(InferenceRequest::text(1, 900, 10), SimTime::ZERO);
+            run_to_completion(&mut e);
+            e.drain_completions().iter().map(|r| r.id).collect()
+        };
+        assert_eq!(run(PolicyKind::Fcfs), vec![0, 1], "fcfs serves in order");
+        assert_eq!(run(PolicyKind::Sjf), vec![1, 0], "sjf serves short first");
+    }
+
+    #[test]
+    fn tenant_cap_limits_concurrent_admissions() {
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let mut e = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::Fcfs,
+            GatewayConfig {
+                max_outstanding_per_tenant: 1,
+                ..GatewayConfig::default()
+            },
+        );
+        for i in 0..3 {
+            e.submit(InferenceRequest::text(i, 64, 8), SimTime::ZERO);
+        }
+        e.step(SimTime::ZERO);
+        assert_eq!(e.running_count(), 1, "cap of 1 admits one at a time");
+        assert_eq!(e.queue_depth(), 2);
+        run_to_completion(&mut e);
+        assert_eq!(e.drain_completions().len(), 3, "nothing is dropped");
+    }
+
+    #[test]
+    fn tenants_with_free_slots_bypass_a_capped_tenant() {
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let tenants: BTreeMap<u64, u32> = [(0, 0), (1, 0), (2, 1)].into_iter().collect();
+        let mut e = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::Fcfs,
+            GatewayConfig {
+                max_outstanding_per_tenant: 1,
+                ..GatewayConfig::default()
+            },
+        )
+        .with_tenants(tenants);
+        for i in 0..3 {
+            e.submit(InferenceRequest::text(i, 64, 8), SimTime::ZERO);
+        }
+        e.step(SimTime::ZERO);
+        // Tenant 0's second request is capped, but tenant 1's runs.
+        assert_eq!(e.running_count(), 2);
+        run_to_completion(&mut e);
+        assert_eq!(e.drain_completions().len(), 3);
+    }
+
+    #[test]
+    fn preemption_under_pressure_completes_everything() {
+        let mut e = engine(PolicyKind::SjfBucket, 40); // 640 tokens
+        e.submit(InferenceRequest::text(0, 256, 200), SimTime::ZERO);
+        e.submit(InferenceRequest::text(1, 256, 200), SimTime::ZERO);
+        run_to_completion(&mut e);
+        let recs = e.drain_completions();
+        assert_eq!(recs.len(), 2);
+        assert!(e.preemptions() > 0, "expected KV pressure");
+        let streams = e.drain_streams();
+        assert!(streams.streams().iter().all(|s| s.tokens.len() == 200));
+    }
+
+    #[test]
+    fn swap_preemption_moves_bytes_through_offloader() {
+        use aqua_engines::offload::DramOffloader;
+        use aqua_sim::gpu::GpuId;
+        use aqua_sim::topology::ServerTopology;
+        use aqua_sim::transfer::TransferEngine;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let server = ServerTopology::nvlink_pair(GpuSpec::a100_80g());
+        let xfer = Rc::new(RefCell::new(TransferEngine::new()));
+        let mut e = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::Fcfs,
+            GatewayConfig {
+                kv_pool_bytes: geom.kv_bytes_per_token() * 16 * 40,
+                preemption: PreemptionPolicy::Swap,
+                ..GatewayConfig::default()
+            },
+        )
+        .with_offloader(Box::new(DramOffloader::pinned(&server, GpuId(0), xfer)));
+        e.submit(InferenceRequest::text(0, 256, 200), SimTime::ZERO);
+        e.submit(InferenceRequest::text(1, 256, 200), SimTime::ZERO);
+        run_to_completion(&mut e);
+        assert_eq!(e.drain_completions().len(), 2);
+        assert!(e.preemptions() > 0);
+        assert!(e.swapped_bytes_total() > 0, "swap path exercised");
+    }
+
+    #[test]
+    fn oversized_head_does_not_stall_admissible_work() {
+        // FCFS head can never fit; the idle-engine skip must let the small
+        // request through (and has_work must agree).
+        let mut e = engine(PolicyKind::Fcfs, 40); // 640 tokens
+        e.submit(InferenceRequest::text(0, 10_000, 5), SimTime::ZERO);
+        e.submit(InferenceRequest::text(1, 64, 8), SimTime::ZERO);
+        assert!(e.has_work());
+        run_to_completion(&mut e);
+        let recs = e.drain_completions();
+        assert_eq!(recs.len(), 1, "only the admissible request completes");
+        assert_eq!(recs[0].id, 1);
+        assert!(!e.has_work(), "the oversized request can never be admitted");
+    }
+
+    #[test]
+    fn traced_gateway_journals_the_request_lifecycle() {
+        use aqua_telemetry::JournalTracer;
+        use std::sync::Arc;
+
+        let journal = Arc::new(JournalTracer::new());
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let mut e = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::Sjf,
+            GatewayConfig::default(),
+        )
+        .with_tracer(journal.clone(), "gw:test");
+        e.submit(InferenceRequest::text(7, 128, 4), SimTime::ZERO);
+        run_to_completion(&mut e);
+
+        let events = journal.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name()).collect();
+        for expected in [
+            "gateway_enqueued",
+            "request_scheduled",
+            "request_admitted",
+            "first_token_emitted",
+            "gateway_completed",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::RequestScheduled { policy, request, .. }
+                if policy == "sjf" && *request == 7
+        )));
+        // Lifecycle events serialize canonically.
+        for e in &events {
+            assert!(aqua_telemetry::json::parse(&e.to_json_line()).is_ok());
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
+
+        // Liveness across the whole policy zoo: every admissible request
+        // completes with its exact token count and the pool drains.
+        #[test]
+        fn gateway_liveness_across_policies(
+            reqs in proptest::collection::vec((1u64..400, 1u64..60, 0u64..8), 1..10),
+            policy_idx in 0usize..5,
+            swap in proptest::bool::ANY,
+        ) {
+            use aqua_engines::driver::Driver;
+
+            let policy = PolicyKind::ALL[policy_idx];
+            let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+            let mut e = GatewayEngine::new(
+                geom,
+                GpuSpec::a100_80g(),
+                policy,
+                GatewayConfig {
+                    kv_pool_bytes: geom.kv_bytes_per_token() * 16 * 60,
+                    preemption: if swap { PreemptionPolicy::Swap } else { PreemptionPolicy::Recompute },
+                    max_outstanding_per_tenant: 3,
+                    ..GatewayConfig::default()
+                },
+            );
+            let mut driver = Driver::new();
+            for (i, (prompt, output, at_s)) in reqs.iter().enumerate() {
+                driver.schedule_arrival(
+                    0,
+                    SimTime::from_secs(*at_s),
+                    InferenceRequest::text(i as u64, *prompt, *output),
+                );
+            }
+            {
+                let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
+                driver.run(&mut engines, SimTime::from_secs(100_000));
+            }
+            proptest::prop_assert!(!e.has_work());
+            let recs = e.drain_completions();
+            proptest::prop_assert_eq!(recs.len(), reqs.len());
+            let streams = e.drain_streams();
+            proptest::prop_assert_eq!(streams.len(), reqs.len());
+            for s in streams.streams() {
+                let (_, output, _) = reqs[s.id as usize];
+                proptest::prop_assert_eq!(s.tokens.len() as u64, output.max(1));
+                proptest::prop_assert!(s.tokens.windows(2).all(|w| w[0] <= w[1]));
+            }
+            proptest::prop_assert_eq!(e.kv().used_blocks(), 0);
+        }
+    }
+}

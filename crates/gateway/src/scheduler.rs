@@ -1,0 +1,378 @@
+//! The decode-scheduler zoo.
+//!
+//! Each policy answers one question: given the queue of admissible requests,
+//! in what order should the gateway admit them into the continuous batch?
+//! The trait is deliberately tiny — policies see queue metadata only, never
+//! engine internals — so a policy is a pure, deterministic ordering and two
+//! runs with the same inputs always produce the same admission sequence.
+
+use aqua_sim::time::{SimDuration, SimTime};
+
+/// Queue metadata a scheduler is allowed to see for one waiting request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedMeta {
+    /// Request id.
+    pub id: u64,
+    /// Tenant the request belongs to.
+    pub tenant: u32,
+    /// When the request entered the gateway queue.
+    pub enqueued: SimTime,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u64,
+    /// Declared output length in tokens (the simulator's oracle; real
+    /// servers must predict this — see [`OrcaPredict`]).
+    pub output_tokens: u64,
+    /// Tokens already generated before a preemption returned the request to
+    /// the queue (0 for first-time admission).
+    pub generated: u64,
+}
+
+/// A decode-admission ordering policy.
+///
+/// `prioritize` reorders the queue in place; the gateway admits from the
+/// front with a head-of-line stop at the first request whose KV does not
+/// fit. Implementations must be deterministic: every ordering ends with
+/// `(enqueued, id)` tie-breakers so equal-priority requests keep a stable
+/// total order.
+pub trait Scheduler {
+    /// Policy name as it appears in tables and trace events.
+    fn name(&self) -> &'static str;
+
+    /// Reorders `queue` so the next request to admit is first.
+    fn prioritize(&mut self, queue: &mut [QueuedMeta], now: SimTime);
+
+    /// Feedback hook: a request with `prompt` prompt tokens finished after
+    /// generating `output` tokens. Predictive policies learn from this.
+    fn observe_completion(&mut self, _prompt: u64, _output: u64) {}
+}
+
+/// First-come first-served: admission order is arrival order (this is what
+/// vLLM's waiting queue does).
+#[derive(Debug, Default)]
+pub struct Fcfs;
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn prioritize(&mut self, queue: &mut [QueuedMeta], _now: SimTime) {
+        queue.sort_by_key(|m| (m.enqueued, m.id));
+    }
+}
+
+/// Pure shortest-job-first on declared output length. Minimizes mean
+/// latency but lets a stream of short jobs starve a long one indefinitely.
+#[derive(Debug, Default)]
+pub struct Sjf;
+
+impl Scheduler for Sjf {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn prioritize(&mut self, queue: &mut [QueuedMeta], _now: SimTime) {
+        queue.sort_by_key(|m| {
+            (
+                m.output_tokens.saturating_sub(m.generated),
+                m.enqueued,
+                m.id,
+            )
+        });
+    }
+}
+
+/// SJF with length bucketing: jobs whose remaining lengths fall in the same
+/// bucket are served FCFS, so near-equal jobs do not leapfrog each other and
+/// the queue keeps most of SJF's tail-latency win without its churn.
+#[derive(Debug)]
+pub struct SjfBucket {
+    /// Bucket width in tokens.
+    pub bucket: u64,
+}
+
+impl Default for SjfBucket {
+    fn default() -> Self {
+        SjfBucket { bucket: 64 }
+    }
+}
+
+impl Scheduler for SjfBucket {
+    fn name(&self) -> &'static str {
+        "sjf+bucket"
+    }
+
+    fn prioritize(&mut self, queue: &mut [QueuedMeta], _now: SimTime) {
+        let bucket = self.bucket.max(1);
+        queue.sort_by_key(|m| {
+            (
+                m.output_tokens.saturating_sub(m.generated) / bucket,
+                m.enqueued,
+                m.id,
+            )
+        });
+    }
+}
+
+/// SJF with starvation aging: a request waiting longer than the promotion
+/// threshold jumps ahead of every un-aged request (aged requests among
+/// themselves are FCFS), bounding worst-case queueing delay.
+#[derive(Debug)]
+pub struct SjfAging {
+    /// Waiting time after which a request is promoted.
+    pub promote_after: SimDuration,
+}
+
+impl Default for SjfAging {
+    fn default() -> Self {
+        SjfAging {
+            promote_after: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl Scheduler for SjfAging {
+    fn name(&self) -> &'static str {
+        "sjf+aging"
+    }
+
+    fn prioritize(&mut self, queue: &mut [QueuedMeta], now: SimTime) {
+        let promote = self.promote_after;
+        queue.sort_by_key(|m| {
+            let aged = now.duration_since(m.enqueued) >= promote;
+            if aged {
+                // Aged requests first, FCFS among themselves.
+                (0u8, 0u64, m.enqueued, m.id)
+            } else {
+                (
+                    1u8,
+                    m.output_tokens.saturating_sub(m.generated),
+                    m.enqueued,
+                    m.id,
+                )
+            }
+        });
+    }
+}
+
+/// Orca-style remaining-length prediction: instead of trusting the declared
+/// output length (which a real server does not know), predict it from an
+/// exponentially weighted average of observed output/prompt ratios and
+/// order by predicted remaining work.
+#[derive(Debug)]
+pub struct OrcaPredict {
+    /// EWMA of output/prompt across completed requests (warm-start 1.0).
+    ratio: f64,
+    /// EWMA smoothing factor.
+    alpha: f64,
+}
+
+impl Default for OrcaPredict {
+    fn default() -> Self {
+        OrcaPredict {
+            ratio: 1.0,
+            alpha: 0.1,
+        }
+    }
+}
+
+impl OrcaPredict {
+    /// Predicted remaining output tokens for one queue entry.
+    fn predict(&self, m: &QueuedMeta) -> u64 {
+        let total = (self.ratio * m.prompt_tokens.max(1) as f64).max(1.0) as u64;
+        total.saturating_sub(m.generated).max(1)
+    }
+
+    /// The current learned output/prompt ratio.
+    pub fn learned_ratio(&self) -> f64 {
+        self.ratio
+    }
+}
+
+impl Scheduler for OrcaPredict {
+    fn name(&self) -> &'static str {
+        "orca"
+    }
+
+    fn prioritize(&mut self, queue: &mut [QueuedMeta], _now: SimTime) {
+        let predictions: Vec<u64> = queue.iter().map(|m| self.predict(m)).collect();
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        order.sort_by_key(|&i| (predictions[i], queue[i].enqueued, queue[i].id));
+        let reordered: Vec<QueuedMeta> = order.iter().map(|&i| queue[i].clone()).collect();
+        queue.clone_from_slice(&reordered);
+    }
+
+    fn observe_completion(&mut self, prompt: u64, output: u64) {
+        let observed = output as f64 / prompt.max(1) as f64;
+        self.ratio = (1.0 - self.alpha) * self.ratio + self.alpha * observed;
+    }
+}
+
+/// The policy zoo as a value type, for CLI flags and experiment fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// [`Fcfs`].
+    Fcfs,
+    /// [`Sjf`].
+    Sjf,
+    /// [`SjfBucket`] with the default 64-token buckets.
+    SjfBucket,
+    /// [`SjfAging`] with the default 60 s promotion.
+    SjfAging,
+    /// [`OrcaPredict`] with the default EWMA.
+    Orca,
+}
+
+impl PolicyKind {
+    /// Every policy, in table order.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Fcfs,
+        PolicyKind::Sjf,
+        PolicyKind::SjfBucket,
+        PolicyKind::SjfAging,
+        PolicyKind::Orca,
+    ];
+
+    /// Instantiates the policy with its default parameters.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            PolicyKind::Fcfs => Box::new(Fcfs),
+            PolicyKind::Sjf => Box::new(Sjf),
+            PolicyKind::SjfBucket => Box::new(SjfBucket::default()),
+            PolicyKind::SjfAging => Box::new(SjfAging::default()),
+            PolicyKind::Orca => Box::new(OrcaPredict::default()),
+        }
+    }
+
+    /// The policy's table/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "fcfs",
+            PolicyKind::Sjf => "sjf",
+            PolicyKind::SjfBucket => "sjf+bucket",
+            PolicyKind::SjfAging => "sjf+aging",
+            PolicyKind::Orca => "orca",
+        }
+    }
+
+    /// Parses a CLI name back into a policy.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64, enqueued_s: u64, output: u64) -> QueuedMeta {
+        QueuedMeta {
+            id,
+            tenant: 0,
+            enqueued: SimTime::from_secs(enqueued_s),
+            prompt_tokens: 100,
+            output_tokens: output,
+            generated: 0,
+        }
+    }
+
+    fn order_of(s: &mut dyn Scheduler, queue: &mut [QueuedMeta], now: SimTime) -> Vec<u64> {
+        s.prioritize(queue, now);
+        queue.iter().map(|m| m.id).collect()
+    }
+
+    #[test]
+    fn fcfs_orders_by_arrival() {
+        let mut q = vec![meta(2, 5, 10), meta(1, 1, 500), meta(3, 3, 50)];
+        assert_eq!(order_of(&mut Fcfs, &mut q, SimTime::ZERO), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn sjf_orders_by_remaining_output() {
+        let mut q = vec![meta(1, 1, 500), meta(2, 5, 10), meta(3, 3, 50)];
+        assert_eq!(order_of(&mut Sjf, &mut q, SimTime::ZERO), vec![2, 3, 1]);
+        // A preempted request competes with its remaining length.
+        let mut preempted = meta(4, 0, 500);
+        preempted.generated = 495;
+        let mut q = vec![meta(1, 1, 500), preempted];
+        assert_eq!(order_of(&mut Sjf, &mut q, SimTime::ZERO), vec![4, 1]);
+    }
+
+    #[test]
+    fn bucketing_keeps_near_equal_jobs_fcfs() {
+        // 40 and 50 share the 64-token bucket: FCFS between them; 500 last.
+        let mut q = vec![meta(1, 1, 500), meta(2, 5, 40), meta(3, 3, 50)];
+        assert_eq!(
+            order_of(&mut SjfBucket::default(), &mut q, SimTime::ZERO),
+            vec![3, 2, 1]
+        );
+    }
+
+    #[test]
+    fn aging_promotes_starved_requests() {
+        let mut q = vec![meta(1, 0, 500), meta(2, 70, 10)];
+        // At t=75 the long job has waited 75 s > 60 s: it jumps the queue.
+        assert_eq!(
+            order_of(&mut SjfAging::default(), &mut q, SimTime::from_secs(75)),
+            vec![1, 2]
+        );
+        // At t=30 nothing is aged: plain SJF.
+        let mut q = vec![meta(1, 0, 500), meta(2, 7, 10)];
+        assert_eq!(
+            order_of(&mut SjfAging::default(), &mut q, SimTime::from_secs(30)),
+            vec![2, 1]
+        );
+    }
+
+    #[test]
+    fn orca_learns_from_completions() {
+        let mut orca = OrcaPredict::default();
+        // Warm start predicts output == prompt, so ordering follows prompts.
+        let mut short_prompt = meta(1, 1, 999);
+        short_prompt.prompt_tokens = 10;
+        let mut long_prompt = meta(2, 0, 1);
+        long_prompt.prompt_tokens = 1000;
+        let mut q = vec![long_prompt.clone(), short_prompt.clone()];
+        assert_eq!(
+            order_of(&mut orca, &mut q, SimTime::ZERO),
+            vec![1, 2],
+            "warm start orders by prompt length"
+        );
+        // After observing many tiny outputs the ratio collapses and the
+        // prediction shrinks toward the floor.
+        for _ in 0..100 {
+            orca.observe_completion(1000, 1);
+        }
+        assert!(orca.learned_ratio() < 0.01);
+        let m = meta(9, 0, 1);
+        assert_eq!(orca.predict(&m), 1);
+    }
+
+    #[test]
+    fn zoo_roundtrips_names() {
+        for p in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(p.name()), Some(p));
+            assert_eq!(p.build().name(), p.name());
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(PolicyKind::parse("lifo"), None);
+    }
+
+    #[test]
+    fn orderings_are_deterministic_on_ties() {
+        for p in PolicyKind::ALL {
+            let mut a = vec![meta(3, 1, 10), meta(1, 1, 10), meta(2, 1, 10)];
+            let mut b = vec![meta(2, 1, 10), meta(3, 1, 10), meta(1, 1, 10)];
+            let oa = order_of(&mut *p.build(), &mut a, SimTime::from_secs(2));
+            let ob = order_of(&mut *p.build(), &mut b, SimTime::from_secs(2));
+            assert_eq!(oa, ob, "{p}: ties must break identically");
+            assert_eq!(oa, vec![1, 2, 3], "{p}: id is the final tie-breaker");
+        }
+    }
+}

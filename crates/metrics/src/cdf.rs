@@ -56,12 +56,19 @@ impl Cdf {
 
     /// Linearly interpolated quantile, `q` in `[0, 1]`.
     ///
+    /// An empty CDF reports 0.0 at every quantile (matching
+    /// [`crate::latency::Summary`]'s all-zero default) and a single-sample
+    /// CDF reports that sample everywhere — a tail percentile over a run
+    /// that completed zero or one request must summarize, not crash.
+    ///
     /// # Panics
     ///
-    /// Panics on an empty CDF or `q` outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
         crate::latency::percentile_sorted(&self.sorted, q * 100.0)
     }
 
@@ -75,11 +82,11 @@ impl Cdf {
     }
 
     /// `n` evenly spaced quantiles from 0 to 1 inclusive — a compact row
-    /// for table output.
+    /// for table output. All zeros for an empty CDF.
     ///
     /// # Panics
     ///
-    /// Panics on an empty CDF or `n < 2`.
+    /// Panics if `n < 2`.
     pub fn quantile_row(&self, n: usize) -> Vec<f64> {
         assert!(n >= 2, "need at least the two endpoints");
         (0..n)
@@ -142,9 +149,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_quantile_panics() {
-        Cdf::default().quantile(0.5);
+    fn empty_cdf_is_safe_everywhere() {
+        let cdf = Cdf::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(cdf.quantile(q), 0.0);
+        }
+        assert_eq!(cdf.quantile_row(5), vec![0.0; 5]);
+        assert_eq!(cdf.fraction_below(10.0), 0.0);
+        let one = Cdf::from_samples(&[3.0]);
+        assert_eq!(one.max_quantile_gap(&cdf, 3), 3.0);
+    }
+
+    #[test]
+    fn single_sample_cdf_is_flat() {
+        let cdf = Cdf::from_samples(&[7.5]);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(cdf.quantile(q), 7.5, "quantile {q}");
+        }
+        assert_eq!(cdf.quantile_row(3), vec![7.5; 3]);
+        assert_eq!(cdf.fraction_below(7.5), 0.0);
+        assert_eq!(cdf.fraction_below(7.6), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_quantile_panics() {
+        Cdf::from_samples(&[1.0]).quantile(1.5);
     }
 
     #[test]

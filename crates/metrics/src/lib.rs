@@ -13,6 +13,7 @@
 pub mod cdf;
 pub mod latency;
 pub mod requests;
+pub mod streaming;
 pub mod table;
 pub mod timeseries;
 
@@ -21,6 +22,7 @@ pub mod prelude {
     pub use crate::cdf::Cdf;
     pub use crate::latency::Summary;
     pub use crate::requests::{RequestLog, RequestRecord};
+    pub use crate::streaming::{StreamLog, TokenStream};
     pub use crate::table::Table;
     pub use crate::timeseries::TimeSeries;
 }

@@ -535,6 +535,76 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     vec![("state", format!("\"{}\"", esc(state)))],
                 ));
             }
+            TraceEvent::GatewayEnqueued {
+                gateway,
+                tenant,
+                request,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "gateway-enqueued",
+                    us(*at),
+                    vec![
+                        ("tenant", tenant.to_string()),
+                        ("request", request.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::RequestScheduled {
+                gateway,
+                policy,
+                request,
+                queue_depth,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "scheduled",
+                    us(*at),
+                    vec![
+                        ("policy", format!("\"{}\"", esc(policy))),
+                        ("request", request.to_string()),
+                        ("queue_depth", queue_depth.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::FirstTokenEmitted {
+                gateway,
+                request,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "first-token",
+                    us(*at),
+                    vec![("request", request.to_string())],
+                ));
+            }
+            TraceEvent::GatewayCompleted {
+                gateway,
+                request,
+                output_tokens,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "gateway-completed",
+                    us(*at),
+                    vec![
+                        ("request", request.to_string()),
+                        ("output_tokens", output_tokens.to_string()),
+                    ],
+                ));
+            }
             TraceEvent::AuditViolation {
                 kind,
                 scope,

@@ -409,6 +409,50 @@ pub enum TraceEvent {
         /// Transition time.
         at: SimTime,
     },
+    /// A request entered a serving gateway's admission queue.
+    GatewayEnqueued {
+        /// Gateway scope label.
+        gateway: String,
+        /// Tenant the request belongs to.
+        tenant: u64,
+        /// Request id.
+        request: u64,
+        /// Enqueue time.
+        at: SimTime,
+    },
+    /// A gateway scheduler picked a request for admission into the batch.
+    RequestScheduled {
+        /// Gateway scope label.
+        gateway: String,
+        /// Scheduler policy name, e.g. `sjf+bucket`.
+        policy: String,
+        /// Request id.
+        request: u64,
+        /// Requests still queued after this pick.
+        queue_depth: u64,
+        /// Scheduling time.
+        at: SimTime,
+    },
+    /// A gateway delivered the first output token of a request.
+    FirstTokenEmitted {
+        /// Gateway scope label.
+        gateway: String,
+        /// Request id.
+        request: u64,
+        /// Delivery time.
+        at: SimTime,
+    },
+    /// A gateway finished streaming a request's output.
+    GatewayCompleted {
+        /// Gateway scope label.
+        gateway: String,
+        /// Request id.
+        request: u64,
+        /// Output tokens delivered.
+        output_tokens: u64,
+        /// Completion time.
+        at: SimTime,
+    },
     /// A runtime invariant audit failed (aqua-audit). Only emitted when a
     /// check actually trips, so clean audited runs journal the exact same
     /// event stream — and digest — as unaudited ones.
@@ -457,6 +501,10 @@ impl TraceEvent {
             TraceEvent::LeaseExpired { .. } => "lease_expired",
             TraceEvent::LeaseForceRevoked { .. } => "lease_force_revoked",
             TraceEvent::DegradedMode { .. } => "degraded_mode",
+            TraceEvent::GatewayEnqueued { .. } => "gateway_enqueued",
+            TraceEvent::RequestScheduled { .. } => "request_scheduled",
+            TraceEvent::FirstTokenEmitted { .. } => "first_token_emitted",
+            TraceEvent::GatewayCompleted { .. } => "gateway_completed",
             TraceEvent::AuditViolation { .. } => "audit_violation",
         }
     }
@@ -491,6 +539,10 @@ impl TraceEvent {
             | TraceEvent::LeaseExpired { at, .. }
             | TraceEvent::LeaseForceRevoked { at, .. }
             | TraceEvent::DegradedMode { at, .. }
+            | TraceEvent::GatewayEnqueued { at, .. }
+            | TraceEvent::RequestScheduled { at, .. }
+            | TraceEvent::FirstTokenEmitted { at, .. }
+            | TraceEvent::GatewayCompleted { at, .. }
             | TraceEvent::AuditViolation { at, .. } => *at,
             TraceEvent::TransferCompleted { start, .. }
             | TraceEvent::SliceFinished { start, .. }
@@ -751,6 +803,50 @@ impl TraceEvent {
             } => {
                 w.str("consumer", consumer);
                 w.str("state", state);
+                w.time("at", *at);
+            }
+            TraceEvent::GatewayEnqueued {
+                gateway,
+                tenant,
+                request,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.num("tenant", *tenant);
+                w.num("request", *request);
+                w.time("at", *at);
+            }
+            TraceEvent::RequestScheduled {
+                gateway,
+                policy,
+                request,
+                queue_depth,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.str("policy", policy);
+                w.num("request", *request);
+                w.num("queue_depth", *queue_depth);
+                w.time("at", *at);
+            }
+            TraceEvent::FirstTokenEmitted {
+                gateway,
+                request,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.num("request", *request);
+                w.time("at", *at);
+            }
+            TraceEvent::GatewayCompleted {
+                gateway,
+                request,
+                output_tokens,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.num("request", *request);
+                w.num("output_tokens", *output_tokens);
                 w.time("at", *at);
             }
             TraceEvent::AuditViolation {

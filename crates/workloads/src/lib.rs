@@ -19,6 +19,8 @@
 //! * [`sampling`] — the seeded samplers (exponential, log-normal, Poisson
 //!   process) everything above is built on. No `rand_distr` dependency:
 //!   the transforms are implemented here and unit-tested.
+//! * [`tenants`] — merged multi-tenant mixes (chat + code + batch) for the
+//!   serving gateway in `aqua-gateway`.
 
 pub mod chat;
 pub mod items;
@@ -26,6 +28,7 @@ pub mod longprompt;
 pub mod lora;
 pub mod sampling;
 pub mod sharegpt;
+pub mod tenants;
 
 pub mod prelude {
     //! Convenience re-exports.
@@ -35,6 +38,7 @@ pub mod prelude {
     pub use crate::lora::{lora_trace, lora_trace_skewed};
     pub use crate::sampling::Sampler;
     pub use crate::sharegpt::{sharegpt_trace, ShareGptConfig};
+    pub use crate::tenants::{tenant_trace, TenantTrace};
 }
 
 pub use prelude::*;

@@ -21,6 +21,7 @@
 //! | [`sim`] | `aqua-sim` | multi-GPU server simulator (HBM, NVLink/NVSwitch/PCIe) |
 //! | [`models`] | `aqua-models` | model zoo + roofline cost models |
 //! | [`engines`] | `aqua-engines` | vLLM / CFS / FlexGen / producer engine simulations |
+//! | [`gateway`] | `aqua-gateway` | request-level serving front-end: scheduler zoo + SLO metrics |
 //! | [`workloads`] | `aqua-workloads` | seeded synthetic traces (ShareGPT-like, LoRA, chat, …) |
 //! | [`metrics`] | `aqua-metrics` | TTFT/RCT recorders, time series, tables |
 //! | [`telemetry`] | `aqua-telemetry` | structured trace events, Chrome-trace export, determinism digests |
@@ -54,6 +55,7 @@
 
 pub use aqua_core as core;
 pub use aqua_engines as engines;
+pub use aqua_gateway as gateway;
 pub use aqua_metrics as metrics;
 pub use aqua_models as models;
 pub use aqua_placer as placer;

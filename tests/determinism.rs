@@ -185,6 +185,28 @@ fn suite_runner_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn serve_experiment_is_byte_identical_across_job_counts() {
+    // The gateway tentpole's determinism gate: every policy × load × offload
+    // cell of `aqua-repro serve` renders the same bytes and folds the same
+    // telemetry digests at 1/4/8 jobs.
+    use aqua_bench::runner::{run_suite, ReproArgs};
+    let a = ReproArgs {
+        window: 30,
+        seed: 3,
+        count: 32,
+    };
+    let seq = run_suite(&["serve"], &a, 1, true, false).unwrap();
+    assert!(seq.total_events > 0, "gateway cells must journal events");
+    for jobs in [4usize, 8] {
+        let par = run_suite(&["serve"], &a, jobs, true, false).unwrap();
+        assert_eq!(seq.output, par.output, "stdout must match at {jobs} jobs");
+        assert_eq!(seq.combined_digest, par.combined_digest);
+        assert_eq!(seq.total_events, par.total_events);
+    }
+    assert!(seq.output.contains("Serve `sjf+bucket`"));
+}
+
+#[test]
 fn chaos_digest_differs_across_fault_plans() {
     let a = aqua_bench::chaos_degradation::ChaosTimeline::short();
     let mut b = a;
