@@ -22,14 +22,17 @@ cargo bench -p aqua-bench --bench microbench -- --test
 # Repro-suite acceptance: run the full experiment suite sequentially AND
 # through the parallel sweep runner. `bench` exits non-zero if the parallel
 # output or the combined determinism digest diverges from sequential, and
-# records the wall-time trajectory in BENCH_pr4.json.
-cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr4.json
+# records the wall-time trajectory in BENCH_pr7.json.
+cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr7.json
 # Gateway acceptance: the scheduler-zoo serving study must render
 # byte-identical output and fold identical telemetry digests sequentially
 # vs in parallel. The digests are compared run-against-run inside the
 # process — never against a pinned literal — so the gate survives workload
 # generator changes.
 cargo run --release -p aqua-bench --bin aqua-repro -- serve --smoke --count 64
+# Same gate for the overload/crash-recovery study (goodput cells at 1-4x
+# load plus both crash-restore cells).
+cargo run --release -p aqua-bench --bin aqua-repro -- serve --chaos-smoke
 # Audit acceptance, part 1: 32 seeded FaultPlan x workload x topology points
 # under full invariant auditing must report zero violations.
 cargo run --release -p aqua-bench --bin aqua-repro -- fuzz --smoke
@@ -50,5 +53,27 @@ echo "$plant_out" | grep -q "double_free" || {
   exit 1
 }
 echo "planted double-free caught and shrunk to a reproducer"
+# Audit acceptance, part 3: 16 seeded gateway points (FaultPlan x scheduler
+# policy x load on the serving path) must report zero audit violations AND
+# zero truncated streams.
+cargo run --release -p aqua-bench --bin aqua-repro -- fuzz --gateway --smoke
+# Audit acceptance, part 4: a planted skipped-restore must be *caught*
+# (non-zero exit), diagnosed as token_without_restore and shrunk to a
+# re-runnable reproducer spec.
+if gw_plant_out=$(cargo run --release -p aqua-bench --bin aqua-repro -- fuzz --gateway --points 2 --plant 2>&1); then
+  echo "FAIL: planted skipped restore was not caught by the audit" >&2
+  exit 1
+fi
+echo "$gw_plant_out" | grep -q "reproduce with: aqua-repro fuzz --gateway" || {
+  echo "FAIL: planted gateway violation did not print a shrunk reproducer" >&2
+  echo "$gw_plant_out" >&2
+  exit 1
+}
+echo "$gw_plant_out" | grep -q "token_without_restore" || {
+  echo "FAIL: planted gateway violation was not diagnosed as a skipped restore" >&2
+  echo "$gw_plant_out" >&2
+  exit 1
+}
+echo "planted skipped restore caught and shrunk to a reproducer"
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings

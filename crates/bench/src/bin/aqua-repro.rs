@@ -4,7 +4,7 @@
 //! cargo run -p aqua-bench --release --bin aqua-repro -- list
 //! cargo run -p aqua-bench --release --bin aqua-repro -- fig07 --window 600
 //! cargo run -p aqua-bench --release --bin aqua-repro -- all --jobs 8
-//! cargo run -p aqua-bench --release --bin aqua-repro -- bench --jobs 8 --out BENCH_pr4.json
+//! cargo run -p aqua-bench --release --bin aqua-repro -- bench --jobs 8 --out BENCH_pr7.json
 //! ```
 //!
 //! Experiments decompose into independent sweep points (one per request
@@ -14,12 +14,12 @@
 //! combined determinism digest (reported on stderr) proves the simulations
 //! behaved identically too. `bench` runs the whole suite sequentially and
 //! in parallel, verifies that identity, and writes the wall-time trajectory
-//! to a `BENCH_pr4.json`.
+//! to a `BENCH_pr7.json`.
 //!
 //! The same experiments also run as `cargo bench` targets; this binary is
 //! the ad-hoc front door (pick one experiment, tweak the window/seed).
 
-use aqua_bench::fuzz::{self, FuzzConfig, FuzzPoint};
+use aqua_bench::fuzz::{self, FuzzConfig, FuzzPoint, GatewayFuzzPoint};
 use aqua_bench::runner::{run_suite, ReproArgs, SuiteOutcome, EXPERIMENTS};
 use aqua_bench::trace;
 use std::process::ExitCode;
@@ -145,7 +145,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
 
     let speedup = seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"aqua-repro suite\",\n  \"pr\": 4,\n  \"host_cores\": {},\n  \"points\": {},\n  \"total_events\": {},\n  \"combined_digest\": \"{:016x}\",\n  \"digests_match\": true,\n  \"output_identical\": true,\n  \"speedup\": {:.2},\n  \"runs\": {{\n{},\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"aqua-repro suite\",\n  \"pr\": 7,\n  \"host_cores\": {},\n  \"points\": {},\n  \"total_events\": {},\n  \"combined_digest\": \"{:016x}\",\n  \"digests_match\": true,\n  \"output_identical\": true,\n  \"speedup\": {:.2},\n  \"runs\": {{\n{},\n{}\n  }}\n}}\n",
         default_jobs(),
         seq.experiments.iter().map(|e| e.points).sum::<usize>(),
         seq.total_events,
@@ -154,7 +154,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
         suite_json("sequential", &seq),
         suite_json("parallel", &par)
     );
-    let out = flags.out.as_deref().unwrap_or("BENCH_pr4.json");
+    let out = flags.out.as_deref().unwrap_or("BENCH_pr7.json");
     std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "bench: {} points; sequential {:.2}s, parallel {:.2}s over {} jobs ({speedup:.2}x); digest {:016x}; wrote {out}",
@@ -167,9 +167,10 @@ fn bench(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Flags of the `fuzz` subcommand. `--smoke`/`--plant` are boolean; a
-/// point-shape flag (`--gpus/--work/--faults/--horizon`) switches from a
-/// seeded campaign to re-running that one explicit point (the reproducer
+/// Flags of the `fuzz` subcommand. `--smoke`/`--plant`/`--gateway`/
+/// `--offload` are boolean; a point-shape flag (`--gpus/--work/--faults/
+/// --horizon`, or `--policy/--load/--count` in gateway mode) switches from
+/// a seeded campaign to re-running that one explicit point (the reproducer
 /// path the shrinker prints).
 struct FuzzFlags {
     seed: u64,
@@ -177,10 +178,15 @@ struct FuzzFlags {
     jobs: usize,
     smoke: bool,
     plant: bool,
+    gateway: bool,
+    offload: bool,
     gpus: Option<usize>,
     work: Option<usize>,
     faults: Option<usize>,
     horizon: Option<u64>,
+    policy: Option<usize>,
+    load: Option<usize>,
+    count: Option<usize>,
 }
 
 fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzFlags, String> {
@@ -190,16 +196,23 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzFlags, String> {
         jobs: default_jobs(),
         smoke: false,
         plant: false,
+        gateway: false,
+        offload: false,
         gpus: None,
         work: None,
         faults: None,
         horizon: None,
+        policy: None,
+        load: None,
+        count: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--smoke" => f.smoke = true,
             "--plant" => f.plant = true,
+            "--gateway" => f.gateway = true,
+            "--offload" => f.offload = true,
             valued => {
                 let value = it
                     .next()
@@ -215,12 +228,119 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzFlags, String> {
                     "--work" => f.work = Some(parse("--work")? as usize),
                     "--faults" => f.faults = Some(parse("--faults")? as usize),
                     "--horizon" => f.horizon = Some(parse("--horizon")?),
+                    "--policy" => f.policy = Some(parse("--policy")? as usize),
+                    "--load" => f.load = Some(parse("--load")? as usize),
+                    "--count" => f.count = Some(parse("--count")? as usize),
                     other => return Err(format!("unknown fuzz flag {other}")),
                 }
             }
         }
     }
     Ok(f)
+}
+
+/// Describes why a gateway point is dirty, for the failure report.
+fn gateway_failure(out: &fuzz::GatewayFuzzOutcome) -> String {
+    let mut parts = Vec::new();
+    if !out.violations.is_empty() {
+        parts.push(format!("first violation: {}", out.violations[0]));
+    }
+    if out.truncated > 0 {
+        parts.push(format!("{} truncated stream(s)", out.truncated));
+    }
+    parts.join("; ")
+}
+
+/// The `fuzz --gateway` subcommand: serving-path chaos campaign (FaultPlan
+/// × scheduler policy × load) under the crash-restore auditor plus a
+/// stream-integrity gate, or one explicit gateway point.
+fn gateway_fuzz_cmd(flags: &FuzzFlags) -> Result<(), String> {
+    let explicit = flags.policy.is_some()
+        || flags.load.is_some()
+        || flags.count.is_some()
+        || flags.faults.is_some()
+        || flags.horizon.is_some();
+    if explicit {
+        let point = GatewayFuzzPoint {
+            seed: flags.seed,
+            policy: flags.policy.unwrap_or(0),
+            load: flags.load.unwrap_or(1).max(1),
+            count: flags.count.unwrap_or(16),
+            faults: flags.faults.unwrap_or(0),
+            horizon_secs: flags.horizon.unwrap_or(fuzz::GATEWAY_MIN_HORIZON_SECS),
+            offload: flags.offload,
+            plant: flags.plant,
+        };
+        let out = fuzz::run_gateway_point_quiet(&point);
+        if !out.dirty() {
+            println!(
+                "fuzz: gateway point `{}` is clean ({} streams, {} tokens)",
+                point.repro_spec(),
+                out.streams,
+                out.tokens
+            );
+            return Ok(());
+        }
+        for v in &out.violations {
+            println!("fuzz: {v}");
+        }
+        return Err(format!(
+            "gateway point failed ({}) — reproduce with: aqua-repro fuzz {}",
+            gateway_failure(&out),
+            point.repro_spec()
+        ));
+    }
+
+    let points = flags.points.unwrap_or(if flags.smoke { 16 } else { 48 });
+    let cfg = FuzzConfig {
+        base_seed: flags.seed,
+        points,
+        jobs: flags.jobs,
+        plant: flags.plant,
+    };
+    let report = fuzz::run_gateway_fuzz(&cfg);
+    let dirty = report.dirty();
+    let truncated: usize = report.outcomes.iter().map(|o| o.truncated).sum();
+    let violations: usize = report.outcomes.iter().map(|o| o.violations.len()).sum();
+    eprintln!(
+        "fuzz: {} gateway points over {} jobs, digest {:016x}, {} violation(s), {} truncated stream(s) in {} dirty point(s)",
+        report.outcomes.len(),
+        report.jobs,
+        report.combined_digest,
+        violations,
+        truncated,
+        dirty.len()
+    );
+    let Some(&first_idx) = dirty.first() else {
+        println!(
+            "fuzz: {} gateway points, zero violations, zero truncated streams (digest {:016x})",
+            report.outcomes.len(),
+            report.combined_digest
+        );
+        return Ok(());
+    };
+    let first = &report.outcomes[first_idx];
+    println!(
+        "fuzz: gateway point #{first_idx} (`{}`) failed — {}",
+        first.point.repro_spec(),
+        gateway_failure(first)
+    );
+    let shrunk = fuzz::shrink_gateway(first.point)
+        .expect("a dirty point is a pure function of its fields and must fail again");
+    match &shrunk.violation {
+        Some(v) => println!(
+            "fuzz: shrunk over {} candidate runs to: {v}",
+            shrunk.candidates_run
+        ),
+        None => println!(
+            "fuzz: shrunk over {} candidate runs (stream-integrity failure)",
+            shrunk.candidates_run
+        ),
+    }
+    Err(format!(
+        "gateway fuzz failed — reproduce with: aqua-repro fuzz {}",
+        shrunk.minimal.repro_spec()
+    ))
 }
 
 /// The `fuzz` subcommand: audited chaos campaign, or one explicit point.
@@ -302,14 +422,15 @@ fn fuzz_cmd(flags: &FuzzFlags) -> Result<(), String> {
     ))
 }
 
-/// The `serve --smoke` subcommand: runs the gateway scheduler study
-/// sequentially and in parallel in the same process, and verifies the
-/// stitched output and the combined telemetry digest are identical. The
-/// digests are compared run-against-run, never against a pinned literal,
-/// so the check is robust to workload-generator changes.
-fn serve_smoke(flags: &Flags) -> Result<(), String> {
+/// The `serve --smoke` / `serve --chaos-smoke` subcommands: run the gateway
+/// scheduler study (or the overload/crash-recovery study) sequentially and
+/// in parallel in the same process, and verify the stitched output and the
+/// combined telemetry digest are identical. The digests are compared
+/// run-against-run, never against a pinned literal, so the check is robust
+/// to workload-generator changes.
+fn serve_smoke(flags: &Flags, names: &[&str], label: &str) -> Result<(), String> {
     if trace::journal().is_some() {
-        return Err("serve --smoke compares parallel runs; unset AQUA_TRACE".into());
+        return Err(format!("{label}: compares parallel runs; unset AQUA_TRACE"));
     }
     // At least 4 worker threads even on a small host: the point is to
     // exercise a schedule different from the sequential pass.
@@ -318,24 +439,24 @@ fn serve_smoke(flags: &Flags) -> Result<(), String> {
     } else {
         default_jobs().max(4)
     };
-    let seq = run_suite(&["serve"], &flags.args, 1, false, false)?;
-    let par = run_suite(&["serve"], &flags.args, jobs, false, false)?;
+    let seq = run_suite(names, &flags.args, 1, false, false)?;
+    let par = run_suite(names, &flags.args, jobs, false, false)?;
     if seq.output != par.output {
         return Err(format!(
-            "serve smoke: parallel output differs from sequential ({} vs {} bytes)",
+            "{label}: parallel output differs from sequential ({} vs {} bytes)",
             par.output.len(),
             seq.output.len()
         ));
     }
     if seq.combined_digest != par.combined_digest {
         return Err(format!(
-            "serve smoke: digest mismatch: sequential {:016x} vs parallel {:016x}",
+            "{label}: digest mismatch: sequential {:016x} vs parallel {:016x}",
             seq.combined_digest, par.combined_digest
         ));
     }
     print!("{}", seq.output);
     println!(
-        "serve smoke: {} points byte-identical and digest-identical at 1 vs {jobs} jobs (digest {:016x}, {} events)",
+        "{label}: {} points byte-identical and digest-identical at 1 vs {jobs} jobs (digest {:016x}, {} events)",
         seq.experiments.iter().map(|e| e.points).sum::<usize>(),
         seq.combined_digest,
         seq.total_events
@@ -347,26 +468,39 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: aqua-repro <experiment|list|all|bench|fuzz> [--window S] [--seed N] [--count N] [--jobs N] [--out FILE]\n       aqua-repro serve --smoke [--seed N] [--count N] [--jobs N]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]"
+            "usage: aqua-repro <experiment|list|all|bench|fuzz> [--window S] [--seed N] [--count N] [--jobs N] [--out FILE]\n       aqua-repro serve --smoke|--chaos-smoke [--seed N] [--count N] [--jobs N]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]\n       aqua-repro fuzz --gateway [--smoke] [--plant] [--offload] [--seed N] [--points N] [--jobs N] [--policy I] [--load N] [--count N] [--faults N] [--horizon S]"
         );
         return ExitCode::FAILURE;
     };
-    if cmd == "serve" && argv[1..].iter().any(|a| a == "--smoke") {
-        let rest: Vec<String> = argv[1..]
-            .iter()
-            .filter(|a| *a != "--smoke")
-            .cloned()
-            .collect();
-        return match parse_flags(&rest).and_then(|f| serve_smoke(&f)) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        };
+    let smoke_flag = argv[1..].iter().find_map(|a| match a.as_str() {
+        "--smoke" => Some(("serve", "serve smoke")),
+        "--chaos-smoke" => Some(("serve_chaos", "serve chaos smoke")),
+        _ => None,
+    });
+    if cmd == "serve" {
+        if let Some((experiment, label)) = smoke_flag {
+            let rest: Vec<String> = argv[1..]
+                .iter()
+                .filter(|a| *a != "--smoke" && *a != "--chaos-smoke")
+                .cloned()
+                .collect();
+            return match parse_flags(&rest).and_then(|f| serve_smoke(&f, &[experiment], label)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
     }
     if cmd == "fuzz" {
-        return match parse_fuzz_flags(&argv[1..]).and_then(|f| fuzz_cmd(&f)) {
+        return match parse_fuzz_flags(&argv[1..]).and_then(|f| {
+            if f.gateway {
+                gateway_fuzz_cmd(&f)
+            } else {
+                fuzz_cmd(&f)
+            }
+        }) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

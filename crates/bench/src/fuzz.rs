@@ -330,6 +330,338 @@ pub fn shrink(start: FuzzPoint) -> Option<ShrinkOutcome> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Gateway mode: FaultPlan × scheduler policy × load on the serving path.
+// ---------------------------------------------------------------------------
+
+/// The fault-drawing span floor for gateway points (seconds). Long enough
+/// for the arrival stream, one crash window and the retry backoff to fit.
+pub const GATEWAY_MIN_HORIZON_SECS: u64 = 60;
+
+/// One self-describing gateway fuzz input: a seeded `FaultPlan` crossed
+/// with a scheduler policy, an offload axis and a load multiplier over the
+/// three-tenant serving mix. Like [`FuzzPoint`], every field appears in
+/// [`GatewayFuzzPoint::repro_spec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayFuzzPoint {
+    /// Seed for [`FaultPlan::randomized`] and the workload trace.
+    pub seed: u64,
+    /// Index into [`PolicyKind::ALL`].
+    pub policy: usize,
+    /// Load multiplier over the 2 req/s base chat rate (count scales too).
+    pub load: usize,
+    /// Base chat-tenant request count.
+    pub count: usize,
+    /// Fault windows drawn into the plan.
+    pub faults: usize,
+    /// Span (seconds) the fault windows are drawn over. The simulation
+    /// itself always runs until the gateway drains.
+    pub horizon_secs: u64,
+    /// Swap preemption + AQUA offloader (vs recompute).
+    pub offload: bool,
+    /// Plant the skipped-restore bug (the `token_without_restore`
+    /// audit self-test).
+    pub plant: bool,
+}
+
+use aqua_gateway::engine::{GatewayConfig, GatewayEngine};
+use aqua_gateway::scheduler::PolicyKind;
+
+impl GatewayFuzzPoint {
+    /// Derives point `index` of a gateway fuzz campaign from its base
+    /// seed — a pure function of `(base_seed, index)`.
+    pub fn derive(base_seed: u64, index: u64) -> GatewayFuzzPoint {
+        let mut rng = FaultRng::new(base_seed ^ index.wrapping_mul(0x517C_C1B7_2722_0A95));
+        GatewayFuzzPoint {
+            seed: rng.next_u64(),
+            policy: rng.next_range(PolicyKind::ALL.len() as u64) as usize,
+            load: 1 + rng.next_range(4) as usize,
+            count: 16 * (1 + rng.next_range(2) as usize),
+            faults: 1 + rng.next_range(4) as usize,
+            horizon_secs: GATEWAY_MIN_HORIZON_SECS + rng.next_range(4) * 30,
+            offload: rng.next_range(2) == 0,
+            plant: false,
+        }
+    }
+
+    /// The scheduling policy this point runs.
+    pub fn policy_kind(&self) -> PolicyKind {
+        PolicyKind::ALL[self.policy % PolicyKind::ALL.len()]
+    }
+
+    /// The flag string that re-runs exactly this point.
+    pub fn repro_spec(&self) -> String {
+        let mut s = format!(
+            "--gateway --seed {} --policy {} --load {} --count {} --faults {} --horizon {}",
+            self.seed, self.policy, self.load, self.count, self.faults, self.horizon_secs
+        );
+        if self.offload {
+            s.push_str(" --offload");
+        }
+        if self.plant {
+            s.push_str(" --plant");
+        }
+        s
+    }
+}
+
+/// What one audited gateway point produced.
+#[derive(Debug, Clone)]
+pub struct GatewayFuzzOutcome {
+    /// The input that ran.
+    pub point: GatewayFuzzPoint,
+    /// Completed token streams.
+    pub streams: usize,
+    /// Tokens delivered (liveness witness).
+    pub tokens: u64,
+    /// Streams whose token count disagrees with the request's output
+    /// length, plus any admission-accounting mismatch (submitted requests
+    /// not accounted completed/aborted after the drain).
+    pub truncated: usize,
+    /// Every invariant violation the auditor recorded, in order.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl GatewayFuzzOutcome {
+    /// Whether this point failed either gate (audit or stream integrity).
+    pub fn dirty(&self) -> bool {
+        !self.violations.is_empty() || self.truncated > 0
+    }
+}
+
+/// Runs one gateway point under full auditing, journalling into the
+/// ambient tracer.
+pub fn run_gateway_point(p: &GatewayFuzzPoint) -> GatewayFuzzOutcome {
+    use aqua_engines::vllm::PreemptionPolicy;
+    use aqua_sim::link::bytes::gib;
+    use aqua_workloads::tenants::tenant_trace;
+
+    let tracer = crate::trace::tracer();
+    let auditor = Auditor::with_tracer(tracer.clone());
+    let rate = 2.0 * p.load as f64;
+    let mix = tenant_trace(rate, p.count * p.load, p.seed);
+    let expected: std::collections::BTreeMap<u64, u64> = mix
+        .trace
+        .iter()
+        .map(|(_, r)| (r.id.0, r.output_tokens))
+        .collect();
+
+    let gateway_gpu = GpuId(0);
+    let span = SimTime::from_secs(p.horizon_secs);
+    let profile = RandomFaultProfile {
+        link_ports: vec![
+            PortId::NvlinkEgress(gateway_gpu),
+            PortId::NvlinkIngress(gateway_gpu),
+            PortId::NvlinkEgress(GpuId(1)),
+            PortId::NvlinkIngress(GpuId(1)),
+        ],
+        crash_gpus: vec![gateway_gpu],
+        events: p.faults,
+        min_duration: SimDuration::from_secs(5),
+        max_duration: SimDuration::from_secs(30),
+    };
+    let mut plan = FaultPlan::randomized(p.seed, span, &profile);
+    if p.plant {
+        // The planted bug only fires on a crash, so force one into the
+        // arrival window where work is guaranteed in flight.
+        plan = plan.gpu_crash(gateway_gpu, SimTime::from_secs(5), SimTime::from_secs(10));
+    }
+    plan.emit(&tracer);
+    let plan = Arc::new(plan);
+
+    let geom = *zoo::codellama_34b().llm_geometry().unwrap();
+    let mut engine = GatewayEngine::new(
+        geom,
+        aqua_sim::gpu::GpuSpec::a100_80g(),
+        p.policy_kind(),
+        GatewayConfig {
+            kv_pool_bytes: gib(3),
+            preemption: if p.offload {
+                PreemptionPolicy::Swap
+            } else {
+                PreemptionPolicy::Recompute
+            },
+            max_outstanding_per_tenant: 8,
+            plant_skip_restore: p.plant,
+            ..GatewayConfig::default()
+        },
+    )
+    .with_tenants(mix.tenant_of.clone())
+    .with_tracer(tracer.clone(), format!("fuzz:gw:{}", p.policy_kind()))
+    .with_fault_plan(&plan, gateway_gpu)
+    .with_auditor(auditor.clone());
+    if p.offload {
+        let mut ctx = ServerCtx::two_gpu_traced(tracer).with_auditor(auditor.clone());
+        ctx = ctx.with_fault_plan(Arc::clone(&plan));
+        ctx.static_lease(GpuId(1), gib(30));
+        engine = engine.with_offloader(ctx.offloader(OffloadKind::Aqua, gateway_gpu));
+    }
+
+    let mut driver = Driver::new();
+    driver.set_auditor(auditor.clone());
+    for w in plan.windows() {
+        if let FaultKind::GpuCrash { gpu } = w.kind {
+            if gpu == gateway_gpu {
+                driver.crash_window(0, w.start, w.end);
+            }
+        }
+    }
+    driver.schedule_trace(0, mix.trace);
+    {
+        let mut engines: Vec<&mut dyn Engine> = vec![&mut engine];
+        driver.run(&mut engines, SimTime::from_secs(40_000));
+    }
+
+    // Stream integrity: every completed request streamed exactly its
+    // output length, and after the drain every submitted request is
+    // accounted completed or terminally crash-aborted.
+    let streams = engine.drain_streams();
+    let mut truncated = 0;
+    let mut tokens = 0u64;
+    for s in streams.streams() {
+        tokens += s.tokens.len() as u64;
+        if expected.get(&s.id).copied() != Some(s.tokens.len() as u64) {
+            truncated += 1;
+        }
+    }
+    let o = engine.outcomes();
+    let accounted = o.completed() + o.crash_aborted() + o.shed() + o.timed_out();
+    let drained = engine.queue_depth() == 0 && engine.running_count() == 0;
+    if o.completed() != streams.len() || accounted != expected.len() || !drained {
+        truncated += 1;
+    }
+
+    GatewayFuzzOutcome {
+        point: *p,
+        streams: streams.len(),
+        tokens,
+        truncated,
+        violations: auditor.violations(),
+    }
+}
+
+/// [`run_gateway_point`] under a throwaway digest journal.
+pub fn run_gateway_point_quiet(p: &GatewayFuzzPoint) -> GatewayFuzzOutcome {
+    crate::trace::with_tracer(Arc::new(JournalTracer::digest_only()), || {
+        run_gateway_point(p)
+    })
+}
+
+/// A completed gateway campaign, in point order.
+#[derive(Debug, Clone)]
+pub struct GatewayFuzzReport {
+    /// Outcome per point, index-aligned with the derivation order.
+    pub outcomes: Vec<GatewayFuzzOutcome>,
+    /// Combined determinism digest across all point journals.
+    pub combined_digest: u64,
+    /// Worker threads actually used.
+    pub jobs: usize,
+}
+
+impl GatewayFuzzReport {
+    /// Indices of points that failed either gate.
+    pub fn dirty(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.dirty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs a gateway campaign through the [`Sweep`] fan-out.
+pub fn run_gateway_fuzz(cfg: &FuzzConfig) -> GatewayFuzzReport {
+    let points: Vec<GatewayFuzzPoint> = (0..cfg.points)
+        .map(|i| {
+            let mut p = GatewayFuzzPoint::derive(cfg.base_seed, i as u64);
+            p.plant = cfg.plant;
+            p
+        })
+        .collect();
+    let result = Sweep::new().jobs(cfg.jobs).run(&points, run_gateway_point);
+    GatewayFuzzReport {
+        combined_digest: result.combined_digest(),
+        jobs: result.jobs,
+        outcomes: result.results(),
+    }
+}
+
+/// A finished gateway shrink: the minimal still-failing point.
+#[derive(Debug, Clone)]
+pub struct GatewayShrinkOutcome {
+    /// The smallest point found that still fails a gate.
+    pub minimal: GatewayFuzzPoint,
+    /// Points executed during the search.
+    pub candidates_run: usize,
+    /// The first audit violation of the minimal point, if the failure was
+    /// an audit trip (stream-integrity failures have no violation record).
+    pub violation: Option<AuditViolation>,
+}
+
+/// The gateway shrink moves, in preference order: fewer faults (halving
+/// keeps a prefix of the seeded plan), a shorter fault span, less work, a
+/// lighter load, then the canonical FCFS policy.
+fn gateway_shrink_candidates(p: &GatewayFuzzPoint) -> Vec<GatewayFuzzPoint> {
+    let mut out = Vec::new();
+    if p.faults > 0 {
+        let mut c = *p;
+        c.faults /= 2;
+        out.push(c);
+    }
+    if p.horizon_secs > GATEWAY_MIN_HORIZON_SECS {
+        let mut c = *p;
+        c.horizon_secs = (c.horizon_secs / 2).max(GATEWAY_MIN_HORIZON_SECS);
+        out.push(c);
+    }
+    if p.count > 8 {
+        let mut c = *p;
+        c.count = (c.count / 2).max(8);
+        out.push(c);
+    }
+    if p.load > 1 {
+        let mut c = *p;
+        c.load /= 2;
+        out.push(c);
+    }
+    if p.policy != 0 {
+        let mut c = *p;
+        c.policy = 0;
+        out.push(c);
+    }
+    out
+}
+
+/// Greedily minimises a failing gateway point. Returns `None` if the
+/// starting point does not fail when re-run.
+pub fn shrink_gateway(start: GatewayFuzzPoint) -> Option<GatewayShrinkOutcome> {
+    let mut best = run_gateway_point_quiet(&start);
+    let mut candidates_run = 1;
+    if !best.dirty() {
+        return None;
+    }
+    loop {
+        let mut improved = false;
+        for cand in gateway_shrink_candidates(&best.point) {
+            candidates_run += 1;
+            let out = run_gateway_point_quiet(&cand);
+            if out.dirty() {
+                best = out;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Some(GatewayShrinkOutcome {
+        violation: best.violations.first().cloned(),
+        minimal: best.point,
+        candidates_run,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,5 +730,83 @@ mod tests {
         // And the minimal spec re-runs to the same violation.
         let again = run_point_quiet(&shrunk.minimal);
         assert_eq!(again.violations[0].kind(), "double_free");
+    }
+
+    #[test]
+    fn gateway_points_derive_purely_and_round_trip_their_spec() {
+        for i in 0..8 {
+            assert_eq!(
+                GatewayFuzzPoint::derive(7, i),
+                GatewayFuzzPoint::derive(7, i)
+            );
+        }
+        assert_ne!(
+            GatewayFuzzPoint::derive(7, 0).seed,
+            GatewayFuzzPoint::derive(7, 1).seed
+        );
+        let p = GatewayFuzzPoint {
+            seed: 5,
+            policy: 2,
+            load: 3,
+            count: 16,
+            faults: 2,
+            horizon_secs: 90,
+            offload: true,
+            plant: true,
+        };
+        assert_eq!(
+            p.repro_spec(),
+            "--gateway --seed 5 --policy 2 --load 3 --count 16 --faults 2 \
+             --horizon 90 --offload --plant"
+        );
+        let d = GatewayFuzzPoint::derive(3, 1);
+        assert!(d.policy < PolicyKind::ALL.len());
+        assert!((1..=4).contains(&d.load));
+        assert!(d.count >= 16 && d.faults >= 1);
+        assert!(d.horizon_secs >= GATEWAY_MIN_HORIZON_SECS);
+    }
+
+    #[test]
+    fn seeded_gateway_point_streams_clean_under_faults() {
+        let mut p = GatewayFuzzPoint::derive(42, 0);
+        // Keep the unit test cheap; the CI smoke covers the full range.
+        p.load = p.load.min(2);
+        p.count = 16;
+        let out = run_gateway_point_quiet(&p);
+        assert!(
+            out.violations.is_empty(),
+            "clean gateway point tripped the audit: {:?}",
+            out.violations
+        );
+        assert_eq!(out.truncated, 0, "clean gateway point truncated streams");
+        assert!(out.tokens > 0, "gateway made no progress");
+    }
+
+    #[test]
+    fn planted_skip_restore_is_caught_and_shrinks_to_the_floor() {
+        let start = GatewayFuzzPoint {
+            seed: 11,
+            policy: 3,
+            load: 2,
+            count: 32,
+            faults: 3,
+            horizon_secs: 120,
+            offload: false,
+            plant: true,
+        };
+        let shrunk = shrink_gateway(start).expect("planted point must violate");
+        let v = shrunk.violation.expect("failure must be an audit trip");
+        assert_eq!(v.kind(), "token_without_restore");
+        // The plant forces its own crash window, so every other axis must
+        // strip to its floor.
+        assert_eq!(shrunk.minimal.faults, 0);
+        assert_eq!(shrunk.minimal.horizon_secs, GATEWAY_MIN_HORIZON_SECS);
+        assert_eq!(shrunk.minimal.count, 8);
+        assert_eq!(shrunk.minimal.load, 1);
+        assert_eq!(shrunk.minimal.policy, 0);
+        assert!(shrunk.minimal.plant);
+        // And the minimal spec re-runs to the same violation.
+        let again = run_gateway_point_quiet(&shrunk.minimal);
+        assert_eq!(again.violations[0].kind(), "token_without_restore");
     }
 }

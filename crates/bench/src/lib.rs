@@ -30,6 +30,7 @@ pub mod fig14_placer;
 pub mod fig18_nvswitch;
 pub mod fuzz;
 pub mod runner;
+pub mod serve_chaos;
 pub mod serve_schedulers;
 pub mod setup;
 pub mod sweep;

@@ -121,6 +121,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "serve",
         "gateway scheduler zoo: TTFT/ITL SLOs, offload on/off",
     ),
+    (
+        "serve_chaos",
+        "goodput under 1-4x overload + crash recovery, protected vs fcfs",
+    ),
     ("tables", "Tables 1-3 and the model inventory"),
     ("ablations", "all ablation studies"),
 ];
@@ -191,6 +195,7 @@ pub fn experiment_points(name: &str, a: &ReproArgs) -> Result<Vec<ReproPoint>, S
         "chaos" => crate::chaos_degradation::repro_points(&a),
         "e2e" => crate::e2e_cluster::repro_points(&a),
         "serve" => crate::serve_schedulers::repro_points(&a),
+        "serve_chaos" => crate::serve_chaos::repro_points(&a),
         "tables" => vec![ReproPoint::new("tables", "registry", move || {
             format!(
                 "{}\n{}\n{}\n{}\n",
@@ -322,6 +327,7 @@ mod tests {
         assert_eq!(experiment_points("fig14", &a).unwrap().len(), 6);
         assert_eq!(experiment_points("e2e", &a).unwrap().len(), 2);
         assert_eq!(experiment_points("serve", &a).unwrap().len(), 10);
+        assert_eq!(experiment_points("serve_chaos", &a).unwrap().len(), 8);
         assert_eq!(experiment_points("ablations", &a).unwrap().len(), 6);
     }
 

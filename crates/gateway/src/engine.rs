@@ -15,7 +15,8 @@
 //! [`aqua_engines::driver::Driver`] event loop alongside crash windows and
 //! any offload backend.
 
-use crate::admission::AdmissionController;
+use crate::admission::{AdmissionController, OverloadPolicy};
+use crate::outcome::{DeadlineKind, OutcomeLog, RequestOutcome, RetryPolicy, SloPolicy};
 use crate::scheduler::{PolicyKind, QueuedMeta, Scheduler};
 use aqua_engines::driver::Engine;
 use aqua_engines::kvcache::{PagedKvCache, DEFAULT_BLOCK_TOKENS};
@@ -26,11 +27,13 @@ use aqua_metrics::requests::RequestRecord;
 use aqua_metrics::streaming::{StreamLog, TokenStream};
 use aqua_models::cost;
 use aqua_models::geometry::LlmGeometry;
-use aqua_sim::gpu::GpuSpec;
+use aqua_sim::audit::{AuditViolation, SharedAuditor};
+use aqua_sim::fault::{FaultKind, FaultPlan};
+use aqua_sim::gpu::{GpuId, GpuSpec};
 use aqua_sim::link::bytes::gib;
 use aqua_sim::time::SimTime;
 use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of a [`GatewayEngine`].
 #[derive(Debug, Clone)]
@@ -45,6 +48,17 @@ pub struct GatewayConfig {
     pub preemption: PreemptionPolicy,
     /// Per-tenant cap on admitted-but-unfinished requests.
     pub max_outstanding_per_tenant: usize,
+    /// Overload protection (shedding, brownout). Inert by default: the
+    /// gateway never drops a request unless a deployment opts in.
+    pub overload: OverloadPolicy,
+    /// Per-tenant latency deadlines. No deadlines by default.
+    pub slo: SloPolicy,
+    /// Retry budget for crash-aborted requests.
+    pub retry: RetryPolicy,
+    /// Audit self-test knob: when set, the gateway "forgets" to journal
+    /// restore events after a crash, which the `token_without_restore`
+    /// audit invariant must catch. Never enable outside fuzzing.
+    pub plant_skip_restore: bool,
 }
 
 impl Default for GatewayConfig {
@@ -55,6 +69,10 @@ impl Default for GatewayConfig {
             block_tokens: DEFAULT_BLOCK_TOKENS,
             preemption: PreemptionPolicy::Recompute,
             max_outstanding_per_tenant: 16,
+            overload: OverloadPolicy::default(),
+            slo: SloPolicy::none(),
+            retry: RetryPolicy::default(),
+            plant_skip_restore: false,
         }
     }
 }
@@ -71,6 +89,11 @@ struct GateSeq {
     /// The request has been admitted before (it counts against its
     /// tenant's outstanding cap until completion, but is never re-gated).
     admitted_once: bool,
+    /// Retry backoff: the sequence may not be scheduled before this time.
+    eligible_after: SimTime,
+    /// The sequence was in flight during a GPU crash and must journal a
+    /// restore event before delivering another token.
+    needs_restore: bool,
 }
 
 /// A request-level serving front-end with a pluggable decode scheduler.
@@ -124,6 +147,16 @@ pub struct GatewayEngine {
     tracer: SharedTracer,
     scope: String,
     last_gauges: BTreeMap<String, f64>,
+    outcomes: OutcomeLog,
+    /// Estimated KV bytes committed to accepted (queued + running) work.
+    committed_est_bytes: u64,
+    /// GpuCrash windows affecting this gateway's GPU, sorted by start.
+    crash_windows: Vec<(SimTime, SimTime)>,
+    /// Crash windows already processed by recovery.
+    next_crash: usize,
+    /// Crashed sequences that owe a restore event before their next token.
+    crashed_pending_restore: BTreeSet<u64>,
+    auditor: Option<SharedAuditor>,
 }
 
 impl std::fmt::Debug for GatewayEngine {
@@ -142,7 +175,8 @@ impl GatewayEngine {
     /// order.
     pub fn new(geom: LlmGeometry, gpu: GpuSpec, policy: PolicyKind, config: GatewayConfig) -> Self {
         let kv = PagedKvCache::new(geom, config.kv_pool_bytes, config.block_tokens);
-        let admission = AdmissionController::new(config.max_outstanding_per_tenant);
+        let admission = AdmissionController::new(config.max_outstanding_per_tenant)
+            .with_overload(config.overload.clone());
         GatewayEngine {
             geom,
             gpu,
@@ -164,6 +198,12 @@ impl GatewayEngine {
             tracer: null_tracer(),
             scope: "gateway".to_owned(),
             last_gauges: BTreeMap::new(),
+            outcomes: OutcomeLog::new(),
+            committed_est_bytes: 0,
+            crash_windows: Vec::new(),
+            next_crash: 0,
+            crashed_pending_restore: BTreeSet::new(),
+            auditor: None,
             config,
         }
     }
@@ -184,6 +224,31 @@ impl GatewayEngine {
     /// Installs the offload backend used by swap preemption.
     pub fn with_offloader(mut self, offloader: Box<dyn Offloader>) -> Self {
         self.offloader = Some(offloader);
+        self
+    }
+
+    /// Tells the gateway which `FaultPlan` governs `gpu`, the GPU it
+    /// serves on. GpuCrash windows of that GPU destroy the HBM KV of
+    /// running sequences: at its first step after a window opens, the
+    /// gateway aborts them and re-queues survivors under the retry budget,
+    /// while sequences whose KV sits in the offload store restore via the
+    /// cheap swap path. Without a plan, crash windows only pause the
+    /// engine (the pre-existing driver semantics).
+    pub fn with_fault_plan(mut self, plan: &FaultPlan, gpu: GpuId) -> Self {
+        let mut windows: Vec<(SimTime, SimTime)> = plan
+            .windows()
+            .iter()
+            .filter(|w| matches!(w.kind, FaultKind::GpuCrash { gpu: g } if g == gpu))
+            .map(|w| (w.start, w.end))
+            .collect();
+        windows.sort();
+        self.crash_windows = windows;
+        self
+    }
+
+    /// Attaches the runtime auditor guarding the crash-restore invariant.
+    pub fn with_auditor(mut self, auditor: SharedAuditor) -> Self {
+        self.auditor = Some(auditor);
         self
     }
 
@@ -227,6 +292,32 @@ impl GatewayEngine {
         std::mem::take(&mut self.streams)
     }
 
+    /// The request-outcome ledger (completed / shed / timed out / aborted).
+    pub fn outcomes(&self) -> &OutcomeLog {
+        &self.outcomes
+    }
+
+    /// Whether brownout mode is currently engaged.
+    pub fn brownout_active(&self) -> bool {
+        self.admission.brownout_active()
+    }
+
+    /// Estimated KV bytes for a request: full context (prompt plus every
+    /// output token) at the model's per-token KV cost.
+    fn est_bytes(&self, req: &InferenceRequest) -> u64 {
+        self.geom
+            .kv_bytes(req.prompt_tokens + req.output_tokens.max(1))
+    }
+
+    /// Releases a sequence's admission slot and KV commitment estimate.
+    fn retire(&mut self, seq: &GateSeq) {
+        if seq.admitted_once {
+            self.admission.on_complete(seq.tenant);
+        }
+        let est = self.est_bytes(&seq.life.req);
+        self.committed_est_bytes = self.committed_est_bytes.saturating_sub(est);
+    }
+
     fn tenant_of(&self, id: u64) -> u32 {
         self.tenants.get(&id).copied().unwrap_or(0)
     }
@@ -249,6 +340,126 @@ impl GatewayEngine {
         seq.admitted_once || self.admission.eligible(seq.tenant)
     }
 
+    /// Processes GpuCrash windows that opened since the last step.
+    ///
+    /// The driver withholds steps while the window is active, so the first
+    /// step afterwards observes `window.start <= now` and runs recovery:
+    /// every running sequence lost its HBM KV and is either re-queued
+    /// under the retry budget (restore mode `recompute`) or terminally
+    /// aborted; preempted-and-swapped pending sequences keep their KV in
+    /// the offload store and restore via the cheap `swap` path at their
+    /// next admission. Both kinds owe a `request_restored` journal entry
+    /// before any further token — the `token_without_restore` invariant.
+    fn handle_crashes(&mut self, now: SimTime) {
+        while self.next_crash < self.crash_windows.len()
+            && self.crash_windows[self.next_crash].0 <= now
+        {
+            self.next_crash += 1;
+            self.on_gpu_crash(now);
+        }
+    }
+
+    fn on_gpu_crash(&mut self, now: SimTime) {
+        let victims: Vec<GateSeq> = self.running.drain(..).collect();
+        for mut victim in victims {
+            let id = victim.life.req.id.0;
+            self.kv.free_seq(victim.life.req.id);
+            trace!(
+                self.tracer,
+                TraceEvent::RequestCrashAborted {
+                    gateway: self.scope.clone(),
+                    request: id,
+                    generated: victim.life.generated,
+                    at: now,
+                }
+            );
+            let attempt = self.outcomes.note_retry(id);
+            if attempt > self.config.retry.max_retries {
+                self.outcomes
+                    .note(id, victim.tenant, RequestOutcome::CrashAborted);
+                self.retire(&victim);
+                self.crashed_pending_restore.remove(&id);
+            } else {
+                self.outcomes
+                    .note(id, victim.tenant, RequestOutcome::Retried);
+                trace!(
+                    self.tracer,
+                    TraceEvent::RequestRetried {
+                        gateway: self.scope.clone(),
+                        request: id,
+                        attempt: u64::from(attempt),
+                        at: now,
+                    }
+                );
+                victim.prefilled = false;
+                victim.swapped = false;
+                victim.needs_restore = true;
+                victim.eligible_after = now + self.config.retry.backoff_for(attempt);
+                self.crashed_pending_restore.insert(id);
+                self.pending.push(victim);
+            }
+        }
+        // Swap-preempted pending sequences survived — their KV was captured
+        // into the offload store at preemption time — but they are still
+        // crashed sequences: their readmission must journal a swap restore.
+        for seq in &mut self.pending {
+            if seq.swapped && !seq.needs_restore {
+                seq.needs_restore = true;
+                self.crashed_pending_restore.insert(seq.life.req.id.0);
+            }
+        }
+    }
+
+    /// Cancels queued and running sequences that blew a tenant deadline.
+    /// A cancelled sequence frees its KV (and its slot in the admission
+    /// books) immediately — capacity spent on an already-missed SLO is
+    /// capacity stolen from requests that can still meet theirs.
+    fn enforce_deadlines(&mut self, now: SimTime) {
+        if !self.config.slo.any_deadline() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.pending.len() {
+            let seq = &self.pending[i];
+            let slo = self.config.slo.of(seq.tenant);
+            if let Some(kind) = slo.missed(seq.life.arrival, seq.life.generated, now) {
+                let seq = self.pending.remove(i);
+                self.timeout_seq(seq, kind, now);
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.running.len() {
+            let seq = &self.running[i];
+            let slo = self.config.slo.of(seq.tenant);
+            if let Some(kind) = slo.missed(seq.life.arrival, seq.life.generated, now) {
+                let seq = self.running.remove(i);
+                self.kv.free_seq(seq.life.req.id);
+                self.timeout_seq(seq, kind, now);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn timeout_seq(&mut self, seq: GateSeq, kind: DeadlineKind, now: SimTime) {
+        let id = seq.life.req.id.0;
+        trace!(
+            self.tracer,
+            TraceEvent::RequestTimedOut {
+                gateway: self.scope.clone(),
+                request: id,
+                deadline: kind.label().to_owned(),
+                at: now,
+            }
+        );
+        self.outcomes
+            .note(id, seq.tenant, RequestOutcome::TimedOut(kind));
+        self.retire(&seq);
+        self.crashed_pending_restore.remove(&id);
+    }
+
     /// Admits pending requests in scheduler order.
     ///
     /// Admission stops at the first request whose KV does not fit
@@ -260,7 +471,7 @@ impl GatewayEngine {
         let mut metas: Vec<QueuedMeta> = self
             .pending
             .iter()
-            .filter(|s| self.seq_eligible(s))
+            .filter(|s| self.seq_eligible(s) && s.eligible_after <= now)
             .map(|s| QueuedMeta {
                 id: s.life.req.id.0,
                 tenant: s.tenant,
@@ -284,7 +495,7 @@ impl GatewayEngine {
                 .expect("scheduled ids come from the pending queue");
             // Caps can fill mid-round: an earlier pick may have consumed
             // this tenant's last slot.
-            if !self.seq_eligible(&self.pending[idx]) {
+            if !self.seq_eligible(&self.pending[idx]) || self.pending[idx].eligible_after > now {
                 continue;
             }
             let needed = self.pending[idx].life.context_tokens() + 1;
@@ -322,6 +533,20 @@ impl GatewayEngine {
             self.kv
                 .grow_seq(seq.life.req.id, seq.life.context_tokens())
                 .expect("can_fit_tokens checked");
+            if seq.needs_restore && !self.config.plant_skip_restore {
+                trace!(
+                    self.tracer,
+                    TraceEvent::RequestRestored {
+                        gateway: self.scope.clone(),
+                        request: seq.life.req.id.0,
+                        mode: if seq.swapped { "swap" } else { "recompute" }.to_owned(),
+                        bytes: self.geom.kv_bytes(seq.life.context_tokens()),
+                        at: now,
+                    }
+                );
+                seq.needs_restore = false;
+                self.crashed_pending_restore.remove(&seq.life.req.id.0);
+            }
             if seq.swapped {
                 let bytes = self.geom.kv_bytes(seq.life.context_tokens());
                 self.pending_swap_in += bytes;
@@ -387,6 +612,26 @@ impl Engine for GatewayEngine {
                 at: now,
             }
         );
+        let est = self.est_bytes(&req);
+        if let Some(reason) =
+            self.admission
+                .shed_reason(tenant, self.pending.len(), est, self.committed_est_bytes)
+        {
+            trace!(
+                self.tracer,
+                TraceEvent::RequestShed {
+                    gateway: self.scope.clone(),
+                    tenant: u64::from(tenant),
+                    request: req.id.0,
+                    reason: reason.label().to_owned(),
+                    at: now,
+                }
+            );
+            self.outcomes
+                .note(req.id.0, tenant, RequestOutcome::ShedAtAdmission(reason));
+            return;
+        }
+        self.committed_est_bytes += est;
         self.pending.push(GateSeq {
             life: SeqLifecycle::new(req, now),
             tenant,
@@ -394,6 +639,8 @@ impl Engine for GatewayEngine {
             prefilled: false,
             swapped: false,
             admitted_once: false,
+            eligible_after: SimTime::ZERO,
+            needs_restore: false,
         });
     }
 
@@ -412,13 +659,35 @@ impl Engine for GatewayEngine {
         if let Some(off) = self.offloader.as_mut() {
             now = off.on_iteration_boundary(now).max(now);
         }
+        self.handle_crashes(now);
+        self.enforce_deadlines(now);
+        if let Some(engaged) = self.admission.update_brownout(self.pending.len()) {
+            trace!(
+                self.tracer,
+                TraceEvent::GatewayBrownout {
+                    gateway: self.scope.clone(),
+                    state: if engaged { "enter" } else { "exit" }.to_owned(),
+                    queue_depth: self.pending.len() as u64,
+                    at: now,
+                }
+            );
+        }
         self.admit(now);
         self.make_room_for_decode(now);
         self.emit_gauge("queue_depth", self.pending.len() as f64, now);
         self.emit_gauge("running", self.running.len() as f64, now);
         self.emit_gauge("kv_used_bytes", self.kv.used_bytes() as f64, now);
         if self.running.is_empty() {
-            return now;
+            // If the only schedulable work is backing off after a crash
+            // retry, tell the driver when it becomes eligible — spinning
+            // 1ns steps until then would melt the event loop.
+            let next_retry = self
+                .pending
+                .iter()
+                .filter(|s| s.eligible_after > now && self.seq_eligible(s))
+                .map(|s| s.eligible_after)
+                .min();
+            return next_retry.unwrap_or(now);
         }
 
         let mut io_done = now;
@@ -457,6 +726,20 @@ impl Engine for GatewayEngine {
                 .expect("make_room_for_decode guarantees headroom");
             seq.life.note_token(end);
             seq.tokens.push(end);
+            // The crash-restore invariant: a crashed sequence still in the
+            // pending-restore set at token time means no restore event was
+            // journalled for it. Flag once, then clear so one planted bug
+            // does not flood the journal.
+            let id = seq.life.req.id.0;
+            if self.crashed_pending_restore.remove(&id) {
+                if let Some(aud) = &self.auditor {
+                    aud.record(AuditViolation::TokenWithoutRestore {
+                        gateway: self.scope.clone(),
+                        request: id,
+                        at: end,
+                    });
+                }
+            }
             if seq.life.generated == 1 {
                 trace!(
                     self.tracer,
@@ -474,7 +757,9 @@ impl Engine for GatewayEngine {
         for &i in finished.iter().rev() {
             let seq = self.running.remove(i);
             self.kv.free_seq(seq.life.req.id);
-            self.admission.on_complete(seq.tenant);
+            self.retire(&seq);
+            self.outcomes
+                .note(seq.life.req.id.0, seq.tenant, RequestOutcome::Completed);
             self.scheduler
                 .observe_completion(seq.life.req.prompt_tokens, seq.life.generated);
             trace!(
@@ -541,7 +826,7 @@ mod tests {
         assert_eq!(streams.len(), 1);
         let s = &streams.streams()[0];
         assert_eq!(s.tokens.len(), 32);
-        assert!(s.ttft() > 0.0);
+        assert!(s.ttft().unwrap() > 0.0);
         assert!(s.tokens.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(e.drain_completions().len(), 1);
         assert_eq!(e.kv().used_blocks(), 0);
@@ -714,6 +999,195 @@ mod tests {
         for e in &events {
             assert!(aqua_telemetry::json::parse(&e.to_json_line()).is_ok());
         }
+    }
+
+    #[test]
+    fn queue_watermark_sheds_at_the_door() {
+        use crate::outcome::ShedReason;
+
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let mut e = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::Fcfs,
+            GatewayConfig {
+                overload: OverloadPolicy {
+                    queue_watermark: Some(1),
+                    kv_commit_bytes: None,
+                    brownout: None,
+                },
+                ..GatewayConfig::default()
+            },
+        );
+        for i in 0..3 {
+            e.submit(InferenceRequest::text(i, 64, 8), SimTime::ZERO);
+        }
+        assert_eq!(e.queue_depth(), 1, "watermark of 1 accepts one");
+        run_to_completion(&mut e);
+        assert_eq!(e.drain_completions().len(), 1);
+        assert_eq!(e.outcomes().completed(), 1);
+        assert_eq!(e.outcomes().shed(), 2);
+        assert_eq!(
+            e.outcomes().of(1),
+            Some(RequestOutcome::ShedAtAdmission(ShedReason::QueueDepth))
+        );
+        assert_eq!(e.drain_streams().len(), 1, "shed requests have no stream");
+    }
+
+    #[test]
+    fn kv_cost_budget_sheds_expensive_requests() {
+        use crate::outcome::ShedReason;
+
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let budget = geom.kv_bytes(200);
+        let mut e = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::Fcfs,
+            GatewayConfig {
+                overload: OverloadPolicy {
+                    queue_watermark: None,
+                    kv_commit_bytes: Some(budget),
+                    brownout: None,
+                },
+                ..GatewayConfig::default()
+            },
+        );
+        e.submit(InferenceRequest::text(0, 64, 8), SimTime::ZERO);
+        e.submit(InferenceRequest::text(1, 1000, 100), SimTime::ZERO);
+        assert_eq!(
+            e.outcomes().of(1),
+            Some(RequestOutcome::ShedAtAdmission(ShedReason::KvCost))
+        );
+        let done_at = run_to_completion(&mut e);
+        // The commitment estimate is released on completion: a request
+        // that would have blown the budget earlier is now accepted.
+        e.submit(InferenceRequest::text(2, 64, 8), done_at);
+        assert_eq!(e.outcomes().of(2), None, "accepted after books drained");
+        run_to_completion(&mut e);
+        assert_eq!(e.outcomes().completed(), 2);
+        assert_eq!(e.outcomes().shed(), 1);
+    }
+
+    #[test]
+    fn ttft_deadline_times_out_queued_work() {
+        use crate::outcome::{SloPolicy, TenantSlo};
+        use aqua_sim::time::SimDuration;
+
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let mut e = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::Fcfs,
+            GatewayConfig {
+                max_outstanding_per_tenant: 1,
+                slo: SloPolicy::with_default(TenantSlo {
+                    ttft: Some(SimDuration::from_secs(1)),
+                    total: None,
+                }),
+                ..GatewayConfig::default()
+            },
+        );
+        // Tenant cap 1: request 1 waits behind request 0, whose multi-second
+        // decode blows request 1's one-second TTFT deadline in the queue.
+        e.submit(InferenceRequest::text(0, 256, 400), SimTime::ZERO);
+        e.submit(InferenceRequest::text(1, 256, 400), SimTime::ZERO);
+        run_to_completion(&mut e);
+        assert_eq!(e.drain_completions().len(), 1);
+        assert_eq!(e.outcomes().completed(), 1);
+        assert_eq!(e.outcomes().timed_out(), 1);
+        assert!(matches!(
+            e.outcomes().of(1),
+            Some(RequestOutcome::TimedOut(DeadlineKind::Ttft))
+        ));
+        assert_eq!(e.kv().used_blocks(), 0, "cancelled work freed its KV");
+        assert!(!e.has_work());
+    }
+
+    #[test]
+    fn crash_recovery_retries_and_restores() {
+        use aqua_engines::driver::Driver;
+        use aqua_sim::audit::Auditor;
+        use aqua_telemetry::JournalTracer;
+        use std::sync::Arc;
+
+        let journal = Arc::new(JournalTracer::new());
+        let auditor = Auditor::with_tracer(journal.clone());
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let plan =
+            FaultPlan::new().gpu_crash(GpuId(0), SimTime::from_secs(1), SimTime::from_secs(2));
+        let mut e = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::Fcfs,
+            GatewayConfig::default(),
+        )
+        .with_tracer(journal.clone(), "gw:crash")
+        .with_fault_plan(&plan, GpuId(0))
+        .with_auditor(auditor.clone());
+
+        let mut driver = Driver::new();
+        driver.crash_window(0, SimTime::from_secs(1), SimTime::from_secs(2));
+        driver.schedule_arrival(0, SimTime::ZERO, InferenceRequest::text(0, 256, 400));
+        {
+            let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
+            driver.run(&mut engines, SimTime::from_secs(10_000));
+        }
+        let recs = e.drain_completions();
+        assert_eq!(recs.len(), 1, "the request survives the crash");
+        let streams = e.drain_streams();
+        assert_eq!(streams.streams()[0].tokens.len(), 400, "no truncation");
+        assert_eq!(e.outcomes().of(0), Some(RequestOutcome::Completed));
+        assert!(e.outcomes().total_retries() >= 1);
+
+        let names: Vec<&str> = journal.events().iter().map(|ev| ev.name()).collect();
+        for expected in [
+            "request_crash_aborted",
+            "request_retried",
+            "request_restored",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        assert!(journal.events().iter().any(|ev| matches!(
+            ev,
+            TraceEvent::RequestRestored { mode, .. } if mode == "recompute"
+        )));
+        assert!(auditor.is_clean(), "restore events satisfy the invariant");
+    }
+
+    #[test]
+    fn planted_skip_restore_trips_the_audit() {
+        use aqua_engines::driver::Driver;
+        use aqua_sim::audit::Auditor;
+
+        let auditor = Auditor::collecting();
+        let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+        let plan =
+            FaultPlan::new().gpu_crash(GpuId(0), SimTime::from_secs(1), SimTime::from_secs(2));
+        let mut e = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::Fcfs,
+            GatewayConfig {
+                plant_skip_restore: true,
+                ..GatewayConfig::default()
+            },
+        )
+        .with_fault_plan(&plan, GpuId(0))
+        .with_auditor(auditor.clone());
+
+        let mut driver = Driver::new();
+        driver.crash_window(0, SimTime::from_secs(1), SimTime::from_secs(2));
+        driver.schedule_arrival(0, SimTime::ZERO, InferenceRequest::text(0, 256, 400));
+        {
+            let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
+            driver.run(&mut engines, SimTime::from_secs(10_000));
+        }
+        assert!(!auditor.is_clean(), "the planted bug must be caught");
+        assert_eq!(auditor.first().unwrap().kind(), "token_without_restore");
+        // The plant only skips the restore journal entry — serving itself
+        // still completes, which is exactly why the invariant is needed.
+        assert_eq!(e.drain_completions().len(), 1);
     }
 
     proptest::proptest! {

@@ -9,7 +9,12 @@
 //!   zoo of five policies: FCFS, pure SJF, SJF + length-bucketing, SJF +
 //!   starvation-aging and an Orca-style remaining-length predictor.
 //! * [`admission`] — per-tenant outstanding-request caps, so one tenant's
-//!   backlog (e.g. batch long-prompt jobs) cannot monopolize the engine.
+//!   backlog (e.g. batch long-prompt jobs) cannot monopolize the engine,
+//!   plus opt-in overload protection: queue-depth watermarks, KV-cost
+//!   shedding and a hysteresis brownout that throttles batch tenants.
+//! * [`outcome`] — the typed [`outcome::RequestOutcome`] taxonomy
+//!   (completed / shed / timed-out / crash-aborted / retried), per-tenant
+//!   SLO deadlines and the deterministic bounded-retry budget.
 //! * [`engine`] — [`engine::GatewayEngine`], a vLLM-style continuous-batching
 //!   engine (paged KV admission, youngest-first preemption, optional
 //!   [`aqua_engines::offload::Offloader`] swap path) that records the
@@ -24,12 +29,16 @@
 
 pub mod admission;
 pub mod engine;
+pub mod outcome;
 pub mod scheduler;
 
 pub mod prelude {
     //! Convenience re-exports.
-    pub use crate::admission::AdmissionController;
+    pub use crate::admission::{AdmissionController, BrownoutConfig, OverloadPolicy};
     pub use crate::engine::{GatewayConfig, GatewayEngine};
+    pub use crate::outcome::{
+        DeadlineKind, OutcomeLog, RequestOutcome, RetryPolicy, ShedReason, SloPolicy, TenantSlo,
+    };
     pub use crate::scheduler::{PolicyKind, QueuedMeta, Scheduler};
 }
 

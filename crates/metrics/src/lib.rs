@@ -11,6 +11,7 @@
 //! rendering shared by every figure harness in `aqua-bench`.
 
 pub mod cdf;
+pub mod goodput;
 pub mod latency;
 pub mod requests;
 pub mod streaming;
@@ -20,6 +21,7 @@ pub mod timeseries;
 pub mod prelude {
     //! Convenience re-exports.
     pub use crate::cdf::Cdf;
+    pub use crate::goodput::{GoodputReport, SloSpec};
     pub use crate::latency::Summary;
     pub use crate::requests::{RequestLog, RequestRecord};
     pub use crate::streaming::{StreamLog, TokenStream};

@@ -28,30 +28,21 @@ pub struct TokenStream {
 }
 
 impl TokenStream {
-    /// Time to first token, seconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a stream with no tokens.
-    pub fn ttft(&self) -> f64 {
+    /// Time to first token, seconds. `None` when the stream delivered no
+    /// tokens (a request cancelled, shed or aborted before its first token).
+    pub fn ttft(&self) -> Option<f64> {
         self.tokens
             .first()
-            .expect("completed streams have tokens")
-            .duration_since(self.arrival)
-            .as_secs_f64()
+            .map(|t| t.duration_since(self.arrival).as_secs_f64())
     }
 
-    /// When the last token was delivered.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a stream with no tokens.
-    pub fn completion(&self) -> SimTime {
-        *self.tokens.last().expect("completed streams have tokens")
+    /// When the last token was delivered, or `None` for a tokenless stream.
+    pub fn completion(&self) -> Option<SimTime> {
+        self.tokens.last().copied()
     }
 
     /// Gaps between consecutive token deliveries, seconds. Empty for a
-    /// single-token stream.
+    /// single-token (or tokenless) stream.
     pub fn itl_samples(&self) -> Vec<f64> {
         self.tokens
             .windows(2)
@@ -60,15 +51,16 @@ impl TokenStream {
     }
 
     /// Collapses the stream to the two-timestamp record the figure
-    /// harnesses consume.
-    pub fn record(&self) -> RequestRecord {
-        RequestRecord {
+    /// harnesses consume. `None` for a tokenless stream, which has no
+    /// first-token or completion timestamp to report.
+    pub fn record(&self) -> Option<RequestRecord> {
+        Some(RequestRecord {
             id: self.id,
             arrival: self.arrival,
-            first_token: *self.tokens.first().expect("completed streams have tokens"),
-            completion: self.completion(),
+            first_token: *self.tokens.first()?,
+            completion: self.completion()?,
             output_tokens: self.tokens.len() as u64,
-        }
+        })
     }
 }
 
@@ -121,11 +113,12 @@ impl StreamLog {
         self.streams.is_empty()
     }
 
-    /// TTFT samples in arrival order, seconds.
+    /// TTFT samples in arrival order, seconds. Tokenless streams contribute
+    /// no sample.
     pub fn ttfts(&self) -> Vec<f64> {
         let mut by_arrival = self.streams.clone();
         by_arrival.sort_by_key(|s| (s.arrival, s.id));
-        by_arrival.iter().map(TokenStream::ttft).collect()
+        by_arrival.iter().filter_map(TokenStream::ttft).collect()
     }
 
     /// Every inter-token gap across all streams, seconds.
@@ -158,8 +151,12 @@ impl StreamLog {
     }
 
     /// Collapses every stream into a [`crate::requests::RequestLog`].
+    /// Tokenless streams are skipped — they have no timestamps to collapse.
     pub fn request_log(&self) -> crate::requests::RequestLog {
-        self.streams.iter().map(TokenStream::record).collect()
+        self.streams
+            .iter()
+            .filter_map(TokenStream::record)
+            .collect()
     }
 }
 
@@ -187,9 +184,9 @@ mod tests {
     #[test]
     fn ttft_itl_and_record() {
         let s = stream(7, 2, 100, &[250, 300, 400]);
-        assert!((s.ttft() - 0.15).abs() < 1e-9);
+        assert!((s.ttft().unwrap() - 0.15).abs() < 1e-9);
         assert_eq!(s.itl_samples(), vec![0.05, 0.1]);
-        let r = s.record();
+        let r = s.record().unwrap();
         assert_eq!(r.id, 7);
         assert_eq!(r.output_tokens, 3);
         assert_eq!(r.completion, SimTime::from_millis(400));
@@ -199,7 +196,27 @@ mod tests {
     fn single_token_stream_has_no_itl() {
         let s = stream(0, 0, 0, &[50]);
         assert!(s.itl_samples().is_empty());
-        assert_eq!(s.completion(), SimTime::from_millis(50));
+        assert_eq!(s.completion(), Some(SimTime::from_millis(50)));
+    }
+
+    #[test]
+    fn tokenless_stream_is_total_not_panicking() {
+        let s = stream(3, 0, 100, &[]);
+        assert_eq!(s.ttft(), None);
+        assert_eq!(s.completion(), None);
+        assert_eq!(s.record(), None);
+        assert!(s.itl_samples().is_empty());
+
+        let mut log = StreamLog::new();
+        log.record(s);
+        log.record(stream(4, 0, 0, &[50]));
+        // The tokenless stream contributes no samples and no record, and
+        // percentile queries over the remaining single-token stream are
+        // well-defined rather than panicking.
+        assert_eq!(log.ttfts(), vec![0.05]);
+        assert_eq!(log.ttft_summary().count, 1);
+        assert_eq!(log.itl_summary().count, 0);
+        assert_eq!(log.request_log().len(), 1);
     }
 
     #[test]

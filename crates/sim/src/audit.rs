@@ -36,6 +36,7 @@
 //! | no free applied after revocation | coordinator | [`AuditViolation::FreeAfterRevoke`] |
 //! | one live lease per producer | coordinator | [`AuditViolation::DoubleGrant`] |
 //! | heartbeat / watchdog / event-queue monotonicity | coordinator, driver | [`AuditViolation::TimeRegression`] |
+//! | no token after a crash without a restore | gateway × `FaultPlan` | [`AuditViolation::TokenWithoutRestore`] |
 
 use crate::memory::HbmAllocator;
 use crate::time::{SimDuration, SimTime};
@@ -119,6 +120,17 @@ pub enum AuditViolation {
         /// The newly granted lease id.
         lease: u64,
     },
+    /// A gateway delivered an output token for a sequence whose KV state
+    /// was destroyed by a GPU crash, without first journalling a
+    /// `request_restored` event — serving from memory that no longer exists.
+    TokenWithoutRestore {
+        /// Gateway scope label.
+        gateway: String,
+        /// The crashed request that produced a token.
+        request: u64,
+        /// When the illegal token was delivered.
+        at: SimTime,
+    },
     /// A timestamped sequence ran backwards (heartbeats, watchdog sweeps,
     /// the driver's event queue).
     TimeRegression {
@@ -143,6 +155,7 @@ impl AuditViolation {
             AuditViolation::DoubleFree { .. } => "double_free",
             AuditViolation::FreeAfterRevoke { .. } => "free_after_revoke",
             AuditViolation::DoubleGrant { .. } => "double_grant",
+            AuditViolation::TokenWithoutRestore { .. } => "token_without_restore",
             AuditViolation::TimeRegression { .. } => "time_regression",
         }
     }
@@ -157,6 +170,7 @@ impl AuditViolation {
             AuditViolation::DoubleFree { scope, .. }
             | AuditViolation::FreeAfterRevoke { scope, .. } => format!("coordinator.{scope}"),
             AuditViolation::DoubleGrant { .. } => "coordinator.lease".to_owned(),
+            AuditViolation::TokenWithoutRestore { gateway, .. } => format!("gateway:{gateway}"),
             AuditViolation::TimeRegression { scope, .. } => scope.clone(),
         }
     }
@@ -167,7 +181,8 @@ impl AuditViolation {
             AuditViolation::ByteConservation { at, .. }
             | AuditViolation::OrphanedTransfer { at, .. }
             | AuditViolation::DoubleFree { at, .. }
-            | AuditViolation::FreeAfterRevoke { at, .. } => *at,
+            | AuditViolation::FreeAfterRevoke { at, .. }
+            | AuditViolation::TokenWithoutRestore { at, .. } => *at,
             AuditViolation::PortOverlap { start, .. } => *start,
             AuditViolation::LaneOverCapacity { horizon, .. } => *horizon,
             AuditViolation::DoubleGrant { .. } => SimTime::ZERO,
@@ -207,6 +222,10 @@ impl AuditViolation {
             AuditViolation::DoubleGrant { producer, lease } => {
                 format!("second live lease {lease} granted to {producer}")
             }
+            AuditViolation::TokenWithoutRestore { request, at, .. } => format!(
+                "request {request} delivered a token at {}ns after a crash with no restore event",
+                at.as_nanos()
+            ),
             AuditViolation::TimeRegression { prev, next, .. } => format!(
                 "clock ran backwards: {}ns after {}ns",
                 next.as_nanos(),

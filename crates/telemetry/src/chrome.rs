@@ -605,6 +605,118 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     ],
                 ));
             }
+            TraceEvent::RequestShed {
+                gateway,
+                tenant,
+                request,
+                reason,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "request-shed",
+                    us(*at),
+                    vec![
+                        ("tenant", tenant.to_string()),
+                        ("request", request.to_string()),
+                        ("reason", format!("\"{}\"", esc(reason))),
+                    ],
+                ));
+            }
+            TraceEvent::RequestTimedOut {
+                gateway,
+                request,
+                deadline,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "request-timed-out",
+                    us(*at),
+                    vec![
+                        ("request", request.to_string()),
+                        ("deadline", format!("\"{}\"", esc(deadline))),
+                    ],
+                ));
+            }
+            TraceEvent::RequestCrashAborted {
+                gateway,
+                request,
+                generated,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "request-crash-aborted",
+                    us(*at),
+                    vec![
+                        ("request", request.to_string()),
+                        ("generated", generated.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::RequestRetried {
+                gateway,
+                request,
+                attempt,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "request-retried",
+                    us(*at),
+                    vec![
+                        ("request", request.to_string()),
+                        ("attempt", attempt.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::RequestRestored {
+                gateway,
+                request,
+                mode,
+                bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "request-restored",
+                    us(*at),
+                    vec![
+                        ("request", request.to_string()),
+                        ("mode", format!("\"{}\"", esc(mode))),
+                        ("bytes", bytes.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::GatewayBrownout {
+                gateway,
+                state,
+                queue_depth,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    gateway,
+                    "gateway-brownout",
+                    us(*at),
+                    vec![
+                        ("state", format!("\"{}\"", esc(state))),
+                        ("queue_depth", queue_depth.to_string()),
+                    ],
+                ));
+            }
             TraceEvent::AuditViolation {
                 kind,
                 scope,

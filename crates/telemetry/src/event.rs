@@ -453,6 +453,77 @@ pub enum TraceEvent {
         /// Completion time.
         at: SimTime,
     },
+    /// A gateway refused a request at the door under overload protection.
+    RequestShed {
+        /// Gateway scope label.
+        gateway: String,
+        /// Tenant the request belongs to.
+        tenant: u64,
+        /// Request id.
+        request: u64,
+        /// Shed reason, e.g. `queue_depth`, `kv_cost` or `brownout`.
+        reason: String,
+        /// Shed time.
+        at: SimTime,
+    },
+    /// A gateway cancelled a request that blew a per-tenant deadline.
+    RequestTimedOut {
+        /// Gateway scope label.
+        gateway: String,
+        /// Request id.
+        request: u64,
+        /// Deadline that was missed, `ttft` or `total`.
+        deadline: String,
+        /// Cancellation time.
+        at: SimTime,
+    },
+    /// A GPU crash destroyed a running request's HBM KV state.
+    RequestCrashAborted {
+        /// Gateway scope label.
+        gateway: String,
+        /// Request id.
+        request: u64,
+        /// Output tokens already delivered before the crash.
+        generated: u64,
+        /// Recovery time (the gateway's first step after the window).
+        at: SimTime,
+    },
+    /// A crash-aborted request was re-queued under its retry budget.
+    RequestRetried {
+        /// Gateway scope label.
+        gateway: String,
+        /// Request id.
+        request: u64,
+        /// 1-based retry attempt number.
+        attempt: u64,
+        /// Re-queue time (backoff delays eligibility, not the event).
+        at: SimTime,
+    },
+    /// A crashed request's state came back: `swap` when KV survived in the
+    /// offload store, `recompute` when the prefill had to be replayed.
+    RequestRestored {
+        /// Gateway scope label.
+        gateway: String,
+        /// Request id.
+        request: u64,
+        /// Restore mode, `swap` or `recompute`.
+        mode: String,
+        /// KV bytes restored (the sequence's context at restore time).
+        bytes: u64,
+        /// Restore time.
+        at: SimTime,
+    },
+    /// A gateway entered or left brownout (tightened batch-tenant caps).
+    GatewayBrownout {
+        /// Gateway scope label.
+        gateway: String,
+        /// `enter` or `exit`.
+        state: String,
+        /// Admission queue depth at the transition.
+        queue_depth: u64,
+        /// Transition time.
+        at: SimTime,
+    },
     /// A runtime invariant audit failed (aqua-audit). Only emitted when a
     /// check actually trips, so clean audited runs journal the exact same
     /// event stream — and digest — as unaudited ones.
@@ -505,6 +576,12 @@ impl TraceEvent {
             TraceEvent::RequestScheduled { .. } => "request_scheduled",
             TraceEvent::FirstTokenEmitted { .. } => "first_token_emitted",
             TraceEvent::GatewayCompleted { .. } => "gateway_completed",
+            TraceEvent::RequestShed { .. } => "request_shed",
+            TraceEvent::RequestTimedOut { .. } => "request_timed_out",
+            TraceEvent::RequestCrashAborted { .. } => "request_crash_aborted",
+            TraceEvent::RequestRetried { .. } => "request_retried",
+            TraceEvent::RequestRestored { .. } => "request_restored",
+            TraceEvent::GatewayBrownout { .. } => "gateway_brownout",
             TraceEvent::AuditViolation { .. } => "audit_violation",
         }
     }
@@ -543,6 +620,12 @@ impl TraceEvent {
             | TraceEvent::RequestScheduled { at, .. }
             | TraceEvent::FirstTokenEmitted { at, .. }
             | TraceEvent::GatewayCompleted { at, .. }
+            | TraceEvent::RequestShed { at, .. }
+            | TraceEvent::RequestTimedOut { at, .. }
+            | TraceEvent::RequestCrashAborted { at, .. }
+            | TraceEvent::RequestRetried { at, .. }
+            | TraceEvent::RequestRestored { at, .. }
+            | TraceEvent::GatewayBrownout { at, .. }
             | TraceEvent::AuditViolation { at, .. } => *at,
             TraceEvent::TransferCompleted { start, .. }
             | TraceEvent::SliceFinished { start, .. }
@@ -847,6 +930,76 @@ impl TraceEvent {
                 w.str("gateway", gateway);
                 w.num("request", *request);
                 w.num("output_tokens", *output_tokens);
+                w.time("at", *at);
+            }
+            TraceEvent::RequestShed {
+                gateway,
+                tenant,
+                request,
+                reason,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.num("tenant", *tenant);
+                w.num("request", *request);
+                w.str("reason", reason);
+                w.time("at", *at);
+            }
+            TraceEvent::RequestTimedOut {
+                gateway,
+                request,
+                deadline,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.num("request", *request);
+                w.str("deadline", deadline);
+                w.time("at", *at);
+            }
+            TraceEvent::RequestCrashAborted {
+                gateway,
+                request,
+                generated,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.num("request", *request);
+                w.num("generated", *generated);
+                w.time("at", *at);
+            }
+            TraceEvent::RequestRetried {
+                gateway,
+                request,
+                attempt,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.num("request", *request);
+                w.num("attempt", *attempt);
+                w.time("at", *at);
+            }
+            TraceEvent::RequestRestored {
+                gateway,
+                request,
+                mode,
+                bytes,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.num("request", *request);
+                w.str("mode", mode);
+                w.num("bytes", *bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::GatewayBrownout {
+                gateway,
+                state,
+                queue_depth,
+                at,
+            } => {
+                w.str("gateway", gateway);
+                w.str("state", state);
+                w.num("queue_depth", *queue_depth);
                 w.time("at", *at);
             }
             TraceEvent::AuditViolation {

@@ -207,6 +207,70 @@ fn serve_experiment_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn serve_chaos_experiment_is_byte_identical_across_job_counts() {
+    // The overload/crash-recovery study inherits the same gate: every
+    // mode × load goodput cell and both crash-restore cells of
+    // `aqua-repro serve_chaos` render the same bytes and fold the same
+    // telemetry digests at 1/4/8 jobs.
+    use aqua_bench::runner::{run_suite, ReproArgs};
+    let a = ReproArgs {
+        window: 30,
+        seed: 3,
+        count: 24,
+    };
+    let seq = run_suite(&["serve_chaos"], &a, 1, true, false).unwrap();
+    assert!(seq.total_events > 0, "chaos cells must journal events");
+    for jobs in [4usize, 8] {
+        let par = run_suite(&["serve_chaos"], &a, jobs, true, false).unwrap();
+        assert_eq!(seq.output, par.output, "stdout must match at {jobs} jobs");
+        assert_eq!(seq.combined_digest, par.combined_digest);
+        assert_eq!(seq.total_events, par.total_events);
+    }
+    assert!(seq.output.contains("crash recovery"));
+}
+
+#[test]
+fn audited_gateway_chaos_run_is_digest_identical_to_unaudited() {
+    // The "silent when clean" property extended to the serving path:
+    // attaching the crash-restore auditor to a gateway cell that replays a
+    // mid-run GpuCrash — retries, swap restores and all — must journal the
+    // exact same event stream and digest as the unaudited cell.
+    use aqua_bench::serve_chaos::{run_cell_traced, CellSpec, ChaosExperiment};
+    use aqua_sim::audit::Auditor;
+    use aqua_telemetry::JournalTracer;
+    use std::sync::Arc;
+
+    let cfg = ChaosExperiment::standard(24, 3);
+    let spec = CellSpec::crashed(true);
+    let plain = Arc::new(JournalTracer::new());
+    let audited = Arc::new(JournalTracer::new());
+    let auditor = Auditor::with_tracer(audited.clone());
+    let ra = run_cell_traced(&cfg, spec, plain.clone(), None);
+    let rb = run_cell_traced(&cfg, spec, audited.clone(), Some(auditor.clone()));
+    assert!(
+        auditor.is_clean(),
+        "gateway chaos cell tripped the audit: {:?}",
+        auditor.violations()
+    );
+    assert!(
+        ra.retries + rb.retries > 0,
+        "the crash window must have forced retries"
+    );
+    assert_eq!(ra.streams.len(), rb.streams.len());
+    assert_eq!(
+        plain.len(),
+        audited.len(),
+        "audit hooks added/dropped events"
+    );
+    assert_eq!(
+        plain.digest(),
+        audited.digest(),
+        "audit hooks perturbed the journal"
+    );
+    assert!(!plain.is_empty(), "gateway chaos cell journaled nothing");
+}
+
+#[test]
 fn chaos_digest_differs_across_fault_plans() {
     let a = aqua_bench::chaos_degradation::ChaosTimeline::short();
     let mut b = a;
