@@ -16,14 +16,16 @@ cargo test --workspace -q
 # and the faulted run stays digest-deterministic.
 cargo test -q --test chaos_recovery
 # Hot-path acceptance: the untraced transfer-schedule path must stay
-# allocation-free and the placer catalog DP allocation-bounded per state
-# (both asserted by the microbench main before timing starts).
+# allocation-free, the placer catalog DP allocation-bounded per state, the
+# untraced decode step limited to amortized block-table doubling, and a
+# pre-sized driver must never re-grow its event arena (all asserted by the
+# microbench main before timing starts).
 cargo bench -p aqua-bench --bench microbench -- --test
 # Repro-suite acceptance: run the full experiment suite sequentially AND
 # through the parallel sweep runner. `bench` exits non-zero if the parallel
 # output or the combined determinism digest diverges from sequential, and
-# records the wall-time trajectory in BENCH_pr7.json.
-cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr7.json
+# records the wall-time trajectory in BENCH_pr8.json.
+cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr8.json
 # Gateway acceptance: the scheduler-zoo serving study must render
 # byte-identical output and fold identical telemetry digests sequentially
 # vs in parallel. The digests are compared run-against-run inside the
@@ -33,6 +35,10 @@ cargo run --release -p aqua-bench --bin aqua-repro -- serve --smoke --count 64
 # Same gate for the overload/crash-recovery study (goodput cells at 1-4x
 # load plus both crash-restore cells).
 cargo run --release -p aqua-bench --bin aqua-repro -- serve --chaos-smoke
+# PDES acceptance: a 64-server (512-GPU) scale-cluster run with the crash
+# fault plan and the full audit layer enabled must be byte- and
+# digest-identical at 1 vs 4 lanes with zero audit violations.
+cargo run --release -p aqua-bench --bin aqua-repro -- scale --smoke
 # Audit acceptance, part 1: 32 seeded FaultPlan x workload x topology points
 # under full invariant auditing must report zero violations.
 cargo run --release -p aqua-bench --bin aqua-repro -- fuzz --smoke

@@ -3,17 +3,22 @@
 //! operations, LoRA transfer planning and the placer.
 //!
 //! The binary also *asserts* (before any benchmark runs, via a counting
-//! global allocator) two hot-path guarantees: the untraced transfer-schedule
-//! path performs zero heap allocations per transfer — the budget behind
-//! Figure 11's sub-5% producer overhead (it allocated up to four strings
-//! per transfer before lane interning and the dense `PortStats` table) —
-//! and the placer's catalog DP stays within a small allocation budget per
-//! memoised state on a 64-GPU mixed solve.
+//! global allocator) four hot-path guarantees: the untraced
+//! transfer-schedule path performs zero heap allocations per transfer — the
+//! budget behind Figure 11's sub-5% producer overhead (it allocated up to
+//! four strings per transfer before lane interning and the dense
+//! `PortStats` table); the placer's catalog DP stays within a small
+//! allocation budget per memoised state on a 64-GPU mixed solve; the
+//! untraced decode step's only heap traffic is amortized block-table
+//! doubling; and a driver pre-sized with `Driver::for_expected_events`
+//! never re-grows its event arena mid-run.
 
 use aqua_bench::fig14_placer::mixed_instance;
 use aqua_core::coordinator::{Coordinator, GpuRef};
+use aqua_engines::driver::{Driver, Engine};
 use aqua_engines::kvcache::PagedKvCache;
-use aqua_engines::request::RequestId;
+use aqua_engines::request::{InferenceRequest, RequestId};
+use aqua_engines::vllm::{VllmConfig, VllmEngine};
 use aqua_models::lora::LoraAdapter;
 use aqua_models::zoo;
 use aqua_placer::instance::{ModelSpec, PlacementInstance};
@@ -113,6 +118,90 @@ fn assert_placer_solve_allocation_bounded() {
     eprintln!(
         "microbench: placer 64-GPU mixed solve: {allocs} allocations over {} DP states (cap {cap})",
         stats.dp_states
+    );
+}
+
+/// The decode hot path must be allocation-lean: with an untraced engine
+/// (gauges short-circuit), no offloader and no completions in flight, a
+/// steady-state decode step touches only the SoA sequence arrays, the paged
+/// KV free-list watermark and the dense gauge cache — its sole legitimate
+/// heap traffic is the amortized doubling of a sequence's block table as it
+/// crosses block boundaries (≤ log₂(blocks) reallocations per sequence over
+/// its whole life). Before the SoA/arena rework this path allocated per
+/// step via per-sequence map churn and gauge-name formatting.
+fn assert_untraced_decode_step_is_allocation_lean() {
+    const SEQS: u64 = 8;
+    const STEPS: u64 = 512;
+    // Amortized block-table doubling is the only budgeted traffic.
+    const CAP: u64 = SEQS * 6;
+    let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+    let mut e = VllmEngine::new(geom, GpuSpec::a100_80g(), VllmConfig::default());
+    for i in 0..SEQS {
+        // Output far beyond the measured window, so nothing completes and
+        // the completion-record path stays cold.
+        e.submit(InferenceRequest::text(i, 128, 1 << 20), SimTime::ZERO);
+    }
+    let mut now = SimTime::ZERO;
+    for _ in 0..64 {
+        now = e.step(now); // warm-up: admission, first KV blocks, batch growth
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..STEPS {
+        now = e.step(now);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert!(
+        allocs <= CAP,
+        "untraced decode step made {allocs} allocations over {STEPS} steps x {SEQS} seqs \
+         (cap {CAP}: amortized block-table doubling only)"
+    );
+    black_box(&e);
+    eprintln!(
+        "microbench: untraced decode hot path: {allocs} allocations over {STEPS} steps \
+         x {SEQS} seqs (cap {CAP})"
+    );
+}
+
+/// A driver pre-sized with [`Driver::for_expected_events`] must finish its
+/// whole trace without re-growing the event arena: the capacity observed
+/// before the run is the capacity after it. This is the regression gate for
+/// the `EventQueue::reserve` / `with_event_capacity` plumbing that lets the
+/// figure harnesses pre-size from the workload's expected event count.
+fn assert_presized_driver_never_regrows() {
+    const REQUESTS: usize = 2_000;
+    let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+    let mut e = VllmEngine::new(geom, GpuSpec::a100_80g(), VllmConfig::default());
+    let mut driver = Driver::for_expected_events(REQUESTS + 1);
+    driver.schedule_trace(
+        0,
+        (0..REQUESTS).map(|i| {
+            let at = SimTime::from_nanos(i as u64 * 50_000_000);
+            (at, InferenceRequest::text(i as u64, 64, 8))
+        }),
+    );
+    let cap = driver.event_capacity();
+    // Far past the trace span (100 s of arrivals) — the driver idle-ticks
+    // to the horizon, so `SimTime::MAX` would never return.
+    driver.run(&mut [&mut e], SimTime::from_secs(1_000));
+    assert!(
+        driver.next_event_time().is_none(),
+        "trace must drain inside the horizon"
+    );
+    assert_eq!(
+        driver.event_capacity(),
+        cap,
+        "pre-sized driver re-grew its event arena mid-run \
+         ({cap} -> {} slots)",
+        driver.event_capacity()
+    );
+    assert!(
+        driver.processed_events() > REQUESTS as u64,
+        "trace must actually run ({} events)",
+        driver.processed_events()
+    );
+    eprintln!(
+        "microbench: pre-sized driver ran {} events in a fixed {cap}-slot arena",
+        driver.processed_events()
     );
 }
 
@@ -253,5 +342,7 @@ fn main() {
     // fails `cargo bench --bench microbench` even before timing starts.
     assert_untraced_schedule_is_allocation_free();
     assert_placer_solve_allocation_bounded();
+    assert_untraced_decode_step_is_allocation_lean();
+    assert_presized_driver_never_regrows();
     benches();
 }

@@ -302,7 +302,19 @@ pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoi
             format!("{}\n", lora_skew_table(&[0.0, 1.0, 2.0], a.count, a.seed))
         }),
     ];
-    points.into_iter().map(|p| p.with_cost_hint(50)).collect()
+    // Reclaim-threshold replays the full production timeline three times and
+    // dominates the study's wall; the other five points are near-instant.
+    points
+        .into_iter()
+        .map(|p| {
+            let hint = if p.label() == "reclaim-threshold" {
+                55
+            } else {
+                4
+            };
+            p.with_cost_hint(hint)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -51,6 +51,12 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
             }
             "--seed" => flags.args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--count" => flags.args.count = value.parse().map_err(|e| format!("--count: {e}"))?,
+            "--lanes" => {
+                flags.args.lanes = value
+                    .parse::<usize>()
+                    .map_err(|e| format!("--lanes: {e}"))?
+                    .max(1)
+            }
             "--jobs" => flags.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
             "--out" => flags.out = Some(value.clone()),
             other => return Err(format!("unknown flag {other}")),
@@ -86,9 +92,10 @@ fn run_and_print(names: &[&str], flags: &Flags, headers: bool) -> Result<(), Str
 fn suite_json(label: &str, o: &SuiteOutcome) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "    \"{label}\": {{\n      \"jobs\": {},\n      \"wall_s\": {:.4},\n      \"experiments\": {{\n",
+        "    \"{label}\": {{\n      \"jobs\": {},\n      \"wall_s\": {:.4},\n      \"events_per_sec\": {:.0},\n      \"experiments\": {{\n",
         o.jobs,
-        o.wall.as_secs_f64()
+        o.wall.as_secs_f64(),
+        o.total_events as f64 / o.wall.as_secs_f64().max(1e-9)
     ));
     for (i, e) in o.experiments.iter().enumerate() {
         let comma = if i + 1 < o.experiments.len() { "," } else { "" };
@@ -145,7 +152,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
 
     let speedup = seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"aqua-repro suite\",\n  \"pr\": 7,\n  \"host_cores\": {},\n  \"points\": {},\n  \"total_events\": {},\n  \"combined_digest\": \"{:016x}\",\n  \"digests_match\": true,\n  \"output_identical\": true,\n  \"speedup\": {:.2},\n  \"runs\": {{\n{},\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"aqua-repro suite\",\n  \"pr\": 8,\n  \"host_cores\": {},\n  \"points\": {},\n  \"total_events\": {},\n  \"combined_digest\": \"{:016x}\",\n  \"digests_match\": true,\n  \"output_identical\": true,\n  \"speedup\": {:.2},\n  \"runs\": {{\n{},\n{}\n  }}\n}}\n",
         default_jobs(),
         seq.experiments.iter().map(|e| e.points).sum::<usize>(),
         seq.total_events,
@@ -154,7 +161,7 @@ fn bench(flags: &Flags) -> Result<(), String> {
         suite_json("sequential", &seq),
         suite_json("parallel", &par)
     );
-    let out = flags.out.as_deref().unwrap_or("BENCH_pr7.json");
+    let out = flags.out.as_deref().unwrap_or("BENCH_pr8.json");
     std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "bench: {} points; sequential {:.2}s, parallel {:.2}s over {} jobs ({speedup:.2}x); digest {:016x}; wrote {out}",
@@ -422,6 +429,135 @@ fn fuzz_cmd(flags: &FuzzFlags) -> Result<(), String> {
     ))
 }
 
+/// Flags of the `scale` subcommand.
+struct ScaleFlags {
+    servers: usize,
+    rps: usize,
+    rate: f64,
+    lanes: usize,
+    seed: u64,
+    smoke: bool,
+    audited: bool,
+}
+
+fn parse_scale_flags(rest: &[String]) -> Result<ScaleFlags, String> {
+    // Default rate keeps each server below its service capacity: the
+    // gateway's per-iteration queue scans are linear in backlog, so an
+    // oversaturated arrival rate turns a long trace quadratic. Overload
+    // behaviour is serve_chaos's subject; scale is about event throughput.
+    let mut f = ScaleFlags {
+        servers: 64,
+        rps: 15_625,
+        rate: 0.5,
+        lanes: default_jobs(),
+        seed: 42,
+        smoke: false,
+        audited: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => f.smoke = true,
+            "--audited" => f.audited = true,
+            valued => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag {valued} needs a value"))?;
+                match valued {
+                    "--servers" => {
+                        f.servers = value.parse().map_err(|e| format!("--servers: {e}"))?
+                    }
+                    "--rps" => f.rps = value.parse().map_err(|e| format!("--rps: {e}"))?,
+                    "--rate" => f.rate = value.parse().map_err(|e| format!("--rate: {e}"))?,
+                    "--lanes" => f.lanes = value.parse().map_err(|e| format!("--lanes: {e}"))?,
+                    "--seed" => f.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+                    other => return Err(format!("unknown scale flag {other}")),
+                }
+            }
+        }
+    }
+    f.servers = f.servers.max(1);
+    f.rps = f.rps.max(1);
+    f.lanes = f.lanes.max(1);
+    Ok(f)
+}
+
+/// The `scale` subcommand. `--smoke` runs a 64-server audited point twice —
+/// `--lanes 1` vs `--lanes 4` — and fails unless the rendered table, the
+/// folded shard digest and the window/message counts are identical and the
+/// audit saw zero violations (compared run-against-run, never against a
+/// pinned literal). Without `--smoke` it runs one configuration (default:
+/// 64 servers × 8 GPUs, 15625 requests each — a 512-GPU domain serving 1M
+/// requests) and reports the deterministic table plus events/s, wall and
+/// peak RSS.
+fn scale_cmd(f: &ScaleFlags) -> Result<(), String> {
+    use aqua_bench::scale_cluster::{run_scale, ScaleSpec};
+    if f.smoke {
+        let spec = ScaleSpec {
+            servers: 64,
+            requests_per_server: 8,
+            rate: f.rate,
+            seed: f.seed,
+            lanes: 1,
+            audited: true,
+        };
+        let one = run_scale(&spec);
+        let four = run_scale(&ScaleSpec { lanes: 4, ..spec });
+        if one.table != four.table {
+            return Err(format!(
+                "scale smoke: lanes=1 and lanes=4 rendered different tables ({} vs {} bytes)",
+                one.table.len(),
+                four.table.len()
+            ));
+        }
+        if one.digest != four.digest {
+            return Err(format!(
+                "scale smoke: digest mismatch: lanes=1 {:016x} vs lanes=4 {:016x}",
+                one.digest, four.digest
+            ));
+        }
+        if (one.windows, one.messages) != (four.windows, four.messages) {
+            return Err(format!(
+                "scale smoke: window/message mismatch: {}/{} vs {}/{}",
+                one.windows, one.messages, four.windows, four.messages
+            ));
+        }
+        if one.audit_violations + four.audit_violations != 0 {
+            return Err(format!(
+                "scale smoke: {} audit violation(s)",
+                one.audit_violations + four.audit_violations
+            ));
+        }
+        print!("{}", one.table);
+        eprintln!("{}", one.perf_line());
+        eprintln!("{}", four.perf_line());
+        println!(
+            "scale smoke: {} servers byte-identical and digest-identical at lanes 1 vs 4 \
+             (digest {:016x}, {} windows, {} messages, audited clean)",
+            spec.servers, one.digest, one.windows, one.messages
+        );
+        return Ok(());
+    }
+    let spec = ScaleSpec {
+        servers: f.servers,
+        requests_per_server: f.rps,
+        rate: f.rate,
+        seed: f.seed,
+        lanes: f.lanes,
+        audited: f.audited,
+    };
+    let run = run_scale(&spec);
+    print!("{}", run.table);
+    if run.audit_violations != 0 {
+        return Err(format!(
+            "scale: {} audit violation(s)",
+            run.audit_violations
+        ));
+    }
+    println!("{}", run.perf_line());
+    Ok(())
+}
+
 /// The `serve --smoke` / `serve --chaos-smoke` subcommands: run the gateway
 /// scheduler study (or the overload/crash-recovery study) sequentially and
 /// in parallel in the same process, and verify the stitched output and the
@@ -468,7 +604,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: aqua-repro <experiment|list|all|bench|fuzz> [--window S] [--seed N] [--count N] [--jobs N] [--out FILE]\n       aqua-repro serve --smoke|--chaos-smoke [--seed N] [--count N] [--jobs N]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]\n       aqua-repro fuzz --gateway [--smoke] [--plant] [--offload] [--seed N] [--points N] [--jobs N] [--policy I] [--load N] [--count N] [--faults N] [--horizon S]"
+            "usage: aqua-repro <experiment|list|all|bench|fuzz|scale> [--window S] [--seed N] [--count N] [--lanes N] [--jobs N] [--out FILE]\n       aqua-repro serve --smoke|--chaos-smoke [--seed N] [--count N] [--jobs N]\n       aqua-repro scale [--smoke] [--audited] [--servers N] [--rps N] [--rate F] [--lanes N] [--seed N]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]\n       aqua-repro fuzz --gateway [--smoke] [--plant] [--offload] [--seed N] [--points N] [--jobs N] [--policy I] [--load N] [--count N] [--faults N] [--horizon S]"
         );
         return ExitCode::FAILURE;
     };
@@ -492,6 +628,15 @@ fn main() -> ExitCode {
                 }
             };
         }
+    }
+    if cmd == "scale" {
+        return match parse_scale_flags(&argv[1..]).and_then(|f| scale_cmd(&f)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if cmd == "fuzz" {
         return match parse_fuzz_flags(&argv[1..]).and_then(|f| {

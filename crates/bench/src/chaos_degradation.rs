@@ -384,7 +384,7 @@ pub fn repro_points(_a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPo
             let r = run(&tl, 10);
             format!("{}\n{}\n", table(&r), summary_table(&r))
         })
-        .with_cost_hint(50),
+        .with_cost_hint(20),
     ]
 }
 

@@ -29,7 +29,9 @@ pub mod fig13_chatbot;
 pub mod fig14_placer;
 pub mod fig18_nvswitch;
 pub mod fuzz;
+pub mod lanes;
 pub mod runner;
+pub mod scale_cluster;
 pub mod serve_chaos;
 pub mod serve_schedulers;
 pub mod setup;

@@ -23,6 +23,9 @@ pub struct ReproArgs {
     pub seed: u64,
     /// Request count for request-driven experiments.
     pub count: usize,
+    /// PDES lane threads for sharded scenarios (`--lanes`; scale_cluster).
+    /// Lane count never changes output or digests — only wall time.
+    pub lanes: usize,
 }
 
 impl Default for ReproArgs {
@@ -31,6 +34,7 @@ impl Default for ReproArgs {
             window: 120,
             seed: 42,
             count: 200,
+            lanes: 1,
         }
     }
 }
@@ -125,6 +129,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "serve_chaos",
         "goodput under 1-4x overload + crash recovery, protected vs fcfs",
     ),
+    (
+        "scale_cluster",
+        "256-1024 GPU domain through sharded PDES lanes + coordinator heartbeats",
+    ),
     ("tables", "Tables 1-3 and the model inventory"),
     ("ablations", "all ablation studies"),
 ];
@@ -174,7 +182,7 @@ pub fn experiment_points(name: &str, a: &ReproArgs) -> Result<Vec<ReproPoint>, S
                 crate::fig10_elasticity::producer_table(&r.producer_log, &baseline)
             )
         })
-        .with_cost_hint(60)],
+        .with_cost_hint(15)],
         "fig11" => vec![ReproPoint::new("fig11", "overhead", move || {
             let tl = crate::fig10_elasticity::Timeline::default();
             let r = crate::fig11_producer_overhead::run_overhead(&tl, 10, a.seed);
@@ -184,7 +192,7 @@ pub fn experiment_points(name: &str, a: &ReproArgs) -> Result<Vec<ReproPoint>, S
                 r.median_overhead()
             )
         })
-        .with_cost_hint(60)],
+        .with_cost_hint(15)],
         "fig12" => crate::fig12_tensor_size::repro_points(&a),
         "fig13" => vec![ReproPoint::new("fig13", "chatbot", move || {
             let r = crate::fig13_chatbot::run(25, 4, a.seed);
@@ -196,6 +204,7 @@ pub fn experiment_points(name: &str, a: &ReproArgs) -> Result<Vec<ReproPoint>, S
         "e2e" => crate::e2e_cluster::repro_points(&a),
         "serve" => crate::serve_schedulers::repro_points(&a),
         "serve_chaos" => crate::serve_chaos::repro_points(&a),
+        "scale_cluster" => crate::scale_cluster::repro_points(&a),
         "tables" => vec![ReproPoint::new("tables", "registry", move || {
             format!(
                 "{}\n{}\n{}\n{}\n",
@@ -264,6 +273,7 @@ pub fn run_suite(
     };
     let result: SweepResult<String> =
         sweep.run_weighted(&points, |p| p.cost_hint(), |p| p.render());
+    warn_on_stale_cost_hints(&points, &result);
 
     let combined_digest = result.combined_digest();
     let total_events = result.total_events();
@@ -301,6 +311,53 @@ pub fn run_suite(
     })
 }
 
+/// How far a point's measured wall-per-hint-unit may drift from the suite
+/// median before [`run_suite`] flags its cost hint as stale.
+const COST_HINT_DEVIATION: f64 = 4.0;
+
+/// Points whose wall is below this are never flagged — at sub-50ms scale
+/// the "deviation" is scheduler noise, not a stale hint.
+const COST_HINT_MIN_WALL: Duration = Duration::from_millis(50);
+
+/// Compares each point's measured wall against its cost hint and warns (on
+/// stderr, so stdout stays byte-identical) when a point's seconds-per-hint
+/// rate deviates more than [`COST_HINT_DEVIATION`]× from the suite median.
+/// A flagged point means the hint no longer reflects the work — the
+/// longest-processing-time-first schedule will mispack it.
+fn warn_on_stale_cost_hints(points: &[ReproPoint], result: &SweepResult<String>) {
+    let mut rates: Vec<f64> = points
+        .iter()
+        .zip(result.points.iter())
+        .map(|(p, done)| done.wall.as_secs_f64() / p.cost_hint() as f64)
+        .collect();
+    if rates.len() < 3 {
+        return;
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("walls are finite"));
+    let median = rates[rates.len() / 2];
+    if median <= 0.0 {
+        return;
+    }
+    for (p, done) in points.iter().zip(result.points.iter()) {
+        if done.wall < COST_HINT_MIN_WALL {
+            continue;
+        }
+        let rate = done.wall.as_secs_f64() / p.cost_hint() as f64;
+        if rate > median * COST_HINT_DEVIATION || rate < median / COST_HINT_DEVIATION {
+            eprintln!(
+                "aqua-repro: cost hint for {}:{} looks stale — {:.3}s at hint {} \
+                 ({:.4}s/unit vs suite median {:.4}s/unit)",
+                p.experiment(),
+                p.label(),
+                done.wall.as_secs_f64(),
+                p.cost_hint(),
+                rate,
+                median,
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +385,7 @@ mod tests {
         assert_eq!(experiment_points("e2e", &a).unwrap().len(), 2);
         assert_eq!(experiment_points("serve", &a).unwrap().len(), 10);
         assert_eq!(experiment_points("serve_chaos", &a).unwrap().len(), 8);
+        assert_eq!(experiment_points("scale_cluster", &a).unwrap().len(), 2);
         assert_eq!(experiment_points("ablations", &a).unwrap().len(), 6);
     }
 

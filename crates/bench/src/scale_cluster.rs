@@ -1,0 +1,640 @@
+//! `aqua-repro scale_cluster` — cluster-scale serving through PDES lanes.
+//!
+//! The other experiments stay within one simulated server; this one drives
+//! a 256–1024-GPU scale-up domain (32–128 servers × 8 GPUs behind
+//! NVSwitch) through the sharded lane executor. Each server is a
+//! [`LaneShard`]: a gateway engine with an AQUA offloader, a tenant trace,
+//! and its own pre-sized event queue. Shard 0 is a cluster coordinator.
+//! Servers send staggered heartbeats (`beat`, driver-event count) to the
+//! coordinator over the cross-domain fabric; the coordinator journals each
+//! heartbeat as a [`TraceEvent::LeaseGranted`] and acknowledges it, and
+//! servers journal the ack delivery as a [`TraceEvent::LeaseAllocated`].
+//!
+//! The heartbeat traffic is what makes this a *coupled* PDES scenario: the
+//! conservative window protocol of [`crate::lanes`] must merge cross-shard
+//! messages in `(deliver_at, src, seq)` order for the per-shard journals —
+//! and the folded digest — to be identical at `--lanes 1/4/8`. The
+//! lookahead is the minimum cross-domain link latency, taken from the
+//! NVSwitch α–β model's launch overhead.
+//!
+//! Deterministic results (the rendered table, digests, window and message
+//! counts, simulator event totals) are strictly separated from perf
+//! observations (wall time, events/s, peak RSS), so the table compares
+//! byte-for-byte across lane counts while the perf line reports honestly.
+//!
+//! [`TraceEvent::LeaseGranted`]: aqua_telemetry::TraceEvent
+//! [`TraceEvent::LeaseAllocated`]: aqua_telemetry::TraceEvent
+
+use crate::lanes::{run_lanes, LaneShard, ShardFinish};
+use crate::setup::{OffloadKind, ServerCtx};
+use aqua_engines::driver::{Driver, Engine};
+use aqua_engines::vllm::PreemptionPolicy;
+use aqua_gateway::engine::{GatewayConfig, GatewayEngine};
+use aqua_gateway::scheduler::PolicyKind;
+use aqua_metrics::table::Table;
+use aqua_models::zoo;
+use aqua_sim::audit::{Auditor, SharedAuditor};
+use aqua_sim::fault::FaultPlan;
+use aqua_sim::gpu::{GpuId, GpuSpec};
+use aqua_sim::link::bytes::gib;
+use aqua_sim::link::BandwidthModel;
+use aqua_sim::pdes::{lookahead_from_links, Msg};
+use aqua_sim::time::{SimDuration, SimTime};
+use aqua_telemetry::TraceEvent;
+use aqua_workloads::tenants::tenant_trace;
+use std::time::Duration;
+
+/// GPUs per simulated server (the paper's 8-GPU NVSwitch testbed).
+pub const GPUS_PER_SERVER: usize = 8;
+
+/// Sim-time heartbeat period, seconds.
+pub const HEARTBEAT_PERIOD_SECS: u64 = 60;
+
+/// Rough driver events per request, used for queue pre-sizing and the
+/// events-proportional sweep cost hints.
+pub const EVENTS_PER_REQUEST: u64 = 8;
+
+/// One scale-cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleSpec {
+    /// Simulated servers (each [`GPUS_PER_SERVER`] GPUs).
+    pub servers: usize,
+    /// Tenant-trace requests per server.
+    pub requests_per_server: usize,
+    /// Per-server chat-tenant arrival rate, req/s.
+    pub rate: f64,
+    /// Workload seed (per-server traces derive from `seed + server`).
+    pub seed: u64,
+    /// Lane threads for the PDES executor.
+    pub lanes: usize,
+    /// Inject a mid-run GPU crash on server 0 and audit it.
+    pub audited: bool,
+}
+
+impl ScaleSpec {
+    /// Total GPUs in the domain.
+    pub fn gpus(&self) -> usize {
+        self.servers * GPUS_PER_SERVER
+    }
+
+    /// Total requests across all servers.
+    pub fn total_requests(&self) -> usize {
+        self.servers * self.requests_per_server
+    }
+
+    /// Arrival span of one server's trace, whole seconds (rounded up).
+    pub fn span_secs(&self) -> u64 {
+        (self.requests_per_server as f64 / self.rate).ceil() as u64
+    }
+
+    /// The crash window of the audited point, placed inside the arrival
+    /// span so in-flight work is actually lost.
+    pub fn crash_window(&self) -> (u64, u64) {
+        let start = (self.span_secs() / 4).max(1);
+        (start, start + 5)
+    }
+
+    /// Expected driver events across the cluster (for cost hints).
+    pub fn expected_events(&self) -> u64 {
+        self.total_requests() as u64 * EVENTS_PER_REQUEST
+    }
+}
+
+/// Cross-shard message payload: server → coordinator heartbeats and
+/// coordinator → server acknowledgements.
+#[derive(Debug, Clone, Copy)]
+pub enum ScaleMsg {
+    /// Periodic server heartbeat.
+    Heartbeat {
+        /// Reporting server index.
+        server: u64,
+        /// Heartbeat ordinal on that server.
+        beat: u64,
+        /// Driver events the server had processed at send time.
+        completed: u64,
+    },
+    /// Coordinator acknowledgement of heartbeat `beat`.
+    Ack {
+        /// The acknowledged heartbeat ordinal.
+        beat: u64,
+    },
+}
+
+/// Per-shard result.
+#[derive(Debug, Clone)]
+pub enum ScaleOut {
+    /// The coordinator's tally.
+    Coordinator {
+        /// Heartbeats received (and acknowledged).
+        heartbeats: u64,
+    },
+    /// One server's serving outcome.
+    Server {
+        /// Server index.
+        server: usize,
+        /// Completed token streams.
+        streams: usize,
+        /// Requests refused at admission.
+        shed: usize,
+        /// Crash-retry attempts.
+        retries: u64,
+        /// Heartbeats sent.
+        beats: u64,
+        /// Coordinator acks received.
+        acks: u64,
+        /// Audit violations observed (audited server only).
+        violations: usize,
+    },
+}
+
+/// The cluster coordinator (shard 0). It never initiates traffic — its
+/// send horizon is `None` and the executor covers its reactive acks through
+/// the undelivered-message term of `S_min` (a heartbeat delivered at `t`
+/// was counted in `S_min`, so its ack at `t + L` lands at or after the
+/// window barrier).
+struct CoordShard {
+    lookahead: SimDuration,
+    seq: u64,
+    beats: u64,
+}
+
+impl CoordShard {
+    fn advance(&mut self, inbox: Vec<Msg<ScaleMsg>>) -> Vec<Msg<ScaleMsg>> {
+        let tracer = crate::trace::tracer();
+        let mut out = Vec::with_capacity(inbox.len());
+        for msg in inbox {
+            let ScaleMsg::Heartbeat {
+                server,
+                beat,
+                completed,
+            } = msg.payload
+            else {
+                panic!("coordinator received a non-heartbeat message");
+            };
+            tracer.emit(TraceEvent::LeaseGranted {
+                producer: format!("scale/s{server}"),
+                lease: beat,
+                bytes: completed,
+                at: msg.deliver_at,
+            });
+            self.beats += 1;
+            out.push(Msg {
+                deliver_at: msg.deliver_at + self.lookahead,
+                src: 0,
+                dst: msg.src,
+                seq: self.seq,
+                payload: ScaleMsg::Ack { beat },
+            });
+            self.seq += 1;
+        }
+        out
+    }
+}
+
+/// One server: a gateway engine + AQUA offloader over the 8-GPU NVSwitch
+/// topology, driven by a pre-sized event queue, emitting heartbeats on a
+/// staggered schedule.
+struct ServerShard {
+    id: usize,
+    server: usize,
+    driver: Driver,
+    engine: GatewayEngine,
+    horizon: SimTime,
+    heartbeats: Vec<SimTime>,
+    next_hb: usize,
+    seq: u64,
+    acks: u64,
+    lookahead: SimDuration,
+    auditor: Option<SharedAuditor>,
+}
+
+impl ServerShard {
+    /// Builds the server under the ambient (per-shard) tracer. Must run on
+    /// the shard's lane thread so everything — `ServerCtx` construction
+    /// included — journals into the shard's own digest journal.
+    fn build(spec: &ScaleSpec, server: usize, lookahead: SimDuration) -> Self {
+        let tracer = crate::trace::tracer();
+        let mix = tenant_trace(
+            spec.rate,
+            spec.requests_per_server,
+            spec.seed + server as u64,
+        );
+        let geom = *zoo::codellama_34b().llm_geometry().unwrap();
+        let mut engine = GatewayEngine::new(
+            geom,
+            GpuSpec::a100_80g(),
+            PolicyKind::SjfBucket,
+            GatewayConfig {
+                kv_pool_bytes: gib(3),
+                preemption: PreemptionPolicy::Swap,
+                max_outstanding_per_tenant: 8,
+                ..GatewayConfig::default()
+            },
+        )
+        .with_tenants(mix.tenant_of.clone())
+        .with_tracer(tracer.clone(), format!("scale:s{server}"));
+        let ctx = ServerCtx::eight_gpu_traced(tracer);
+        // Every peer GPU in the NVSwitch domain donates a static lease, so
+        // the offloader spreads KV across the whole server.
+        for g in 1..GPUS_PER_SERVER {
+            ctx.static_lease(GpuId(g), gib(10));
+        }
+        engine = engine.with_offloader(ctx.offloader(OffloadKind::Aqua, GpuId(0)));
+
+        let mut driver =
+            Driver::for_expected_events(spec.requests_per_server * EVENTS_PER_REQUEST as usize);
+        let mut auditor = None;
+        if spec.audited && server == 0 {
+            let (start_s, end_s) = spec.crash_window();
+            let (start, end) = (SimTime::from_secs(start_s), SimTime::from_secs(end_s));
+            let plan = FaultPlan::new().gpu_crash(GpuId(0), start, end);
+            engine = engine.with_fault_plan(&plan, GpuId(0));
+            driver.crash_window(0, start, end);
+            let a = Auditor::collecting();
+            engine = engine.with_auditor(a.clone());
+            auditor = Some(a);
+        }
+        driver.schedule_trace(0, mix.trace);
+
+        // Staggered heartbeat schedule: server `i` beats at
+        // `i·period/servers + k·period`, so windows exercise the
+        // `(deliver_at, src, seq)` merge instead of collapsing onto one
+        // barrier.
+        let period = SimDuration::from_secs(HEARTBEAT_PERIOD_SECS);
+        let offset =
+            SimDuration::from_nanos(period.as_nanos() / spec.servers as u64 * server as u64);
+        let beats = (spec.span_secs() / HEARTBEAT_PERIOD_SECS).max(1);
+        let heartbeats = (0..beats)
+            .map(|k| SimTime::ZERO + offset + period.mul_u64(k + 1))
+            .collect();
+        ServerShard {
+            id: server + 1,
+            server,
+            driver,
+            engine,
+            horizon: SimTime::from_secs(spec.span_secs() + 40_000),
+            heartbeats,
+            next_hb: 0,
+            seq: 0,
+            acks: 0,
+            lookahead,
+            auditor,
+        }
+    }
+
+    fn run_to(&mut self, end: SimTime) {
+        let ServerShard { driver, engine, .. } = self;
+        let mut engines: Vec<&mut dyn Engine> = vec![engine];
+        driver.run(&mut engines, end);
+    }
+
+    fn advance(&mut self, until: Option<SimTime>, inbox: Vec<Msg<ScaleMsg>>) -> Vec<Msg<ScaleMsg>> {
+        let tracer = crate::trace::tracer();
+        for msg in &inbox {
+            let ScaleMsg::Ack { beat } = msg.payload else {
+                panic!("server received a non-ack message");
+            };
+            tracer.emit(TraceEvent::LeaseAllocated {
+                consumer: format!("scale/s{}", self.server),
+                site: "coordinator-ack".into(),
+                bytes: beat,
+                at: msg.deliver_at,
+            });
+            self.acks += 1;
+        }
+        let mut out = Vec::new();
+        while let Some(&hb) = self.heartbeats.get(self.next_hb) {
+            if until.is_some_and(|u| hb >= u) {
+                break;
+            }
+            // Advance the local simulation to the beat time, then sample.
+            self.run_to(hb);
+            out.push(Msg {
+                deliver_at: hb + self.lookahead,
+                src: self.id,
+                dst: 0,
+                seq: self.seq,
+                payload: ScaleMsg::Heartbeat {
+                    server: self.server as u64,
+                    beat: self.next_hb as u64,
+                    completed: self.driver.processed_events(),
+                },
+            });
+            self.seq += 1;
+            self.next_hb += 1;
+        }
+        match until {
+            // Window ends are exclusive; the driver's are inclusive.
+            Some(u) => self.run_to(SimTime::from_nanos(u.as_nanos().saturating_sub(1))),
+            None => self.run_to(self.horizon),
+        }
+        out
+    }
+}
+
+/// Either shard role, so one `run_lanes` call drives the whole cluster.
+enum ScaleShard {
+    Coord(CoordShard),
+    Server(Box<ServerShard>),
+}
+
+impl LaneShard for ScaleShard {
+    type Payload = ScaleMsg;
+    type Out = ScaleOut;
+
+    fn next_send_horizon(&self) -> Option<SimTime> {
+        match self {
+            ScaleShard::Coord(_) => None,
+            ScaleShard::Server(s) => s.heartbeats.get(s.next_hb).copied(),
+        }
+    }
+
+    fn advance(&mut self, until: Option<SimTime>, inbox: Vec<Msg<ScaleMsg>>) -> Vec<Msg<ScaleMsg>> {
+        match self {
+            ScaleShard::Coord(c) => c.advance(inbox),
+            ScaleShard::Server(s) => s.advance(until, inbox),
+        }
+    }
+
+    fn finish(self) -> ShardFinish<ScaleOut> {
+        match self {
+            ScaleShard::Coord(c) => ShardFinish {
+                output: ScaleOut::Coordinator {
+                    heartbeats: c.beats,
+                },
+                sim_events: 0,
+            },
+            ScaleShard::Server(s) => {
+                let mut s = *s;
+                let streams = s.engine.drain_streams();
+                let violations = s.auditor.as_ref().map_or(0, |a| a.violations().len());
+                ShardFinish {
+                    sim_events: s.driver.processed_events(),
+                    output: ScaleOut::Server {
+                        server: s.server,
+                        streams: streams.len(),
+                        shed: s.engine.outcomes().shed(),
+                        retries: s.engine.outcomes().total_retries(),
+                        beats: s.next_hb as u64,
+                        acks: s.acks,
+                        violations,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// A completed scale run: the deterministic table (identical at every lane
+/// count) plus the perf observations (which are not, and are reported
+/// separately).
+#[derive(Debug, Clone)]
+pub struct ScaleRun {
+    /// The configuration that ran.
+    pub spec: ScaleSpec,
+    /// Deterministic rendering: per-server rows, totals, digest evidence.
+    pub table: String,
+    /// Folded per-shard digest, lane-count independent.
+    pub digest: u64,
+    /// Barrier windows the executor took.
+    pub windows: u64,
+    /// Cross-shard messages exchanged.
+    pub messages: u64,
+    /// Driver events processed across all servers.
+    pub sim_events: u64,
+    /// Trace events journalled across all shards.
+    pub journal_events: usize,
+    /// Audit violations across all shards (must be 0).
+    pub audit_violations: usize,
+    /// Wall time of the lane run.
+    pub wall: Duration,
+    /// Peak resident set of this process, MiB (`/proc/self/status` VmHWM).
+    pub peak_rss_mib: Option<u64>,
+}
+
+impl ScaleRun {
+    /// Simulator events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.sim_events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The non-deterministic perf summary (wall, events/s, RSS). Keep this
+    /// out of anything compared across lane counts.
+    pub fn perf_line(&self) -> String {
+        format!(
+            "scale-cluster perf: lanes={} wall={:.2}s events/s={:.0} peak_rss_mib={}",
+            self.spec.lanes,
+            self.wall.as_secs_f64(),
+            self.events_per_sec(),
+            self.peak_rss_mib
+                .map_or_else(|| "-".to_owned(), |m| m.to_string()),
+        )
+    }
+}
+
+/// Peak resident set size of the current process in MiB, from
+/// `/proc/self/status` (`VmHWM`). `None` off Linux.
+pub fn peak_rss_mib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024)
+}
+
+/// Runs one scale-cluster configuration through the lane executor.
+pub fn run_scale(spec: &ScaleSpec) -> ScaleRun {
+    let spec = *spec;
+    // Lookahead: the minimum latency of the links crossing shard domains —
+    // here the NVSwitch fabric's per-transfer launch overhead.
+    let lookahead = lookahead_from_links([BandwidthModel::nvswitch_a100().launch_overhead]);
+
+    let mut builders: Vec<Box<dyn FnOnce() -> ScaleShard + Send>> =
+        Vec::with_capacity(spec.servers + 1);
+    builders.push(Box::new(move || {
+        ScaleShard::Coord(CoordShard {
+            lookahead,
+            seq: 0,
+            beats: 0,
+        })
+    }));
+    for server in 0..spec.servers {
+        builders.push(Box::new(move || {
+            ScaleShard::Server(Box::new(ServerShard::build(&spec, server, lookahead)))
+        }));
+    }
+    let outcome = run_lanes(builders, spec.lanes, lookahead);
+
+    let mut table = Table::new(
+        format!(
+            "Scale-cluster — {} servers x {} GPUs ({} GPUs), {} requests",
+            spec.servers,
+            GPUS_PER_SERVER,
+            spec.gpus(),
+            spec.total_requests(),
+        ),
+        &["server", "streams", "shed", "retries", "beats", "acks"],
+    );
+    let (mut streams, mut shed, mut retries) = (0usize, 0usize, 0u64);
+    let (mut beats, mut acks, mut violations) = (0u64, 0u64, 0usize);
+    let mut coordinator_beats = 0u64;
+    for report in &outcome.shards {
+        match &report.output {
+            ScaleOut::Coordinator { heartbeats } => coordinator_beats = *heartbeats,
+            ScaleOut::Server {
+                server,
+                streams: st,
+                shed: sh,
+                retries: rt,
+                beats: bt,
+                acks: ak,
+                violations: vi,
+            } => {
+                table.row(&[
+                    server.to_string(),
+                    st.to_string(),
+                    sh.to_string(),
+                    rt.to_string(),
+                    bt.to_string(),
+                    ak.to_string(),
+                ]);
+                streams += st;
+                shed += sh;
+                retries += rt;
+                beats += bt;
+                acks += ak;
+                violations += vi;
+            }
+        }
+    }
+    let mut rendered = format!(
+        "{table}\nscale-cluster totals: streams={streams} shed={shed} retries={retries} \
+         heartbeats={beats} coordinator_seen={coordinator_beats} acks={acks}\n",
+    );
+    rendered.push_str(&format!(
+        "scale-cluster determinism: digest={:016x} windows={} messages={} sim_events={} \
+         journal_events={} audit_violations={violations}\n",
+        outcome.digest, outcome.windows, outcome.messages, outcome.sim_events, outcome.events,
+    ));
+
+    // Fold the shard digest into the ambient journal, so a sweep point
+    // wrapping this run carries the cluster's determinism evidence in its
+    // own digest.
+    crate::trace::tracer().emit(TraceEvent::LeaseGranted {
+        producer: "scale/summary".into(),
+        lease: outcome.digest,
+        bytes: outcome.sim_events,
+        at: SimTime::ZERO,
+    });
+
+    ScaleRun {
+        spec,
+        table: rendered,
+        digest: outcome.digest,
+        windows: outcome.windows,
+        messages: outcome.messages,
+        sim_events: outcome.sim_events,
+        journal_events: outcome.events,
+        audit_violations: violations,
+        wall: outcome.wall,
+        peak_rss_mib: peak_rss_mib(),
+    }
+}
+
+/// The `aqua-repro` decomposition: a plain mid-size domain and a smaller
+/// audited one with a mid-run GPU crash. Cost hints are proportional to
+/// each point's expected driver-event count ([`ScaleSpec::expected_events`]),
+/// so the weighted sweep claims big simulations first and the runner's
+/// wall-vs-hint deviation warning has a meaningful baseline.
+pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
+    use crate::runner::ReproPoint;
+    let per_server = (a.count / 8).max(8);
+    let specs = [
+        (
+            "servers=8",
+            ScaleSpec {
+                servers: 8,
+                requests_per_server: per_server,
+                rate: 2.0,
+                seed: a.seed,
+                lanes: a.lanes,
+                audited: false,
+            },
+        ),
+        (
+            "servers=4,audited",
+            ScaleSpec {
+                servers: 4,
+                requests_per_server: per_server,
+                rate: 2.0,
+                seed: a.seed,
+                lanes: a.lanes,
+                audited: true,
+            },
+        ),
+    ];
+    specs
+        .into_iter()
+        .map(|(label, spec)| {
+            ReproPoint::new("scale_cluster", label, move || {
+                let run = run_scale(&spec);
+                assert_eq!(
+                    run.audit_violations, 0,
+                    "scale-cluster point must audit clean"
+                );
+                run.table
+            })
+            .with_cost_hint(spec.expected_events() / 100)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(servers: usize, lanes: usize, audited: bool) -> ScaleSpec {
+        ScaleSpec {
+            servers,
+            requests_per_server: 6,
+            rate: 2.0,
+            seed: 11,
+            lanes,
+            audited,
+        }
+    }
+
+    #[test]
+    fn scale_run_is_lane_count_independent() {
+        let one = run_scale(&tiny(5, 1, false));
+        let four = run_scale(&tiny(5, 4, false));
+        assert_eq!(one.table, four.table);
+        assert_eq!(one.digest, four.digest);
+        assert_eq!(one.windows, four.windows);
+        assert_eq!(one.messages, four.messages);
+        assert_eq!(one.sim_events, four.sim_events);
+        assert!(one.sim_events > 0);
+        // Every heartbeat was acked and every ack delivered.
+        assert!(one.messages >= 2 * 5, "beats + acks");
+        assert_eq!(one.audit_violations, 0);
+    }
+
+    #[test]
+    fn audited_crash_point_stays_clean_and_deterministic() {
+        let a = run_scale(&tiny(3, 1, true));
+        let b = run_scale(&tiny(3, 3, true));
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.audit_violations, 0);
+    }
+
+    #[test]
+    fn spec_accounting_adds_up() {
+        let s = tiny(4, 1, false);
+        assert_eq!(s.gpus(), 32);
+        assert_eq!(s.total_requests(), 24);
+        assert_eq!(s.span_secs(), 3);
+        let (c0, c1) = s.crash_window();
+        assert!(c0 >= 1 && c1 > c0);
+        assert_eq!(s.expected_events(), 24 * EVENTS_PER_REQUEST);
+    }
+}

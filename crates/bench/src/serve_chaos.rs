@@ -219,6 +219,8 @@ pub struct ChaosRun {
     pub retries: u64,
     /// Chat-tenant goodput against [`CHAT_SLO_TTFT_S`].
     pub chat: GoodputReport,
+    /// Simulator events the cell's driver processed.
+    pub sim_events: u64,
 }
 
 impl ChaosRun {
@@ -290,7 +292,7 @@ pub fn run_cell_traced(
         ctx.static_lease(GpuId(1), gib(30));
         engine = engine.with_offloader(ctx.offloader(OffloadKind::Aqua, GpuId(0)));
     }
-    let mut driver = Driver::new();
+    let mut driver = Driver::for_expected_events(mix.trace.len() + 1);
     if let Some((start_s, end_s)) = spec.crash {
         let (start, end) = (SimTime::from_secs(start_s), SimTime::from_secs(end_s));
         let plan = FaultPlan::new().gpu_crash(GpuId(0), start, end);
@@ -317,7 +319,91 @@ pub fn run_cell_traced(
         retries: engine.outcomes().total_retries(),
         streams,
         chat,
+        sim_events: driver.processed_events(),
     }
+}
+
+/// Every cell of the study, in suite order: goodput cells (load × mode)
+/// followed by the two crash-restore cells. This is the shard order of
+/// [`run_sharded`] and the point order of [`repro_points`].
+pub fn suite_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &load in &LOAD_MULTIPLIERS {
+        cells.push(CellSpec::protected(load));
+        cells.push(CellSpec::unprotected(load));
+    }
+    cells.push(CellSpec::crashed(true));
+    cells.push(CellSpec::crashed(false));
+    cells
+}
+
+/// Renders one cell exactly the way its `aqua-repro` suite point does, so
+/// the sharded path and the sweep path emit byte-identical output.
+pub fn render_cell(run: &ChaosRun) -> String {
+    let spec = run.spec;
+    if spec.crash.is_some() {
+        format!(
+            "{}\n",
+            recovery_table(
+                std::slice::from_ref(run),
+                &format!("Serve-chaos crash recovery via `{}`", spec.restore()),
+            )
+        )
+    } else {
+        format!(
+            "{}\n",
+            goodput_table(
+                std::slice::from_ref(run),
+                &format!("Serve-chaos `{}` at {}x load", spec.mode(), spec.load),
+            )
+        )
+    }
+}
+
+/// Runs every suite cell with each cell as its own PDES shard.
+///
+/// Cells never share simulator state, so they execute as decoupled shards —
+/// cell `i` on lane `i % lanes`, journalling into its own digest-only
+/// tracer — and their rendered tables are concatenated in [`suite_cells`]
+/// order. Output and the folded digest are identical at every lane count.
+/// With `audited`, the crash cells run under a collecting [`Auditor`] and
+/// panic the shard on any invariant violation.
+///
+/// [`Auditor`]: aqua_sim::audit::Auditor
+pub fn run_sharded(
+    count: usize,
+    seed: u64,
+    lanes: usize,
+    audited: bool,
+) -> (String, crate::lanes::LaneOutcome<String>) {
+    use crate::lanes::{run_decoupled, ShardFinish};
+    use aqua_sim::audit::Auditor;
+    let tasks: Vec<Box<dyn FnOnce() -> ShardFinish<String> + Send>> = suite_cells()
+        .into_iter()
+        .map(|spec| {
+            let task: Box<dyn FnOnce() -> ShardFinish<String> + Send> = Box::new(move || {
+                let cfg = ChaosExperiment::standard(count, seed);
+                let auditor = (audited && spec.crash.is_some()).then(Auditor::collecting);
+                let run = run_cell_traced(&cfg, spec, crate::trace::tracer(), auditor.clone());
+                if let Some(a) = auditor {
+                    assert!(
+                        a.is_clean(),
+                        "audited chaos shard `{}` tripped: {:?}",
+                        spec.mode(),
+                        a.violations()
+                    );
+                }
+                ShardFinish {
+                    sim_events: run.sim_events,
+                    output: render_cell(&run),
+                }
+            });
+            task
+        })
+        .collect();
+    let outcome = run_decoupled(tasks, lanes);
+    let output: String = outcome.shards.iter().map(|s| s.output.as_str()).collect();
+    (output, outcome)
 }
 
 /// Renders goodput cells as the overload table.
@@ -380,59 +466,28 @@ pub fn recovery_table(runs: &[ChaosRun], title: &str) -> Table {
 }
 
 /// The `aqua-repro` decomposition: one point per goodput cell (mode × load)
-/// plus one per crash-restore cell.
+/// plus one per crash-restore cell, rendered through the same
+/// [`render_cell`] the sharded path uses.
 pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
     use crate::runner::ReproPoint;
     // The suite default of 200 chat requests would make the 4× cell the
     // tail of every run; the overload shapes show just as well at 48.
     let (count, seed) = (a.count.min(48), a.seed);
-    let mut points = Vec::new();
-    for &load in &LOAD_MULTIPLIERS {
-        for protected in [true, false] {
-            let spec = if protected {
-                CellSpec::protected(load)
+    suite_cells()
+        .into_iter()
+        .map(|spec| {
+            let label = if spec.crash.is_some() {
+                format!("crash,restore={}", spec.restore())
             } else {
-                CellSpec::unprotected(load)
+                format!("mode={},load={}", spec.mode(), spec.load)
             };
-            points.push(
-                ReproPoint::new(
-                    "serve_chaos",
-                    format!("mode={},load={load}", spec.mode()),
-                    move || {
-                        let cfg = ChaosExperiment::standard(count, seed);
-                        let run = run_cell(&cfg, spec);
-                        format!(
-                            "{}\n",
-                            goodput_table(
-                                &[run],
-                                &format!("Serve-chaos `{}` at {load}x load", spec.mode()),
-                            )
-                        )
-                    },
-                )
-                .with_cost_hint(load as u64),
-            );
-        }
-    }
-    for offload in [true, false] {
-        let spec = CellSpec::crashed(offload);
-        points.push(ReproPoint::new(
-            "serve_chaos",
-            format!("crash,restore={}", spec.restore()),
-            move || {
+            ReproPoint::new("serve_chaos", label, move || {
                 let cfg = ChaosExperiment::standard(count, seed);
-                let run = run_cell(&cfg, spec);
-                format!(
-                    "{}\n",
-                    recovery_table(
-                        &[run],
-                        &format!("Serve-chaos crash recovery via `{}`", spec.restore()),
-                    )
-                )
-            },
-        ));
-    }
-    points
+                render_cell(&run_cell(&cfg, spec))
+            })
+            .with_cost_hint(spec.load as u64)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -240,18 +240,22 @@ pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoi
     let mut points = Vec::new();
     for &rate in &LOAD_RATES {
         for policy in PolicyKind::ALL {
-            points.push(crate::runner::ReproPoint::new(
-                "serve",
-                format!("rate={rate},policy={policy}"),
-                move || {
-                    let cfg = ServeExperiment::at_rate(rate, count, seed);
-                    let runs = [false, true].map(|off| run_policy(&cfg, policy, off));
-                    format!(
-                        "{}\n",
-                        table(&runs, &format!("Serve `{policy}` at {rate} req/s"))
-                    )
-                },
-            ));
+            points.push(
+                crate::runner::ReproPoint::new(
+                    "serve",
+                    format!("rate={rate},policy={policy}"),
+                    move || {
+                        let cfg = ServeExperiment::at_rate(rate, count, seed);
+                        let runs = [false, true].map(|off| run_policy(&cfg, policy, off));
+                        format!(
+                            "{}\n",
+                            table(&runs, &format!("Serve `{policy}` at {rate} req/s"))
+                        )
+                    },
+                )
+                // Wall scales with the request count, which scales with rate.
+                .with_cost_hint(5 * rate as u64),
+            );
         }
     }
     points

@@ -178,10 +178,41 @@ impl CfsEngine {
     /// capacity (context plus slice growth) and `max_active`.
     fn select_active(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.seqs.len()).collect();
-        order.sort_by_key(|&i| {
+        let key = |&i: &usize| {
             let s = &self.seqs[i];
             (s.life.generated, s.life.arrival, s.life.req.id)
-        });
+        };
+        // The scan below almost always stops after `max_active` picks, so a
+        // full O(n log n) sort of a deep backlog is wasted work: partition
+        // the smallest-key prefix out first and sort only that. The prefix
+        // is generous (skipped oversized contexts consume candidates), and
+        // if it still cannot settle the answer the full sort runs — the
+        // chosen set is identical either way because keys are unique
+        // (request ids are) and both paths scan the same ascending order.
+        let prefix = self.config.max_active + 64;
+        let partial = order.len() > prefix.saturating_mul(2);
+        if partial {
+            order.select_nth_unstable_by_key(prefix, key);
+            order[..prefix].sort_unstable_by_key(key);
+            if let Some(chosen) = self.scan_for_active(order[..prefix].iter().copied(), false) {
+                return chosen;
+            }
+        }
+        order.sort_unstable_by_key(key);
+        self.scan_for_active(order.iter().copied(), true)
+            .expect("full scan is total")
+    }
+
+    /// Walks candidates in fair order, picking until the KV pool or
+    /// `max_active` is exhausted. Returns `None` when `complete` is false
+    /// and the walk ran out of candidates while slots remained — a longer
+    /// candidate list could still add picks, so the caller must retry with
+    /// the full order.
+    fn scan_for_active(
+        &self,
+        order: impl Iterator<Item = usize>,
+        complete: bool,
+    ) -> Option<Vec<usize>> {
         let mut chosen = Vec::new();
         let mut blocks = 0u64;
         for i in order {
@@ -204,7 +235,11 @@ impl CfsEngine {
             blocks += need;
             chosen.push(i);
         }
-        chosen
+        if complete || chosen.len() >= self.config.max_active {
+            Some(chosen)
+        } else {
+            None
+        }
     }
 }
 
@@ -284,8 +319,17 @@ impl Engine for CfsEngine {
         let t_prefill = cost::llm_prefill_time(&self.geom, &self.gpu, prefill_tokens);
         let mut cursor = io_done + t_prefill;
 
-        // Run the slice: up to `slice_tokens` decode steps.
+        // Run the slice: up to `slice_tokens` decode steps. KV growth is
+        // batched to one `grow_seq` per sequence at slice end — nothing
+        // inside the loop reads the pool (decode timing depends only on
+        // `life.context_tokens()`), and `select_active` already reserved the
+        // full end-of-slice footprint, so per-token bookkeeping would only
+        // repeat the same map lookup `slice_tokens` times.
         let mut live: Vec<usize> = active;
+        let gen_before: Vec<(usize, u64)> = live
+            .iter()
+            .map(|&i| (i, self.seqs[i].life.generated))
+            .collect();
         let mut slice_tokens_generated = 0u64;
         for _ in 0..self.config.slice_tokens {
             live.retain(|&i| !self.seqs[i].life.is_complete());
@@ -300,11 +344,16 @@ impl Engine for CfsEngine {
                 .sum();
             cursor += cost::llm_decode_step_time(&self.geom, &self.gpu, batch, total_ctx);
             for &i in &live {
-                let s = &mut self.seqs[i];
+                self.seqs[i].life.note_token(cursor);
+            }
+        }
+        for (i, before) in gen_before {
+            let s = &self.seqs[i];
+            let grew = s.life.generated - before;
+            if grew > 0 {
                 self.kv
-                    .grow_seq(s.life.req.id, 1)
+                    .grow_seq(s.life.req.id, grew)
                     .expect("slice growth reserved at selection");
-                s.life.note_token(cursor);
             }
         }
 

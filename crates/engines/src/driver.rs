@@ -76,6 +76,9 @@ pub struct Driver {
     /// Timestamp of the last processed event/tick (for the monotonicity
     /// audit).
     last_time: SimTime,
+    /// Total events processed (popped arrivals/step-dones plus idle-tick
+    /// rounds), the denominator behind the `scale_cluster` events/s report.
+    processed: u64,
 }
 
 impl Driver {
@@ -100,7 +103,41 @@ impl Driver {
             crash_windows: Vec::new(),
             auditor: None,
             last_time: SimTime::ZERO,
+            processed: 0,
         }
+    }
+
+    /// Creates a driver pre-sized for a workload of `expected_events`
+    /// scheduled events (every trace arrival plus one in-flight step per
+    /// engine), so the event arena never re-grows mid-run. Prefer this over
+    /// [`Driver::new`] when the trace length is known up front.
+    pub fn for_expected_events(expected_events: usize) -> Self {
+        Self::with_event_capacity(expected_events.max(Self::DEFAULT_EVENT_CAPACITY))
+    }
+
+    /// Reserves room for `additional` more pending events beyond the
+    /// current queue length (idempotent with what `schedule_trace` already
+    /// reserves from its iterator's size hint).
+    pub fn expect_events(&mut self, additional: usize) {
+        self.events.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without re-growing its
+    /// entry storage (regression-asserted by the microbench).
+    pub fn event_capacity(&self) -> usize {
+        self.events.capacity()
+    }
+
+    /// Total events processed so far: popped arrivals and step completions
+    /// plus idle-tick rounds.
+    pub fn processed_events(&self) -> u64 {
+        self.processed
+    }
+
+    /// The firing time of the earliest queued event, if any — the shard
+    /// clock the PDES lane executor reads between windows.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
     }
 
     /// Attaches an invariant auditor: every popped event and idle tick is
@@ -162,12 +199,17 @@ impl Driver {
         if self.busy.len() < engines.len() {
             self.busy.resize(engines.len(), false);
         }
+        // One StepDone per engine can be in flight on top of every queued
+        // arrival; reserving it here keeps a queue that `schedule_trace`
+        // sized exactly from re-growing on the first step of a full trace.
+        self.events.reserve(engines.len());
         loop {
             let next_event = self.events.peek_time();
             let next = next_event.map_or(self.next_tick, |t| t.min(self.next_tick));
             if next > end {
                 break;
             }
+            self.processed += 1;
             if next_event.is_some_and(|t| t <= self.next_tick) {
                 let (now, ev) = self.events.pop().expect("peeked");
                 if let Some(aud) = &self.auditor {
@@ -378,6 +420,30 @@ mod tests {
         }
         assert_eq!(crashed.ticks, 0, "no control ticks while down");
         assert!(healthy.ticks >= 9, "sibling keeps ticking");
+    }
+
+    #[test]
+    fn pre_sized_queue_never_regrows_and_counts_events() {
+        let trace: Vec<(SimTime, InferenceRequest)> = (0..256)
+            .map(|i| (SimTime::from_millis(i * 5), InferenceRequest::text(i, 1, 1)))
+            .collect();
+        let mut driver = Driver::for_expected_events(trace.len() + 1);
+        driver.schedule_trace(0, trace);
+        assert_eq!(driver.next_event_time(), Some(SimTime::ZERO));
+        let before = driver.event_capacity();
+        assert!(before >= 257);
+        let mut e = FixedEngine::new(1);
+        let mut engines: Vec<&mut dyn Engine> = vec![&mut e];
+        driver.run(&mut engines, SimTime::from_secs(10));
+        assert_eq!(
+            driver.event_capacity(),
+            before,
+            "a pre-sized queue must not re-grow mid-run"
+        );
+        // 256 arrivals + 256 step completions, plus idle ticks.
+        assert!(driver.processed_events() >= 512);
+        assert_eq!(e.drain_completions().len(), 256);
+        assert_eq!(driver.next_event_time(), None);
     }
 
     #[test]

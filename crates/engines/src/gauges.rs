@@ -1,0 +1,73 @@
+//! Change-detecting gauge name cache.
+//!
+//! Engines journal a handful of gauges (`queue_depth`, `running`, …) every
+//! scheduler iteration, but only when the value changed. The naive pattern —
+//! `format!("{scope}.{suffix}")` into a `BTreeMap<String, f64>` per probe —
+//! allocates a scope-qualified name on every iteration just to discover the
+//! value is unchanged. [`GaugeCache`] interns each full gauge name once and
+//! answers the "did it change?" probe with a linear scan over the few
+//! registered suffixes, which is allocation-free on the (overwhelmingly
+//! common) unchanged path.
+
+/// Interned `scope.suffix` gauge names with last-emitted values.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeCache {
+    entries: Vec<(&'static str, String, Option<f64>)>,
+}
+
+impl GaugeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets interned names (call when the scope string changes).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Records `value` for `scope.suffix` and returns the interned full name
+    /// if it differs from the previously recorded value, `None` when
+    /// unchanged. The first observation of a suffix always reports changed.
+    pub fn changed(&mut self, scope: &str, suffix: &'static str, value: f64) -> Option<&str> {
+        let idx = match self.entries.iter().position(|(s, _, _)| *s == suffix) {
+            Some(i) => i,
+            None => {
+                self.entries
+                    .push((suffix, format!("{scope}.{suffix}"), None));
+                self.entries.len() - 1
+            }
+        };
+        let (_, name, last) = &mut self.entries[idx];
+        if *last == Some(value) {
+            None
+        } else {
+            *last = Some(value);
+            Some(name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_changes_only() {
+        let mut g = GaugeCache::new();
+        assert_eq!(g.changed("eng", "depth", 1.0), Some("eng.depth"));
+        assert_eq!(g.changed("eng", "depth", 1.0), None);
+        assert_eq!(g.changed("eng", "depth", 2.0), Some("eng.depth"));
+        // Independent suffixes do not interfere.
+        assert_eq!(g.changed("eng", "running", 2.0), Some("eng.running"));
+        assert_eq!(g.changed("eng", "depth", 2.0), None);
+    }
+
+    #[test]
+    fn reset_forgets_names_and_values() {
+        let mut g = GaugeCache::new();
+        assert!(g.changed("a", "x", 1.0).is_some());
+        g.reset();
+        assert_eq!(g.changed("b", "x", 1.0), Some("b.x"));
+    }
+}

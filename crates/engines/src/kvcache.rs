@@ -16,6 +16,13 @@
 //!   tensor. We solve this problem by copying the scattered allocated
 //!   blocks to a temporary location to free up the reserved memory" — the
 //!   pool models that compaction and accounts the bytes it copies.
+//!
+//! Per-sequence state is stored struct-of-arrays (dense parallel vectors
+//! indexed through a `RequestId → slot` map, freed slots swap-removed), and
+//! the pool maintains running `used_blocks` / `total_tokens` counters so the
+//! admission checks and gauges the engines issue every decode iteration are
+//! O(1) instead of a scan over every live sequence — `grow_seq(id, 1)` per
+//! running sequence per step is the simulator's hottest path.
 
 use aqua_models::geometry::LlmGeometry;
 use serde::{Deserialize, Serialize};
@@ -58,14 +65,19 @@ pub struct PagedKvCache {
     /// Recycled blocks, LIFO — reuse keeps tables fragmented, like a real
     /// allocator under churn.
     free_list: Vec<BlockId>,
-    seq_blocks: HashMap<RequestId, SeqAlloc>,
+    /// Struct-of-arrays per-sequence state: `seq_ids[i]`, `seq_tokens[i]`
+    /// and `seq_tables[i]` describe the same sequence; `index` maps a
+    /// request id to its slot `i`. Frees swap-remove, so iteration order is
+    /// dense and deterministic for a given operation sequence.
+    seq_ids: Vec<RequestId>,
+    seq_tokens: Vec<u64>,
+    seq_tables: Vec<Vec<BlockId>>,
+    index: HashMap<RequestId, usize>,
+    /// Running totals maintained by grow/free so the per-iteration
+    /// admission and gauge queries never scan live sequences.
+    used_blocks: u64,
+    total_tokens: u64,
     compacted_bytes: u64,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-struct SeqAlloc {
-    blocks: Vec<BlockId>,
-    tokens: u64,
 }
 
 /// Error returned when the pool cannot satisfy a block request.
@@ -106,7 +118,12 @@ impl PagedKvCache {
             total_blocks,
             next_fresh: 0,
             free_list: Vec::new(),
-            seq_blocks: HashMap::new(),
+            seq_ids: Vec::new(),
+            seq_tokens: Vec::new(),
+            seq_tables: Vec::new(),
+            index: HashMap::new(),
+            used_blocks: 0,
+            total_tokens: 0,
             compacted_bytes: 0,
         }
     }
@@ -121,17 +138,14 @@ impl PagedKvCache {
         self.total_blocks
     }
 
-    /// Blocks currently mapped to sequences.
+    /// Blocks currently mapped to sequences. O(1).
     pub fn used_blocks(&self) -> u64 {
-        self.seq_blocks
-            .values()
-            .map(|s| s.blocks.len() as u64)
-            .sum()
+        self.used_blocks
     }
 
-    /// Blocks currently free.
+    /// Blocks currently free. O(1).
     pub fn free_blocks(&self) -> u64 {
-        self.total_blocks - self.used_blocks()
+        self.total_blocks - self.used_blocks
     }
 
     /// Total pool capacity in bytes.
@@ -156,47 +170,35 @@ impl PagedKvCache {
 
     /// Number of live sequences.
     pub fn seq_count(&self) -> usize {
-        self.seq_blocks.len()
+        self.seq_ids.len()
     }
 
     /// Tokens currently stored for a sequence (0 if absent).
     pub fn used_tokens_of(&self, id: RequestId) -> u64 {
-        self.seq_blocks.get(&id).map_or(0, |s| s.tokens)
+        self.index.get(&id).map_or(0, |&i| self.seq_tokens[i])
     }
 
     /// KV bytes currently mapped for a sequence (block-granular).
     pub fn bytes_of(&self, id: RequestId) -> u64 {
-        self.seq_blocks
+        self.index
             .get(&id)
-            .map_or(0, |s| s.blocks.len() as u64)
+            .map_or(0, |&i| self.seq_tables[i].len() as u64)
             * self.block_bytes()
     }
 
     /// The sequence's physical block table (its scatter pattern), if live.
     pub fn block_table(&self, id: RequestId) -> Option<&[BlockId]> {
-        self.seq_blocks.get(&id).map(|s| s.blocks.as_slice())
+        self.index.get(&id).map(|&i| self.seq_tables[i].as_slice())
     }
 
-    /// Sum of context tokens across all live sequences.
+    /// Sum of context tokens across all live sequences. O(1).
     pub fn total_context_tokens(&self) -> u64 {
-        self.seq_blocks.values().map(|s| s.tokens).sum()
+        self.total_tokens
     }
 
     /// Bytes copied so far by donation-time compaction (§B.1).
     pub fn compacted_bytes(&self) -> u64 {
         self.compacted_bytes
-    }
-
-    fn pop_free(&mut self) -> Option<BlockId> {
-        if let Some(b) = self.free_list.pop() {
-            return Some(b);
-        }
-        if self.next_fresh < self.total_blocks {
-            let b = BlockId(self.next_fresh);
-            self.next_fresh += 1;
-            return Some(b);
-        }
-        None
     }
 
     /// Extends sequence `id` by `tokens`, allocating blocks as needed.
@@ -206,10 +208,9 @@ impl PagedKvCache {
     /// Returns [`KvOutOfBlocks`] (without partial allocation) if the pool
     /// cannot supply the required blocks.
     pub fn grow_seq(&mut self, id: RequestId, tokens: u64) -> Result<(), KvOutOfBlocks> {
-        let (have_blocks, have_tokens) = self
-            .seq_blocks
-            .get(&id)
-            .map(|s| (s.blocks.len() as u64, s.tokens))
+        let slot = self.index.get(&id).copied();
+        let (have_blocks, have_tokens) = slot
+            .map(|i| (self.seq_tables[i].len() as u64, self.seq_tokens[i]))
             .unwrap_or((0, 0));
         let new_tokens = have_tokens + tokens;
         let needed_blocks = new_tokens.div_ceil(self.block_tokens);
@@ -220,30 +221,54 @@ impl PagedKvCache {
                 free: self.free_blocks(),
             });
         }
-        let mut new_blocks = Vec::with_capacity(extra as usize);
+        let i = slot.unwrap_or_else(|| {
+            let i = self.seq_ids.len();
+            self.seq_ids.push(id);
+            self.seq_tokens.push(0);
+            // Size the table for the final footprint this grow implies, so
+            // one-token decode growth never re-allocates the table.
+            self.seq_tables
+                .push(Vec::with_capacity(needed_blocks as usize));
+            self.index.insert(id, i);
+            i
+        });
+        self.seq_tokens[i] = new_tokens;
+        let table = &mut self.seq_tables[i];
         for _ in 0..extra {
             // Cannot fail: extra <= free_blocks was checked above.
-            new_blocks.push(self.pop_free().expect("free capacity checked"));
+            let b = if let Some(b) = self.free_list.pop() {
+                b
+            } else {
+                debug_assert!(self.next_fresh < self.total_blocks);
+                let b = BlockId(self.next_fresh);
+                self.next_fresh += 1;
+                b
+            };
+            table.push(b);
         }
-        let entry = self.seq_blocks.entry(id).or_insert(SeqAlloc {
-            blocks: Vec::new(),
-            tokens: 0,
-        });
-        entry.tokens = new_tokens;
-        entry.blocks.extend(new_blocks);
+        self.used_blocks += extra;
+        self.total_tokens += tokens;
         Ok(())
     }
 
     /// Releases all blocks of a sequence (no-op if absent). Returns freed
     /// bytes.
     pub fn free_seq(&mut self, id: RequestId) -> u64 {
-        if let Some(s) = self.seq_blocks.remove(&id) {
-            let freed = s.blocks.len() as u64 * self.block_bytes();
-            self.free_list.extend(s.blocks);
-            freed
-        } else {
-            0
+        let Some(i) = self.index.remove(&id) else {
+            return 0;
+        };
+        self.seq_ids.swap_remove(i);
+        let tokens = self.seq_tokens.swap_remove(i);
+        let table = self.seq_tables.swap_remove(i);
+        if i < self.seq_ids.len() {
+            // A tail slot moved into `i`; repoint its index entry.
+            self.index.insert(self.seq_ids[i], i);
         }
+        let freed_blocks = table.len() as u64;
+        self.free_list.extend(table);
+        self.used_blocks -= freed_blocks;
+        self.total_tokens -= tokens;
+        freed_blocks * self.block_bytes()
     }
 
     /// Shrinks the pool by up to `bytes` of *free* capacity (donation to
@@ -271,8 +296,8 @@ impl PagedKvCache {
         // exist when every id below the cut was minted, and
         // used <= new_total guarantees enough of those are free.
         let mut moved = 0u64;
-        for alloc in self.seq_blocks.values_mut() {
-            for b in alloc.blocks.iter_mut() {
+        for table in self.seq_tables.iter_mut() {
+            for b in table.iter_mut() {
                 if b.0 >= new_total {
                     *b = targets
                         .pop()
@@ -302,19 +327,36 @@ impl PagedKvCache {
         }
     }
 
-    /// Debug invariant: block tables are disjoint, within bounds, and the
-    /// free list holds no live block.
+    /// Debug invariant: block tables are disjoint, within bounds, the free
+    /// list holds no live block, and the O(1) counters match a full rescan.
     pub fn check_invariants(&self) -> bool {
+        if self.seq_ids.len() != self.seq_tokens.len()
+            || self.seq_ids.len() != self.seq_tables.len()
+            || self.seq_ids.len() != self.index.len()
+        {
+            return false;
+        }
         let mut seen = std::collections::HashSet::new();
-        for s in self.seq_blocks.values() {
-            if s.blocks.len() as u64 != s.tokens.div_ceil(self.block_tokens) {
+        let mut blocks = 0u64;
+        let mut tokens = 0u64;
+        for (i, id) in self.seq_ids.iter().enumerate() {
+            if self.index.get(id) != Some(&i) {
                 return false;
             }
-            for b in &s.blocks {
+            let table = &self.seq_tables[i];
+            if table.len() as u64 != self.seq_tokens[i].div_ceil(self.block_tokens) {
+                return false;
+            }
+            blocks += table.len() as u64;
+            tokens += self.seq_tokens[i];
+            for b in table {
                 if b.0 >= self.total_blocks || !seen.insert(*b) {
                     return false;
                 }
             }
+        }
+        if blocks != self.used_blocks || tokens != self.total_tokens {
+            return false;
         }
         for b in &self.free_list {
             if b.0 >= self.total_blocks || b.0 >= self.next_fresh || !seen.insert(*b) {
@@ -466,7 +508,8 @@ mod tests {
 
     proptest! {
         /// Arbitrary grow/free/donate/reclaim sequences preserve the block
-        /// invariants: disjoint in-bounds tables sized ceil(tokens/block).
+        /// invariants: disjoint in-bounds tables sized ceil(tokens/block),
+        /// and the O(1) counters agreeing with a full rescan.
         #[test]
         fn block_accounting(ops in proptest::collection::vec((0u64..8, 1u64..200, 0u8..5), 1..100)) {
             let geom = *zoo::mistral_7b().llm_geometry().unwrap();
@@ -495,6 +538,10 @@ mod tests {
                     .sum();
                 prop_assert_eq!(kv.used_blocks(), expected);
                 prop_assert!(kv.used_blocks() <= kv.total_blocks());
+                let expected_tokens: u64 = (0..8)
+                    .map(|s| kv.used_tokens_of(RequestId(s)))
+                    .sum();
+                prop_assert_eq!(kv.total_context_tokens(), expected_tokens);
             }
         }
     }

@@ -27,6 +27,7 @@ pub mod cfs;
 pub mod deepspeed;
 pub mod driver;
 pub mod flexgen;
+pub mod gauges;
 pub mod kvcache;
 pub mod northbound;
 pub mod offload;

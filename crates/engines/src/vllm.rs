@@ -28,7 +28,7 @@ use aqua_sim::gpu::GpuSpec;
 use aqua_sim::link::bytes::gib;
 use aqua_sim::time::SimTime;
 use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What happens to a sequence preempted when the KV pool runs dry.
 ///
@@ -137,7 +137,7 @@ pub struct VllmEngine {
     lora_hits: u64,
     tracer: SharedTracer,
     scope: String,
-    last_gauges: BTreeMap<String, f64>,
+    gauges: crate::gauges::GaugeCache,
 }
 
 impl std::fmt::Debug for VllmEngine {
@@ -177,7 +177,7 @@ impl VllmEngine {
             lora_hits: 0,
             tracer: null_tracer(),
             scope: "vllm".to_owned(),
-            last_gauges: BTreeMap::new(),
+            gauges: crate::gauges::GaugeCache::new(),
         }
     }
 
@@ -187,21 +187,21 @@ impl VllmEngine {
     pub fn with_tracer(mut self, tracer: SharedTracer, scope: impl Into<String>) -> Self {
         self.tracer = tracer;
         self.scope = scope.into();
+        self.gauges.reset();
         self
     }
 
     /// Journals a gauge sample only when the value changed, so long runs do
     /// not fill the journal with identical samples.
-    fn emit_gauge(&mut self, suffix: &str, value: f64, at: SimTime) {
+    fn emit_gauge(&mut self, suffix: &'static str, value: f64, at: SimTime) {
         if !self.tracer.enabled() {
             return;
         }
-        let name = format!("{}.{suffix}", self.scope);
-        if self.last_gauges.get(&name) == Some(&value) {
+        let Some(name) = self.gauges.changed(&self.scope, suffix, value) else {
             return;
-        }
-        self.last_gauges.insert(name.clone(), value);
-        self.tracer.gauge(&name, value);
+        };
+        self.tracer.gauge(name, value);
+        let name = name.to_owned();
         self.tracer.emit(TraceEvent::Gauge { name, value, at });
     }
 

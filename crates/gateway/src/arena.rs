@@ -1,0 +1,170 @@
+//! Arena for per-token delivery records.
+//!
+//! Every running sequence appends one `SimTime` per decode iteration — the
+//! single highest-volume allocation in a serving run. Giving each sequence
+//! its own growing `Vec<SimTime>` reallocates `log₂(output_tokens)` times
+//! per request and scatters records across the heap; at a million requests
+//! that is tens of millions of reallocations. [`TokenArena`] instead packs
+//! all token records into one backing buffer: a sequence's capacity is known
+//! exactly at submission (`output_tokens` is part of the request), so the
+//! arena hands out a fixed-size chunk once, and recycles it by exact size
+//! class when the sequence retires. Peak footprint is bounded by the *live*
+//! sequences, not the whole trace.
+
+use aqua_sim::time::SimTime;
+use std::collections::HashMap;
+
+/// A sequence's chunk in a [`TokenArena`]: `cap` slots at `start`, `len`
+/// filled so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenSlot {
+    start: usize,
+    len: u32,
+    cap: u32,
+}
+
+impl TokenSlot {
+    /// Tokens recorded so far.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` before the first token lands.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Bump-allocated token-record storage with exact-size-class recycling.
+///
+/// # Example
+///
+/// ```
+/// use aqua_gateway::arena::TokenArena;
+/// use aqua_sim::time::SimTime;
+///
+/// let mut arena = TokenArena::new();
+/// let mut slot = arena.alloc(2);
+/// arena.push(&mut slot, SimTime::from_millis(5));
+/// arena.push(&mut slot, SimTime::from_millis(9));
+/// assert_eq!(arena.take(&slot), vec![SimTime::from_millis(5), SimTime::from_millis(9)]);
+/// arena.release(slot);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TokenArena {
+    buf: Vec<SimTime>,
+    /// Retired chunks by exact capacity, LIFO per class.
+    free: HashMap<u32, Vec<usize>>,
+}
+
+impl TokenArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims a chunk of exactly `cap` token slots (a free chunk of the same
+    /// size class when one exists, fresh buffer tail otherwise).
+    pub fn alloc(&mut self, cap: u64) -> TokenSlot {
+        let cap = u32::try_from(cap).expect("per-request token counts fit u32");
+        let start = match self.free.get_mut(&cap).and_then(Vec::pop) {
+            Some(start) => start,
+            None => {
+                let start = self.buf.len();
+                self.buf.resize(start + cap as usize, SimTime::ZERO);
+                start
+            }
+        };
+        TokenSlot { start, len: 0, cap }
+    }
+
+    /// Appends a token record to `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is already full — a sequence generating more
+    /// tokens than its request declared is a simulator bug.
+    pub fn push(&mut self, slot: &mut TokenSlot, at: SimTime) {
+        assert!(slot.len < slot.cap, "token record past declared output");
+        self.buf[slot.start + slot.len as usize] = at;
+        slot.len += 1;
+    }
+
+    /// The records written to `slot` so far.
+    pub fn slice(&self, slot: &TokenSlot) -> &[SimTime] {
+        &self.buf[slot.start..slot.start + slot.len as usize]
+    }
+
+    /// Copies `slot`'s records out (does not release the chunk).
+    pub fn take(&self, slot: &TokenSlot) -> Vec<SimTime> {
+        self.slice(slot).to_vec()
+    }
+
+    /// Returns `slot`'s chunk to its size-class free list.
+    pub fn release(&mut self, slot: TokenSlot) {
+        if slot.cap > 0 {
+            self.free.entry(slot.cap).or_default().push(slot.start);
+        }
+    }
+
+    /// Total backing-buffer slots ever claimed (peak-live watermark).
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_take_roundtrip() {
+        let mut a = TokenArena::new();
+        let mut s = a.alloc(3);
+        assert!(s.is_empty());
+        for ms in [1u64, 2, 3] {
+            a.push(&mut s, SimTime::from_millis(ms));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(a.slice(&s).len(), 3);
+        assert_eq!(a.take(&s)[2], SimTime::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "past declared output")]
+    fn overflow_is_a_bug() {
+        let mut a = TokenArena::new();
+        let mut s = a.alloc(1);
+        a.push(&mut s, SimTime::ZERO);
+        a.push(&mut s, SimTime::ZERO);
+    }
+
+    #[test]
+    fn release_recycles_exact_size_class() {
+        let mut a = TokenArena::new();
+        let s1 = a.alloc(8);
+        let watermark = a.capacity();
+        a.release(s1);
+        // Same class reuses the chunk; a different class claims fresh space.
+        let s2 = a.alloc(8);
+        assert_eq!(a.capacity(), watermark);
+        let _s3 = a.alloc(4);
+        assert_eq!(a.capacity(), watermark + 4);
+        a.release(s2);
+    }
+
+    #[test]
+    fn interleaved_sequences_do_not_collide() {
+        let mut a = TokenArena::new();
+        let mut s1 = a.alloc(2);
+        let mut s2 = a.alloc(2);
+        a.push(&mut s1, SimTime::from_millis(1));
+        a.push(&mut s2, SimTime::from_millis(2));
+        a.push(&mut s1, SimTime::from_millis(3));
+        assert_eq!(
+            a.take(&s1),
+            vec![SimTime::from_millis(1), SimTime::from_millis(3)]
+        );
+        assert_eq!(a.take(&s2), vec![SimTime::from_millis(2)]);
+    }
+}

@@ -19,6 +19,7 @@ use crate::admission::{AdmissionController, OverloadPolicy};
 use crate::outcome::{DeadlineKind, OutcomeLog, RequestOutcome, RetryPolicy, SloPolicy};
 use crate::scheduler::{PolicyKind, QueuedMeta, Scheduler};
 use aqua_engines::driver::Engine;
+use aqua_engines::gauges::GaugeCache;
 use aqua_engines::kvcache::{PagedKvCache, DEFAULT_BLOCK_TOKENS};
 use aqua_engines::offload::Offloader;
 use aqua_engines::request::{InferenceRequest, SeqLifecycle};
@@ -81,8 +82,8 @@ impl Default for GatewayConfig {
 struct GateSeq {
     life: SeqLifecycle,
     tenant: u32,
-    /// Delivery time of every token generated so far.
-    tokens: Vec<SimTime>,
+    /// Delivery records, stored in the gateway's [`TokenArena`].
+    tokens: crate::arena::TokenSlot,
     prefilled: bool,
     /// KV cache lives in the offload store (swap preemption).
     swapped: bool,
@@ -146,7 +147,8 @@ pub struct GatewayEngine {
     preemptions: u64,
     tracer: SharedTracer,
     scope: String,
-    last_gauges: BTreeMap<String, f64>,
+    gauges: GaugeCache,
+    arena: crate::arena::TokenArena,
     outcomes: OutcomeLog,
     /// Estimated KV bytes committed to accepted (queued + running) work.
     committed_est_bytes: u64,
@@ -197,7 +199,8 @@ impl GatewayEngine {
             preemptions: 0,
             tracer: null_tracer(),
             scope: "gateway".to_owned(),
-            last_gauges: BTreeMap::new(),
+            gauges: GaugeCache::new(),
+            arena: crate::arena::TokenArena::new(),
             outcomes: OutcomeLog::new(),
             committed_est_bytes: 0,
             crash_windows: Vec::new(),
@@ -212,6 +215,7 @@ impl GatewayEngine {
     pub fn with_tracer(mut self, tracer: SharedTracer, scope: impl Into<String>) -> Self {
         self.tracer = tracer;
         self.scope = scope.into();
+        self.gauges.reset();
         self
     }
 
@@ -314,6 +318,7 @@ impl GatewayEngine {
         if seq.admitted_once {
             self.admission.on_complete(seq.tenant);
         }
+        self.arena.release(seq.tokens);
         let est = self.est_bytes(&seq.life.req);
         self.committed_est_bytes = self.committed_est_bytes.saturating_sub(est);
     }
@@ -322,15 +327,14 @@ impl GatewayEngine {
         self.tenants.get(&id).copied().unwrap_or(0)
     }
 
-    fn emit_gauge(&mut self, suffix: &str, value: f64, at: SimTime) {
+    fn emit_gauge(&mut self, suffix: &'static str, value: f64, at: SimTime) {
         if !self.tracer.enabled() {
             return;
         }
-        let name = format!("{}.{suffix}", self.scope);
-        if self.last_gauges.get(&name) == Some(&value) {
+        let Some(name) = self.gauges.changed(&self.scope, suffix, value) else {
             return;
-        }
-        self.last_gauges.insert(name.clone(), value);
+        };
+        let name = name.to_owned();
         self.tracer.gauge(&name, value);
         self.tracer.emit(TraceEvent::Gauge { name, value, at });
     }
@@ -468,6 +472,12 @@ impl GatewayEngine {
     /// are skipped instead so one oversized head cannot stall an idle
     /// engine that still has admissible work.
     fn admit(&mut self, now: SimTime) {
+        // A full batch admits nothing regardless of scheduler order, and
+        // prioritize() is a pure sort — skip the per-step queue scan + sort
+        // entirely (the common steady state of a saturated gateway).
+        if self.running.len() >= self.config.max_batch || self.pending.is_empty() {
+            return;
+        }
         let mut metas: Vec<QueuedMeta> = self
             .pending
             .iter()
@@ -481,6 +491,9 @@ impl GatewayEngine {
                 generated: s.life.generated,
             })
             .collect();
+        if metas.is_empty() {
+            return;
+        }
         self.scheduler.prioritize(&mut metas, now);
 
         let mut admitted_any = false;
@@ -632,10 +645,14 @@ impl Engine for GatewayEngine {
             return;
         }
         self.committed_est_bytes += est;
+        let life = SeqLifecycle::new(req, now);
+        // Exact-capacity token chunk: `output_tokens` (clamped >= 1 by
+        // SeqLifecycle) is precisely how many records this request writes.
+        let tokens = self.arena.alloc(life.req.output_tokens);
         self.pending.push(GateSeq {
-            life: SeqLifecycle::new(req, now),
+            life,
             tenant,
-            tokens: Vec::new(),
+            tokens,
             prefilled: false,
             swapped: false,
             admitted_once: false,
@@ -725,7 +742,7 @@ impl Engine for GatewayEngine {
                 .grow_seq(seq.life.req.id, 1)
                 .expect("make_room_for_decode guarantees headroom");
             seq.life.note_token(end);
-            seq.tokens.push(end);
+            self.arena.push(&mut seq.tokens, end);
             // The crash-restore invariant: a crashed sequence still in the
             // pending-restore set at token time means no restore event was
             // journalled for it. Flag once, then clear so one planted bug
@@ -756,6 +773,7 @@ impl Engine for GatewayEngine {
         }
         for &i in finished.iter().rev() {
             let seq = self.running.remove(i);
+            let delivered = self.arena.take(&seq.tokens);
             self.kv.free_seq(seq.life.req.id);
             self.retire(&seq);
             self.outcomes
@@ -776,7 +794,7 @@ impl Engine for GatewayEngine {
                 id: seq.life.req.id.0,
                 tenant: seq.tenant,
                 arrival: seq.life.arrival,
-                tokens: seq.tokens,
+                tokens: delivered,
             });
         }
         end

@@ -28,6 +28,7 @@
 //! with AQUA offloading on and off under memory pressure.
 
 pub mod admission;
+pub mod arena;
 pub mod engine;
 pub mod outcome;
 pub mod scheduler;

@@ -5,10 +5,70 @@
 //! same order. Engine drivers (in `aqua-engines`) use this to interleave
 //! request arrivals, inference iterations, control-loop ticks and transfer
 //! completions.
+//!
+//! # Backends
+//!
+//! Two implementations share the exact same pop order:
+//!
+//! * [`QueueBackend::Calendar`] (the default) — a monotone radix heap, a
+//!   calendar-queue relative of the classic binary heap. Entries live in one
+//!   arena and are bucketed by the highest bit in which their firing time
+//!   differs from the last popped time, so the near-future inserts a
+//!   simulation driver produces (step completions a few microseconds ahead)
+//!   are O(1) pushes into low buckets, and each entry cascades through at
+//!   most 64 buckets over its whole lifetime. Same-time entries collect in
+//!   bucket zero in seq order, which makes `peek_time` O(1).
+//! * [`QueueBackend::Binary`] — the original `BinaryHeap` of
+//!   `(time, seq)`-ordered entries, kept as a differential oracle: the
+//!   determinism suite runs whole experiments under both backends and
+//!   asserts byte- and digest-identical output.
+//!
+//! The calendar backend is *monotone-optimised*, not monotone-restricted:
+//! pushing an event earlier than the last popped time falls back to a small
+//! overflow list, so the API stays total and the two backends stay
+//! observably identical on any push/pop interleaving.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
+
+/// Number of radix buckets for `u64` nanosecond keys: one per possible
+/// highest-differing-bit position.
+const RADIX_BUCKETS: usize = 64;
+
+/// Which event-queue implementation a new [`EventQueue`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Monotone radix / calendar queue (default).
+    Calendar,
+    /// The original binary heap, kept as a differential oracle.
+    Binary,
+}
+
+/// Process-wide default backend for [`EventQueue::new`] /
+/// [`EventQueue::with_capacity`]. 0 = calendar, 1 = binary heap.
+static GLOBAL_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default backend. The two backends produce
+/// identical pop orders by contract, so flipping this mid-run changes
+/// performance, never behaviour; the determinism suite relies on that to
+/// run whole experiments under each backend and compare digests.
+pub fn set_global_backend(backend: QueueBackend) {
+    let v = match backend {
+        QueueBackend::Calendar => 0,
+        QueueBackend::Binary => 1,
+    };
+    GLOBAL_BACKEND.store(v, AtomicOrdering::Relaxed);
+}
+
+/// The process-wide default backend new queues are built with.
+pub fn global_backend() -> QueueBackend {
+    match GLOBAL_BACKEND.load(AtomicOrdering::Relaxed) {
+        1 => QueueBackend::Binary,
+        _ => QueueBackend::Calendar,
+    }
+}
 
 /// A time-ordered event queue with stable FIFO tie-breaking.
 ///
@@ -29,8 +89,14 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    imp: Imp<T>,
     next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Imp<T> {
+    Calendar(Radix<T>),
+    Binary(BinaryHeap<Entry<T>>),
 }
 
 #[derive(Debug, Clone)]
@@ -63,62 +129,292 @@ impl<T> PartialOrd for Entry<T> {
     }
 }
 
-impl<T> EventQueue<T> {
-    /// Creates an empty queue.
-    pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+/// The monotone radix-heap backend.
+///
+/// Entries live in `slots` (an arena with a free list, so `with_capacity`
+/// pre-sizes every pending event exactly once); buckets and the bucket-zero
+/// `front` ring hold `u32` slot indices, so redistribution moves 4-byte
+/// indices, never payloads.
+///
+/// Invariants:
+/// * `front` holds exactly the live entries whose time equals `last`, in
+///   ascending `seq` order (pushes append, and `seq` is globally
+///   increasing).
+/// * If any bucket is non-empty, `front` is non-empty — enforced by eager
+///   redistribution after every mutation — so `peek_time` is O(1).
+/// * `past` holds the (in practice empty) set of entries pushed earlier
+///   than `last`; its members always precede everything else in pop order
+///   because `last` only advances.
+#[derive(Debug, Clone)]
+struct Radix<T> {
+    slots: Vec<Option<Entry<T>>>,
+    free: Vec<u32>,
+    front: VecDeque<u32>,
+    buckets: Vec<Vec<u32>>,
+    past: Vec<u32>,
+    /// Nanosecond timestamp the bucket indices are relative to: the time of
+    /// the bucket-zero entries, which is the last popped (or redistributed)
+    /// time.
+    last: u64,
+    len: usize,
+}
+
+impl<T> Radix<T> {
+    fn new() -> Self {
+        Radix {
+            slots: Vec::new(),
+            free: Vec::new(),
+            front: VecDeque::new(),
+            buckets: vec![Vec::new(); RADIX_BUCKETS],
+            past: Vec::new(),
+            last: 0,
+            len: 0,
         }
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
+        let mut q = Self::new();
+        q.slots.reserve(capacity);
+        q.free.reserve(capacity);
+        q
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        // `free.len()` slots can be reused without growing the arena.
+        let grow = additional.saturating_sub(self.free.len());
+        self.slots.reserve(grow);
+        self.free.reserve(grow);
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Bucket index for a time strictly after `last`: the position of the
+    /// highest bit in which they differ.
+    #[inline]
+    fn bucket_of(last: u64, t: u64) -> usize {
+        debug_assert!(t > last);
+        (63 - (t ^ last).leading_zeros()) as usize
+    }
+
+    #[inline]
+    fn slot_time(&self, idx: u32) -> u64 {
+        self.slots[idx as usize]
+            .as_ref()
+            .expect("live slot")
+            .time
+            .as_nanos()
+    }
+
+    #[inline]
+    fn slot_seq(&self, idx: u32) -> u64 {
+        self.slots[idx as usize].as_ref().expect("live slot").seq
+    }
+
+    fn alloc(&mut self, entry: Entry<T>) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(entry);
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("event arena fits u32 indices");
+            self.slots.push(Some(entry));
+            idx
+        }
+    }
+
+    fn take(&mut self, idx: u32) -> Entry<T> {
+        let entry = self.slots[idx as usize].take().expect("live slot");
+        self.free.push(idx);
+        entry
+    }
+
+    fn push(&mut self, entry: Entry<T>) {
+        let t = entry.time.as_nanos();
+        let idx = self.alloc(entry);
+        match t.cmp(&self.last) {
+            Ordering::Less => self.past.push(idx),
+            // `seq` is globally increasing, so appending keeps `front`
+            // sorted by seq.
+            Ordering::Equal => self.front.push_back(idx),
+            Ordering::Greater => {
+                self.buckets[Self::bucket_of(self.last, t)].push(idx);
+                if self.front.is_empty() {
+                    self.redistribute();
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Index of the entry in `past` with the smallest `(time, seq)`, if any.
+    fn past_min(&self) -> Option<usize> {
+        self.past
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &idx)| (self.slot_time(idx), self.slot_seq(idx)))
+            .map(|(pos, _)| pos)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        // Everything in `past` fires before `last`, hence before any front
+        // or bucket entry (whose times are >= `last`).
+        if let Some(pos) = self.past_min() {
+            let idx = self.past.swap_remove(pos);
+            let e = self.take(idx);
+            self.len -= 1;
+            return Some((e.time, e.payload));
+        }
+        let idx = self.front.pop_front()?;
+        let e = self.take(idx);
+        self.len -= 1;
+        if self.front.is_empty() {
+            self.redistribute();
+        }
+        Some((e.time, e.payload))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        if !self.past.is_empty() {
+            return self
+                .past_min()
+                .map(|pos| SimTime::from_nanos(self.slot_time(self.past[pos])));
+        }
+        self.front
+            .front()
+            .map(|&idx| SimTime::from_nanos(self.slot_time(idx)))
+    }
+
+    /// Re-establishes the `front` invariant: advances `last` to the
+    /// earliest bucketed time and moves that time's entries into `front`.
+    /// Every moved entry lands in a strictly lower bucket (it agrees with
+    /// the new `last` on all bits above the old bucket's), so an entry
+    /// cascades at most [`RADIX_BUCKETS`] times over its lifetime.
+    fn redistribute(&mut self) {
+        debug_assert!(self.front.is_empty());
+        let Some(b) = self.buckets.iter().position(|v| !v.is_empty()) else {
+            return;
+        };
+        let mut bucket = std::mem::take(&mut self.buckets[b]);
+        let tm = bucket
+            .iter()
+            .map(|&idx| self.slot_time(idx))
+            .min()
+            .expect("bucket is non-empty");
+        self.last = tm;
+        for &idx in &bucket {
+            let t = self.slot_time(idx);
+            if t == tm {
+                self.front.push_back(idx);
+            } else {
+                let nb = Self::bucket_of(tm, t);
+                debug_assert!(nb < b);
+                self.buckets[nb].push(idx);
+            }
+        }
+        // Keep the drained bucket's capacity for future cascades.
+        bucket.clear();
+        self.buckets[b] = bucket;
+        // Bucketed entries arrive in cascade order, not seq order; restore
+        // the FIFO tie-break.
+        let slots = &self.slots;
+        self.front
+            .make_contiguous()
+            .sort_unstable_by_key(|&idx| slots[idx as usize].as_ref().expect("live slot").seq);
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue with the process-wide default backend.
+    pub fn new() -> Self {
+        Self::with_backend(global_backend())
+    }
+
+    /// Creates an empty queue with an explicit backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let imp = match backend {
+            QueueBackend::Calendar => Imp::Calendar(Radix::new()),
+            QueueBackend::Binary => Imp::Binary(BinaryHeap::new()),
+        };
+        EventQueue { imp, next_seq: 0 }
     }
 
     /// Creates an empty queue with room for `capacity` pending events, so a
     /// long-horizon run (engine drivers queue one event per in-flight step
-    /// plus every future arrival of a trace) does not re-grow the heap
+    /// plus every future arrival of a trace) does not re-grow its arena
     /// mid-simulation.
     pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
+        let imp = match global_backend() {
+            QueueBackend::Calendar => Imp::Calendar(Radix::with_capacity(capacity)),
+            QueueBackend::Binary => Imp::Binary(BinaryHeap::with_capacity(capacity)),
+        };
+        EventQueue { imp, next_seq: 0 }
+    }
+
+    /// The backend this queue was built with.
+    pub fn backend(&self) -> QueueBackend {
+        match &self.imp {
+            Imp::Calendar(_) => QueueBackend::Calendar,
+            Imp::Binary(_) => QueueBackend::Binary,
         }
     }
 
     /// Reserves room for at least `additional` more events beyond the
     /// current pending count.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        match &mut self.imp {
+            Imp::Calendar(q) => q.reserve(additional),
+            Imp::Binary(h) => h.reserve(additional),
+        }
     }
 
-    /// Number of pending events the queue can hold without reallocating.
+    /// Number of pending events the queue can hold without re-growing its
+    /// entry storage.
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.imp {
+            Imp::Calendar(q) => q.capacity(),
+            Imp::Binary(h) => h.capacity(),
+        }
     }
 
     /// Schedules `payload` to fire at `time`.
     pub fn push(&mut self, time: SimTime, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        let entry = Entry { time, seq, payload };
+        match &mut self.imp {
+            Imp::Calendar(q) => q.push(entry),
+            Imp::Binary(h) => h.push(entry),
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        match &mut self.imp {
+            Imp::Calendar(q) => q.pop(),
+            Imp::Binary(h) => h.pop().map(|e| (e.time, e.payload)),
+        }
     }
 
     /// The firing time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        match &self.imp {
+            Imp::Calendar(q) => q.peek_time(),
+            Imp::Binary(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            Imp::Calendar(q) => q.len,
+            Imp::Binary(h) => h.len(),
+        }
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -131,16 +427,28 @@ impl<T> Default for EventQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    fn both_backends() -> [EventQueue<u64>; 2] {
+        [
+            EventQueue::with_backend(QueueBackend::Calendar),
+            EventQueue::with_backend(QueueBackend::Binary),
+        ]
+    }
 
     #[test]
     fn orders_by_time_then_fifo() {
-        let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(10), 1);
-        q.push(SimTime::from_nanos(5), 2);
-        q.push(SimTime::from_nanos(10), 3);
-        q.push(SimTime::from_nanos(5), 4);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
-        assert_eq!(order, vec![2, 4, 1, 3]);
+        for mut q in [
+            EventQueue::with_backend(QueueBackend::Calendar),
+            EventQueue::with_backend(QueueBackend::Binary),
+        ] {
+            q.push(SimTime::from_nanos(10), 1);
+            q.push(SimTime::from_nanos(5), 2);
+            q.push(SimTime::from_nanos(10), 3);
+            q.push(SimTime::from_nanos(5), 4);
+            let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+            assert_eq!(order, vec![2, 4, 1, 3]);
+        }
     }
 
     #[test]
@@ -175,19 +483,110 @@ mod tests {
 
     #[test]
     fn many_events_drain_sorted() {
-        let mut q = EventQueue::new();
-        // Pseudo-shuffled deterministic insertion.
-        for i in 0..1000u64 {
-            let t = (i * 7919) % 1000;
-            q.push(SimTime::from_nanos(t), i);
+        for mut q in both_backends() {
+            // Pseudo-shuffled deterministic insertion.
+            for i in 0..1000u64 {
+                let t = (i * 7919) % 1000;
+                q.push(SimTime::from_nanos(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut count = 0;
+            while let Some((t, _)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+                count += 1;
+            }
+            assert_eq!(count, 1000);
         }
-        let mut last = SimTime::ZERO;
-        let mut count = 0;
-        while let Some((t, _)) = q.pop() {
-            assert!(t >= last);
-            last = t;
-            count += 1;
+    }
+
+    #[test]
+    fn pushes_into_the_past_stay_total() {
+        // The calendar backend is monotone-optimised; pushing earlier than
+        // the last popped time must still honour (time, seq) order.
+        for mut q in both_backends() {
+            q.push(SimTime::from_nanos(100), 0);
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(100), 0)));
+            q.push(SimTime::from_nanos(50), 1);
+            q.push(SimTime::from_nanos(150), 2);
+            q.push(SimTime::from_nanos(50), 3);
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(50), 1)));
+            assert_eq!(q.peek_time(), Some(SimTime::from_nanos(50)));
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(50), 3)));
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(150), 2)));
+            assert_eq!(q.pop(), None);
         }
-        assert_eq!(count, 1000);
+    }
+
+    #[test]
+    fn global_backend_round_trips() {
+        assert_eq!(global_backend(), QueueBackend::Calendar);
+        set_global_backend(QueueBackend::Binary);
+        assert_eq!(global_backend(), QueueBackend::Binary);
+        assert_eq!(EventQueue::<u8>::new().backend(), QueueBackend::Binary);
+        set_global_backend(QueueBackend::Calendar);
+        assert_eq!(EventQueue::<u8>::new().backend(), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_binary_heap() {
+        // A driver-like workload: pop the minimum, then schedule new work a
+        // short, varying distance into the future.
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut bin = EventQueue::with_backend(QueueBackend::Binary);
+        let mut id = 0u64;
+        for i in 0..64u64 {
+            let t = SimTime::from_nanos((i * 104_729) % 5_000);
+            cal.push(t, id);
+            bin.push(t, id);
+            id += 1;
+        }
+        let mut rng = 0x9e37_79b9_u64;
+        while !cal.is_empty() {
+            assert_eq!(cal.peek_time(), bin.peek_time());
+            let (tc, pc) = cal.pop().unwrap();
+            let (tb, pb) = bin.pop().unwrap();
+            assert_eq!((tc, pc), (tb, pb));
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if id < 4096 && !rng.is_multiple_of(4) {
+                let dt = rng % 10_000;
+                let t = tc + crate::time::SimDuration::from_nanos(dt);
+                cal.push(t, id);
+                bin.push(t, id);
+                id += 1;
+            }
+        }
+        assert!(bin.is_empty());
+    }
+
+    proptest! {
+        /// Any push/pop interleaving produces the same observable sequence
+        /// under both backends — the property the whole-suite differential
+        /// determinism test leans on.
+        #[test]
+        fn calendar_and_binary_are_observably_identical(
+            // (time, op): op 0 pops, anything else pushes at `time`
+            // (clustered to force ties).
+            ops in proptest::collection::vec((0u64..2_000, 0u64..4), 1..200)
+        ) {
+            let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+            let mut bin = EventQueue::with_backend(QueueBackend::Binary);
+            let mut id = 0u64;
+            for (t, op) in ops {
+                if op == 0 {
+                    prop_assert_eq!(cal.pop(), bin.pop());
+                } else {
+                    cal.push(SimTime::from_nanos(t), id);
+                    bin.push(SimTime::from_nanos(t), id);
+                    id += 1;
+                }
+                prop_assert_eq!(cal.peek_time(), bin.peek_time());
+                prop_assert_eq!(cal.len(), bin.len());
+            }
+            while let Some(e) = bin.pop() {
+                prop_assert_eq!(cal.pop(), Some(e));
+            }
+            prop_assert!(cal.is_empty());
+        }
     }
 }

@@ -44,6 +44,7 @@ pub mod fault;
 pub mod gpu;
 pub mod link;
 pub mod memory;
+pub mod pdes;
 pub mod topology;
 pub mod transfer;
 

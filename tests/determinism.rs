@@ -172,6 +172,7 @@ fn suite_runner_is_byte_identical_across_job_counts() {
         window: 30,
         seed: 3,
         count: 30,
+        lanes: 1,
     };
     let names = ["fig09", "fig12"];
     let seq = run_suite(&names, &a, 1, true, false).unwrap();
@@ -194,6 +195,7 @@ fn serve_experiment_is_byte_identical_across_job_counts() {
         window: 30,
         seed: 3,
         count: 32,
+        lanes: 1,
     };
     let seq = run_suite(&["serve"], &a, 1, true, false).unwrap();
     assert!(seq.total_events > 0, "gateway cells must journal events");
@@ -217,6 +219,7 @@ fn serve_chaos_experiment_is_byte_identical_across_job_counts() {
         window: 30,
         seed: 3,
         count: 24,
+        lanes: 1,
     };
     let seq = run_suite(&["serve_chaos"], &a, 1, true, false).unwrap();
     assert!(seq.total_events > 0, "chaos cells must journal events");

@@ -1,0 +1,39 @@
+//! Differential oracle for the calendar event queue: the whole `aqua-repro`
+//! suite — every experiment, through the real experiment → point
+//! decomposition — must render byte-identical output and fold the same
+//! combined digest under the calendar backend and the original
+//! `BinaryHeap` backend.
+//!
+//! The backend switch is process-global, so this file holds exactly one
+//! test: nothing else in this binary may race the flip.
+
+use aqua_bench::runner::{run_suite, ReproArgs, EXPERIMENTS};
+use aqua_sim::event::{set_global_backend, QueueBackend};
+
+#[test]
+fn full_suite_is_byte_identical_across_queue_backends() {
+    let names: Vec<&str> = EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+    let a = ReproArgs {
+        window: 20,
+        seed: 3,
+        count: 16,
+        lanes: 1,
+    };
+
+    set_global_backend(QueueBackend::Binary);
+    let binary = run_suite(&names, &a, 2, true, false).unwrap();
+
+    set_global_backend(QueueBackend::Calendar);
+    let calendar = run_suite(&names, &a, 2, true, false).unwrap();
+
+    assert!(calendar.total_events > 0, "suite must journal events");
+    assert_eq!(
+        calendar.output, binary.output,
+        "suite output must be backend-independent"
+    );
+    assert_eq!(
+        calendar.combined_digest, binary.combined_digest,
+        "combined digest must be backend-independent"
+    );
+    assert_eq!(calendar.total_events, binary.total_events);
+}
