@@ -17,15 +17,20 @@ cargo test --workspace -q
 cargo test -q --test chaos_recovery
 # Hot-path acceptance: the untraced transfer-schedule path must stay
 # allocation-free, the placer catalog DP allocation-bounded per state, the
-# untraced decode step limited to amortized block-table doubling, and a
-# pre-sized driver must never re-grow its event arena (all asserted by the
-# microbench main before timing starts).
+# untraced decode step limited to amortized block-table doubling, a
+# pre-sized driver must never re-grow its event arena, and one gateway
+# admission step must do backlog-independent work (allocations and
+# scheduler-key comparisons flat from a 1k to a 10k backlog, all five
+# policies) — all asserted by the microbench main before timing starts.
 cargo bench -p aqua-bench --bench microbench -- --test
 # Repro-suite acceptance: run the full experiment suite sequentially AND
 # through the parallel sweep runner. `bench` exits non-zero if the parallel
-# output or the combined determinism digest diverges from sequential, and
-# records the wall-time trajectory in BENCH_pr8.json.
-cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr8.json
+# output or the combined determinism digest diverges from sequential, then
+# runs the 1M-request scale-cluster pair (undersaturated 0.5 req/s vs
+# oversaturated 2 req/s audited) and fails if the overload row's events/s
+# collapses — the canary for backlog-linear scans creeping back into the
+# gateway hot path. Records everything in BENCH_pr9.json.
+cargo run --release -p aqua-bench --bin aqua-repro -- bench --out BENCH_pr9.json
 # Gateway acceptance: the scheduler-zoo serving study must render
 # byte-identical output and fold identical telemetry digests sequentially
 # vs in parallel. The digests are compared run-against-run inside the
@@ -37,7 +42,9 @@ cargo run --release -p aqua-bench --bin aqua-repro -- serve --smoke --count 64
 cargo run --release -p aqua-bench --bin aqua-repro -- serve --chaos-smoke
 # PDES acceptance: a 64-server (512-GPU) scale-cluster run with the crash
 # fault plan and the full audit layer enabled must be byte- and
-# digest-identical at 1 vs 4 lanes with zero audit violations.
+# digest-identical at 1 vs 4 lanes with zero audit violations — once at
+# the calm default rate and once oversaturated at 2 req/s with a
+# backlog-building span.
 cargo run --release -p aqua-bench --bin aqua-repro -- scale --smoke
 # Audit acceptance, part 1: 32 seeded FaultPlan x workload x topology points
 # under full invariant auditing must report zero violations.

@@ -3,15 +3,18 @@
 //! operations, LoRA transfer planning and the placer.
 //!
 //! The binary also *asserts* (before any benchmark runs, via a counting
-//! global allocator) four hot-path guarantees: the untraced
+//! global allocator) five hot-path guarantees: the untraced
 //! transfer-schedule path performs zero heap allocations per transfer — the
 //! budget behind Figure 11's sub-5% producer overhead (it allocated up to
 //! four strings per transfer before lane interning and the dense
 //! `PortStats` table); the placer's catalog DP stays within a small
 //! allocation budget per memoised state on a 64-GPU mixed solve; the
 //! untraced decode step's only heap traffic is amortized block-table
-//! doubling; and a driver pre-sized with `Driver::for_expected_events`
-//! never re-grows its event arena mid-run.
+//! doubling; a driver pre-sized with `Driver::for_expected_events`
+//! never re-grows its event arena mid-run; and one gateway admission round
+//! does work independent of backlog depth (the incremental scheduler
+//! indices, checked for every policy via allocation and key-comparison
+//! counters at backlogs of 1,000 vs 10,000).
 
 use aqua_bench::fig14_placer::mixed_instance;
 use aqua_core::coordinator::{Coordinator, GpuRef};
@@ -19,6 +22,8 @@ use aqua_engines::driver::{Driver, Engine};
 use aqua_engines::kvcache::PagedKvCache;
 use aqua_engines::request::{InferenceRequest, RequestId};
 use aqua_engines::vllm::{VllmConfig, VllmEngine};
+use aqua_gateway::engine::{GatewayConfig, GatewayEngine};
+use aqua_gateway::scheduler::{sched_comparisons, PolicyKind};
 use aqua_models::lora::LoraAdapter;
 use aqua_models::zoo;
 use aqua_placer::instance::{ModelSpec, PlacementInstance};
@@ -205,6 +210,67 @@ fn assert_presized_driver_never_regrows() {
     );
 }
 
+/// One gateway `step()` (an admission round of `max_batch` picks plus a
+/// decode iteration) with `backlog` queued requests: returns the heap
+/// allocations and scheduler key comparisons it performed.
+fn gateway_admit_work(policy: PolicyKind, backlog: u64) -> (u64, u64) {
+    let geom = *zoo::mistral_7b().llm_geometry().unwrap();
+    let mut e = GatewayEngine::new(
+        geom,
+        GpuSpec::a100_80g(),
+        policy,
+        GatewayConfig {
+            max_batch: 8,
+            max_outstanding_per_tenant: 1_000_000,
+            ..GatewayConfig::default()
+        },
+    );
+    // Nanosecond-spaced arrivals: distinct tie-breaker keys, but a span far
+    // below the 60 s aging threshold so no promotions land mid-measure.
+    for i in 0..backlog {
+        e.submit(InferenceRequest::text(i, 100, 8), SimTime::from_nanos(i));
+    }
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let comps_before = sched_comparisons();
+    black_box(e.step(SimTime::from_millis(1)));
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let comps = sched_comparisons() - comps_before;
+    black_box(&e);
+    (allocs, comps)
+}
+
+/// Gateway admission must be backlog-independent: the incremental scheduler
+/// indices make one admission round cost O(batch · log backlog) — never a
+/// scan or sort of the whole queue. One `step()` at a backlog of 10,000 may
+/// not allocate more than the same step at 1,000 (plus fixed slack), and
+/// its scheduler-key comparisons may at most double (tree depth grows by
+/// log₁₀, nowhere near the 10× a backlog-linear walk would show). Before
+/// the index rework, `admit()` cloned and sorted every eligible entry per
+/// iteration — ~10⁵ comparisons and thousands of allocations at this depth.
+fn assert_gateway_admit_is_backlog_independent() {
+    for policy in PolicyKind::ALL {
+        let (allocs_small, comps_small) = gateway_admit_work(policy, 1_000);
+        let (allocs_big, comps_big) = gateway_admit_work(policy, 10_000);
+        let alloc_cap = allocs_small + 64;
+        assert!(
+            allocs_big <= alloc_cap,
+            "{policy}: admit at backlog 10k made {allocs_big} allocations \
+             vs {allocs_small} at 1k (cap {alloc_cap}) — backlog-dependent work",
+        );
+        let comp_cap = 2 * comps_small + 256;
+        assert!(
+            comps_big <= comp_cap,
+            "{policy}: admit at backlog 10k made {comps_big} key comparisons \
+             vs {comps_small} at 1k (cap {comp_cap}) — backlog-dependent work",
+        );
+        eprintln!(
+            "microbench: gateway admit [{policy}]: backlog 1k -> 10k: \
+             {allocs_small} -> {allocs_big} allocations, \
+             {comps_small} -> {comps_big} key comparisons"
+        );
+    }
+}
+
 fn bench_allocator(c: &mut Criterion) {
     c.bench_function("hbm_alloc_free", |b| {
         let mut hbm = HbmAllocator::new(80 << 30);
@@ -344,5 +410,6 @@ fn main() {
     assert_placer_solve_allocation_bounded();
     assert_untraced_decode_step_is_allocation_lean();
     assert_presized_driver_never_regrows();
+    assert_gateway_admit_is_backlog_independent();
     benches();
 }

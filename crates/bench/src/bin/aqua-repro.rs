@@ -28,6 +28,9 @@ struct Flags {
     args: ReproArgs,
     jobs: usize,
     out: Option<String>,
+    /// Requests per server for `bench`'s undersaturated/overload scale
+    /// rows (default: the full 1M-request domain).
+    scale_rps: usize,
 }
 
 fn default_jobs() -> usize {
@@ -39,6 +42,7 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
         args: ReproArgs::default(),
         jobs: 1,
         out: None,
+        scale_rps: 15_625,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -59,6 +63,12 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
             }
             "--jobs" => flags.jobs = value.parse().map_err(|e| format!("--jobs: {e}"))?,
             "--out" => flags.out = Some(value.clone()),
+            "--scale-rps" => {
+                flags.scale_rps = value
+                    .parse::<usize>()
+                    .map_err(|e| format!("--scale-rps: {e}"))?
+                    .max(1)
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -113,6 +123,7 @@ fn suite_json(label: &str, o: &SuiteOutcome) -> String {
 /// The `bench` subcommand: sequential vs parallel suite, identity check,
 /// BENCH json.
 fn bench(flags: &Flags) -> Result<(), String> {
+    use aqua_bench::scale_cluster::{run_scale, ScaleSpec};
     if trace::journal().is_some() {
         return Err("bench mode measures the untraced path; unset AQUA_TRACE".into());
     }
@@ -150,21 +161,68 @@ fn bench(flags: &Flags) -> Result<(), String> {
         ));
     }
 
+    // The 512-GPU scale-cluster rows: the undersaturated throughput
+    // yardstick and the oversaturated (2 req/s, audited crash plan)
+    // overload run the sort-based scheduler could not finish. The
+    // incremental index keeps per-admission work backlog-independent, so
+    // the overload row must stay within the same order of magnitude of
+    // events/s — a collapse below the floor here means backlog-linear
+    // scans crept back into the gateway hot path.
+    let scale_base = ScaleSpec {
+        servers: 64,
+        requests_per_server: flags.scale_rps,
+        rate: 0.5,
+        seed: flags.args.seed,
+        lanes: default_jobs(),
+        audited: false,
+    };
+    eprintln!(
+        "aqua-repro bench: scale rows ({} requests each)…",
+        scale_base.total_requests()
+    );
+    let calm = run_scale(&scale_base);
+    eprintln!("{}", calm.perf_line());
+    let hot = run_scale(&ScaleSpec {
+        rate: 2.0,
+        audited: true,
+        ..scale_base
+    });
+    eprintln!("{}", hot.perf_line());
+    if calm.audit_violations + hot.audit_violations != 0 {
+        return Err(format!(
+            "bench scale rows: {} audit violation(s)",
+            calm.audit_violations + hot.audit_violations
+        ));
+    }
+    let ratio = hot.events_per_sec() / calm.events_per_sec().max(1e-9);
+    if ratio < 0.3 {
+        return Err(format!(
+            "bench scale rows: overload events/s collapsed to {ratio:.2}x the undersaturated \
+             run ({:.0} vs {:.0}) — admission work is no longer backlog-independent",
+            hot.events_per_sec(),
+            calm.events_per_sec()
+        ));
+    }
+
     let speedup = seq.wall.as_secs_f64() / par.wall.as_secs_f64().max(1e-9);
     let json = format!(
-        "{{\n  \"bench\": \"aqua-repro suite\",\n  \"pr\": 8,\n  \"host_cores\": {},\n  \"points\": {},\n  \"total_events\": {},\n  \"combined_digest\": \"{:016x}\",\n  \"digests_match\": true,\n  \"output_identical\": true,\n  \"speedup\": {:.2},\n  \"runs\": {{\n{},\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"aqua-repro suite\",\n  \"pr\": 9,\n  \"host_cores\": {},\n  \"points\": {},\n  \"total_events\": {},\n  \"combined_digest\": \"{:016x}\",\n  \"digests_match\": true,\n  \"output_identical\": true,\n  \"speedup\": {:.2},\n  \"runs\": {{\n{},\n{}\n  }},\n  \"scale\": {{\n{},\n{},\n    \"overload_events_per_sec_ratio\": {:.2}\n  }}\n}}\n",
         default_jobs(),
         seq.experiments.iter().map(|e| e.points).sum::<usize>(),
         seq.total_events,
         seq.combined_digest,
         speedup,
         suite_json("sequential", &seq),
-        suite_json("parallel", &par)
+        suite_json("parallel", &par),
+        scale_json("undersaturated", &calm),
+        scale_json("overload", &hot),
+        ratio
     );
-    let out = flags.out.as_deref().unwrap_or("BENCH_pr8.json");
+    let out = flags.out.as_deref().unwrap_or("BENCH_pr9.json");
     std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "bench: {} points; sequential {:.2}s, parallel {:.2}s over {} jobs ({speedup:.2}x); digest {:016x}; wrote {out}",
+        "bench: {} points; sequential {:.2}s, parallel {:.2}s over {} jobs ({speedup:.2}x); \
+         digest {:016x}; overload scale row at {ratio:.2}x undersaturated events/s; wrote {out}",
         seq.experiments.iter().map(|e| e.points).sum::<usize>(),
         seq.wall.as_secs_f64(),
         par.wall.as_secs_f64(),
@@ -172,6 +230,26 @@ fn bench(flags: &Flags) -> Result<(), String> {
         seq.combined_digest
     );
     Ok(())
+}
+
+/// JSON for one scale-cluster row of the bench file (hand-rolled: stable
+/// key order, no deps). The digest and event totals are deterministic;
+/// wall, events/s and RSS are this host's measurements.
+fn scale_json(label: &str, run: &aqua_bench::scale_cluster::ScaleRun) -> String {
+    format!(
+        "    \"{label}\": {{\n      \"servers\": {},\n      \"requests\": {},\n      \"rate\": {:.1},\n      \"audited\": {},\n      \"digest\": \"{:016x}\",\n      \"sim_events\": {},\n      \"audit_violations\": {},\n      \"wall_s\": {:.2},\n      \"events_per_sec\": {:.0},\n      \"peak_rss_mib\": {}\n    }}",
+        run.spec.servers,
+        run.spec.total_requests(),
+        run.spec.rate,
+        run.spec.audited,
+        run.digest,
+        run.sim_events,
+        run.audit_violations,
+        run.wall.as_secs_f64(),
+        run.events_per_sec(),
+        run.peak_rss_mib
+            .map_or_else(|| "null".to_owned(), |m| m.to_string()),
+    )
 }
 
 /// Flags of the `fuzz` subcommand. `--smoke`/`--plant`/`--gateway`/
@@ -441,10 +519,15 @@ struct ScaleFlags {
 }
 
 fn parse_scale_flags(rest: &[String]) -> Result<ScaleFlags, String> {
-    // Default rate keeps each server below its service capacity: the
-    // gateway's per-iteration queue scans are linear in backlog, so an
-    // oversaturated arrival rate turns a long trace quadratic. Overload
-    // behaviour is serve_chaos's subject; scale is about event throughput.
+    // Default rate keeps each server below its service capacity so the
+    // run doubles as the undersaturated throughput yardstick; pass
+    // `--rate 2` (with `--audited` for the crash plan) to push every
+    // server past saturation. The overload run used to be infeasible —
+    // the sort-based scheduler re-sorted the whole backlog every
+    // admission, turning an oversaturated trace quadratic — but the
+    // incremental scheduler index does backlog-independent work per
+    // admission, so a 1M-request overload run now lands within ~2x of
+    // the undersaturated run's events/s.
     let mut f = ScaleFlags {
         servers: 64,
         rps: 15_625,
@@ -482,12 +565,54 @@ fn parse_scale_flags(rest: &[String]) -> Result<ScaleFlags, String> {
     Ok(f)
 }
 
-/// The `scale` subcommand. `--smoke` runs a 64-server audited point twice —
-/// `--lanes 1` vs `--lanes 4` — and fails unless the rendered table, the
-/// folded shard digest and the window/message counts are identical and the
-/// audit saw zero violations (compared run-against-run, never against a
-/// pinned literal). Without `--smoke` it runs one configuration (default:
-/// 64 servers × 8 GPUs, 15625 requests each — a 512-GPU domain serving 1M
+/// Runs a scale spec at `--lanes 1` vs `--lanes 4` and fails unless the
+/// rendered table, the folded shard digest and the window/message counts
+/// are identical and the audit saw zero violations (compared
+/// run-against-run, never against a pinned literal). Returns the lanes=1
+/// run for reporting.
+fn scale_lane_pair(
+    label: &str,
+    spec: aqua_bench::scale_cluster::ScaleSpec,
+) -> Result<aqua_bench::scale_cluster::ScaleRun, String> {
+    use aqua_bench::scale_cluster::{run_scale, ScaleSpec};
+    let one = run_scale(&spec);
+    let four = run_scale(&ScaleSpec { lanes: 4, ..spec });
+    if one.table != four.table {
+        return Err(format!(
+            "{label}: lanes=1 and lanes=4 rendered different tables ({} vs {} bytes)",
+            one.table.len(),
+            four.table.len()
+        ));
+    }
+    if one.digest != four.digest {
+        return Err(format!(
+            "{label}: digest mismatch: lanes=1 {:016x} vs lanes=4 {:016x}",
+            one.digest, four.digest
+        ));
+    }
+    if (one.windows, one.messages) != (four.windows, four.messages) {
+        return Err(format!(
+            "{label}: window/message mismatch: {}/{} vs {}/{}",
+            one.windows, one.messages, four.windows, four.messages
+        ));
+    }
+    if one.audit_violations + four.audit_violations != 0 {
+        return Err(format!(
+            "{label}: {} audit violation(s)",
+            one.audit_violations + four.audit_violations
+        ));
+    }
+    eprintln!("{}", one.perf_line());
+    eprintln!("{}", four.perf_line());
+    Ok(one)
+}
+
+/// The `scale` subcommand. `--smoke` runs two 64-server audited points —
+/// one at the flag rate and one oversaturated at 2 req/s with a span long
+/// enough to build real backlog — each at `--lanes 1` vs `--lanes 4`, and
+/// fails unless every pair is byte- and digest-identical with zero audit
+/// violations. Without `--smoke` it runs one configuration (default: 64
+/// servers × 8 GPUs, 15625 requests each — a 512-GPU domain serving 1M
 /// requests) and reports the deterministic table plus events/s, wall and
 /// peak RSS.
 fn scale_cmd(f: &ScaleFlags) -> Result<(), String> {
@@ -501,40 +626,26 @@ fn scale_cmd(f: &ScaleFlags) -> Result<(), String> {
             lanes: 1,
             audited: true,
         };
-        let one = run_scale(&spec);
-        let four = run_scale(&ScaleSpec { lanes: 4, ..spec });
-        if one.table != four.table {
-            return Err(format!(
-                "scale smoke: lanes=1 and lanes=4 rendered different tables ({} vs {} bytes)",
-                one.table.len(),
-                four.table.len()
-            ));
-        }
-        if one.digest != four.digest {
-            return Err(format!(
-                "scale smoke: digest mismatch: lanes=1 {:016x} vs lanes=4 {:016x}",
-                one.digest, four.digest
-            ));
-        }
-        if (one.windows, one.messages) != (four.windows, four.messages) {
-            return Err(format!(
-                "scale smoke: window/message mismatch: {}/{} vs {}/{}",
-                one.windows, one.messages, four.windows, four.messages
-            ));
-        }
-        if one.audit_violations + four.audit_violations != 0 {
-            return Err(format!(
-                "scale smoke: {} audit violation(s)",
-                one.audit_violations + four.audit_violations
-            ));
-        }
+        let one = scale_lane_pair("scale smoke", spec)?;
         print!("{}", one.table);
-        eprintln!("{}", one.perf_line());
-        eprintln!("{}", four.perf_line());
         println!(
             "scale smoke: {} servers byte-identical and digest-identical at lanes 1 vs 4 \
              (digest {:016x}, {} windows, {} messages, audited clean)",
             spec.servers, one.digest, one.windows, one.messages
+        );
+        // Overload variant: arrivals at 2 req/s outpace service capacity
+        // for a 16s span, so the scheduler index is exercised against a
+        // growing backlog rather than a draining one.
+        let overload = ScaleSpec {
+            requests_per_server: 32,
+            rate: 2.0,
+            ..spec
+        };
+        let hot = scale_lane_pair("scale smoke (overload)", overload)?;
+        println!(
+            "scale smoke (overload): {} servers at 2 req/s byte-identical and digest-identical \
+             at lanes 1 vs 4 (digest {:016x}, {} windows, {} messages, audited clean)",
+            overload.servers, hot.digest, hot.windows, hot.messages
         );
         return Ok(());
     }
@@ -604,7 +715,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: aqua-repro <experiment|list|all|bench|fuzz|scale> [--window S] [--seed N] [--count N] [--lanes N] [--jobs N] [--out FILE]\n       aqua-repro serve --smoke|--chaos-smoke [--seed N] [--count N] [--jobs N]\n       aqua-repro scale [--smoke] [--audited] [--servers N] [--rps N] [--rate F] [--lanes N] [--seed N]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]\n       aqua-repro fuzz --gateway [--smoke] [--plant] [--offload] [--seed N] [--points N] [--jobs N] [--policy I] [--load N] [--count N] [--faults N] [--horizon S]"
+            "usage: aqua-repro <experiment|list|all|bench|fuzz|scale> [--window S] [--seed N] [--count N] [--lanes N] [--jobs N] [--out FILE] [--scale-rps N]\n       aqua-repro serve --smoke|--chaos-smoke [--seed N] [--count N] [--jobs N]\n       aqua-repro scale [--smoke] [--audited] [--servers N] [--rps N] [--rate F] [--lanes N] [--seed N]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]\n       aqua-repro fuzz --gateway [--smoke] [--plant] [--offload] [--seed N] [--points N] [--jobs N] [--policy I] [--load N] [--count N] [--faults N] [--horizon S]"
         );
         return ExitCode::FAILURE;
     };

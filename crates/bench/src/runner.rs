@@ -385,7 +385,7 @@ mod tests {
         assert_eq!(experiment_points("e2e", &a).unwrap().len(), 2);
         assert_eq!(experiment_points("serve", &a).unwrap().len(), 10);
         assert_eq!(experiment_points("serve_chaos", &a).unwrap().len(), 8);
-        assert_eq!(experiment_points("scale_cluster", &a).unwrap().len(), 2);
+        assert_eq!(experiment_points("scale_cluster", &a).unwrap().len(), 3);
         assert_eq!(experiment_points("ablations", &a).unwrap().len(), 6);
     }
 

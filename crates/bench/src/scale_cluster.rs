@@ -94,9 +94,24 @@ impl ScaleSpec {
         (start, start + 5)
     }
 
-    /// Expected driver events across the cluster (for cost hints).
+    /// Whether arrivals outpace a server's rough service capacity
+    /// (~1 req/s for the zoo model on this testbed), i.e. backlog grows
+    /// for the length of the trace instead of draining between arrivals.
+    pub fn oversaturated(&self) -> bool {
+        self.rate > 1.0
+    }
+
+    /// Expected driver events across the cluster (for cost hints). An
+    /// oversaturated point re-queues and re-examines work it cannot admit
+    /// yet, so backlog-building traces cost extra events per request
+    /// relative to an undersaturated trace that drains as it arrives.
     pub fn expected_events(&self) -> u64 {
-        self.total_requests() as u64 * EVENTS_PER_REQUEST
+        let per_request = if self.oversaturated() {
+            EVENTS_PER_REQUEST + EVENTS_PER_REQUEST / 2
+        } else {
+            EVENTS_PER_REQUEST
+        };
+        self.total_requests() as u64 * per_request
     }
 }
 
@@ -540,11 +555,18 @@ pub fn run_scale(spec: &ScaleSpec) -> ScaleRun {
     }
 }
 
-/// The `aqua-repro` decomposition: a plain mid-size domain and a smaller
-/// audited one with a mid-run GPU crash. Cost hints are proportional to
-/// each point's expected driver-event count ([`ScaleSpec::expected_events`]),
-/// so the weighted sweep claims big simulations first and the runner's
-/// wall-vs-hint deviation warning has a meaningful baseline.
+/// The `aqua-repro` decomposition: a plain mid-size domain, a smaller
+/// audited one with a mid-run GPU crash, and an oversaturated point whose
+/// arrival span is long enough for backlog to actually build. The overload
+/// point was infeasible under the sort-based scheduler (every admission
+/// re-sorted the whole backlog, so a growing queue turned the trace
+/// quadratic); the incremental scheduler index does backlog-independent
+/// work per admission, which is what makes it a routine sweep point now.
+/// Cost hints are proportional to each point's expected driver-event count
+/// ([`ScaleSpec::expected_events`], which charges oversaturated points
+/// extra for their re-queue traffic), so the weighted sweep claims big
+/// simulations first and the runner's wall-vs-hint deviation warning has a
+/// meaningful baseline.
 pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoint> {
     use crate::runner::ReproPoint;
     let per_server = (a.count / 8).max(8);
@@ -571,6 +593,17 @@ pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoi
                 audited: true,
             },
         ),
+        (
+            "servers=8,overload",
+            ScaleSpec {
+                servers: 8,
+                requests_per_server: a.count.max(64),
+                rate: 2.0,
+                seed: a.seed,
+                lanes: a.lanes,
+                audited: false,
+            },
+        ),
     ];
     specs
         .into_iter()
@@ -583,7 +616,10 @@ pub fn repro_points(a: &crate::runner::ReproArgs) -> Vec<crate::runner::ReproPoi
                 );
                 run.table
             })
-            .with_cost_hint(spec.expected_events() / 100)
+            // Divisor calibrated so seconds-per-hint-unit lands near the
+            // suite median (the overload point is the first scale point
+            // long enough for the runner's stale-hint check to see).
+            .with_cost_hint(spec.expected_events() / 400)
         })
         .collect()
 }
@@ -635,6 +671,15 @@ mod tests {
         assert_eq!(s.span_secs(), 3);
         let (c0, c1) = s.crash_window();
         assert!(c0 >= 1 && c1 > c0);
-        assert_eq!(s.expected_events(), 24 * EVENTS_PER_REQUEST);
+        // rate 2.0 outpaces service capacity: the hint charges the
+        // overload premium for re-queued work.
+        assert!(s.oversaturated());
+        assert_eq!(
+            s.expected_events(),
+            24 * (EVENTS_PER_REQUEST + EVENTS_PER_REQUEST / 2)
+        );
+        let calm = ScaleSpec { rate: 0.5, ..s };
+        assert!(!calm.oversaturated());
+        assert_eq!(calm.expected_events(), 24 * EVENTS_PER_REQUEST);
     }
 }

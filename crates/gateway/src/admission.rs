@@ -66,6 +66,10 @@ pub struct AdmissionController {
     total: usize,
     overload: OverloadPolicy,
     brownout_active: bool,
+    /// Estimated KV bytes committed to accepted-but-unretired requests,
+    /// maintained as a running counter (`commit_bytes`/`release_bytes`)
+    /// instead of being re-derived by a queue scan.
+    committed_bytes: u64,
 }
 
 impl AdmissionController {
@@ -84,6 +88,7 @@ impl AdmissionController {
             total: 0,
             overload: OverloadPolicy::default(),
             brownout_active: false,
+            committed_bytes: 0,
         }
     }
 
@@ -146,16 +151,32 @@ impl AdmissionController {
         self.total
     }
 
+    /// Records `est_bytes` of estimated KV commitment for an accepted
+    /// request.
+    pub fn commit_bytes(&mut self, est_bytes: u64) {
+        self.committed_bytes = self.committed_bytes.saturating_add(est_bytes);
+    }
+
+    /// Releases `est_bytes` of estimated KV commitment when a request
+    /// retires (or is timed out of the queue).
+    pub fn release_bytes(&mut self, est_bytes: u64) {
+        self.committed_bytes = self.committed_bytes.saturating_sub(est_bytes);
+    }
+
+    /// Estimated KV bytes currently committed to queued + running work.
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed_bytes
+    }
+
     /// Admission-time shed decision for a new arrival from `tenant`, given
-    /// the current queue depth, the arrival's estimated KV bytes and the
-    /// estimated KV bytes already committed to queued + running work.
-    /// Returns `None` when the request should be accepted.
+    /// the current queue depth and the arrival's estimated KV bytes; the
+    /// committed-bytes side of the KV-budget check reads this controller's
+    /// running counter. Returns `None` when the request should be accepted.
     pub fn shed_reason(
         &self,
         tenant: u32,
         queue_depth: usize,
         est_bytes: u64,
-        committed_bytes: u64,
     ) -> Option<ShedReason> {
         if self.brownout_active {
             if let Some(b) = &self.overload.brownout {
@@ -170,7 +191,7 @@ impl AdmissionController {
             }
         }
         if let Some(budget) = self.overload.kv_commit_bytes {
-            if committed_bytes.saturating_add(est_bytes) > budget {
+            if self.committed_bytes.saturating_add(est_bytes) > budget {
                 return Some(ShedReason::KvCost);
             }
         }
@@ -254,16 +275,25 @@ mod tests {
 
     #[test]
     fn shed_reasons_fire_in_order() {
-        let a = AdmissionController::new(4).with_overload(OverloadPolicy {
+        let mut a = AdmissionController::new(4).with_overload(OverloadPolicy {
             queue_watermark: Some(10),
             kv_commit_bytes: Some(1000),
             brownout: None,
         });
-        assert_eq!(a.shed_reason(0, 3, 100, 100), None);
-        assert_eq!(a.shed_reason(0, 10, 100, 100), Some(ShedReason::QueueDepth));
-        assert_eq!(a.shed_reason(0, 3, 600, 500), Some(ShedReason::KvCost));
+        a.commit_bytes(100);
+        assert_eq!(a.committed_bytes(), 100);
+        assert_eq!(a.shed_reason(0, 3, 100), None);
+        assert_eq!(a.shed_reason(0, 10, 100), Some(ShedReason::QueueDepth));
+        a.commit_bytes(400);
+        assert_eq!(a.shed_reason(0, 3, 600), Some(ShedReason::KvCost));
+        // Releasing the commitment re-opens the budget.
+        a.release_bytes(400);
+        assert_eq!(a.shed_reason(0, 3, 600), None);
+        // Release saturates rather than underflowing.
+        a.release_bytes(u64::MAX);
+        assert_eq!(a.committed_bytes(), 0);
         let unprotected = AdmissionController::new(4);
-        assert_eq!(unprotected.shed_reason(0, usize::MAX, u64::MAX, 0), None);
+        assert_eq!(unprotected.shed_reason(0, usize::MAX, u64::MAX), None);
     }
 
     #[test]
@@ -287,8 +317,8 @@ mod tests {
         a.on_admit(2);
         assert!(!a.eligible(2), "browned-out cap of 1 is full");
         assert!(a.eligible(0));
-        assert_eq!(a.shed_reason(2, 5, 0, 0), Some(ShedReason::Brownout));
-        assert_eq!(a.shed_reason(0, 5, 0, 0), None);
+        assert_eq!(a.shed_reason(2, 5, 0), Some(ShedReason::Brownout));
+        assert_eq!(a.shed_reason(0, 5, 0), None);
         // Hysteresis: stays engaged until the exit depth.
         assert_eq!(a.update_brownout(3), None);
         assert_eq!(a.update_brownout(2), Some(false));

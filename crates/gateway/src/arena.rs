@@ -113,6 +113,172 @@ impl TokenArena {
     }
 }
 
+const NIL: u32 = u32::MAX;
+
+/// A slot in a [`SlotArena`]: payload plus intrusive list links.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    value: Option<T>,
+    prev: u32,
+    next: u32,
+}
+
+/// An insertion-ordered slot arena: stable `u32` handles, O(1) removal by
+/// handle, and iteration in insertion order via an intrusive doubly-linked
+/// list threaded through the slots.
+///
+/// The gateway keeps queued sequences here. The old pending queue was a
+/// `Vec` compacted with `remove(position)` — an O(backlog) shift per
+/// admission, plus an O(backlog) `position()` search to find the entry the
+/// scheduler picked. With an arena, the scheduler index stores handles and
+/// every admission unlinks its slot in O(1), while deadline sweeps and
+/// crash marking still walk the queue in arrival order (the trace-event
+/// order the determinism suites pin).
+///
+/// Freed slots go on a LIFO free list and are reused by the next insert, so
+/// steady-state serving does no allocation at all.
+#[derive(Debug, Clone)]
+pub struct SlotArena<T> {
+    slots: Vec<Slot<T>>,
+    head: u32,
+    tail: u32,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for SlotArena<T> {
+    fn default() -> Self {
+        SlotArena {
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> SlotArena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `value` at the back of the insertion order; returns its
+    /// handle.
+    pub fn push_back(&mut self, value: T) -> u32 {
+        let handle = match self.free.pop() {
+            Some(h) => {
+                self.slots[h as usize] = Slot {
+                    value: Some(value),
+                    prev: self.tail,
+                    next: NIL,
+                };
+                h
+            }
+            None => {
+                let h = u32::try_from(self.slots.len()).expect("slot handles fit u32");
+                self.slots.push(Slot {
+                    value: Some(value),
+                    prev: self.tail,
+                    next: NIL,
+                });
+                h
+            }
+        };
+        if self.tail == NIL {
+            self.head = handle;
+        } else {
+            self.slots[self.tail as usize].next = handle;
+        }
+        self.tail = handle;
+        self.len += 1;
+        handle
+    }
+
+    /// Unlinks and returns the entry at `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` is vacant — removing twice is a bookkeeping bug.
+    pub fn remove(&mut self, handle: u32) -> T {
+        let slot = &mut self.slots[handle as usize];
+        let value = slot.value.take().expect("slot is live");
+        let (prev, next) = (slot.prev, slot.next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next as usize].prev = prev;
+        }
+        self.free.push(handle);
+        self.len -= 1;
+        value
+    }
+
+    /// The entry at `handle`, if live.
+    pub fn get(&self, handle: u32) -> Option<&T> {
+        self.slots
+            .get(handle as usize)
+            .and_then(|s| s.value.as_ref())
+    }
+
+    /// Mutable access to the entry at `handle`, if live.
+    pub fn get_mut(&mut self, handle: u32) -> Option<&mut T> {
+        self.slots
+            .get_mut(handle as usize)
+            .and_then(|s| s.value.as_mut())
+    }
+
+    /// Iterates `(handle, &entry)` in insertion order.
+    pub fn iter(&self) -> SlotIter<'_, T> {
+        SlotIter {
+            arena: self,
+            at: self.head,
+        }
+    }
+
+    /// Collects the handles in insertion order (for sweeps that mutate or
+    /// remove entries mid-walk).
+    pub fn handles(&self) -> Vec<u32> {
+        self.iter().map(|(h, _)| h).collect()
+    }
+}
+
+/// Insertion-order iterator over a [`SlotArena`].
+pub struct SlotIter<'a, T> {
+    arena: &'a SlotArena<T>,
+    at: u32,
+}
+
+impl<'a, T> Iterator for SlotIter<'a, T> {
+    type Item = (u32, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.at == NIL {
+            return None;
+        }
+        let handle = self.at;
+        let slot = &self.arena.slots[handle as usize];
+        self.at = slot.next;
+        Some((handle, slot.value.as_ref().expect("linked slots are live")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +332,54 @@ mod tests {
             vec![SimTime::from_millis(1), SimTime::from_millis(3)]
         );
         assert_eq!(a.take(&s2), vec![SimTime::from_millis(2)]);
+    }
+
+    #[test]
+    fn slot_arena_preserves_insertion_order_across_removals() {
+        let mut a = SlotArena::new();
+        let h1 = a.push_back("a");
+        let h2 = a.push_back("b");
+        let h3 = a.push_back("c");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.remove(h2), "b");
+        assert_eq!(
+            a.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec!["a", "c"]
+        );
+        // Freed slots are recycled LIFO but the new entry joins at the back.
+        let h4 = a.push_back("d");
+        assert_eq!(h4, h2, "freed slot is reused");
+        assert_eq!(a.handles(), vec![h1, h3, h4]);
+        assert_eq!(a.remove(h1), "a");
+        assert_eq!(a.remove(h3), "c");
+        assert_eq!(a.remove(h4), "d");
+        assert!(a.is_empty());
+        assert_eq!(a.iter().next().map(|(h, _)| h), None);
+    }
+
+    #[test]
+    fn slot_arena_head_and_tail_removals_relink() {
+        let mut a = SlotArena::new();
+        let h1 = a.push_back(1);
+        let h2 = a.push_back(2);
+        let h3 = a.push_back(3);
+        a.remove(h1); // head
+        a.remove(h3); // tail
+        assert_eq!(a.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(a.get(h2), Some(&2));
+        assert_eq!(a.get(h1), None);
+        *a.get_mut(h2).unwrap() = 9;
+        assert_eq!(a.remove(h2), 9);
+        let h = a.push_back(4);
+        assert_eq!(a.handles(), vec![h]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot is live")]
+    fn slot_arena_double_remove_is_a_bug() {
+        let mut a = SlotArena::new();
+        let h = a.push_back(());
+        a.remove(h);
+        a.remove(h);
     }
 }

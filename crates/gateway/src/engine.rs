@@ -16,6 +16,7 @@
 //! any offload backend.
 
 use crate::admission::{AdmissionController, OverloadPolicy};
+use crate::arena::SlotArena;
 use crate::outcome::{DeadlineKind, OutcomeLog, RequestOutcome, RetryPolicy, SloPolicy};
 use crate::scheduler::{PolicyKind, QueuedMeta, Scheduler};
 use aqua_engines::driver::Engine;
@@ -135,7 +136,15 @@ pub struct GatewayEngine {
     admission: AdmissionController,
     /// Request id → tenant (requests not in the map belong to tenant 0).
     tenants: BTreeMap<u64, u32>,
-    pending: Vec<GateSeq>,
+    /// Queued sequences, in arrival order (deadline sweeps and crash
+    /// marking walk this order — it pins trace-event order). The scheduler
+    /// index holds the admission order; this arena holds the state.
+    pending: SlotArena<GateSeq>,
+    /// Request id → pending-arena handle.
+    pending_ids: BTreeMap<u64, u32>,
+    /// Admitted batch. `Vec` doubles as the youngest-first preemption
+    /// index: the last element is the most recent admission, so victim
+    /// selection is an O(1) `pop`.
     running: Vec<GateSeq>,
     completions: Vec<RequestRecord>,
     streams: StreamLog,
@@ -150,8 +159,6 @@ pub struct GatewayEngine {
     gauges: GaugeCache,
     arena: crate::arena::TokenArena,
     outcomes: OutcomeLog,
-    /// Estimated KV bytes committed to accepted (queued + running) work.
-    committed_est_bytes: u64,
     /// GpuCrash windows affecting this gateway's GPU, sorted by start.
     crash_windows: Vec<(SimTime, SimTime)>,
     /// Crash windows already processed by recovery.
@@ -187,7 +194,8 @@ impl GatewayEngine {
             policy,
             admission,
             tenants: BTreeMap::new(),
-            pending: Vec::new(),
+            pending: SlotArena::new(),
+            pending_ids: BTreeMap::new(),
             running: Vec::new(),
             completions: Vec::new(),
             streams: StreamLog::new(),
@@ -202,7 +210,6 @@ impl GatewayEngine {
             gauges: GaugeCache::new(),
             arena: crate::arena::TokenArena::new(),
             outcomes: OutcomeLog::new(),
-            committed_est_bytes: 0,
             crash_windows: Vec::new(),
             next_crash: 0,
             crashed_pending_restore: BTreeSet::new(),
@@ -320,7 +327,48 @@ impl GatewayEngine {
         }
         self.arena.release(seq.tokens);
         let est = self.est_bytes(&seq.life.req);
-        self.committed_est_bytes = self.committed_est_bytes.saturating_sub(est);
+        self.admission.release_bytes(est);
+    }
+
+    /// The scheduler's view of a queued sequence.
+    fn meta_of(seq: &GateSeq) -> QueuedMeta {
+        QueuedMeta {
+            id: seq.life.req.id.0,
+            tenant: seq.tenant,
+            enqueued: seq.life.arrival,
+            prompt_tokens: seq.life.req.prompt_tokens,
+            output_tokens: seq.life.req.output_tokens,
+            generated: seq.life.generated,
+        }
+    }
+
+    /// Inserts `seq` into the pending arena and mirrors the transition
+    /// into the scheduler index (fresh enqueue, or cap-exempt re-queue for
+    /// already-admitted work).
+    fn enqueue_pending(&mut self, seq: GateSeq, now: SimTime) {
+        let meta = Self::meta_of(&seq);
+        let admitted_once = seq.admitted_once;
+        let eligible_after = seq.eligible_after;
+        let handle = self.pending.push_back(seq);
+        self.pending_ids.insert(meta.id, handle);
+        if admitted_once {
+            self.scheduler.on_requeue(meta, eligible_after, now);
+        } else {
+            self.scheduler.on_enqueue(meta, now);
+        }
+    }
+
+    /// Removes the pending entry at `handle` from the arena, the id map
+    /// and the scheduler index (for paths other than `pop_next`, which
+    /// already took its entry out of the index).
+    fn unqueue_pending(&mut self, handle: u32) -> GateSeq {
+        let seq = self.pending.remove(handle);
+        self.pending_ids.remove(&seq.life.req.id.0);
+        let removed =
+            self.scheduler
+                .on_remove(&Self::meta_of(&seq), seq.admitted_once, seq.eligible_after);
+        debug_assert!(removed, "pending entries are always indexed");
+        seq
     }
 
     fn tenant_of(&self, id: u64) -> u32 {
@@ -337,11 +385,6 @@ impl GatewayEngine {
         let name = name.to_owned();
         self.tracer.gauge(&name, value);
         self.tracer.emit(TraceEvent::Gauge { name, value, at });
-    }
-
-    /// Whether a pending sequence may be scheduled right now.
-    fn seq_eligible(&self, seq: &GateSeq) -> bool {
-        seq.admitted_once || self.admission.eligible(seq.tenant)
     }
 
     /// Processes GpuCrash windows that opened since the last step.
@@ -400,13 +443,19 @@ impl GatewayEngine {
                 victim.needs_restore = true;
                 victim.eligible_after = now + self.config.retry.backoff_for(attempt);
                 self.crashed_pending_restore.insert(id);
-                self.pending.push(victim);
+                // Re-queue as an event: the scheduler parks the victim on
+                // its backoff deadline and promotes it when due, instead of
+                // the engine re-filtering `eligible_after` every step.
+                self.enqueue_pending(victim, now);
             }
         }
         // Swap-preempted pending sequences survived — their KV was captured
         // into the offload store at preemption time — but they are still
         // crashed sequences: their readmission must journal a swap restore.
-        for seq in &mut self.pending {
+        // (`needs_restore` is not part of the scheduler key, so this walk
+        // needs no index updates.)
+        for handle in self.pending.handles() {
+            let seq = self.pending.get_mut(handle).expect("handles are live");
             if seq.swapped && !seq.needs_restore {
                 seq.needs_restore = true;
                 self.crashed_pending_restore.insert(seq.life.req.id.0);
@@ -422,15 +471,12 @@ impl GatewayEngine {
         if !self.config.slo.any_deadline() {
             return;
         }
-        let mut i = 0;
-        while i < self.pending.len() {
-            let seq = &self.pending[i];
+        for handle in self.pending.handles() {
+            let seq = self.pending.get(handle).expect("handles are live");
             let slo = self.config.slo.of(seq.tenant);
             if let Some(kind) = slo.missed(seq.life.arrival, seq.life.generated, now) {
-                let seq = self.pending.remove(i);
+                let seq = self.unqueue_pending(handle);
                 self.timeout_seq(seq, kind, now);
-            } else {
-                i += 1;
             }
         }
         let mut i = 0;
@@ -471,54 +517,43 @@ impl GatewayEngine {
     /// empty and nothing has been admitted yet, where non-fitting entries
     /// are skipped instead so one oversized head cannot stall an idle
     /// engine that still has admissible work.
+    ///
+    /// Each admission is one `pop_next` against the incremental index —
+    /// cap gating and backoff promotion happen inside the pop — so a
+    /// round's cost scales with the *batch*, never with the backlog. The
+    /// old implementation materialized and sorted every eligible entry
+    /// per decode iteration, which turned saturated million-request
+    /// traces quadratic.
     fn admit(&mut self, now: SimTime) {
-        // A full batch admits nothing regardless of scheduler order, and
-        // prioritize() is a pure sort — skip the per-step queue scan + sort
-        // entirely (the common steady state of a saturated gateway).
         if self.running.len() >= self.config.max_batch || self.pending.is_empty() {
             return;
         }
-        let mut metas: Vec<QueuedMeta> = self
-            .pending
-            .iter()
-            .filter(|s| self.seq_eligible(s) && s.eligible_after <= now)
-            .map(|s| QueuedMeta {
-                id: s.life.req.id.0,
-                tenant: s.tenant,
-                enqueued: s.life.arrival,
-                prompt_tokens: s.life.req.prompt_tokens,
-                output_tokens: s.life.req.output_tokens,
-                generated: s.life.generated,
-            })
-            .collect();
-        if metas.is_empty() {
-            return;
-        }
-        self.scheduler.prioritize(&mut metas, now);
-
         let mut admitted_any = false;
-        for meta in metas {
-            if self.running.len() >= self.config.max_batch {
+        // Picks that did not fit in KV sit out the rest of the round here
+        // (matching the sort-based walk, which never revisits a skipped
+        // entry) and rejoin the index afterwards.
+        let mut stashed: Vec<QueuedMeta> = Vec::new();
+        while self.running.len() < self.config.max_batch {
+            let Some(meta) = self.scheduler.pop_next(now, &self.admission) else {
                 break;
-            }
-            let idx = self
+            };
+            let handle = self.pending_ids[&meta.id];
+            let needed = self
                 .pending
-                .iter()
-                .position(|s| s.life.req.id.0 == meta.id)
-                .expect("scheduled ids come from the pending queue");
-            // Caps can fill mid-round: an earlier pick may have consumed
-            // this tenant's last slot.
-            if !self.seq_eligible(&self.pending[idx]) || self.pending[idx].eligible_after > now {
-                continue;
-            }
-            let needed = self.pending[idx].life.context_tokens() + 1;
+                .get(handle)
+                .expect("scheduled ids come from the pending queue")
+                .life
+                .context_tokens()
+                + 1;
             if !self.kv.can_fit_tokens(needed) {
+                stashed.push(meta);
                 if self.running.is_empty() && !admitted_any {
                     continue;
                 }
                 break;
             }
-            let mut seq = self.pending.remove(idx);
+            self.pending_ids.remove(&meta.id);
+            let mut seq = self.pending.remove(handle);
             admitted_any = true;
             trace!(
                 self.tracer,
@@ -571,6 +606,21 @@ impl GatewayEngine {
             }
             self.running.push(seq);
         }
+        // Reinsert skipped picks. Keys recompute identically (same `now`,
+        // same learned ratio), so the index order is as if they never left.
+        for meta in stashed {
+            let handle = self.pending_ids[&meta.id];
+            let seq = self
+                .pending
+                .get(handle)
+                .expect("stashed entries stay pending");
+            if seq.admitted_once {
+                let eligible_after = seq.eligible_after;
+                self.scheduler.on_requeue(meta, eligible_after, now);
+            } else {
+                self.scheduler.on_enqueue(meta, now);
+            }
+        }
     }
 
     /// Ensures every running sequence can grow by one token this iteration,
@@ -608,7 +658,9 @@ impl GatewayEngine {
             } else {
                 victim.prefilled = false;
             }
-            self.pending.push(victim);
+            // Preempted work was admitted before, so it re-queues
+            // cap-exempt with no backoff (immediately re-admissible).
+            self.enqueue_pending(victim, now);
         }
     }
 }
@@ -626,10 +678,7 @@ impl Engine for GatewayEngine {
             }
         );
         let est = self.est_bytes(&req);
-        if let Some(reason) =
-            self.admission
-                .shed_reason(tenant, self.pending.len(), est, self.committed_est_bytes)
-        {
+        if let Some(reason) = self.admission.shed_reason(tenant, self.pending.len(), est) {
             trace!(
                 self.tracer,
                 TraceEvent::RequestShed {
@@ -644,30 +693,36 @@ impl Engine for GatewayEngine {
                 .note(req.id.0, tenant, RequestOutcome::ShedAtAdmission(reason));
             return;
         }
-        self.committed_est_bytes += est;
+        self.admission.commit_bytes(est);
         let life = SeqLifecycle::new(req, now);
         // Exact-capacity token chunk: `output_tokens` (clamped >= 1 by
         // SeqLifecycle) is precisely how many records this request writes.
         let tokens = self.arena.alloc(life.req.output_tokens);
-        self.pending.push(GateSeq {
-            life,
-            tenant,
-            tokens,
-            prefilled: false,
-            swapped: false,
-            admitted_once: false,
-            eligible_after: SimTime::ZERO,
-            needs_restore: false,
-        });
+        self.enqueue_pending(
+            GateSeq {
+                life,
+                tenant,
+                tokens,
+                prefilled: false,
+                swapped: false,
+                admitted_once: false,
+                eligible_after: SimTime::ZERO,
+                needs_restore: false,
+            },
+            now,
+        );
     }
 
     fn has_work(&self) -> bool {
         if !self.running.is_empty() {
             return true;
         }
-        self.pending
-            .iter()
-            .any(|s| self.seq_eligible(s) && self.kv.can_fit_tokens(s.life.context_tokens() + 1))
+        // KV fit checks are monotone in context size, so "does any
+        // cap-eligible request fit" reduces to the scheduler's smallest
+        // context — no backlog scan.
+        self.scheduler
+            .min_context(&self.admission)
+            .is_some_and(|ctx| self.kv.can_fit_tokens(ctx + 1))
     }
 
     fn step(&mut self, now: SimTime) -> SimTime {
@@ -697,14 +752,10 @@ impl Engine for GatewayEngine {
         if self.running.is_empty() {
             // If the only schedulable work is backing off after a crash
             // retry, tell the driver when it becomes eligible — spinning
-            // 1ns steps until then would melt the event loop.
-            let next_retry = self
-                .pending
-                .iter()
-                .filter(|s| s.eligible_after > now && self.seq_eligible(s))
-                .map(|s| s.eligible_after)
-                .min();
-            return next_retry.unwrap_or(now);
+            // 1ns steps until then would melt the event loop. (`admit` just
+            // promoted every expired backoff, so the parked set holds only
+            // strictly-future deadlines.)
+            return self.scheduler.next_parked().unwrap_or(now);
         }
 
         let mut io_done = now;
