@@ -40,6 +40,11 @@ cargo run --release -p aqua-bench --bin aqua-repro -- serve --smoke --count 64
 # Same gate for the overload/crash-recovery study (goodput cells at 1-4x
 # load plus both crash-restore cells).
 cargo run --release -p aqua-bench --bin aqua-repro -- serve --chaos-smoke
+# Control-plane acceptance: the coordinator crash/partition recovery study
+# must be byte- and digest-identical at 1/4/8 jobs through the sweep AND at
+# 1 vs 4 lanes through the PDES shard path, with the audited faulted cells
+# clean and audited-vs-unaudited digests identical.
+cargo run --release -p aqua-bench --bin aqua-repro -- coord_chaos --smoke
 # PDES acceptance: a 64-server (512-GPU) scale-cluster run with the crash
 # fault plan and the full audit layer enabled must be byte- and
 # digest-identical at 1 vs 4 lanes with zero audit violations — once at
@@ -66,6 +71,25 @@ echo "$plant_out" | grep -q "double_free" || {
   exit 1
 }
 echo "planted double-free caught and shrunk to a reproducer"
+# Audit acceptance, part 2b: a planted epoch-fencing bypass (a stale resync
+# merged through the unfenced path after a coordinator crash) must be
+# *caught* (non-zero exit), diagnosed as a cross-epoch double grant and
+# shrunk to a re-runnable reproducer spec.
+if fence_out=$(cargo run --release -p aqua-bench --bin aqua-repro -- fuzz --points 4 --plant-fence 2>&1); then
+  echo "FAIL: planted fencing bypass was not caught by the audit" >&2
+  exit 1
+fi
+echo "$fence_out" | grep -q "reproduce with: aqua-repro fuzz" || {
+  echo "FAIL: planted fencing bypass did not print a shrunk reproducer" >&2
+  echo "$fence_out" >&2
+  exit 1
+}
+echo "$fence_out" | grep -q "double_grant_across_epochs" || {
+  echo "FAIL: planted fencing bypass was not diagnosed as a cross-epoch double grant" >&2
+  echo "$fence_out" >&2
+  exit 1
+}
+echo "planted fencing bypass caught and shrunk to a reproducer"
 # Audit acceptance, part 3: 16 seeded gateway points (FaultPlan x scheduler
 # policy x load on the serving path) must report zero audit violations AND
 # zero truncated streams.

@@ -263,6 +263,7 @@ struct FuzzFlags {
     jobs: usize,
     smoke: bool,
     plant: bool,
+    plant_fence: bool,
     gateway: bool,
     offload: bool,
     gpus: Option<usize>,
@@ -281,6 +282,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzFlags, String> {
         jobs: default_jobs(),
         smoke: false,
         plant: false,
+        plant_fence: false,
         gateway: false,
         offload: false,
         gpus: None,
@@ -296,6 +298,7 @@ fn parse_fuzz_flags(rest: &[String]) -> Result<FuzzFlags, String> {
         match flag.as_str() {
             "--smoke" => f.smoke = true,
             "--plant" => f.plant = true,
+            "--plant-fence" => f.plant_fence = true,
             "--gateway" => f.gateway = true,
             "--offload" => f.offload = true,
             valued => {
@@ -382,6 +385,7 @@ fn gateway_fuzz_cmd(flags: &FuzzFlags) -> Result<(), String> {
         points,
         jobs: flags.jobs,
         plant: flags.plant,
+        plant_fence: flags.plant_fence,
     };
     let report = fuzz::run_gateway_fuzz(&cfg);
     let dirty = report.dirty();
@@ -443,6 +447,7 @@ fn fuzz_cmd(flags: &FuzzFlags) -> Result<(), String> {
             faults: flags.faults.unwrap_or(0),
             horizon_secs: flags.horizon.unwrap_or(fuzz::MIN_HORIZON_SECS),
             plant: flags.plant,
+            plant_fence: flags.plant_fence,
         };
         let out = fuzz::run_point_quiet(&point);
         if out.violations.is_empty() {
@@ -469,6 +474,7 @@ fn fuzz_cmd(flags: &FuzzFlags) -> Result<(), String> {
         points,
         jobs: flags.jobs,
         plant: flags.plant,
+        plant_fence: flags.plant_fence,
     };
     let report = fuzz::run_fuzz(&cfg);
     let dirty = report.dirty();
@@ -490,11 +496,13 @@ fn fuzz_cmd(flags: &FuzzFlags) -> Result<(), String> {
     };
     let first = &report.outcomes[first_idx];
     println!(
-        "fuzz: point #{first_idx} (`{}`) tripped {} violation(s); first: {}",
+        "fuzz: point #{first_idx} (`{}`) tripped {} violation(s):",
         first.point.repro_spec(),
         first.violations.len(),
-        first.violations[0]
     );
+    for v in &first.violations {
+        println!("fuzz: {v}");
+    }
     let shrunk = fuzz::shrink(first.point)
         .expect("a violating point is a pure function of its fields and must violate again");
     println!(
@@ -711,11 +719,70 @@ fn serve_smoke(flags: &Flags, names: &[&str], label: &str) -> Result<(), String>
     Ok(())
 }
 
+/// The `coord_chaos --smoke` subcommand: the control-plane recovery study
+/// through the sweep at `--jobs 1/4/8` and through the PDES shard path at
+/// `--lanes 1` vs `--lanes 4` (audited and unaudited), failing unless every
+/// pairing is byte- and digest-identical and the audited shards are clean.
+/// Digests are compared run-against-run, never against a pinned literal.
+fn coord_chaos_smoke(flags: &Flags) -> Result<(), String> {
+    use aqua_bench::coord_chaos;
+    if trace::journal().is_some() {
+        return Err("coord chaos smoke: compares parallel runs; unset AQUA_TRACE".into());
+    }
+    let seq = run_suite(&["coord_chaos"], &flags.args, 1, false, false)?;
+    for jobs in [4usize, 8] {
+        let par = run_suite(&["coord_chaos"], &flags.args, jobs, false, false)?;
+        if seq.output != par.output {
+            return Err(format!(
+                "coord chaos smoke: --jobs {jobs} output differs from sequential ({} vs {} bytes)",
+                par.output.len(),
+                seq.output.len()
+            ));
+        }
+        if seq.combined_digest != par.combined_digest {
+            return Err(format!(
+                "coord chaos smoke: --jobs {jobs} digest mismatch: {:016x} vs sequential {:016x}",
+                par.combined_digest, seq.combined_digest
+            ));
+        }
+    }
+    let (count, seed) = (flags.args.count, flags.args.seed);
+    let (out_one, one) = coord_chaos::run_sharded(count, seed, 1, true);
+    let (out_four, four) = coord_chaos::run_sharded(count, seed, 4, true);
+    if out_one != out_four {
+        return Err(format!(
+            "coord chaos smoke: lanes=1 and lanes=4 rendered different tables ({} vs {} bytes)",
+            out_one.len(),
+            out_four.len()
+        ));
+    }
+    if one.digest != four.digest {
+        return Err(format!(
+            "coord chaos smoke: lane digest mismatch: lanes=1 {:016x} vs lanes=4 {:016x}",
+            one.digest, four.digest
+        ));
+    }
+    let (out_unaudited, unaudited) = coord_chaos::run_sharded(count, seed, 1, false);
+    if out_unaudited != out_one || unaudited.digest != one.digest {
+        return Err(format!(
+            "coord chaos smoke: audited run diverges from unaudited (digest {:016x} vs {:016x})",
+            one.digest, unaudited.digest
+        ));
+    }
+    print!("{}", seq.output);
+    println!(
+        "coord chaos smoke: byte-identical and digest-identical at jobs 1/4/8 and lanes 1/4, \
+         audited clean (suite digest {:016x}, shard digest {:016x})",
+        seq.combined_digest, one.digest
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: aqua-repro <experiment|list|all|bench|fuzz|scale> [--window S] [--seed N] [--count N] [--lanes N] [--jobs N] [--out FILE] [--scale-rps N]\n       aqua-repro serve --smoke|--chaos-smoke [--seed N] [--count N] [--jobs N]\n       aqua-repro scale [--smoke] [--audited] [--servers N] [--rps N] [--rate F] [--lanes N] [--seed N]\n       aqua-repro fuzz [--smoke] [--plant] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]\n       aqua-repro fuzz --gateway [--smoke] [--plant] [--offload] [--seed N] [--points N] [--jobs N] [--policy I] [--load N] [--count N] [--faults N] [--horizon S]"
+            "usage: aqua-repro <experiment|list|all|bench|fuzz|scale> [--window S] [--seed N] [--count N] [--lanes N] [--jobs N] [--out FILE] [--scale-rps N]\n       aqua-repro serve --smoke|--chaos-smoke [--seed N] [--count N] [--jobs N]\n       aqua-repro coord_chaos --smoke [--seed N] [--count N]\n       aqua-repro scale [--smoke] [--audited] [--servers N] [--rps N] [--rate F] [--lanes N] [--seed N]\n       aqua-repro fuzz [--smoke] [--plant] [--plant-fence] [--seed N] [--points N] [--jobs N] [--gpus 2|8] [--work N] [--faults N] [--horizon S]\n       aqua-repro fuzz --gateway [--smoke] [--plant] [--offload] [--seed N] [--points N] [--jobs N] [--policy I] [--load N] [--count N] [--faults N] [--horizon S]"
         );
         return ExitCode::FAILURE;
     };
@@ -739,6 +806,20 @@ fn main() -> ExitCode {
                 }
             };
         }
+    }
+    if cmd == "coord_chaos" && argv[1..].iter().any(|a| a == "--smoke") {
+        let rest: Vec<String> = argv[1..]
+            .iter()
+            .filter(|a| *a != "--smoke")
+            .cloned()
+            .collect();
+        return match parse_flags(&rest).and_then(|f| coord_chaos_smoke(&f)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if cmd == "scale" {
         return match parse_scale_flags(&argv[1..]).and_then(|f| scale_cmd(&f)) {

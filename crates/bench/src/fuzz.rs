@@ -59,6 +59,8 @@ pub struct FuzzPoint {
     pub horizon_secs: u64,
     /// Plant a coordinator double-free (the audit self-test).
     pub plant: bool,
+    /// Plant an epoch-fencing bypass (the crash-recovery audit self-test).
+    pub plant_fence: bool,
 }
 
 impl FuzzPoint {
@@ -75,11 +77,13 @@ impl FuzzPoint {
             faults: 1 + rng.next_range(6) as usize,
             horizon_secs: 60 + rng.next_range(4) * 30,
             plant: false,
+            plant_fence: false,
         }
     }
 
     /// The flag string that re-runs exactly this point:
-    /// `--seed S --gpus G --work W --faults F --horizon H [--plant]`.
+    /// `--seed S --gpus G --work W --faults F --horizon H [--plant]
+    /// [--plant-fence]`.
     pub fn repro_spec(&self) -> String {
         let mut s = format!(
             "--seed {} --gpus {} --work {} --faults {} --horizon {}",
@@ -87,6 +91,9 @@ impl FuzzPoint {
         );
         if self.plant {
             s.push_str(" --plant");
+        }
+        if self.plant_fence {
+            s.push_str(" --plant-fence");
         }
         s
     }
@@ -118,6 +125,27 @@ fn plant_double_free(ctx: &ServerCtx) {
     let _ = ctx.coordinator.free(lease, bytes);
 }
 
+/// A buggy control plane planted for the fencing self-test: a producer's
+/// grant survives a coordinator crash, and after the rebuild its pre-crash
+/// inventory is pushed through the unfenced
+/// [`merge_resync`](aqua_core::coordinator::Coordinator::merge_resync)
+/// bypass instead of the fenced `/resync` verb. The audit must record
+/// `stale_epoch_accepted` at the merge and `double_grant_across_epochs`
+/// for the stale lease the bypass leaves live in the rebuilt book.
+fn plant_fencing_bypass(ctx: &ServerCtx) {
+    let producer = GpuRef::single(GpuId(1));
+    let stale_epoch = ctx.coordinator.epoch();
+    let _ = ctx.coordinator.lease(producer, 256 << 20);
+    ctx.coordinator.crash(SimTime::from_secs(1));
+    ctx.coordinator.recover(SimTime::from_secs(2));
+    let current = ctx.coordinator.epoch();
+    let _ = ctx
+        .coordinator
+        .resync_report(producer, 128 << 20, current, SimTime::from_secs(3));
+    ctx.coordinator
+        .merge_resync(producer, 64 << 20, stale_epoch, SimTime::from_secs(4));
+}
+
 /// Runs one point under full auditing, journalling into the ambient tracer
 /// (inside a [`Sweep`] that is the point's own digest journal).
 pub fn run_point(p: &FuzzPoint) -> FuzzOutcome {
@@ -140,6 +168,9 @@ pub fn run_point(p: &FuzzPoint) -> FuzzOutcome {
     let profile = RandomFaultProfile {
         link_ports,
         crash_gpus: vec![producer_gpu],
+        // Core campaign draws the control-plane kinds too: coordinator
+        // crashes and partitions interleave with link/GPU faults.
+        control_plane: true,
         events: p.faults,
         min_duration: SimDuration::from_secs(5),
         max_duration: SimDuration::from_secs(30),
@@ -183,6 +214,9 @@ pub fn run_point(p: &FuzzPoint) -> FuzzOutcome {
     if p.plant {
         plant_double_free(&ctx);
     }
+    if p.plant_fence {
+        plant_fencing_bypass(&ctx);
+    }
 
     let mut engines: Vec<&mut dyn Engine> = vec![&mut consumer, &mut producer];
     driver.run(&mut engines, horizon);
@@ -212,6 +246,9 @@ pub struct FuzzConfig {
     pub jobs: usize,
     /// Plant the double-free self-test into every point.
     pub plant: bool,
+    /// Plant the epoch-fencing-bypass self-test into every core point
+    /// (ignored by the gateway campaign, which has no coordinator plant).
+    pub plant_fence: bool,
 }
 
 /// A completed campaign, in point order.
@@ -248,6 +285,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         .map(|i| {
             let mut p = FuzzPoint::derive(cfg.base_seed, i as u64);
             p.plant = cfg.plant;
+            p.plant_fence = cfg.plant_fence;
             p
         })
         .collect();
@@ -456,6 +494,10 @@ pub fn run_gateway_point(p: &GatewayFuzzPoint) -> GatewayFuzzOutcome {
             PortId::NvlinkIngress(GpuId(1)),
         ],
         crash_gpus: vec![gateway_gpu],
+        // The gateway campaign keeps its historical fault universe (the
+        // coord_chaos experiment covers control-plane faults on the
+        // serving path), so its seeded plans stay digest-stable.
+        control_plane: false,
         events: p.faults,
         min_duration: SimDuration::from_secs(5),
         max_duration: SimDuration::from_secs(30),
@@ -687,11 +729,12 @@ mod tests {
             faults: 3,
             horizon_secs: 90,
             plant: true,
+            plant_fence: true,
         };
         let s = p.repro_spec();
         assert_eq!(
             s,
-            "--seed 123 --gpus 8 --work 2 --faults 3 --horizon 90 --plant"
+            "--seed 123 --gpus 8 --work 2 --faults 3 --horizon 90 --plant --plant-fence"
         );
         assert!(!FuzzPoint::derive(1, 0).repro_spec().contains("--plant"));
     }
@@ -716,6 +759,7 @@ mod tests {
             faults: 4,
             horizon_secs: 120,
             plant: true,
+            plant_fence: false,
         };
         let shrunk = shrink(start).expect("planted point must violate");
         assert_eq!(shrunk.violation.kind(), "double_free");
@@ -730,6 +774,37 @@ mod tests {
         // And the minimal spec re-runs to the same violation.
         let again = run_point_quiet(&shrunk.minimal);
         assert_eq!(again.violations[0].kind(), "double_free");
+    }
+
+    #[test]
+    fn planted_fencing_bypass_is_caught_and_shrinks_to_the_floor() {
+        let start = FuzzPoint {
+            seed: 13,
+            gpus: 8,
+            work: 2,
+            faults: 4,
+            horizon_secs: 120,
+            plant: false,
+            plant_fence: true,
+        };
+        let shrunk = shrink(start).expect("planted fencing bypass must violate");
+        // The unfenced stale merge is recorded at the merge itself, and the
+        // stale lease it leaves live in the rebuilt book is the split-brain
+        // witness.
+        assert_eq!(shrunk.violation.kind(), "stale_epoch_accepted");
+        let again = run_point_quiet(&shrunk.minimal);
+        let kinds: Vec<&str> = again.violations.iter().map(|v| v.kind()).collect();
+        assert!(
+            kinds.contains(&"double_grant_across_epochs"),
+            "bypass must leave a cross-epoch double grant: {kinds:?}"
+        );
+        // The plant drives its own crash/recover, so every chaos axis must
+        // strip to its floor.
+        assert_eq!(shrunk.minimal.faults, 0);
+        assert_eq!(shrunk.minimal.horizon_secs, MIN_HORIZON_SECS);
+        assert_eq!(shrunk.minimal.work, 1);
+        assert_eq!(shrunk.minimal.gpus, 2);
+        assert!(shrunk.minimal.plant_fence);
     }
 
     #[test]

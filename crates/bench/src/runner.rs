@@ -130,6 +130,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "goodput under 1-4x overload + crash recovery, protected vs fcfs",
     ),
     (
+        "coord_chaos",
+        "coordinator crash/partition: epoch-fenced lease recovery under serving",
+    ),
+    (
         "scale_cluster",
         "256-1024 GPU domain through sharded PDES lanes + coordinator heartbeats",
     ),
@@ -204,6 +208,7 @@ pub fn experiment_points(name: &str, a: &ReproArgs) -> Result<Vec<ReproPoint>, S
         "e2e" => crate::e2e_cluster::repro_points(&a),
         "serve" => crate::serve_schedulers::repro_points(&a),
         "serve_chaos" => crate::serve_chaos::repro_points(&a),
+        "coord_chaos" => crate::coord_chaos::repro_points(&a),
         "scale_cluster" => crate::scale_cluster::repro_points(&a),
         "tables" => vec![ReproPoint::new("tables", "registry", move || {
             format!(
@@ -385,6 +390,7 @@ mod tests {
         assert_eq!(experiment_points("e2e", &a).unwrap().len(), 2);
         assert_eq!(experiment_points("serve", &a).unwrap().len(), 10);
         assert_eq!(experiment_points("serve_chaos", &a).unwrap().len(), 8);
+        assert_eq!(experiment_points("coord_chaos", &a).unwrap().len(), 3);
         assert_eq!(experiment_points("scale_cluster", &a).unwrap().len(), 3);
         assert_eq!(experiment_points("ablations", &a).unwrap().len(), 6);
     }

@@ -94,6 +94,16 @@ impl ScaleSpec {
         (start, start + 5)
     }
 
+    /// The coordinator-shard crash window of the audited point: right after
+    /// the GPU crash heals, while the restarted gateway still has backlog.
+    /// The server's coordinator loses its lease book and bumps its epoch;
+    /// the offloader's epoch-change sweep must migrate every stranded byte
+    /// without tripping the audit or losing a stream.
+    pub fn coord_crash_window(&self) -> (u64, u64) {
+        let start = self.crash_window().1;
+        (start, start + 5)
+    }
+
     /// Whether arrivals outpace a server's rough service capacity
     /// (~1 req/s for the zoo model on this testbed), i.e. backlog grows
     /// for the length of the trace instead of draining between arrivals.
@@ -262,8 +272,19 @@ impl ServerShard {
         if spec.audited && server == 0 {
             let (start_s, end_s) = spec.crash_window();
             let (start, end) = (SimTime::from_secs(start_s), SimTime::from_secs(end_s));
-            let plan = FaultPlan::new().gpu_crash(GpuId(0), start, end);
+            let (c_start_s, c_end_s) = spec.coord_crash_window();
+            let c_start = SimTime::from_secs(c_start_s);
+            let rebuild = SimDuration::from_secs(c_end_s - c_start_s);
+            // The audited server takes both hits: its gateway GPU crashes
+            // mid-trace, and as it restarts its coordinator shard dies too,
+            // wiping the lease book and bumping the epoch under the
+            // offloader's static leases.
+            let plan = FaultPlan::new()
+                .gpu_crash(GpuId(0), start, end)
+                .coordinator_crash(c_start, rebuild);
             engine = engine.with_fault_plan(&plan, GpuId(0));
+            ctx.coordinator
+                .set_fault_plan(std::sync::Arc::new(plan.clone()));
             driver.crash_window(0, start, end);
             let a = Auditor::collecting();
             engine = engine.with_auditor(a.clone());

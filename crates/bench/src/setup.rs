@@ -105,12 +105,14 @@ impl ServerCtx {
     }
 
     /// Injects a fault schedule: the transfer engine aborts/degrades
-    /// transfers accordingly, and offloaders built from this context model
-    /// coordinator stalls from the same plan.
+    /// transfers accordingly, the coordinator replays its crash/partition
+    /// windows (epoch bumps, reachability), and offloaders built from this
+    /// context model coordinator stalls from the same plan.
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.transfers
             .borrow_mut()
             .set_fault_plan(Arc::clone(&plan));
+        self.coordinator.set_fault_plan(Arc::clone(&plan));
         self.fault_plan = Some(plan);
         self
     }

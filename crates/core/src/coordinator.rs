@@ -18,15 +18,36 @@
 //!    [`Coordinator::release`]. The producer polls
 //!    [`Coordinator::reclaim_status`] until it reads
 //!    [`ReclaimStatus::Released`].
+//!
+//! # Epochs and crash-recovery (DESIGN §4.12)
+//!
+//! The coordinator carries a monotonically increasing **epoch**, starting
+//! at 1. A process crash ([`Coordinator::crash`], usually driven by a
+//! [`FaultKind::CoordinatorCrash`] window through
+//! [`Coordinator::set_fault_plan`]) wipes the in-memory lease book and
+//! bumps the epoch; recovery ([`Coordinator::recover`]) reconstructs the
+//! book from informer resync reports ([`Coordinator::resync_report`]) and
+//! offloader re-registration ([`Coordinator::rehome`]). Every grant carries
+//! `(epoch, lease_id)`, and the fenced verbs
+//! ([`Coordinator::free_fenced`], [`Coordinator::heartbeat_fenced`],
+//! [`Coordinator::resync_report`]) reject a stale epoch with
+//! [`AquaError::StaleEpoch`] instead of mutating the rebuilt book — writes
+//! are fenced structurally, because a pre-crash `(epoch, lease)` no longer
+//! exists in the rebuilt book and [`Coordinator::try_allocate_on`] refuses
+//! it. This makes split-brain double-grants impossible; the aqua-audit
+//! invariants `stale_epoch_accepted` and `double_grant_across_epochs`
+//! prove it on every audited run.
 
 use crate::error::AquaError;
 use aqua_sim::audit::{AuditViolation, SharedAuditor};
+use aqua_sim::fault::{FaultKind, FaultPlan};
 use aqua_sim::gpu::GpuId;
 use aqua_sim::time::{SimDuration, SimTime};
 use aqua_telemetry::{null_tracer, trace, SharedTracer, TraceEvent};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Cluster-wide address of a GPU: server index plus GPU index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -144,9 +165,14 @@ struct Lease {
     /// A force-revoked lease still owes the producer one
     /// [`ReclaimStatus::Released`] report.
     pending_report: bool,
+    /// The coordinator epoch the grant belongs to. In a correctly fenced
+    /// control plane every live lease carries the current epoch; a live
+    /// lease from another epoch is the `double_grant_across_epochs`
+    /// violation.
+    epoch: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct State {
     next_lease: u64,
     leases: HashMap<LeaseId, Lease>,
@@ -157,6 +183,35 @@ struct State {
     failure_config: FailureConfig,
     /// Timestamp of the last watchdog sweep (audited for monotonicity).
     last_advance: Option<SimTime>,
+    /// Monotonically increasing fencing epoch; bumped by every crash.
+    epoch: u64,
+    /// Whether the process is down (crashed, rebuild not yet complete).
+    down: bool,
+    /// When the most recent rebuild completed (cleared by the next crash).
+    recovered_at: Option<SimTime>,
+    /// First post-recovery grant/re-home — with `recovered_at`, the
+    /// experiment's time-to-first-regrant metric.
+    first_regrant_at: Option<SimTime>,
+    /// Per fault-plan window: (start applied, end applied). Control-plane
+    /// windows are replayed exactly once each by `advance`.
+    fault_applied: Vec<(bool, bool)>,
+}
+
+impl Default for State {
+    fn default() -> Self {
+        State {
+            next_lease: 0,
+            leases: HashMap::new(),
+            pairings: HashMap::new(),
+            failure_config: FailureConfig::default(),
+            last_advance: None,
+            epoch: 1,
+            down: false,
+            recovered_at: None,
+            first_regrant_at: None,
+            fault_applied: Vec::new(),
+        }
+    }
 }
 
 /// The thread-safe central store.
@@ -184,6 +239,7 @@ pub struct Coordinator {
     state: Mutex<State>,
     tracer: Mutex<SharedTracer>,
     auditor: Mutex<Option<SharedAuditor>>,
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl Default for Coordinator {
@@ -199,6 +255,7 @@ impl Coordinator {
             state: Mutex::new(State::default()),
             tracer: Mutex::new(null_tracer()),
             auditor: Mutex::new(None),
+            fault_plan: Mutex::new(None),
         }
     }
 
@@ -231,17 +288,28 @@ impl Coordinator {
     }
 
     /// `/lease`: a producer offers `bytes` of its HBM. Returns the lease id.
+    /// Epoch-oblivious wrapper around [`Coordinator::grant`] for callers
+    /// that predate crash-recovery (static leases, legacy tests).
     pub fn lease(&self, producer: GpuRef, bytes: u64) -> LeaseId {
+        self.grant(producer, bytes).1
+    }
+
+    /// `/lease` with the fencing epoch attached: a producer offers `bytes`
+    /// of its HBM and learns which epoch the grant belongs to. The fenced
+    /// verbs ([`Coordinator::free_fenced`],
+    /// [`Coordinator::heartbeat_fenced`]) must present this epoch later and
+    /// are rejected with [`AquaError::StaleEpoch`] once a crash bumps it.
+    pub fn grant(&self, producer: GpuRef, bytes: u64) -> (u64, LeaseId) {
         self.tracer().incr("coordinator.lease", 1);
         let mut st = self.state.lock();
-        // Extend an existing live lease from the same producer if present.
-        if let Some((id, lease)) = st
-            .leases
-            .iter_mut()
-            .find(|(_, l)| l.producer == producer && !l.revoked && !l.reclaiming)
-        {
+        let epoch = st.epoch;
+        // Extend an existing live lease from the same producer if present
+        // (same epoch only — merging across epochs would be a fencing hole).
+        if let Some((id, lease)) = st.leases.iter_mut().find(|(_, l)| {
+            l.producer == producer && !l.revoked && !l.reclaiming && l.epoch == epoch
+        }) {
             lease.total += bytes;
-            return *id;
+            return (epoch, *id);
         }
         let id = LeaseId(st.next_lease);
         st.next_lease += 1;
@@ -257,6 +325,7 @@ impl Coordinator {
                 last_heartbeat: None,
                 reclaim_deadline: None,
                 pending_report: false,
+                epoch,
             },
         );
         // aqua-audit: the merge above must keep every producer at one live
@@ -274,7 +343,7 @@ impl Coordinator {
                 lease: id.0,
             });
         }
-        id
+        (epoch, id)
     }
 
     /// Installs the failure-detection knobs (heartbeat TTL, reclaim
@@ -282,6 +351,410 @@ impl Coordinator {
     /// no-op.
     pub fn set_failure_config(&self, cfg: FailureConfig) {
         self.state.lock().failure_config = cfg;
+    }
+
+    /// Installs the fault plan whose control-plane windows this coordinator
+    /// replays: [`Coordinator::advance`] applies crash/rebuild and
+    /// partition start/heal boundaries exactly once each, and
+    /// [`Coordinator::reachable`] answers from the plan's active windows.
+    pub fn set_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault_plan.lock() = Some(plan);
+    }
+
+    /// Whether `gpu` can currently reach the coordinator: the process is
+    /// not inside a [`FaultKind::CoordinatorCrash`] window and no active
+    /// partition puts the GPU on the far side. Always true without a fault
+    /// plan. Pure function of the plan and `at`, so informers and
+    /// offloaders on different PDES lanes agree without any shared state.
+    pub fn reachable(&self, gpu: GpuId, at: SimTime) -> bool {
+        self.fault_plan
+            .lock()
+            .as_ref()
+            .is_none_or(|p| p.coordinator_reachable(gpu, at))
+    }
+
+    /// The current fencing epoch (starts at 1; bumped by every crash).
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Whether the process is down (crashed, rebuild not yet complete).
+    pub fn is_down(&self) -> bool {
+        self.state.lock().down
+    }
+
+    /// `(recovered_at, first_regrant_at)` of the most recent crash — the
+    /// experiment's time-to-first-regrant metric once both are `Some`.
+    pub fn recovery_metrics(&self) -> (Option<SimTime>, Option<SimTime>) {
+        let st = self.state.lock();
+        (st.recovered_at, st.first_regrant_at)
+    }
+
+    /// Simulates a coordinator process crash at `at`: the in-memory lease
+    /// book is lost and the epoch is bumped, fencing every outstanding
+    /// grant. The process stays down (sweeps do nothing, fenced verbs
+    /// answer [`AquaError::ServiceUnavailable`]) until
+    /// [`Coordinator::recover`]. AQUA-PLACER pairings survive — they are
+    /// static configuration, not soft state. Idempotent while down.
+    pub fn crash(&self, at: SimTime) {
+        let (from, to, lost_leases, lost_bytes);
+        {
+            let mut st = self.state.lock();
+            if st.down {
+                return;
+            }
+            lost_leases = st.leases.values().filter(|l| !l.revoked).count() as u64;
+            lost_bytes = st
+                .leases
+                .values()
+                .filter(|l| !l.revoked)
+                .map(|l| l.total)
+                .sum::<u64>();
+            st.leases.clear();
+            from = st.epoch;
+            st.epoch += 1;
+            to = st.epoch;
+            st.down = true;
+            st.recovered_at = None;
+            st.first_regrant_at = None;
+            // A restarted process has no memory of earlier sweeps; the
+            // watchdog re-arms on the first post-recovery advance.
+            st.last_advance = None;
+        }
+        let tracer = self.tracer();
+        tracer.incr("coordinator.crashes", 1);
+        trace!(
+            tracer,
+            TraceEvent::CoordinatorCrashed {
+                epoch: from,
+                lost_leases,
+                lost_bytes,
+                at,
+            }
+        );
+        trace!(tracer, TraceEvent::EpochBumped { from, to, at });
+    }
+
+    /// Completes the rebuild after a [`Coordinator::crash`]: the process
+    /// answers verbs again (in the bumped epoch) and waits for resync
+    /// reports and re-homing to repopulate the book. Idempotent while up.
+    pub fn recover(&self, at: SimTime) {
+        let epoch;
+        {
+            let mut st = self.state.lock();
+            if !st.down {
+                return;
+            }
+            st.down = false;
+            st.recovered_at = Some(at);
+            epoch = st.epoch;
+        }
+        let tracer = self.tracer();
+        tracer.incr("coordinator.recoveries", 1);
+        trace!(tracer, TraceEvent::CoordinatorRecovered { epoch, at });
+    }
+
+    /// Journals a fencing rejection (counter + `stale_epoch_rejected`).
+    fn reject_stale(&self, verb: &str, held: u64, current: u64, at: SimTime) {
+        let tracer = self.tracer();
+        tracer.incr("coordinator.stale_epoch_rejections", 1);
+        trace!(
+            tracer,
+            TraceEvent::StaleEpochRejected {
+                verb: verb.to_owned(),
+                held,
+                current,
+                at,
+            }
+        );
+    }
+
+    /// Down/epoch fencing shared by the fenced verbs: `Err` while the
+    /// process is down or when `held` is not the current epoch.
+    fn fence(&self, verb: &str, held: u64, at: SimTime) -> Result<(), AquaError> {
+        let (down, current) = {
+            let st = self.state.lock();
+            (st.down, st.epoch)
+        };
+        if down {
+            return Err(AquaError::ServiceUnavailable);
+        }
+        if held != current {
+            self.reject_stale(verb, held, current, at);
+            return Err(AquaError::StaleEpoch { held, current });
+        }
+        Ok(())
+    }
+
+    /// `/heartbeat` with the fencing check: the producer presents the epoch
+    /// it believes is current. A stale liveness proof is worse than none —
+    /// a pre-crash heartbeat must never keep a rebuilt lease alive.
+    ///
+    /// # Errors
+    ///
+    /// [`AquaError::ServiceUnavailable`] while the process is down,
+    /// [`AquaError::StaleEpoch`] when `held_epoch` is not current (also
+    /// journaled as `stale_epoch_rejected`).
+    pub fn heartbeat_fenced(
+        &self,
+        producer: GpuRef,
+        now: SimTime,
+        held_epoch: u64,
+    ) -> Result<(), AquaError> {
+        self.fence("heartbeat", held_epoch, now)?;
+        self.heartbeat(producer, now);
+        Ok(())
+    }
+
+    /// `/free` with the fencing check: rejected with
+    /// [`AquaError::StaleEpoch`] when `held_epoch` predates a crash, so a
+    /// consumer whose view is stale can never mutate the rebuilt book.
+    ///
+    /// # Errors
+    ///
+    /// [`AquaError::ServiceUnavailable`] while down,
+    /// [`AquaError::StaleEpoch`] on an epoch mismatch, otherwise the
+    /// [`Coordinator::free`] contract.
+    pub fn free_fenced(
+        &self,
+        lease: LeaseId,
+        bytes: u64,
+        held_epoch: u64,
+        now: SimTime,
+    ) -> Result<(), AquaError> {
+        self.fence("free", held_epoch, now)?;
+        self.tracer().incr("coordinator.free", 1);
+        self.free_inner("free", lease, bytes, now)
+    }
+
+    /// `/resync`: a producer's informer re-registers its full donated
+    /// inventory after noticing an epoch change — the informer-side half
+    /// of control-plane reconstruction. Fenced: the report must carry the
+    /// coordinator's *current* epoch. A report prepared against an older
+    /// epoch (e.g. racing a second crash that bumped the epoch again
+    /// mid-resync) is discarded with [`AquaError::StaleEpoch`] and
+    /// journaled, never merged into the rebuilt book.
+    ///
+    /// # Errors
+    ///
+    /// [`AquaError::ServiceUnavailable`] while the process is down,
+    /// [`AquaError::StaleEpoch`] when `observed_epoch` is not current.
+    pub fn resync_report(
+        &self,
+        producer: GpuRef,
+        bytes: u64,
+        observed_epoch: u64,
+        now: SimTime,
+    ) -> Result<LeaseId, AquaError> {
+        self.fence("resync", observed_epoch, now)?;
+        Ok(self.merge_resync(producer, bytes, observed_epoch, now))
+    }
+
+    /// Unfenced body of [`Coordinator::resync_report`]: merges a producer's
+    /// reported inventory into the book, stamping the lease with
+    /// `report_epoch` exactly as claimed. A correct control plane only
+    /// reaches this through the fencing check, so an unfenced stale merge
+    /// records `stale_epoch_accepted`, and any live lease it leaves behind
+    /// from a non-current epoch records `double_grant_across_epochs`.
+    /// Public so the fuzz campaign can plant exactly that bypass and prove
+    /// the audit catches it.
+    pub fn merge_resync(
+        &self,
+        producer: GpuRef,
+        bytes: u64,
+        report_epoch: u64,
+        at: SimTime,
+    ) -> LeaseId {
+        self.tracer().incr("coordinator.resync", 1);
+        let mut violations: Vec<AuditViolation> = Vec::new();
+        let id;
+        {
+            let mut st = self.state.lock();
+            let current = st.epoch;
+            if report_epoch != current {
+                violations.push(AuditViolation::StaleEpochAccepted {
+                    scope: "resync".to_owned(),
+                    held: report_epoch,
+                    current,
+                    at,
+                });
+            }
+            // A resync carries the producer's *full* inventory, so it can
+            // only grow an existing same-epoch lease, never shrink it.
+            if let Some((eid, l)) = st.leases.iter_mut().find(|(_, l)| {
+                l.producer == producer && !l.revoked && !l.reclaiming && l.epoch == report_epoch
+            }) {
+                l.total = l.total.max(bytes);
+                l.last_heartbeat = Some(at);
+                id = *eid;
+            } else {
+                id = LeaseId(st.next_lease);
+                st.next_lease += 1;
+                st.leases.insert(
+                    id,
+                    Lease {
+                        producer,
+                        total: bytes,
+                        used: 0,
+                        reclaiming: false,
+                        released_at: SimTime::ZERO,
+                        revoked: false,
+                        last_heartbeat: Some(at),
+                        reclaim_deadline: None,
+                        pending_report: false,
+                        epoch: report_epoch,
+                    },
+                );
+            }
+            // Any live lease now claiming a non-current epoch is the
+            // split-brain the fencing exists to prevent.
+            let mut cross: Vec<(u64, u64)> = st
+                .leases
+                .iter()
+                .filter(|(_, l)| l.producer == producer && !l.revoked && l.epoch != current)
+                .map(|(id, l)| (id.0, l.epoch))
+                .collect();
+            cross.sort_unstable();
+            for (lease, prior) in cross {
+                violations.push(AuditViolation::DoubleGrantAcrossEpochs {
+                    producer: producer.to_string(),
+                    lease,
+                    prior_epoch: prior,
+                    epoch: current,
+                });
+            }
+            if report_epoch == current && st.recovered_at.is_some() && st.first_regrant_at.is_none()
+            {
+                st.first_regrant_at = Some(at);
+            }
+        }
+        for v in violations {
+            self.audit(move || v);
+        }
+        id
+    }
+
+    /// Post-recovery re-registration of consumer bytes that still
+    /// physically live on `producer`'s HBM: places them back onto the
+    /// producer's current-epoch lease (least-loaded, ties by id) and
+    /// journals `lease_reconciled` with outcome `rehomed`. Returns the new
+    /// `(epoch, lease)`; `None` when the producer has not resynced yet or
+    /// lacks room — the caller must then migrate the bytes to DRAM.
+    pub fn rehome(&self, producer: GpuRef, bytes: u64, now: SimTime) -> Option<(u64, LeaseId)> {
+        self.tracer().incr("coordinator.rehome", 1);
+        let granted;
+        {
+            let mut st = self.state.lock();
+            if st.down {
+                return None;
+            }
+            let epoch = st.epoch;
+            let mut candidates: Vec<(&LeaseId, &mut Lease)> = st
+                .leases
+                .iter_mut()
+                .filter(|(_, l)| {
+                    l.producer == producer
+                        && !l.revoked
+                        && !l.reclaiming
+                        && l.epoch == epoch
+                        && l.total - l.used >= bytes
+                })
+                .collect();
+            candidates.sort_by_key(|(id, l)| (l.used, **id));
+            let (eid, l) = candidates.into_iter().next()?;
+            l.used += bytes;
+            granted = (epoch, *eid);
+            if st.recovered_at.is_some() && st.first_regrant_at.is_none() {
+                st.first_regrant_at = Some(now);
+            }
+        }
+        let tracer = self.tracer();
+        trace!(
+            tracer,
+            TraceEvent::LeaseReconciled {
+                producer: producer.to_string(),
+                lease: granted.1 .0,
+                bytes,
+                epoch: granted.0,
+                outcome: "rehomed".to_owned(),
+                at: now,
+            }
+        );
+        Some(granted)
+    }
+
+    /// Applies the control-plane fault windows whose boundaries `now` has
+    /// passed, exactly once each and in boundary-time order: a
+    /// [`FaultKind::CoordinatorCrash`] start wipes the book and bumps the
+    /// epoch, its end completes the rebuild, and
+    /// [`FaultKind::Partition`] edges journal
+    /// `partition_started`/`partition_healed`. Events are stamped with the
+    /// window boundary times, so the journal is independent of when the
+    /// sweep happens to run (jobs/lanes determinism).
+    fn apply_control_plane_faults(&self, now: SimTime) {
+        let Some(plan) = self.fault_plan.lock().clone() else {
+            return;
+        };
+        // (boundary time, window index, is_end) not yet applied.
+        let mut pending: Vec<(SimTime, usize, bool)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            if st.fault_applied.len() < plan.windows().len() {
+                st.fault_applied
+                    .resize(plan.windows().len(), (false, false));
+            }
+            for (i, w) in plan.windows().iter().enumerate() {
+                if !matches!(
+                    w.kind,
+                    FaultKind::CoordinatorCrash | FaultKind::Partition { .. }
+                ) {
+                    continue;
+                }
+                if now >= w.start && !st.fault_applied[i].0 {
+                    st.fault_applied[i].0 = true;
+                    pending.push((w.start, i, false));
+                }
+                if now >= w.end && !st.fault_applied[i].1 {
+                    st.fault_applied[i].1 = true;
+                    pending.push((w.end, i, true));
+                }
+            }
+        }
+        pending.sort_by_key(|&(t, i, is_end)| (t, is_end, i));
+        for (t, i, is_end) in pending {
+            match plan.windows()[i].kind {
+                FaultKind::CoordinatorCrash => {
+                    if is_end {
+                        self.recover(t);
+                    } else {
+                        self.crash(t);
+                    }
+                }
+                FaultKind::Partition { split } => {
+                    let tracer = self.tracer();
+                    if is_end {
+                        tracer.incr("coordinator.partitions_healed", 1);
+                        trace!(
+                            tracer,
+                            TraceEvent::PartitionHealed {
+                                split: split as u64,
+                                at: t,
+                            }
+                        );
+                    } else {
+                        tracer.incr("coordinator.partitions", 1);
+                        trace!(
+                            tracer,
+                            TraceEvent::PartitionStarted {
+                                split: split as u64,
+                                at: t,
+                            }
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 
     /// `/heartbeat`: a producer proves it is alive at `now`. Stamps every
@@ -332,14 +805,36 @@ impl Coordinator {
             .sum()
     }
 
-    /// Failure-detection sweep at simulated time `now`: expires leases
-    /// whose producers missed the heartbeat TTL and force-revokes reclaims
-    /// that blew their deadline. Returns how many leases were revoked.
+    /// Failure-detection sweep at simulated time `now`. First replays any
+    /// control-plane fault boundaries `now` has passed (coordinator
+    /// crash/rebuild, partition start/heal — see
+    /// [`Coordinator::set_fault_plan`]); then, unless the process is down,
+    /// expires leases whose producers missed the heartbeat TTL and
+    /// force-revokes reclaims that blew their deadline. Returns how many
+    /// leases were revoked.
     ///
     /// Watchdogs arm lazily: the first `advance` after a grant (or after a
     /// reclaim starts) stamps the baseline, so a lease is never punished
     /// for time that passed before monitoring began.
+    ///
+    /// # Sweep order (pinned)
+    ///
+    /// Per lease, the heartbeat TTL is checked *before* the reclaim
+    /// deadline, and an expiry wins: a dead producer's lease journals
+    /// `lease_expired`, never `lease_force_revoked`, even when its reclaim
+    /// deadline has also lapsed. The collected events are sorted by lease
+    /// id before journaling, so the journal never depends on hash-map
+    /// iteration (insertion) order. Epoch recovery replays this same
+    /// sweep; the order is pinned by the
+    /// `advance_sweep_order_is_ttl_first_then_lease_id` test so revocation
+    /// events cannot reorder between jobs/lanes configurations.
     pub fn advance(&self, now: SimTime) -> u64 {
+        self.apply_control_plane_faults(now);
+        if self.state.lock().down {
+            // A crashed process sweeps nothing; its watchdog state died
+            // with the lease book.
+            return 0;
+        }
         let cfg = self.state.lock().failure_config;
         if cfg.heartbeat_ttl.is_none() && cfg.reclaim_deadline.is_none() {
             return 0;
@@ -687,9 +1182,11 @@ impl Coordinator {
     }
 
     /// aqua-audit sweep over the lease books at `at`: every live lease must
-    /// keep `used ≤ total` (allocations are bounded by the donation), and no
-    /// producer may hold two live non-reclaiming leases. Cheap enough to run
-    /// at every sample boundary of an audited run.
+    /// keep `used ≤ total` (allocations are bounded by the donation), no
+    /// producer may hold two live non-reclaiming leases, and no live lease
+    /// may claim a non-current epoch (`double_grant_across_epochs` — a
+    /// lease honored in two epochs). Cheap enough to run at every sample
+    /// boundary of an audited run.
     pub fn audit_books(&self, at: SimTime) {
         let Some(aud) = self.auditor.lock().clone() else {
             return;
@@ -697,6 +1194,7 @@ impl Coordinator {
         let mut found: Vec<AuditViolation> = Vec::new();
         {
             let st = self.state.lock();
+            let epoch = st.epoch;
             let mut ids: Vec<&LeaseId> = st.leases.keys().collect();
             ids.sort();
             let mut live_producers: Vec<GpuRef> = Vec::new();
@@ -704,6 +1202,14 @@ impl Coordinator {
                 let l = &st.leases[id];
                 if l.revoked {
                     continue;
+                }
+                if l.epoch != epoch {
+                    found.push(AuditViolation::DoubleGrantAcrossEpochs {
+                        producer: l.producer.to_string(),
+                        lease: id.0,
+                        prior_epoch: l.epoch,
+                        epoch,
+                    });
                 }
                 if l.used > l.total {
                     found.push(AuditViolation::ByteConservation {
@@ -1061,6 +1567,459 @@ mod tests {
         assert_eq!(c.lease_state(lease), LeaseState::Reclaiming);
         c.reclaim_status(producer); // drained -> revoked
         assert_eq!(c.lease_state(lease), LeaseState::Revoked);
+    }
+
+    #[test]
+    fn crash_wipes_book_bumps_epoch_and_journals() {
+        let journal = Arc::new(aqua_telemetry::JournalTracer::new());
+        let c = Coordinator::new();
+        c.set_tracer(journal.clone());
+        let (consumer, producer) = refs();
+        assert_eq!(c.epoch(), 1);
+        let (epoch, lease) = c.grant(producer, 100);
+        assert_eq!(epoch, 1);
+        c.allocate(consumer, 40);
+
+        c.crash(SimTime::from_secs(10));
+        assert!(c.is_down());
+        assert_eq!(c.epoch(), 2);
+        assert_eq!(c.leased_bytes(), 0, "book wiped");
+        assert_eq!(c.lease_state(lease), LeaseState::Unknown);
+        // Idempotent while down: no second bump.
+        c.crash(SimTime::from_secs(11));
+        assert_eq!(c.epoch(), 2);
+
+        c.recover(SimTime::from_secs(12));
+        assert!(!c.is_down());
+        let (recovered, regrant) = c.recovery_metrics();
+        assert_eq!(recovered, Some(SimTime::from_secs(12)));
+        assert_eq!(regrant, None);
+        // Resync repopulates the book in the new epoch and stamps the
+        // first-regrant metric.
+        let id = c
+            .resync_report(producer, 100, c.epoch(), SimTime::from_secs(13))
+            .unwrap();
+        assert_ne!(id, lease, "lease ids never repeat across epochs");
+        assert_eq!(c.leased_bytes(), 100);
+        assert_eq!(
+            c.recovery_metrics().1,
+            Some(SimTime::from_secs(13)),
+            "time-to-first-regrant"
+        );
+        let names: Vec<&str> = journal.events().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "coordinator_crashed",
+                "epoch_bumped",
+                "coordinator_recovered"
+            ]
+        );
+        assert!(journal.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::CoordinatorCrashed {
+                epoch: 1,
+                lost_leases: 1,
+                lost_bytes: 100,
+                ..
+            }
+        )));
+        assert_eq!(journal.registry().counter("coordinator.crashes"), 1);
+        assert_eq!(journal.registry().counter("coordinator.recoveries"), 1);
+    }
+
+    #[test]
+    fn fenced_verbs_reject_stale_epochs() {
+        let journal = Arc::new(aqua_telemetry::JournalTracer::new());
+        let c = Coordinator::new();
+        c.set_tracer(journal.clone());
+        let (consumer, producer) = refs();
+        let (old_epoch, old_lease) = c.grant(producer, 100);
+        c.allocate(consumer, 40);
+        assert!(c
+            .heartbeat_fenced(producer, SimTime::from_secs(1), old_epoch)
+            .is_ok());
+        c.crash(SimTime::from_secs(2));
+        // Down: fenced verbs answer ServiceUnavailable, not StaleEpoch.
+        assert_eq!(
+            c.heartbeat_fenced(producer, SimTime::from_secs(3), old_epoch),
+            Err(AquaError::ServiceUnavailable)
+        );
+        c.recover(SimTime::from_secs(4));
+        assert_eq!(
+            c.heartbeat_fenced(producer, SimTime::from_secs(5), old_epoch),
+            Err(AquaError::StaleEpoch {
+                held: 1,
+                current: 2
+            })
+        );
+        assert_eq!(
+            c.free_fenced(old_lease, 40, old_epoch, SimTime::from_secs(6)),
+            Err(AquaError::StaleEpoch {
+                held: 1,
+                current: 2
+            })
+        );
+        assert_eq!(c.used_bytes(), 0, "stale verbs mutated nothing");
+        // Current-epoch verbs pass the fence.
+        let id = c
+            .resync_report(producer, 100, 2, SimTime::from_secs(7))
+            .unwrap();
+        assert!(c.try_allocate_on(id, 10));
+        assert!(c.free_fenced(id, 10, 2, SimTime::from_secs(8)).is_ok());
+        // Writes are fenced structurally: the pre-crash lease is gone.
+        assert!(!c.try_allocate_on(old_lease, 1));
+        let rejections = journal
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::StaleEpochRejected { .. }))
+            .count();
+        assert_eq!(rejections, 2);
+        assert_eq!(
+            journal
+                .registry()
+                .counter("coordinator.stale_epoch_rejections"),
+            2
+        );
+    }
+
+    /// Satellite regression: a resync report prepared against epoch N that
+    /// races a *second* crash (epoch bumped to N+1 mid-resync) must be
+    /// discarded by the fence, never merged into the rebuilt book.
+    #[test]
+    fn resync_racing_second_crash_is_fenced_out() {
+        let c = Coordinator::new();
+        let (_, producer) = refs();
+        c.grant(producer, 100);
+        c.crash(SimTime::from_secs(1));
+        c.recover(SimTime::from_secs(2));
+        // The informer observes epoch 2 and prepares its report…
+        let observed = c.epoch();
+        assert_eq!(observed, 2);
+        // …but a second crash lands before the report does.
+        c.crash(SimTime::from_secs(3));
+        c.recover(SimTime::from_secs(4));
+        assert_eq!(
+            c.resync_report(producer, 100, observed, SimTime::from_secs(5)),
+            Err(AquaError::StaleEpoch {
+                held: 2,
+                current: 3
+            })
+        );
+        assert_eq!(c.leased_bytes(), 0, "stale report must not be merged");
+        // A report against the current epoch lands.
+        assert!(c
+            .resync_report(producer, 100, 3, SimTime::from_secs(6))
+            .is_ok());
+        assert_eq!(c.leased_bytes(), 100);
+    }
+
+    /// The planted-bug shape: bypassing the fence with a direct
+    /// `merge_resync` of a stale report must be caught by the audit as
+    /// `stale_epoch_accepted` plus `double_grant_across_epochs`, both at
+    /// merge time and by the next `audit_books` sweep.
+    #[test]
+    fn unfenced_stale_merge_is_caught_by_the_audit() {
+        use aqua_sim::audit::Auditor;
+
+        let aud = Auditor::collecting();
+        let c = Coordinator::new();
+        c.set_auditor(aud.clone());
+        let (_, producer) = refs();
+        let (stale_epoch, _) = c.grant(producer, 100);
+        c.crash(SimTime::from_secs(1));
+        c.recover(SimTime::from_secs(2));
+        // Legitimate resync in the new epoch…
+        c.resync_report(producer, 100, 2, SimTime::from_secs(3))
+            .unwrap();
+        assert!(aud.is_clean());
+        // …then the bypass merges the stale report anyway.
+        c.merge_resync(producer, 80, stale_epoch, SimTime::from_secs(4));
+        let kinds: Vec<&str> = aud.violations().iter().map(|v| v.kind()).collect();
+        assert!(kinds.contains(&"stale_epoch_accepted"), "{kinds:?}");
+        assert!(kinds.contains(&"double_grant_across_epochs"), "{kinds:?}");
+        // The standing sweep keeps flagging the cross-epoch lease.
+        let before = aud.violations().len();
+        c.audit_books(SimTime::from_secs(5));
+        assert!(aud
+            .violations()
+            .iter()
+            .skip(before)
+            .any(|v| v.kind() == "double_grant_across_epochs"));
+    }
+
+    /// Satellite pin: one sweep that revokes several leases emits events in
+    /// lease-id order regardless of hash-map insertion order, and per lease
+    /// the heartbeat TTL is checked before the reclaim deadline (a dead
+    /// producer journals `lease_expired`, never `lease_force_revoked`).
+    #[test]
+    fn advance_sweep_order_is_ttl_first_then_lease_id() {
+        let journal = Arc::new(aqua_telemetry::JournalTracer::new());
+        let c = Coordinator::new();
+        c.set_tracer(journal.clone());
+        c.set_failure_config(FailureConfig::chaos());
+        let consumer = GpuRef::single(GpuId(0));
+        let p0 = GpuRef::single(GpuId(1));
+        let p1 = GpuRef::single(GpuId(2));
+        let p2 = GpuRef::single(GpuId(3));
+        let l0 = c.lease(p0, 100);
+        let l1 = c.lease(p1, 100);
+        let l2 = c.lease(p2, 100);
+        assert!((l0, l1, l2) == (LeaseId(0), LeaseId(1), LeaseId(2)));
+        c.pair(consumer, p0);
+        c.allocate(consumer, 10);
+        c.pair(consumer, p1);
+        c.allocate(consumer, 10);
+        c.pair(consumer, p2);
+        c.allocate(consumer, 10);
+        // Arm all watchdogs at t=0.
+        c.advance(SimTime::ZERO);
+        // Lease 0: producer stays alive but its reclaim blows the deadline.
+        c.reclaim_request_at(p0, SimTime::from_secs(1));
+        // Lease 1: reclaiming AND dead producer — TTL must win.
+        c.reclaim_request_at(p1, SimTime::from_secs(1));
+        c.heartbeat(p0, SimTime::from_secs(95));
+        // Lease 2: dead producer, no reclaim.
+        assert_eq!(c.advance(SimTime::from_secs(100)), 3);
+        let events: Vec<(&str, u64)> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::LeaseExpired { lease, .. } => Some(("lease_expired", *lease)),
+                TraceEvent::LeaseForceRevoked { lease, .. } => {
+                    Some(("lease_force_revoked", *lease))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            events,
+            vec![
+                ("lease_force_revoked", 0),
+                ("lease_expired", 1),
+                ("lease_expired", 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn rehome_places_bytes_back_on_the_new_epoch_lease() {
+        let journal = Arc::new(aqua_telemetry::JournalTracer::new());
+        let c = Coordinator::new();
+        c.set_tracer(journal.clone());
+        let (consumer, producer) = refs();
+        c.grant(producer, 100);
+        c.allocate(consumer, 30);
+        c.crash(SimTime::from_secs(1));
+        // Down, and before the producer resyncs: nothing to re-home onto.
+        assert_eq!(c.rehome(producer, 30, SimTime::from_secs(2)), None);
+        c.recover(SimTime::from_secs(2));
+        assert_eq!(c.rehome(producer, 30, SimTime::from_secs(3)), None);
+        let id = c
+            .resync_report(producer, 100, 2, SimTime::from_secs(4))
+            .unwrap();
+        let (epoch, lease) = c.rehome(producer, 30, SimTime::from_secs(5)).unwrap();
+        assert_eq!((epoch, lease), (2, id));
+        assert_eq!(c.used_bytes(), 30, "orphaned bytes re-homed");
+        // Too big to fit does not re-home.
+        assert_eq!(c.rehome(producer, 80, SimTime::from_secs(6)), None);
+        assert!(journal.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::LeaseReconciled {
+                bytes: 30,
+                epoch: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn advance_applies_fault_plan_windows_exactly_once() {
+        use aqua_sim::fault::FaultPlan;
+
+        let journal = Arc::new(aqua_telemetry::JournalTracer::new());
+        let c = Coordinator::new();
+        c.set_tracer(journal.clone());
+        let (_, producer) = refs();
+        c.grant(producer, 100);
+        let plan = Arc::new(
+            FaultPlan::new()
+                .coordinator_crash(SimTime::from_secs(10), SimDuration::from_secs(5))
+                .partition(1, SimTime::from_secs(30), SimTime::from_secs(40)),
+        );
+        c.set_fault_plan(Arc::clone(&plan));
+        // Reachability is a pure function of the plan.
+        assert!(c.reachable(GpuId(0), SimTime::from_secs(5)));
+        assert!(!c.reachable(GpuId(0), SimTime::from_secs(12)));
+        assert!(c.reachable(GpuId(0), SimTime::from_secs(35)));
+        assert!(!c.reachable(GpuId(1), SimTime::from_secs(35)));
+
+        c.advance(SimTime::from_secs(12));
+        assert!(c.is_down());
+        assert_eq!(c.epoch(), 2);
+        c.advance(SimTime::from_secs(12));
+        assert_eq!(c.epoch(), 2, "boundaries apply exactly once");
+        c.advance(SimTime::from_secs(20));
+        assert!(!c.is_down());
+        assert_eq!(c.recovery_metrics().0, Some(SimTime::from_secs(15)));
+        // A late first sweep applies both edges, in boundary-time order.
+        c.advance(SimTime::from_secs(50));
+        let names: Vec<&str> = journal.events().iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "coordinator_crashed",
+                "epoch_bumped",
+                "coordinator_recovered",
+                "partition_started",
+                "partition_healed",
+            ]
+        );
+        assert_eq!(journal.registry().counter("coordinator.partitions"), 1);
+        assert_eq!(
+            journal.registry().counter("coordinator.partitions_healed"),
+            1
+        );
+    }
+
+    proptest::proptest! {
+        /// Satellite: arbitrary interleavings of grant / allocate / fenced
+        /// free / fenced heartbeat / crash / recover / resync+re-home never
+        /// honor a lease in two epochs, every stale fenced verb is rejected
+        /// with `StaleEpoch`, and the outcome accounting holds: every
+        /// consumer region orphaned by a crash ends exactly one of
+        /// reconciled (re-homed), locally revoked (dropped to DRAM), or is
+        /// still awaiting reconciliation when the run ends.
+        #[test]
+        fn epoch_fencing_interleavings_never_honor_a_lease_across_epochs(
+            ops in proptest::collection::vec((0u8..8, 1u64..64), 1..100)
+        ) {
+            let c = Coordinator::new();
+            let (consumer, producer) = refs();
+            let mut now = SimTime::ZERO;
+            // Consumer regions as (lease, bytes, epoch granted in).
+            let mut held: Vec<(LeaseId, u64, u64)> = Vec::new();
+            // Every (lease id, epoch) pair ever granted.
+            let mut granted: Vec<(LeaseId, u64)> = Vec::new();
+            let mut crossings = 0usize; // regions orphaned by a crash
+            let mut reconciled = 0usize;
+            let mut locally_revoked = 0usize;
+            for (op, amount) in ops {
+                now += SimDuration::from_secs(1);
+                match op {
+                    0 => {
+                        if !c.is_down() {
+                            let (e, id) = c.grant(producer, amount * 10);
+                            if !granted.contains(&(id, e)) {
+                                granted.push((id, e));
+                            }
+                        }
+                    }
+                    1 => {
+                        if !c.is_down() {
+                            let e = c.epoch();
+                            if let AllocationSite::Peer { lease, .. } =
+                                c.allocate(consumer, amount)
+                            {
+                                held.push((lease, amount, e));
+                            }
+                        }
+                    }
+                    2 => {
+                        if let Some((lease, bytes, e)) = held.pop() {
+                            match c.free_fenced(lease, bytes, e, now) {
+                                Ok(()) => {} // released cleanly
+                                Err(AquaError::ServiceUnavailable) => {
+                                    held.push((lease, bytes, e)); // retry later
+                                }
+                                Err(AquaError::StaleEpoch { held: h, current }) => {
+                                    proptest::prop_assert!(h == e && current == c.epoch());
+                                    // Fenced out: the caller drops to DRAM.
+                                    locally_revoked += 1;
+                                }
+                                Err(e) => panic!("unexpected free error: {e}"),
+                            }
+                        }
+                    }
+                    3 => {
+                        let r = c.heartbeat_fenced(producer, now, c.epoch());
+                        if !c.is_down() {
+                            proptest::prop_assert!(r.is_ok());
+                        }
+                    }
+                    4 => {
+                        if !c.is_down() {
+                            let e = c.epoch();
+                            crossings += held.iter().filter(|(_, _, ge)| *ge == e).count();
+                            c.crash(now);
+                        }
+                    }
+                    5 => c.recover(now),
+                    6 => {
+                        // Reconciliation pass: resync the producer, then
+                        // re-home every orphaned region.
+                        if !c.is_down() {
+                            let e = c.epoch();
+                            let _ = c.resync_report(producer, 1 << 20, e, now);
+                            for r in held.iter_mut() {
+                                if r.2 == e {
+                                    continue;
+                                }
+                                match c.rehome(producer, r.1, now) {
+                                    Some((ne, nl)) => {
+                                        *r = (nl, r.1, ne);
+                                        reconciled += 1;
+                                    }
+                                    None => {
+                                        r.1 = 0; // dropped to DRAM below
+                                        locally_revoked += 1;
+                                    }
+                                }
+                            }
+                            held.retain(|(_, b, _)| *b > 0);
+                        }
+                    }
+                    _ => {
+                        // A stale fenced free must always bounce, leaving
+                        // the book untouched.
+                        if let Some(&(lease, bytes, e)) = held.first() {
+                            if e != c.epoch() && !c.is_down() {
+                                let before = c.used_bytes();
+                                proptest::prop_assert!(matches!(
+                                    c.free_fenced(lease, bytes, e, now),
+                                    Err(AquaError::StaleEpoch { .. })
+                                ));
+                                proptest::prop_assert_eq!(c.used_bytes(), before);
+                            }
+                        }
+                    }
+                }
+                // No lease is ever honored in two epochs: once the epoch
+                // moved on, a grant from an older epoch is gone from the
+                // book entirely.
+                for &(id, e) in &granted {
+                    if e != c.epoch() {
+                        proptest::prop_assert_eq!(c.lease_state(id), LeaseState::Unknown);
+                        proptest::prop_assert!(!c.try_allocate_on(id, 1));
+                    }
+                }
+                // Byte conservation across the crash boundary: the book's
+                // usage is exactly the current-epoch regions.
+                let model: u64 = held
+                    .iter()
+                    .filter(|(_, _, e)| *e == c.epoch())
+                    .map(|(_, b, _)| *b)
+                    .sum();
+                proptest::prop_assert_eq!(c.used_bytes(), model);
+            }
+            // Outcome accounting: every orphaned region was resolved
+            // exactly once (or is still pending at shutdown).
+            let pending = held
+                .iter()
+                .filter(|(_, _, e)| *e != c.epoch())
+                .count();
+            proptest::prop_assert_eq!(crossings, reconciled + locally_revoked + pending);
+        }
     }
 
     proptest::proptest! {

@@ -26,6 +26,15 @@ pub enum AquaError {
         /// Bytes the caller tried to return.
         requested: u64,
     },
+    /// The verb carried an epoch older than the coordinator's current one
+    /// — the caller's view predates a crash/recovery fence and must be
+    /// resynced before any mutation is accepted.
+    StaleEpoch {
+        /// The epoch the caller held.
+        held: u64,
+        /// The epoch in force at the coordinator.
+        current: u64,
+    },
     /// The coordinator service is shut down or its thread is gone.
     ServiceUnavailable,
     /// The service answered with a response variant the verb cannot accept.
@@ -53,6 +62,9 @@ impl std::fmt::Display for AquaError {
                 "over-free on lease {}: {requested} bytes requested, {used} in use",
                 lease.0
             ),
+            AquaError::StaleEpoch { held, current } => {
+                write!(f, "stale epoch {held} (coordinator is at epoch {current})")
+            }
             AquaError::ServiceUnavailable => write!(f, "coordinator service unavailable"),
             AquaError::ProtocolViolation { expected, got } => {
                 write!(f, "protocol violation: expected {expected}, got {got}")

@@ -142,6 +142,10 @@ pub struct LlmInformer {
     history: VecDeque<usize>,
     state: LlmState,
     reclaims_started: u64,
+    /// The coordinator epoch this informer last synced with. A bump means
+    /// the lease book was lost in a crash; the informer re-registers its
+    /// full donated inventory before any other verb.
+    epoch: u64,
     tracer: SharedTracer,
 }
 
@@ -153,6 +157,7 @@ impl LlmInformer {
             config.low_pending < config.high_pending,
             "low-water mark must be below high-water mark"
         );
+        let epoch = coordinator.epoch();
         LlmInformer {
             gpu,
             coordinator,
@@ -160,6 +165,7 @@ impl LlmInformer {
             history: VecDeque::new(),
             state: LlmState::Normal,
             reclaims_started: 0,
+            epoch,
             tracer: null_tracer(),
         }
     }
@@ -180,7 +186,59 @@ impl LlmInformer {
 
 impl Informer for LlmInformer {
     fn control(&mut self, engine: &mut dyn MemoryElastic, now: SimTime) -> SimTime {
-        self.coordinator.heartbeat(self.gpu, now);
+        // While the coordinator is unreachable (crashed or partitioned away)
+        // every control verb would just time out. The producer keeps serving
+        // autonomously and retries at the next tick.
+        if !self.coordinator.reachable(self.gpu.gpu, now) {
+            self.tracer.incr("informer.unreachable_ticks", 1);
+            return now;
+        }
+        // Epoch fence: a bumped epoch means the coordinator crashed and lost
+        // the lease book. Re-register the full donated inventory before any
+        // other verb — a pre-crash heartbeat or free would bounce off the
+        // fence, and skipping the resync would make the same-epoch revocation
+        // path below reclaim bytes a consumer may still hold.
+        let current = self.coordinator.epoch();
+        if current != self.epoch {
+            let stats = engine.stats();
+            if stats.donated_bytes > 0 {
+                match self
+                    .coordinator
+                    .resync_report(self.gpu, stats.donated_bytes, current, now)
+                {
+                    Ok(lease) => {
+                        self.epoch = current;
+                        self.history.clear();
+                        self.tracer.incr("informer.epoch_resyncs", 1);
+                        trace!(
+                            self.tracer,
+                            TraceEvent::InformerDecision {
+                                gpu: self.gpu.to_string(),
+                                decision: format!(
+                                    "resync-epoch epoch={current} lease={} bytes={}",
+                                    lease.0, stats.donated_bytes
+                                ),
+                                at: now,
+                            }
+                        );
+                    }
+                    // Coordinator crashed again (or is still rebuilding):
+                    // keep the old epoch and retry at the next tick.
+                    Err(_) => return now,
+                }
+            } else {
+                self.epoch = current;
+            }
+        }
+        if self
+            .coordinator
+            .heartbeat_fenced(self.gpu, now, self.epoch)
+            .is_err()
+        {
+            // Raced another epoch bump between the sync above and the
+            // heartbeat; the next tick re-registers.
+            return now;
+        }
         let stats = engine.stats();
         match self.state {
             LlmState::Normal => {
@@ -559,6 +617,84 @@ mod tests {
             e,
             TraceEvent::InformerDecision { decision, .. } if decision.starts_with("resync-revoked")
         )));
+    }
+
+    #[test]
+    fn informer_reregisters_inventory_after_a_coordinator_crash() {
+        use aqua_telemetry::JournalTracer;
+
+        let journal = Arc::new(JournalTracer::new());
+        let coord = Arc::new(Coordinator::new());
+        let mut inf =
+            LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default())
+                .with_tracer(journal.clone());
+        let mut eng = FakeEngine {
+            pending: 0,
+            donatable: gib(30),
+            donated: 0,
+        };
+        for i in 0..5 {
+            inf.control(&mut eng, SimTime::from_secs(i));
+        }
+        assert_eq!(coord.live_lease_bytes(producer()), gib(30));
+
+        // Crash wipes the lease book and bumps the epoch.
+        coord.crash(SimTime::from_secs(6));
+        // A tick while the coordinator is down makes no progress: the resync
+        // bounces and the informer must NOT treat the wiped book as a
+        // same-epoch revocation (the consumer may still hold those bytes).
+        inf.control(&mut eng, SimTime::from_secs(7));
+        assert_eq!(eng.donated, gib(30), "no reclaim while the book is lost");
+        assert_eq!(journal.registry().counter("informer.epoch_resyncs"), 0);
+
+        // First tick after recovery re-registers the full inventory in the
+        // new epoch instead of releasing it.
+        coord.recover(SimTime::from_secs(8));
+        inf.control(&mut eng, SimTime::from_secs(9));
+        assert_eq!(coord.live_lease_bytes(producer()), gib(30));
+        assert_eq!(eng.donated, gib(30), "re-homed, not released");
+        assert_eq!(journal.registry().counter("informer.epoch_resyncs"), 1);
+        assert_eq!(journal.registry().counter("informer.resyncs"), 0);
+        assert!(journal.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::InformerDecision { decision, .. } if decision.starts_with("resync-epoch epoch=2")
+        )));
+        // And the books audit clean across the crash.
+        let auditor = aqua_sim::audit::Auditor::collecting();
+        coord.set_auditor(auditor.clone());
+        coord.audit_books(SimTime::from_secs(9));
+        assert!(auditor.is_clean(), "{:?}", auditor.violations());
+    }
+
+    #[test]
+    fn informer_skips_control_verbs_while_partitioned() {
+        use aqua_sim::fault::FaultPlan;
+        use aqua_telemetry::JournalTracer;
+
+        let journal = Arc::new(JournalTracer::new());
+        let coord = Arc::new(Coordinator::new());
+        coord.set_tracer(journal.clone());
+        // GPUs 1..=3 lose the coordinator between t=2s and t=4s.
+        coord.set_fault_plan(Arc::new(FaultPlan::new().partition(
+            1,
+            SimTime::from_secs(2),
+            SimTime::from_secs(4),
+        )));
+        let mut inf =
+            LlmInformer::new(producer(), Arc::clone(&coord), LlmInformerConfig::default())
+                .with_tracer(journal.clone());
+        let mut eng = FakeEngine {
+            pending: 0,
+            donatable: 0,
+            donated: 0,
+        };
+        for i in 0..6 {
+            inf.control(&mut eng, SimTime::from_secs(i));
+        }
+        // Ticks at t=2 and t=3 fall inside the partition window: no
+        // heartbeats land, and the informer records the dark ticks.
+        assert_eq!(journal.registry().counter("coordinator.heartbeat"), 4);
+        assert_eq!(journal.registry().counter("informer.unreachable_ticks"), 2);
     }
 
     #[test]

@@ -61,6 +61,30 @@ pub enum CoordinatorRequest {
         /// Simulated completion time of the migration.
         at: SimTime,
     },
+    /// `POST /heartbeat` — a producer proves liveness, presenting the
+    /// epoch it believes is current (fenced after a coordinator crash).
+    Heartbeat {
+        /// Producer proving liveness.
+        producer: GpuRef,
+        /// Simulated send time.
+        at: SimTime,
+        /// The fencing epoch the producer holds.
+        epoch: u64,
+    },
+    /// `POST /resync` — a producer re-registers its full donated inventory
+    /// after a coordinator crash bumped the epoch.
+    ResyncReport {
+        /// Producer re-registering.
+        producer: GpuRef,
+        /// Full donated inventory in bytes.
+        bytes: u64,
+        /// The epoch the report was prepared against.
+        epoch: u64,
+        /// Simulated send time.
+        at: SimTime,
+    },
+    /// `GET /epoch` — any party asks which fencing epoch is current.
+    EpochQuery,
 }
 
 /// A coordinator response.
@@ -87,7 +111,21 @@ pub enum CoordinatorResponse {
         /// Bytes to move (0 when no reclaim is pending).
         bytes: u64,
     },
-    /// Generic acknowledgement (`Free`, `ReclaimRequest`, `Release`).
+    /// Response to `ResyncReport`: the (re-granted) lease plus the epoch
+    /// it now belongs to.
+    Resynced {
+        /// The fencing epoch in force.
+        epoch: u64,
+        /// The lease the inventory was merged into.
+        lease: LeaseId,
+    },
+    /// Response to `EpochQuery`.
+    Epoch {
+        /// The fencing epoch in force.
+        epoch: u64,
+    },
+    /// Generic acknowledgement (`Free`, `ReclaimRequest`, `Release`,
+    /// `Heartbeat`).
     Ack,
     /// The verb failed on the coordinator side (HTTP 4xx/5xx equivalent).
     Error {
@@ -126,6 +164,33 @@ pub fn handle(coord: &Coordinator, req: CoordinatorRequest) -> CoordinatorRespon
             Err(e) => CoordinatorResponse::Error {
                 message: e.to_string(),
             },
+        },
+        CoordinatorRequest::Heartbeat {
+            producer,
+            at,
+            epoch,
+        } => match coord.heartbeat_fenced(producer, at, epoch) {
+            Ok(()) => CoordinatorResponse::Ack,
+            Err(e) => CoordinatorResponse::Error {
+                message: e.to_string(),
+            },
+        },
+        CoordinatorRequest::ResyncReport {
+            producer,
+            bytes,
+            epoch,
+            at,
+        } => match coord.resync_report(producer, bytes, epoch, at) {
+            Ok(lease) => CoordinatorResponse::Resynced {
+                epoch: coord.epoch(),
+                lease,
+            },
+            Err(e) => CoordinatorResponse::Error {
+                message: e.to_string(),
+            },
+        },
+        CoordinatorRequest::EpochQuery => CoordinatorResponse::Epoch {
+            epoch: coord.epoch(),
         },
     }
 }
@@ -205,6 +270,53 @@ mod tests {
             }
             other => panic!("expected an error response, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn epoch_fencing_crosses_the_envelope() {
+        let coord = Coordinator::new();
+        let producer = GpuRef::single(GpuId(1));
+        assert_eq!(
+            handle(&coord, CoordinatorRequest::EpochQuery),
+            CoordinatorResponse::Epoch { epoch: 1 }
+        );
+        handle(
+            &coord,
+            CoordinatorRequest::Lease {
+                producer,
+                bytes: 100,
+            },
+        );
+        coord.crash(SimTime::from_secs(1));
+        coord.recover(SimTime::from_secs(2));
+        // A heartbeat carrying the pre-crash epoch bounces off the fence.
+        match handle(
+            &coord,
+            CoordinatorRequest::Heartbeat {
+                producer,
+                at: SimTime::from_secs(3),
+                epoch: 1,
+            },
+        ) {
+            CoordinatorResponse::Error { message } => {
+                assert!(message.contains("stale epoch"), "{message}")
+            }
+            other => panic!("expected a fencing error, got {other:?}"),
+        }
+        // A current-epoch resync re-registers the inventory.
+        match handle(
+            &coord,
+            CoordinatorRequest::ResyncReport {
+                producer,
+                bytes: 100,
+                epoch: 2,
+                at: SimTime::from_secs(4),
+            },
+        ) {
+            CoordinatorResponse::Resynced { epoch: 2, .. } => {}
+            other => panic!("expected a resync grant, got {other:?}"),
+        }
+        assert_eq!(coord.leased_bytes(), 100);
     }
 
     #[test]

@@ -99,6 +99,16 @@ pub struct AquaOffloader {
     fault_plan: Option<Arc<FaultPlan>>,
     /// While set, new allocations are pinned to DRAM until this time.
     degraded_until: Option<SimTime>,
+    /// The coordinator epoch this consumer last synced with. Lease ids are
+    /// only honoured within the epoch that minted them (DESIGN §4.12).
+    epoch: u64,
+    /// First boundary at which the coordinator was found unreachable, while
+    /// the outage lasts.
+    unreachable_since: Option<SimTime>,
+    /// Frees that could not land while the coordinator was unreachable.
+    /// Replayed on reconnect if the epoch is unchanged; dropped (the lease
+    /// ids died with the old book) if it bumped.
+    deferred_frees: Vec<(LeaseId, u64)>,
     /// Transfer retries attempted after fabric failures.
     retries: u64,
     /// Failovers down the site ladder (peer → sibling → DRAM).
@@ -131,6 +141,7 @@ impl AquaOffloader {
         server: Rc<ServerTopology>,
         transfers: Rc<RefCell<TransferEngine>>,
     ) -> Self {
+        let epoch = coordinator.epoch();
         AquaOffloader {
             consumer,
             coordinator,
@@ -144,6 +155,9 @@ impl AquaOffloader {
             policy: FailoverPolicy::default(),
             fault_plan: None,
             degraded_until: None,
+            epoch,
+            unreachable_since: None,
+            deferred_frees: Vec::new(),
             retries: 0,
             failovers: 0,
             lost_bytes: 0,
@@ -401,6 +415,70 @@ impl AquaOffloader {
         );
     }
 
+    /// Returns capacity to a lease, presenting our fencing epoch. While the
+    /// coordinator is unreachable the free is deferred (the data move
+    /// already happened; only the book-keeping waits for reconnection).
+    fn free_lease(&mut self, lease: LeaseId, bytes: u64, now: SimTime) {
+        if !self.coordinator.reachable(self.consumer.gpu, now) {
+            self.deferred_frees.push((lease, bytes));
+            self.tracer.incr("offloader.deferred_frees", 1);
+            return;
+        }
+        if self
+            .coordinator
+            .free_fenced(lease, bytes, self.epoch, now)
+            .is_err()
+        {
+            // Revoked underneath us, or fenced out by an epoch bump; either
+            // way the coordinator no longer counts these bytes against us.
+            self.tracer.incr("offloader.free_after_revoke", 1);
+        }
+    }
+
+    /// Iteration boundary while the coordinator is unreachable: no control
+    /// verb can land, so the consumer serves autonomously from the sites it
+    /// already holds. After `degraded_window` of continuous outage every
+    /// peer lease is conservatively revoked *locally* — the coordinator's
+    /// watchdog may have expired it and re-granted the HBM, so the retained
+    /// copy is rewritten to DRAM before anyone else can scribble on it.
+    fn autonomous_boundary(&mut self, now: SimTime) -> SimTime {
+        let mut resume = now;
+        let since = *self.unreachable_since.get_or_insert(now);
+        self.tracer.incr("offloader.autonomous_boundaries", 1);
+        self.enter_degraded(now);
+        if resume >= since + self.policy.degraded_window && !self.peer_bytes.is_empty() {
+            let tracked: Vec<(LeaseId, GpuRef, u64)> = self
+                .peer_bytes
+                .iter()
+                .map(|(l, (g, b))| (*l, *g, *b))
+                .collect();
+            for (lease, gpu, held) in tracked {
+                self.peer_bytes.remove(&lease);
+                self.lost_bytes += held;
+                self.tracer.incr("offloader.local_revocations", 1);
+                trace!(
+                    self.tracer,
+                    TraceEvent::LeaseReconciled {
+                        producer: gpu.to_string(),
+                        lease: lease.0,
+                        bytes: held,
+                        epoch: self.epoch,
+                        outcome: "local-revoke".to_owned(),
+                        at: resume,
+                    }
+                );
+                self.note_failover(&format!("peer:{gpu}"), "dram", held, resume);
+                let end = self.pcie_to_host(self.consumer, held, resume);
+                self.dram_bytes += held;
+                resume = resume.max(end);
+                // If the lease is in fact still live when we reconnect in
+                // the same epoch, the replayed free squares the books.
+                self.deferred_frees.push((lease, held));
+            }
+        }
+        resume
+    }
+
     /// Splits an inbound read/swap across current storage sites,
     /// peer-resident bytes first (they are both faster and preferred).
     fn split_inbound(&self, bytes: u64) -> (Vec<(LeaseId, GpuRef, u64)>, u64) {
@@ -427,6 +505,17 @@ impl Offloader for AquaOffloader {
             return now;
         }
         let start = now + self.gather_cost(bytes, chunks);
+        // Autonomous mode: without the coordinator no lease can be granted,
+        // so new allocations pin to DRAM (and stay pinned for the degraded
+        // window after the control plane comes back).
+        if !self.coordinator.reachable(self.consumer.gpu, now) {
+            self.unreachable_since.get_or_insert(now);
+            self.enter_degraded(now);
+            let end = self.pcie_to_host(self.consumer, bytes, start);
+            self.dram_bytes += bytes;
+            self.trace_allocation("dram", bytes, now);
+            return end;
+        }
         // Degraded mode: a recent fabric failure pins new allocations to
         // DRAM so every swap does not re-probe a dead link.
         if self.is_degraded() {
@@ -499,10 +588,7 @@ impl Offloader for AquaOffloader {
                 }
             };
             end = end.max(done);
-            if self.coordinator.free(lease, take).is_err() {
-                // A revocation already took the bytes back.
-                self.tracer.incr("offloader.free_after_revoke", 1);
-            }
+            self.free_lease(lease, take, now);
             trace!(
                 self.tracer,
                 TraceEvent::LeaseFreed {
@@ -547,9 +633,7 @@ impl Offloader for AquaOffloader {
                     self.note_failover(&format!("peer:{gpu}"), "dram", take, now);
                     let mid = self.pcie_to_host(gpu, take, now);
                     end = end.max(self.pcie_from_host(self.consumer, take, mid));
-                    if self.coordinator.free(lease, take).is_err() {
-                        self.tracer.incr("offloader.free_after_revoke", 1);
-                    }
+                    self.free_lease(lease, take, now);
                     let held = self.peer_bytes.get(&lease).map_or(0, |(_, b)| *b);
                     self.audit_outflow("peer", held, take, now);
                     let entry = self.peer_bytes.get_mut(&lease).expect("tracked lease");
@@ -579,12 +663,43 @@ impl Offloader for AquaOffloader {
                 resume += stall;
             }
         }
+        // 0b. Control-plane reachability: while the coordinator is crashed
+        // or partitioned away, the consumer runs this boundary autonomously.
+        if !self.coordinator.reachable(self.consumer.gpu, resume) {
+            return self.autonomous_boundary(resume);
+        }
+        let was_dark = self.unreachable_since.take().is_some();
         // Drive the coordinator's failure watchdogs from the consumer's
         // clock (in a real deployment the coordinator has its own timer).
         self.coordinator.advance(resume);
         // Audited runs sweep the lease books at every boundary (no-op
         // unless the coordinator carries an auditor).
         self.coordinator.audit_books(resume);
+        // 0c. Epoch fence: a bump means the coordinator crashed and rebuilt
+        // its book. Frees naming old-epoch lease ids can never land; frees
+        // deferred across a same-epoch outage replay now.
+        let current = self.coordinator.epoch();
+        let epoch_changed = current != self.epoch;
+        if epoch_changed {
+            if !self.deferred_frees.is_empty() {
+                self.tracer.incr(
+                    "offloader.dropped_stale_frees",
+                    self.deferred_frees.len() as u64,
+                );
+                self.deferred_frees.clear();
+            }
+            self.epoch = current;
+        } else if was_dark {
+            for (lease, bytes) in std::mem::take(&mut self.deferred_frees) {
+                if self
+                    .coordinator
+                    .free_fenced(lease, bytes, self.epoch, resume)
+                    .is_err()
+                {
+                    self.tracer.incr("offloader.free_after_revoke", 1);
+                }
+            }
+        }
         // 1. Stranded sweep: leases revoked underneath us (producer crash
         // or blown reclaim deadline). The peer copy is gone; re-materialise
         // the context in host DRAM, blocking, so no request is lost.
@@ -597,6 +712,18 @@ impl Offloader for AquaOffloader {
             match self.coordinator.lease_state(lease) {
                 LeaseState::Revoked | LeaseState::Unknown => {
                     self.peer_bytes.remove(&lease);
+                    // After a coordinator crash the peer copy is physically
+                    // intact — only the metadata died. If the producer has
+                    // re-registered in the new epoch, re-home the bytes onto
+                    // its fresh lease instead of burning a PCIe rewrite.
+                    if epoch_changed {
+                        if let Some((_, new_lease)) = self.coordinator.rehome(gpu, held, resume) {
+                            let entry = self.peer_bytes.entry(new_lease).or_insert((gpu, 0));
+                            entry.1 += held;
+                            self.tracer.incr("offloader.rehomed_bytes", held);
+                            continue;
+                        }
+                    }
                     self.lost_bytes += held;
                     self.tracer.incr("offloader.stranded_bytes", held);
                     self.note_failover(&format!("peer:{gpu}"), "dram", held, resume);
@@ -987,6 +1114,137 @@ mod tests {
         assert!(coord.free(lease, mib(64)).is_err());
         let v = aud.first().expect("double free recorded");
         assert_eq!(v.kind(), "double_free");
+    }
+
+    #[test]
+    fn unreachable_coordinator_defers_frees_and_pins_swaps_to_dram() {
+        use aqua_telemetry::JournalTracer;
+
+        // Consumer GpuId(1) loses the coordinator between t=10s and t=40s
+        // (partition split 1: only gpu0 keeps control-plane reachability).
+        let journal = Arc::new(JournalTracer::new());
+        let server = Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g()));
+        let xfer = Rc::new(RefCell::new(TransferEngine::new()));
+        let coord = Arc::new(Coordinator::new());
+        coord.set_fault_plan(Arc::new(FaultPlan::new().partition(
+            1,
+            SimTime::from_secs(10),
+            SimTime::from_secs(40),
+        )));
+        coord.lease(GpuRef::single(GpuId(0)), gib(20));
+        let mut off =
+            AquaOffloader::new(GpuRef::single(GpuId(1)), Arc::clone(&coord), server, xfer)
+                .with_tracer(journal.clone());
+
+        off.swap_out(gib(2), 1, SimTime::ZERO);
+        assert_eq!(off.peer_total(), gib(2));
+        // Inside the partition window the data plane keeps working — the
+        // fabric path is GPU-to-GPU — but the free cannot land.
+        off.swap_in(gib(1), 1, SimTime::from_secs(12));
+        assert_eq!(off.peer_total(), gib(1));
+        assert_eq!(coord.used_bytes(), gib(2), "free deferred, not lost");
+        assert_eq!(journal.registry().counter("offloader.deferred_frees"), 1);
+        // New allocations pin to DRAM while the coordinator is dark.
+        off.swap_out(gib(1), 1, SimTime::from_secs(13));
+        assert_eq!(off.dram_total(), gib(1));
+        assert!(off.is_degraded());
+        // First boundary after the heal replays the deferred free (same
+        // epoch: the lease id is still honoured).
+        off.on_iteration_boundary(SimTime::from_secs(41));
+        assert_eq!(coord.used_bytes(), gib(1));
+        assert_eq!(coord.epoch(), 1);
+    }
+
+    #[test]
+    fn prolonged_outage_locally_revokes_peer_leases() {
+        use aqua_telemetry::JournalTracer;
+
+        let journal = Arc::new(JournalTracer::new());
+        let server = Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g()));
+        let xfer = Rc::new(RefCell::new(TransferEngine::new()));
+        let coord = Arc::new(Coordinator::new());
+        coord.set_fault_plan(Arc::new(FaultPlan::new().partition(
+            1,
+            SimTime::from_secs(10),
+            SimTime::from_secs(100),
+        )));
+        coord.lease(GpuRef::single(GpuId(0)), gib(20));
+        let mut off =
+            AquaOffloader::new(GpuRef::single(GpuId(1)), Arc::clone(&coord), server, xfer)
+                .with_tracer(journal.clone());
+        off.swap_out(gib(2), 1, SimTime::ZERO);
+
+        // First dark boundary starts the outage clock; nothing is revoked.
+        off.on_iteration_boundary(SimTime::from_secs(12));
+        assert_eq!(off.peer_total(), gib(2));
+        // 30 s of continuous outage: the lease TTL at the coordinator has
+        // conservatively lapsed, so the retained copy rewrites to DRAM.
+        let resume = off.on_iteration_boundary(SimTime::from_secs(45));
+        assert_eq!(off.peer_total(), 0);
+        assert_eq!(off.dram_total(), gib(2));
+        assert_eq!(off.lost_bytes(), gib(2));
+        assert!(
+            resume > SimTime::from_secs(45),
+            "rewrite blocks the boundary"
+        );
+        assert_eq!(journal.registry().counter("offloader.local_revocations"), 1);
+        assert!(journal.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::LeaseReconciled { outcome, bytes, .. }
+                if outcome == "local-revoke" && *bytes == gib(2)
+        )));
+        // Reconnect in the same epoch: the lease was in fact still live, so
+        // the replayed free squares the books — and with the degraded window
+        // over, the DRAM copy promotes straight back to the peer. The
+        // coordinator and the consumer agree again: 2 GiB held, on a lease.
+        off.on_iteration_boundary(SimTime::from_secs(101));
+        assert_eq!(off.dram_total(), 0);
+        assert_eq!(off.peer_total(), gib(2));
+        assert_eq!(coord.used_bytes(), gib(2));
+        assert_eq!(
+            journal.registry().counter("offloader.free_after_revoke"),
+            0,
+            "the deferred free landed cleanly"
+        );
+    }
+
+    #[test]
+    fn epoch_bump_rehomes_stranded_bytes_onto_the_new_lease() {
+        use aqua_sim::audit::Auditor;
+
+        let aud = Auditor::collecting();
+        let server = Rc::new(ServerTopology::nvlink_pair(GpuSpec::a100_80g()));
+        let xfer = Rc::new(RefCell::new(TransferEngine::new()));
+        let coord = Arc::new(Coordinator::new());
+        coord.set_auditor(aud.clone());
+        let producer = GpuRef::single(GpuId(1));
+        coord.set_fault_plan(Arc::new(
+            FaultPlan::new().coordinator_crash(SimTime::from_secs(10), SimDuration::from_secs(20)),
+        ));
+        coord.lease(producer, gib(10));
+        let mut off =
+            AquaOffloader::new(GpuRef::single(GpuId(0)), Arc::clone(&coord), server, xfer)
+                .with_auditor(aud.clone());
+        off.swap_out(gib(2), 1, SimTime::ZERO);
+        assert_eq!(off.peer_total(), gib(2));
+
+        // Replay the crash window, then the producer re-registers its full
+        // inventory in epoch 2 (what its informer does on the first tick).
+        coord.advance(SimTime::from_secs(31));
+        assert_eq!(coord.epoch(), 2);
+        coord
+            .resync_report(producer, gib(10), 2, SimTime::from_secs(31))
+            .unwrap();
+        // The consumer's boundary finds its old lease dead, but re-homes the
+        // bytes onto the producer's fresh lease — no data ever moved.
+        off.on_iteration_boundary(SimTime::from_secs(32));
+        assert_eq!(off.peer_total(), gib(2), "bytes re-homed, not rewritten");
+        assert_eq!(off.dram_total(), 0);
+        assert_eq!(coord.used_bytes(), gib(2));
+        let (recovered, first_regrant) = coord.recovery_metrics();
+        assert!(recovered.is_some());
+        assert!(first_regrant.is_some());
+        assert!(aud.is_clean(), "{:?}", aud.violations());
     }
 
     #[test]

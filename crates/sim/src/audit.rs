@@ -37,6 +37,8 @@
 //! | one live lease per producer | coordinator | [`AuditViolation::DoubleGrant`] |
 //! | heartbeat / watchdog / event-queue monotonicity | coordinator, driver | [`AuditViolation::TimeRegression`] |
 //! | no token after a crash without a restore | gateway × `FaultPlan` | [`AuditViolation::TokenWithoutRestore`] |
+//! | no stale-epoch verb mutates the rebuilt book | coordinator | [`AuditViolation::StaleEpochAccepted`] |
+//! | no lease honored in two epochs | coordinator | [`AuditViolation::DoubleGrantAcrossEpochs`] |
 
 use crate::memory::HbmAllocator;
 use crate::time::{SimDuration, SimTime};
@@ -131,6 +133,33 @@ pub enum AuditViolation {
         /// When the illegal token was delivered.
         at: SimTime,
     },
+    /// A control verb carrying an epoch older than the coordinator's
+    /// mutated the rebuilt lease book instead of being fenced off — the
+    /// epoch fence was bypassed.
+    StaleEpochAccepted {
+        /// The verb that slipped past the fence (`free`, `resync`, …).
+        scope: String,
+        /// The epoch the caller held.
+        held: u64,
+        /// The epoch in force when the mutation landed.
+        current: u64,
+        /// Observation time (`ZERO` for untimestamped verbs).
+        at: SimTime,
+    },
+    /// A producer's donation ended up granted in two epochs at once: a
+    /// pre-crash grant survived (or was merged back) alongside the
+    /// post-recovery re-registration — the split-brain double grant epoch
+    /// fencing exists to make structurally impossible.
+    DoubleGrantAcrossEpochs {
+        /// Producer GPU label.
+        producer: String,
+        /// The lease granted in the stale epoch.
+        lease: u64,
+        /// The epoch the stale grant belongs to.
+        prior_epoch: u64,
+        /// The epoch in force.
+        epoch: u64,
+    },
     /// A timestamped sequence ran backwards (heartbeats, watchdog sweeps,
     /// the driver's event queue).
     TimeRegression {
@@ -156,6 +185,8 @@ impl AuditViolation {
             AuditViolation::FreeAfterRevoke { .. } => "free_after_revoke",
             AuditViolation::DoubleGrant { .. } => "double_grant",
             AuditViolation::TokenWithoutRestore { .. } => "token_without_restore",
+            AuditViolation::StaleEpochAccepted { .. } => "stale_epoch_accepted",
+            AuditViolation::DoubleGrantAcrossEpochs { .. } => "double_grant_across_epochs",
             AuditViolation::TimeRegression { .. } => "time_regression",
         }
     }
@@ -171,6 +202,8 @@ impl AuditViolation {
             | AuditViolation::FreeAfterRevoke { scope, .. } => format!("coordinator.{scope}"),
             AuditViolation::DoubleGrant { .. } => "coordinator.lease".to_owned(),
             AuditViolation::TokenWithoutRestore { gateway, .. } => format!("gateway:{gateway}"),
+            AuditViolation::StaleEpochAccepted { scope, .. } => format!("coordinator.{scope}"),
+            AuditViolation::DoubleGrantAcrossEpochs { .. } => "coordinator.lease".to_owned(),
             AuditViolation::TimeRegression { scope, .. } => scope.clone(),
         }
     }
@@ -182,10 +215,13 @@ impl AuditViolation {
             | AuditViolation::OrphanedTransfer { at, .. }
             | AuditViolation::DoubleFree { at, .. }
             | AuditViolation::FreeAfterRevoke { at, .. }
-            | AuditViolation::TokenWithoutRestore { at, .. } => *at,
+            | AuditViolation::TokenWithoutRestore { at, .. }
+            | AuditViolation::StaleEpochAccepted { at, .. } => *at,
             AuditViolation::PortOverlap { start, .. } => *start,
             AuditViolation::LaneOverCapacity { horizon, .. } => *horizon,
-            AuditViolation::DoubleGrant { .. } => SimTime::ZERO,
+            AuditViolation::DoubleGrant { .. } | AuditViolation::DoubleGrantAcrossEpochs { .. } => {
+                SimTime::ZERO
+            }
             AuditViolation::TimeRegression { next, .. } => *next,
         }
     }
@@ -225,6 +261,18 @@ impl AuditViolation {
             AuditViolation::TokenWithoutRestore { request, at, .. } => format!(
                 "request {request} delivered a token at {}ns after a crash with no restore event",
                 at.as_nanos()
+            ),
+            AuditViolation::StaleEpochAccepted { held, current, .. } => {
+                format!("epoch-{held} verb mutated the epoch-{current} book unfenced")
+            }
+            AuditViolation::DoubleGrantAcrossEpochs {
+                producer,
+                lease,
+                prior_epoch,
+                epoch,
+            } => format!(
+                "{producer} holds lease {lease} from epoch {prior_epoch} inside the epoch-{epoch} \
+                 book"
             ),
             AuditViolation::TimeRegression { prev, next, .. } => format!(
                 "clock ran backwards: {}ns after {}ns",

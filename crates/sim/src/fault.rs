@@ -52,6 +52,21 @@ pub enum FaultKind {
         /// Added latency per iteration-boundary control exchange.
         extra: SimDuration,
     },
+    /// The coordinator process crashes at the window start, losing its
+    /// in-memory lease book, and finishes rebuilding at the window end
+    /// (the window length is the rebuild delay). While the window is
+    /// active the coordinator is unreachable from every GPU.
+    CoordinatorCrash,
+    /// The control-plane network splits in two: GPUs with index `< split`
+    /// stay connected to the coordinator (group A), GPUs with index
+    /// `>= split` are cut off (group B) until the window end heals the
+    /// partition. The split index is a compact, `Copy` encoding of the
+    /// two groups — scale-up domains number GPUs densely, so a threshold
+    /// expresses every contiguous split the experiments need.
+    Partition {
+        /// First GPU index on the far side of the partition.
+        split: usize,
+    },
 }
 
 impl FaultKind {
@@ -63,6 +78,8 @@ impl FaultKind {
             FaultKind::GpuCrash { .. } => "gpu-crash",
             FaultKind::DramCongestion { .. } => "dram-congestion",
             FaultKind::CoordinatorStall { .. } => "coordinator-stall",
+            FaultKind::CoordinatorCrash => "coordinator-crash",
+            FaultKind::Partition { .. } => "partition",
         }
     }
 
@@ -73,7 +90,10 @@ impl FaultKind {
             FaultKind::LinkDegraded { port, .. } => port.to_string(),
             FaultKind::GpuCrash { gpu } => gpu.to_string(),
             FaultKind::DramCongestion { .. } => "dram".to_owned(),
-            FaultKind::CoordinatorStall { .. } => "coordinator".to_owned(),
+            FaultKind::CoordinatorStall { .. } | FaultKind::CoordinatorCrash => {
+                "coordinator".to_owned()
+            }
+            FaultKind::Partition { split } => format!("split@{split}"),
         }
     }
 }
@@ -103,6 +123,9 @@ pub struct RandomFaultProfile {
     pub link_ports: Vec<PortId>,
     /// GPUs eligible for crash faults.
     pub crash_gpus: Vec<GpuId>,
+    /// Whether to draw control-plane faults too (coordinator crash and
+    /// network partition).
+    pub control_plane: bool,
     /// How many fault windows to draw.
     pub events: usize,
     /// Minimum window length.
@@ -194,6 +217,20 @@ impl FaultPlan {
         self.window(FaultKind::CoordinatorStall { extra }, start, end)
     }
 
+    /// Schedules a coordinator crash at `at`: the lease book is lost at the
+    /// window start and the restarted process finishes its rebuild
+    /// `rebuild_delay` later.
+    pub fn coordinator_crash(self, at: SimTime, rebuild_delay: SimDuration) -> Self {
+        self.window(FaultKind::CoordinatorCrash, at, at + rebuild_delay)
+    }
+
+    /// Schedules a control-plane partition over `[start, heal_at)`: GPUs
+    /// with index `>= split` lose the coordinator until the heal.
+    pub fn partition(self, split: usize, start: SimTime, heal_at: SimTime) -> Self {
+        assert!(split > 0, "partition must leave the coordinator a side");
+        self.window(FaultKind::Partition { split }, start, heal_at)
+    }
+
     /// Schedules a flapping link: starting at `start`, `port` goes down for
     /// `duty_down` of every `period` until `end`.
     pub fn link_flap(
@@ -236,30 +273,33 @@ impl FaultPlan {
             let latest_start = horizon.as_nanos().saturating_sub(dur.as_nanos());
             let start = SimTime::from_nanos(rng.next_range(latest_start + 1));
             let end = start + dur;
-            let n_kinds = 2
-                + usize::from(!profile.link_ports.is_empty()) * 2
-                + usize::from(!profile.crash_gpus.is_empty());
-            plan = match rng.next_range(n_kinds as u64) {
-                0 => plan.dram_congestion(2.0 + 6.0 * rng.next_f64(), start, end),
-                1 => plan.coordinator_stall(
-                    SimDuration::from_millis(1 + rng.next_range(50)),
-                    start,
-                    end,
-                ),
-                k if !profile.link_ports.is_empty() && k <= 3 => {
-                    let port = profile.link_ports
-                        [rng.next_range(profile.link_ports.len() as u64) as usize];
-                    if k == 2 {
-                        plan.link_down(port, start, end)
-                    } else {
-                        plan.link_degraded(port, 2.0 + 8.0 * rng.next_f64(), start, end)
-                    }
+            // Kind index layout: the two always-available kinds first, then
+            // the link pair, the GPU crash, and the control-plane pair —
+            // each block present only when the profile enables it.
+            let links = usize::from(!profile.link_ports.is_empty()) * 2;
+            let gpus = usize::from(!profile.crash_gpus.is_empty());
+            let n_kinds = 2 + links + gpus + usize::from(profile.control_plane) * 2;
+            let k = rng.next_range(n_kinds as u64) as usize;
+            plan = if k == 0 {
+                plan.dram_congestion(2.0 + 6.0 * rng.next_f64(), start, end)
+            } else if k == 1 {
+                plan.coordinator_stall(SimDuration::from_millis(1 + rng.next_range(50)), start, end)
+            } else if k < 2 + links {
+                let port =
+                    profile.link_ports[rng.next_range(profile.link_ports.len() as u64) as usize];
+                if k == 2 {
+                    plan.link_down(port, start, end)
+                } else {
+                    plan.link_degraded(port, 2.0 + 8.0 * rng.next_f64(), start, end)
                 }
-                _ => {
-                    let gpu = profile.crash_gpus
-                        [rng.next_range(profile.crash_gpus.len() as u64) as usize];
-                    plan.gpu_crash(gpu, start, end)
-                }
+            } else if k < 2 + links + gpus {
+                let gpu =
+                    profile.crash_gpus[rng.next_range(profile.crash_gpus.len() as u64) as usize];
+                plan.gpu_crash(gpu, start, end)
+            } else if k == 2 + links + gpus {
+                plan.coordinator_crash(start, dur)
+            } else {
+                plan.partition(1 + rng.next_range(4) as usize, start, end)
             };
         }
         plan
@@ -345,6 +385,33 @@ impl FaultPlan {
             })
             .max()
             .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Whether a [`FaultKind::CoordinatorCrash`] window covers `at` (the
+    /// coordinator process is down and rebuilding).
+    pub fn coordinator_down(&self, at: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.active(at) && matches!(w.kind, FaultKind::CoordinatorCrash))
+    }
+
+    /// The active partition's split at `at`, if any. Overlapping partitions
+    /// take the widest cut (the largest far side, i.e. the smallest split).
+    pub fn partition_split(&self, at: SimTime) -> Option<usize> {
+        self.windows
+            .iter()
+            .filter(|w| w.active(at))
+            .filter_map(|w| match w.kind {
+                FaultKind::Partition { split } => Some(split),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Whether `gpu` can reach the coordinator at `at`: the coordinator
+    /// process is up and no active partition puts the GPU on the far side.
+    pub fn coordinator_reachable(&self, gpu: GpuId, at: SimTime) -> bool {
+        !self.coordinator_down(at) && self.partition_split(at).is_none_or(|split| gpu.0 < split)
     }
 
     /// Journals every window as a [`TraceEvent::FaultInjected`] /
@@ -469,6 +536,7 @@ mod tests {
                 PortId::NvlinkIngress(GpuId(1)),
             ],
             crash_gpus: vec![GpuId(1)],
+            control_plane: false,
             events: 12,
             min_duration: SimDuration::from_secs(1),
             max_duration: SimDuration::from_secs(30),
@@ -484,6 +552,67 @@ mod tests {
             assert!(w.start < w.end);
             assert!(w.end <= horizon + SimDuration::from_secs(30));
         }
+    }
+
+    #[test]
+    fn randomized_control_plane_draws_crashes_and_partitions() {
+        let profile = RandomFaultProfile {
+            link_ports: vec![PortId::NvlinkEgress(GpuId(0))],
+            crash_gpus: vec![GpuId(1)],
+            control_plane: true,
+            events: 64,
+            min_duration: SimDuration::from_secs(1),
+            max_duration: SimDuration::from_secs(30),
+        };
+        let plan = FaultPlan::randomized(11, secs(600), &profile);
+        let crashes = plan
+            .windows()
+            .iter()
+            .filter(|w| matches!(w.kind, FaultKind::CoordinatorCrash))
+            .count();
+        let partitions = plan
+            .windows()
+            .iter()
+            .filter(|w| matches!(w.kind, FaultKind::Partition { .. }))
+            .count();
+        assert!(crashes > 0, "64 draws must include a coordinator crash");
+        assert!(partitions > 0, "64 draws must include a partition");
+        for w in plan.windows() {
+            if let FaultKind::Partition { split } = w.kind {
+                assert!((1..=4).contains(&split));
+            }
+        }
+        // Same profile without control-plane faults draws neither.
+        let calm = RandomFaultProfile {
+            control_plane: false,
+            ..profile
+        };
+        assert!(FaultPlan::randomized(11, secs(600), &calm)
+            .windows()
+            .iter()
+            .all(|w| !matches!(
+                w.kind,
+                FaultKind::CoordinatorCrash | FaultKind::Partition { .. }
+            )));
+    }
+
+    #[test]
+    fn coordinator_reachability_tracks_crash_and_partition_windows() {
+        let plan = FaultPlan::new()
+            .coordinator_crash(secs(10), SimDuration::from_secs(5))
+            .partition(1, secs(30), secs(40));
+        // Crash window: everyone loses the coordinator.
+        assert!(!plan.coordinator_down(secs(9)));
+        assert!(plan.coordinator_down(secs(10)));
+        assert!(plan.coordinator_down(secs(14)));
+        assert!(!plan.coordinator_down(secs(15)), "rebuild completes");
+        assert!(!plan.coordinator_reachable(GpuId(0), secs(12)));
+        // Partition window: only the far side (index >= split) is cut off.
+        assert_eq!(plan.partition_split(secs(35)), Some(1));
+        assert_eq!(plan.partition_split(secs(45)), None);
+        assert!(plan.coordinator_reachable(GpuId(0), secs(35)));
+        assert!(!plan.coordinator_reachable(GpuId(1), secs(35)));
+        assert!(plan.coordinator_reachable(GpuId(1), secs(40)), "healed");
     }
 
     #[test]

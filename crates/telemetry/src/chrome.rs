@@ -717,6 +717,110 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     ],
                 ));
             }
+            TraceEvent::CoordinatorCrashed {
+                epoch,
+                lost_leases,
+                lost_bytes,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "coordinator",
+                    "coordinator-crashed",
+                    us(*at),
+                    vec![
+                        ("epoch", epoch.to_string()),
+                        ("lost_leases", lost_leases.to_string()),
+                        ("lost_bytes", lost_bytes.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::CoordinatorRecovered { epoch, at } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "coordinator",
+                    "coordinator-recovered",
+                    us(*at),
+                    vec![("epoch", epoch.to_string())],
+                ));
+            }
+            TraceEvent::EpochBumped { from, to, at } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "coordinator",
+                    "epoch-bumped",
+                    us(*at),
+                    vec![("from", from.to_string()), ("to", to.to_string())],
+                ));
+            }
+            TraceEvent::StaleEpochRejected {
+                verb,
+                held,
+                current,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "coordinator",
+                    "stale-epoch-rejected",
+                    us(*at),
+                    vec![
+                        ("verb", format!("\"{}\"", esc(verb))),
+                        ("held", held.to_string()),
+                        ("current", current.to_string()),
+                    ],
+                ));
+            }
+            TraceEvent::PartitionStarted { split, at } => {
+                let mut en = instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "faults",
+                    "partition-started",
+                    us(*at),
+                    vec![("split", split.to_string())],
+                );
+                en.cat = "fault";
+                entries.push(en);
+            }
+            TraceEvent::PartitionHealed { split, at } => {
+                let mut en = instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    "faults",
+                    "partition-healed",
+                    us(*at),
+                    vec![("split", split.to_string())],
+                );
+                en.cat = "fault";
+                entries.push(en);
+            }
+            TraceEvent::LeaseReconciled {
+                producer,
+                lease,
+                bytes,
+                epoch,
+                outcome,
+                at,
+            } => {
+                entries.push(instant(
+                    &mut lanes,
+                    CONTROL_PID,
+                    producer,
+                    "lease-reconciled",
+                    us(*at),
+                    vec![
+                        ("lease", lease.to_string()),
+                        ("bytes", bytes.to_string()),
+                        ("epoch", epoch.to_string()),
+                        ("outcome", format!("\"{}\"", esc(outcome))),
+                    ],
+                ));
+            }
             TraceEvent::AuditViolation {
                 kind,
                 scope,

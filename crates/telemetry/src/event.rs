@@ -524,6 +524,79 @@ pub enum TraceEvent {
         /// Transition time.
         at: SimTime,
     },
+    /// The coordinator process crashed: the in-memory lease book was lost
+    /// and the epoch fence advanced.
+    CoordinatorCrashed {
+        /// Epoch in force after the crash bump.
+        epoch: u64,
+        /// Leases wiped from the book.
+        lost_leases: u64,
+        /// Donated bytes wiped with them.
+        lost_bytes: u64,
+        /// Crash time.
+        at: SimTime,
+    },
+    /// The restarted coordinator finished its rebuild and accepts verbs
+    /// again (resync reports repopulate the book afterwards).
+    CoordinatorRecovered {
+        /// Epoch the rebuilt book serves.
+        epoch: u64,
+        /// Recovery time.
+        at: SimTime,
+    },
+    /// The coordinator's epoch fence advanced.
+    EpochBumped {
+        /// Epoch before the bump.
+        from: u64,
+        /// Epoch after the bump.
+        to: u64,
+        /// Bump time.
+        at: SimTime,
+    },
+    /// A control verb carrying a stale epoch was fenced off instead of
+    /// mutating the rebuilt lease book.
+    StaleEpochRejected {
+        /// The rejected verb (`free`, `heartbeat`, `resync`, …).
+        verb: String,
+        /// Epoch the caller held.
+        held: u64,
+        /// Epoch in force.
+        current: u64,
+        /// Rejection time.
+        at: SimTime,
+    },
+    /// A control-plane partition started: GPUs at or past `split` lost
+    /// the coordinator.
+    PartitionStarted {
+        /// First GPU index on the far side.
+        split: u64,
+        /// Partition start.
+        at: SimTime,
+    },
+    /// A control-plane partition healed.
+    PartitionHealed {
+        /// First GPU index that was on the far side.
+        split: u64,
+        /// Heal time.
+        at: SimTime,
+    },
+    /// A pre-crash lease was settled in the first post-recovery epoch:
+    /// re-homed by a resync report, locally revoked, or released.
+    LeaseReconciled {
+        /// The party whose lease was settled.
+        producer: String,
+        /// The settled lease id (pre-crash id for local outcomes, the
+        /// fresh id for re-homed donations).
+        lease: u64,
+        /// Bytes settled.
+        bytes: u64,
+        /// Epoch the settlement landed in.
+        epoch: u64,
+        /// Outcome: `rehomed`, `local-revoke`, or `released`.
+        outcome: String,
+        /// Settlement time.
+        at: SimTime,
+    },
     /// A runtime invariant audit failed (aqua-audit). Only emitted when a
     /// check actually trips, so clean audited runs journal the exact same
     /// event stream — and digest — as unaudited ones.
@@ -582,6 +655,13 @@ impl TraceEvent {
             TraceEvent::RequestRetried { .. } => "request_retried",
             TraceEvent::RequestRestored { .. } => "request_restored",
             TraceEvent::GatewayBrownout { .. } => "gateway_brownout",
+            TraceEvent::CoordinatorCrashed { .. } => "coordinator_crashed",
+            TraceEvent::CoordinatorRecovered { .. } => "coordinator_recovered",
+            TraceEvent::EpochBumped { .. } => "epoch_bumped",
+            TraceEvent::StaleEpochRejected { .. } => "stale_epoch_rejected",
+            TraceEvent::PartitionStarted { .. } => "partition_started",
+            TraceEvent::PartitionHealed { .. } => "partition_healed",
+            TraceEvent::LeaseReconciled { .. } => "lease_reconciled",
             TraceEvent::AuditViolation { .. } => "audit_violation",
         }
     }
@@ -626,6 +706,13 @@ impl TraceEvent {
             | TraceEvent::RequestRetried { at, .. }
             | TraceEvent::RequestRestored { at, .. }
             | TraceEvent::GatewayBrownout { at, .. }
+            | TraceEvent::CoordinatorCrashed { at, .. }
+            | TraceEvent::CoordinatorRecovered { at, .. }
+            | TraceEvent::EpochBumped { at, .. }
+            | TraceEvent::StaleEpochRejected { at, .. }
+            | TraceEvent::PartitionStarted { at, .. }
+            | TraceEvent::PartitionHealed { at, .. }
+            | TraceEvent::LeaseReconciled { at, .. }
             | TraceEvent::AuditViolation { at, .. } => *at,
             TraceEvent::TransferCompleted { start, .. }
             | TraceEvent::SliceFinished { start, .. }
@@ -1002,6 +1089,60 @@ impl TraceEvent {
                 w.num("queue_depth", *queue_depth);
                 w.time("at", *at);
             }
+            TraceEvent::CoordinatorCrashed {
+                epoch,
+                lost_leases,
+                lost_bytes,
+                at,
+            } => {
+                w.num("epoch", *epoch);
+                w.num("lost_leases", *lost_leases);
+                w.num("lost_bytes", *lost_bytes);
+                w.time("at", *at);
+            }
+            TraceEvent::CoordinatorRecovered { epoch, at } => {
+                w.num("epoch", *epoch);
+                w.time("at", *at);
+            }
+            TraceEvent::EpochBumped { from, to, at } => {
+                w.num("from", *from);
+                w.num("to", *to);
+                w.time("at", *at);
+            }
+            TraceEvent::StaleEpochRejected {
+                verb,
+                held,
+                current,
+                at,
+            } => {
+                w.str("verb", verb);
+                w.num("held", *held);
+                w.num("current", *current);
+                w.time("at", *at);
+            }
+            TraceEvent::PartitionStarted { split, at } => {
+                w.num("split", *split);
+                w.time("at", *at);
+            }
+            TraceEvent::PartitionHealed { split, at } => {
+                w.num("split", *split);
+                w.time("at", *at);
+            }
+            TraceEvent::LeaseReconciled {
+                producer,
+                lease,
+                bytes,
+                epoch,
+                outcome,
+                at,
+            } => {
+                w.str("producer", producer);
+                w.num("lease", *lease);
+                w.num("bytes", *bytes);
+                w.num("epoch", *epoch);
+                w.str("outcome", outcome);
+                w.time("at", *at);
+            }
             TraceEvent::AuditViolation {
                 kind,
                 scope,
@@ -1100,6 +1241,31 @@ mod tests {
                 name: "cfs.outstanding".into(),
                 value: 3.5,
                 at: SimTime::ZERO,
+            },
+            TraceEvent::CoordinatorCrashed {
+                epoch: 2,
+                lost_leases: 3,
+                lost_bytes: 1 << 30,
+                at: SimTime::from_secs(12),
+            },
+            TraceEvent::EpochBumped {
+                from: 1,
+                to: 2,
+                at: SimTime::from_secs(12),
+            },
+            TraceEvent::StaleEpochRejected {
+                verb: "free".into(),
+                held: 1,
+                current: 2,
+                at: SimTime::from_secs(13),
+            },
+            TraceEvent::LeaseReconciled {
+                producer: "s0/gpu1".into(),
+                lease: 9,
+                bytes: 1 << 29,
+                epoch: 2,
+                outcome: "rehomed".into(),
+                at: SimTime::from_secs(14),
             },
         ];
         for e in &events {

@@ -233,6 +233,80 @@ fn serve_chaos_experiment_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn coord_chaos_experiment_is_byte_identical_across_job_counts() {
+    // The control-plane recovery study inherits the determinism gate:
+    // every cell of `aqua-repro coord_chaos` — including the coordinator
+    // crash and the partition, epoch bump and resync traffic and all —
+    // renders the same bytes and folds the same telemetry digests at
+    // 1/4/8 jobs.
+    use aqua_bench::runner::{run_suite, ReproArgs};
+    let a = ReproArgs {
+        window: 30,
+        seed: 3,
+        count: 80,
+        lanes: 1,
+    };
+    let seq = run_suite(&["coord_chaos"], &a, 1, true, false).unwrap();
+    assert!(
+        seq.total_events > 0,
+        "coord-chaos cells must journal events"
+    );
+    for jobs in [4usize, 8] {
+        let par = run_suite(&["coord_chaos"], &a, jobs, true, false).unwrap();
+        assert_eq!(seq.output, par.output, "stdout must match at {jobs} jobs");
+        assert_eq!(seq.combined_digest, par.combined_digest);
+        assert_eq!(seq.total_events, par.total_events);
+    }
+    assert!(seq.output.contains("control-plane recovery"));
+}
+
+#[test]
+fn audited_coordinator_crash_run_is_digest_identical_to_unaudited() {
+    // "Silent when clean" through a control-plane failure: attaching the
+    // auditor to the coord-chaos crash cell — epoch bump, fenced
+    // rejections, informer resync and lease re-homing included — must
+    // journal the exact same event stream and digest as the unaudited
+    // cell.
+    use aqua_bench::coord_chaos::{run_cell_traced, CoordCell, CoordChaosConfig};
+    use aqua_sim::audit::Auditor;
+    use aqua_telemetry::JournalTracer;
+    use std::sync::Arc;
+
+    let cfg = CoordChaosConfig::standard(80, 3);
+    let plain = Arc::new(JournalTracer::new());
+    let audited = Arc::new(JournalTracer::new());
+    let auditor = Auditor::with_tracer(audited.clone());
+    let ra = run_cell_traced(&cfg, CoordCell::Crash, plain.clone(), None);
+    let rb = run_cell_traced(
+        &cfg,
+        CoordCell::Crash,
+        audited.clone(),
+        Some(auditor.clone()),
+    );
+    assert!(
+        auditor.is_clean(),
+        "coordinator crash cell tripped the audit: {:?}",
+        auditor.violations()
+    );
+    assert_eq!(ra.epoch, 2, "the crash must have bumped the epoch");
+    assert_eq!(ra.streams.len(), rb.streams.len());
+    assert_eq!(
+        plain.len(),
+        audited.len(),
+        "audit hooks added/dropped events"
+    );
+    assert_eq!(
+        plain.digest(),
+        audited.digest(),
+        "audit hooks perturbed the journal"
+    );
+    assert!(
+        !plain.is_empty(),
+        "coordinator crash cell journaled nothing"
+    );
+}
+
+#[test]
 fn audited_gateway_chaos_run_is_digest_identical_to_unaudited() {
     // The "silent when clean" property extended to the serving path:
     // attaching the crash-restore auditor to a gateway cell that replays a
@@ -339,6 +413,7 @@ proptest::proptest! {
             let profile = RandomFaultProfile {
                 link_ports: vec![PortId::NvlinkEgress(GpuId(1)), PortId::NvlinkIngress(GpuId(1))],
                 crash_gpus: vec![GpuId(1)],
+                control_plane: true,
                 events: p.faults,
                 min_duration: SimDuration::from_secs(5),
                 max_duration: SimDuration::from_secs(30),
